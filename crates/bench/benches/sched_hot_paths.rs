@@ -1,0 +1,84 @@
+//! Microbenchmarks of the scheduler hot paths: the per-event work each
+//! policy does (enqueue, pick-next, preempt bookkeeping), the sliding
+//! window percentile, the event queue, and trace synthesis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use azure_trace::{AzureTrace, TraceConfig};
+use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
+use faas_simcore::{EventQueue, SimDuration, SimTime};
+use hybrid_scheduler::{HybridConfig, HybridScheduler, SlidingWindow, TimeLimitPolicy};
+
+fn specs(n: usize) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let work = if i % 10 == 0 { 400 } else { 20 };
+            TaskSpec::function(
+                SimTime::from_millis(i as u64),
+                SimDuration::from_millis(work),
+                128,
+            )
+        })
+        .collect()
+}
+
+fn run_sim<P: Scheduler>(cores: usize, n: usize, policy: P) {
+    let cfg = MachineConfig::new(cores).with_cost(CostModel::default());
+    let report = Simulation::new(cfg, specs(n), policy).run().unwrap();
+    black_box(report.finished_at);
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_event_loop_500_tasks");
+    g.sample_size(10);
+    g.bench_function("fifo", |b| b.iter(|| run_sim(4, 500, faas_policies::Fifo::new())));
+    g.bench_function("cfs", |b| b.iter(|| run_sim(4, 500, faas_policies::Cfs::with_cores(4))));
+    g.bench_function("round_robin", |b| {
+        b.iter(|| run_sim(4, 500, faas_policies::RoundRobin::new(SimDuration::from_millis(10))))
+    });
+    g.bench_function("edf", |b| b.iter(|| run_sim(4, 500, faas_policies::Edf::new())));
+    g.bench_function("shinjuku", |b| {
+        b.iter(|| run_sim(4, 500, faas_policies::Shinjuku::new(SimDuration::from_millis(1))))
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter(|| {
+            let cfg = HybridConfig::split(2, 2)
+                .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(100)));
+            run_sim(4, 500, HybridScheduler::new(cfg))
+        })
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_micros((i * 7) % 997), i);
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+    c.bench_function("sliding_window_push_percentile", |b| {
+        let mut w = SlidingWindow::new(100);
+        for i in 0..100u64 {
+            w.push(SimDuration::from_millis(i));
+        }
+        b.iter(|| {
+            w.push(SimDuration::from_millis(black_box(42)));
+            black_box(w.percentile(0.95))
+        })
+    });
+    c.bench_function("trace_generation_1k", |b| {
+        b.iter(|| {
+            let t = AzureTrace::generate(&TraceConfig::w2().downscaled(12));
+            black_box(t.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Ablations of the hybrid scheduler's design choices (DESIGN.md):
+//!
+//! 1. round-robin vs least-loaded placement of migrated tasks (§IV-A);
+//! 2. sliding-window size for the adaptive limit (paper: 100);
+//! 3. rightsizing trigger threshold;
+//! 4. §VII-4 future work: routing microVM VMM/I-O threads directly to the
+//!    CFS group via placement hints.
+
+use faas_bench::{paper_machine, run_policy, w2_trace, wfc_trace, PAPER_CORES};
+use faas_metrics::{Metric, MetricSummary, RunSummary};
+use faas_simcore::SimDuration;
+use hybrid_scheduler::{
+    CfsPlacement, HybridConfig, HybridScheduler, RightsizingConfig, TimeLimitPolicy,
+};
+use lambda_pricing::PriceModel;
+use microvm_sim::{run_fleet, BootKind, FirecrackerConfig};
+
+fn main() {
+    let trace = w2_trace();
+    let model = PriceModel::duration_only();
+
+    println!("# Ablation 1 | CFS-side placement of migrated tasks");
+    println!("placement\tmean_exec_s\tp99_exec_s\tcost_usd");
+    for (name, placement) in
+        [("round_robin(paper)", CfsPlacement::RoundRobin), ("least_loaded", CfsPlacement::LeastLoaded)]
+    {
+        let cfg = HybridConfig::paper_25_25().with_cfs_placement(placement);
+        let (_, records) =
+            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let s = MetricSummary::compute(&records, Metric::Execution);
+        println!(
+            "{name}\t{:.3}\t{:.3}\t{:.4}",
+            s.mean.as_secs_f64(),
+            s.p99.as_secs_f64(),
+            model.workload_cost(&records)
+        );
+    }
+
+    println!("# Ablation 2 | sliding-window size (adaptive p95 limit)");
+    println!("window\tmean_exec_s\tcost_usd");
+    for window_size in [25usize, 50, 100, 200, 400] {
+        let cfg = HybridConfig {
+            window_size,
+            ..HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
+                percentile: 0.95,
+                initial: SimDuration::from_millis(1_633),
+            })
+        };
+        let (_, records) =
+            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let s = MetricSummary::compute(&records, Metric::Execution);
+        println!("{window_size}\t{:.3}\t{:.4}", s.mean.as_secs_f64(), model.workload_cost(&records));
+    }
+
+    println!("# Ablation 3 | rightsizing threshold");
+    println!("threshold\tp99_response_s\tp99_exec_s\tmigrations");
+    for threshold in [0.05, 0.15, 0.30, 0.60] {
+        let cfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig {
+            threshold,
+            ..RightsizingConfig::default()
+        });
+        let machine = paper_machine();
+        let mut sim = faas_kernel::Simulation::new(
+            machine,
+            trace.to_task_specs(),
+            HybridScheduler::new(cfg),
+        );
+        while sim.step().expect("simulation completes") {}
+        let migrations = sim.policy().migrations().len();
+        let records = faas_metrics::records_from_tasks(sim.machine().tasks());
+        let s = RunSummary::compute(&records);
+        println!(
+            "{threshold}\t{:.2}\t{:.2}\t{migrations}",
+            s.response.p99.as_secs_f64(),
+            s.execution.p99.as_secs_f64()
+        );
+    }
+
+    println!("# Ablation 4 | \u{a7}VII-4: microVM aux threads routed by hint");
+    println!("fleet_mode\tvm_p99_exec_s\tvm_p99_turnaround_s\tcost_usd\tbackground_routed");
+    let fleet_trace = wfc_trace();
+    for (name, fc, hints) in [
+        ("uniform(paper)", FirecrackerConfig::paper_fleet(), false),
+        ("aux_to_cfs(future-work)", FirecrackerConfig::paper_fleet_hinted(), true),
+    ] {
+        let mut cfg = HybridConfig::paper_25_25();
+        if hints {
+            cfg = cfg.with_hint_routing();
+        }
+        let out = run_fleet(&fleet_trace, &fc, PAPER_CORES, HybridScheduler::new(cfg))
+            .expect("fleet completes");
+        let s = RunSummary::compute(&out.vm_records);
+        println!(
+            "{name}\t{:.2}\t{:.2}\t{:.4}\t-",
+            s.execution.p99.as_secs_f64(),
+            s.turnaround.p99.as_secs_f64(),
+            model.workload_cost(&out.vm_records)
+        );
+    }
+
+    println!("# Ablation 5 | snapshot-restore boots (Ustiugov et al. [22])");
+    println!("boot\tfailed\tvm_p99_turnaround_s\tcost_usd");
+    for (name, boot_kind) in [
+        ("full_boot", BootKind::Full),
+        (
+            "snapshot_80pct",
+            BootKind::Snapshot {
+                restore_cpu: SimDuration::from_millis(8),
+                hit_rate: 0.8,
+            },
+        ),
+    ] {
+        let fc = FirecrackerConfig { boot_kind, ..FirecrackerConfig::paper_fleet() };
+        let out = run_fleet(
+            &fleet_trace,
+            &fc,
+            PAPER_CORES,
+            HybridScheduler::new(HybridConfig::paper_25_25()),
+        )
+        .expect("fleet completes");
+        let s = RunSummary::compute(&out.vm_records);
+        println!(
+            "{name}\t{}\t{:.2}\t{:.4}",
+            out.plan.failed(),
+            s.turnaround.p99.as_secs_f64(),
+            model.workload_cost(&out.vm_records)
+        );
+    }
+}

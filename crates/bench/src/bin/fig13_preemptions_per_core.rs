@@ -1,0 +1,29 @@
+//! Fig. 13: preemption count per core, hybrid(25/25) vs CFS(50). Shape:
+//! FIFO-group cores suffer orders of magnitude fewer preemptions (note
+//! the paper's log-scale y-axis).
+
+use faas_bench::{paper_machine, run_policy, w2_trace};
+use faas_policies::Cfs;
+use hybrid_scheduler::{HybridConfig, HybridScheduler};
+
+fn main() {
+    let trace = w2_trace();
+    let (hyb_report, _) = run_policy(
+        paper_machine(),
+        trace.to_task_specs(),
+        HybridScheduler::new(HybridConfig::paper_25_25()),
+    );
+    let (cfs_report, _) =
+        run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
+    println!("# Fig. 13 | per-core preemption counts (cores 0-24 = FIFO group)");
+    println!("core\thybrid\tcfs");
+    for i in 0..50 {
+        println!(
+            "{i}\t{}\t{}",
+            hyb_report.core_stats[i].preemptions, cfs_report.core_stats[i].preemptions
+        );
+    }
+    let fifo_group: u64 = hyb_report.core_stats[..25].iter().map(|s| s.preemptions).sum();
+    let cfs_group: u64 = hyb_report.core_stats[25..].iter().map(|s| s.preemptions).sum();
+    println!("# hybrid FIFO-group total={fifo_group} CFS-group total={cfs_group}");
+}

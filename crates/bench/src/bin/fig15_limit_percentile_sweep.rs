@@ -1,0 +1,29 @@
+//! Fig. 15: execution time under adaptive limits tracking the p25..p95 of
+//! the last 100 task durations (25/25 cores). Shape: p95 achieves the
+//! best execution time.
+
+use faas_bench::{paper_machine, print_cdf, run_policy, w2_trace};
+use faas_metrics::{Metric, MetricSummary};
+use faas_simcore::SimDuration;
+use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
+
+fn main() {
+    let trace = w2_trace();
+    println!("# Fig. 15 | execution time vs FIFO limit percentile (ts = pN)");
+    let mut rows = Vec::new();
+    for pct in [0.25, 0.50, 0.75, 0.90, 0.95] {
+        let cfg = HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
+            percentile: pct,
+            initial: SimDuration::from_millis(1_633),
+        });
+        let (_, records) =
+            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let label = format!("ts=p{:.0}", pct * 100.0);
+        print_cdf("Fig. 15", &label, Metric::Execution, &records);
+        rows.push((label, MetricSummary::compute(&records, Metric::Execution)));
+    }
+    println!("# limit\tmean_exec_s\tp99_exec_s");
+    for (label, s) in rows {
+        println!("{label}\t{:.3}\t{:.3}", s.mean.as_secs_f64(), s.p99.as_secs_f64());
+    }
+}

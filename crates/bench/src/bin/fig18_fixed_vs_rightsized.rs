@@ -1,0 +1,24 @@
+//! Fig. 18: hybrid with fixed 25/25 groups vs dynamically rightsized
+//! groups on W2. Shape: rightsizing trades a little execution time for
+//! better response time.
+
+use faas_bench::{paper_machine, print_cdf, run_policy, w2_trace};
+use faas_metrics::Metric;
+use hybrid_scheduler::{HybridConfig, HybridScheduler, RightsizingConfig};
+
+fn main() {
+    let trace = w2_trace();
+    let (_, fixed) = run_policy(
+        paper_machine(),
+        trace.to_task_specs(),
+        HybridScheduler::new(HybridConfig::paper_25_25()),
+    );
+    let rcfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
+    let (rreport, rightsized) =
+        run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(rcfg));
+    for metric in Metric::ALL {
+        print_cdf("Fig. 18", "fixed(25,25)", metric, &fixed);
+        print_cdf("Fig. 18", "rightsized", metric, &rightsized);
+    }
+    let _ = rreport;
+}

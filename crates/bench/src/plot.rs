@@ -1,0 +1,123 @@
+//! Minimal ASCII chart rendering so the figure binaries can show the
+//! curve shapes directly in the terminal (the numbers are still printed
+//! in machine-readable form alongside).
+
+/// Renders one or more `(x, y)` series as an ASCII chart of the given
+/// size. X is scaled linearly over the union of all series; Y over
+/// `[0, y_max]`. Each series gets a distinct glyph, in order:
+/// `*`, `o`, `+`, `x`, `#`, `@`.
+///
+/// # Panics
+///
+/// Panics if `width`/`height` < 2 or all series are empty.
+///
+/// # Examples
+///
+/// ```
+/// use faas_bench::ascii_chart;
+///
+/// let line: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64, i as f64)).collect();
+/// let chart = ascii_chart(&[("diag", &line)], 20, 5);
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("diag"));
+/// ```
+pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "chart too small");
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    assert!(!points.is_empty(), "nothing to plot");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut y_max = f64::NEG_INFINITY;
+    for (x, y) in &points {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_max = y_max.max(*y);
+    }
+    if x_max <= x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max <= 0.0 {
+        y_max = 1.0;
+    }
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, y) in s.iter() {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row_from_bottom =
+                ((y / y_max).clamp(0.0, 1.0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row_from_bottom;
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>9.2} |")
+        } else if i == height - 1 {
+            format!("{:>9.2} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>11}{:<.3}{:>width$.3}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_min,
+        x_max,
+        width = width - 5
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_has_expected_dimensions() {
+        let s: Vec<(f64, f64)> = vec![(0.0, 0.0), (1.0, 1.0)];
+        let chart = ascii_chart(&[("a", &s)], 30, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        // height rows + axis + x labels + legend.
+        assert_eq!(lines.len(), 8 + 3);
+        assert!(lines[0].contains('|'));
+        assert!(lines.last().unwrap().contains("* a"));
+    }
+
+    #[test]
+    fn two_series_get_distinct_glyphs() {
+        let a: Vec<(f64, f64)> = vec![(0.0, 1.0)];
+        let b: Vec<(f64, f64)> = vec![(1.0, 0.5)];
+        let chart = ascii_chart(&[("one", &a), ("two", &b)], 20, 4);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("one"));
+        assert!(chart.contains("two"));
+    }
+
+    #[test]
+    fn degenerate_ranges_are_handled() {
+        let s: Vec<(f64, f64)> = vec![(5.0, 0.0), (5.0, 0.0)];
+        let chart = ascii_chart(&[("flat", &s)], 10, 3);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_series_rejected() {
+        let _ = ascii_chart(&[("none", &[])], 10, 4);
+    }
+}

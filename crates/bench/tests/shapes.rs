@@ -1,0 +1,65 @@
+//! Fast shape checks over the bench-harness plumbing (downscaled): the
+//! figure binaries build on these helpers, so their orderings are
+//! asserted here for CI without full-scale runs.
+
+use faas_bench::{paper_machine, quiet_machine, run_policy};
+use faas_metrics::{jain_fairness, slowdowns, Metric, MetricSummary};
+use faas_policies::{Cfs, Fifo};
+use faas_simcore::{SimDuration, SimTime};
+use hybrid_scheduler::{HybridConfig, HybridScheduler};
+use lambda_pricing::PriceModel;
+
+fn small_trace() -> azure_trace::AzureTrace {
+    // 1/40 scale keeps each run in the low milliseconds.
+    azure_trace::AzureTrace::generate(&azure_trace::TraceConfig::w2().downscaled(40))
+}
+
+#[test]
+fn run_policy_wires_trace_to_records() {
+    let trace = small_trace();
+    let (report, records) = run_policy(quiet_machine(), trace.to_task_specs(), Fifo::new());
+    assert_eq!(report.tasks.len(), trace.len());
+    assert_eq!(records.len(), trace.len());
+}
+
+#[test]
+fn machines_have_paper_core_count() {
+    assert_eq!(paper_machine().cores, 50);
+    assert_eq!(quiet_machine().cores, 50);
+}
+
+#[test]
+fn cfs_is_fairer_but_slower_than_fifo_even_downscaled() {
+    let specs: Vec<faas_kernel::TaskSpec> = (0..40)
+        .map(|_| {
+            faas_kernel::TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_millis(100),
+                128,
+            )
+        })
+        .collect();
+    let m = || faas_kernel::MachineConfig::new(2);
+    let (_, fifo) = run_policy(m(), specs.clone(), Fifo::new());
+    let (_, cfs) = run_policy(m(), specs, Cfs::with_cores(2));
+    // CFS: all equal tasks see near-equal slowdown (Jain close to 1).
+    let fairness_cfs = jain_fairness(&slowdowns(&cfs));
+    assert!(fairness_cfs > 0.95, "CFS fairness {fairness_cfs}");
+    // FIFO: execution time is near-optimal.
+    let exec_fifo = MetricSummary::compute(&fifo, Metric::Execution).mean;
+    let exec_cfs = MetricSummary::compute(&cfs, Metric::Execution).mean;
+    assert!(exec_fifo * 3 < exec_cfs, "fifo {exec_fifo} vs cfs {exec_cfs}");
+    // And the bill follows execution time.
+    let model = PriceModel::duration_only();
+    assert!(model.workload_cost(&fifo) * 3.0 < model.workload_cost(&cfs));
+}
+
+#[test]
+fn hybrid_runs_on_bench_machines() {
+    let trace = small_trace();
+    let cfg = HybridConfig::paper_25_25();
+    let (report, records) =
+        run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+    assert_eq!(records.len(), trace.len());
+    assert!(report.total_preemptions() < 10_000, "downscaled run preempts rarely");
+}

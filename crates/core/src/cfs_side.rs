@@ -1,0 +1,140 @@
+//! The long-task (CFS) side of the hybrid scheduler.
+//!
+//! Per-core vruntime queues with *dynamic membership*: cores join and leave
+//! as the rightsizing controller moves them between groups (§IV-B). The
+//! scheduling logic matches `faas_policies::Cfs` (placement at
+//! `min_vruntime`, latency-target slices, stealing), re-implemented here
+//! because membership churn requires queue hand-off primitives a fixed-set
+//! policy does not need.
+
+use std::collections::{BTreeSet, HashMap};
+
+use faas_kernel::{Machine, TaskId};
+use faas_simcore::SimDuration;
+
+#[derive(Debug, Default)]
+struct Rq {
+    queue: BTreeSet<(i64, TaskId)>,
+    min_vruntime: i64,
+}
+
+/// Dynamic-membership CFS run queues.
+#[derive(Debug)]
+pub(crate) struct CfsSide {
+    rqs: HashMap<usize, Rq>,
+    /// vruntime offset per task: effective vr = offset + cpu_time.
+    offsets: HashMap<TaskId, i64>,
+    sched_latency: SimDuration,
+    min_granularity: SimDuration,
+}
+
+impl CfsSide {
+    pub(crate) fn new(sched_latency: SimDuration, min_granularity: SimDuration) -> Self {
+        assert!(!min_granularity.is_zero(), "min_granularity must be positive");
+        CfsSide { rqs: HashMap::new(), offsets: HashMap::new(), sched_latency, min_granularity }
+    }
+
+    pub(crate) fn add_core(&mut self, core: usize) {
+        self.rqs.entry(core).or_default();
+    }
+
+    /// Removes a core, returning its queued tasks in vruntime order.
+    pub(crate) fn remove_core(&mut self, core: usize) -> Vec<TaskId> {
+        match self.rqs.remove(&core) {
+            Some(rq) => rq.queue.into_iter().map(|(_, t)| t).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    pub(crate) fn has_core(&self, core: usize) -> bool {
+        self.rqs.contains_key(&core)
+    }
+
+    pub(crate) fn queue_len(&self, core: usize) -> usize {
+        self.rqs.get(&core).map(|r| r.queue.len()).unwrap_or(0)
+    }
+
+    /// Total queued tasks across all member cores.
+    pub(crate) fn total_queued(&self) -> usize {
+        self.rqs.values().map(|r| r.queue.len()).sum()
+    }
+
+    fn effective_vr(&self, m: &Machine, task: TaskId) -> i64 {
+        self.offsets.get(&task).copied().unwrap_or(0)
+            + m.task(task).cpu_time().as_micros() as i64
+    }
+
+    /// Enqueues a task entering this core fresh: placed at the core's
+    /// `min_vruntime` so it is not starved nor unfairly boosted.
+    pub(crate) fn enqueue_new(&mut self, m: &Machine, core: usize, task: TaskId) {
+        let rq = self.rqs.get_mut(&core).expect("enqueue on member core");
+        let cpu = m.task(task).cpu_time().as_micros() as i64;
+        let offset = rq.min_vruntime - cpu;
+        self.offsets.insert(task, offset);
+        rq.queue.insert((offset + cpu, task));
+    }
+
+    /// Re-enqueues a task that already belongs to this core (slice expiry);
+    /// its vruntime advanced by the CPU time it just consumed.
+    pub(crate) fn requeue(&mut self, m: &Machine, core: usize, task: TaskId) {
+        let vr = self.effective_vr(m, task);
+        let rq = self.rqs.get_mut(&core).expect("requeue on member core");
+        rq.queue.insert((vr, task));
+    }
+
+    /// Pops the smallest-vruntime task of `core` together with its slice.
+    pub(crate) fn pop(&mut self, core: usize) -> Option<(TaskId, SimDuration)> {
+        let rq = self.rqs.get_mut(&core)?;
+        let key = *rq.queue.iter().next()?;
+        rq.queue.remove(&key);
+        rq.min_vruntime = rq.min_vruntime.max(key.0);
+        let nr = rq.queue.len() as u64 + 1;
+        let slice = (self.sched_latency / nr).max(self.min_granularity);
+        Some((key.1, slice))
+    }
+
+    /// Steals the longest-waiting task from the most loaded sibling queue
+    /// (length > 1) and enqueues it fresh on `core`. Returns whether a
+    /// steal happened.
+    pub(crate) fn steal_into(&mut self, m: &Machine, core: usize) -> bool {
+        let victim = self
+            .rqs
+            .iter()
+            .filter(|(&c, _)| c != core)
+            .max_by_key(|(_, rq)| rq.queue.len())
+            .map(|(&c, rq)| (c, rq.queue.len()));
+        match victim {
+            Some((v, len)) if len > 1 => {
+                let key = *self.rqs[&v].queue.iter().next_back().expect("non-empty");
+                self.rqs.get_mut(&v).expect("victim exists").queue.remove(&key);
+                self.enqueue_new(m, core, key.1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Rebalances queues so the longest and shortest differ by at most one
+    /// (used after a core joins the group, §IV-B). Returns how many tasks
+    /// moved.
+    pub(crate) fn balance(&mut self, m: &Machine) -> usize {
+        let mut moved = 0;
+        loop {
+            let (max_c, max_len) = match self.rqs.iter().max_by_key(|(_, r)| r.queue.len()) {
+                Some((&c, r)) => (c, r.queue.len()),
+                None => return moved,
+            };
+            let (min_c, min_len) = match self.rqs.iter().min_by_key(|(_, r)| r.queue.len()) {
+                Some((&c, r)) => (c, r.queue.len()),
+                None => return moved,
+            };
+            if max_len <= min_len + 1 {
+                return moved;
+            }
+            let key = *self.rqs[&max_c].queue.iter().next_back().expect("non-empty");
+            self.rqs.get_mut(&max_c).expect("max exists").queue.remove(&key);
+            self.enqueue_new(m, min_c, key.1);
+            moved += 1;
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! CPU-group rightsizing (§IV-B, Figs. 8/18/19).
+//!
+//! A utilization monitor compares the two core groups over a trailing
+//! window; when the gap exceeds a threshold, one core migrates from the
+//! under-utilized group to the overloaded one so that capacity follows
+//! load and neither group idles. (The paper's prose says cores move "from
+//! the highly-utilized group to the under-utilized group"; its mechanism
+//! description and Fig. 19 show capacity being *added* where load is — we
+//! implement that reading.)
+//!
+//! The CFS→FIFO migration follows the five-step protocol of Fig. 8:
+//! **lock** the core, **preempt** its running task, **migrate** its queue
+//! to the remaining CFS cores, **transition** the core's policy, and
+//! **unlock** it. [`MigrationReport`] records the steps for observability
+//! and protocol tests.
+
+use faas_kernel::CoreId;
+use faas_simcore::{SimDuration, SimTime};
+
+use crate::config::RightsizingConfig;
+
+/// Which way a core should move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationDirection {
+    /// Grow the FIFO group (CFS donates a core) — Fig. 8's direction.
+    CfsToFifo,
+    /// Grow the CFS group (FIFO donates a core).
+    FifoToCfs,
+}
+
+/// One step of the Fig. 8 migration protocol, as executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationStep {
+    /// Step 1: the core is locked; no new task may be assigned to it.
+    Lock(CoreId),
+    /// Step 2: the task occupying the core (if any) was preempted.
+    PreemptRunning(Option<faas_kernel::TaskId>),
+    /// Step 3: `tasks` queued on the core were redistributed to siblings.
+    RedistributeQueue(usize),
+    /// Step 4: the core switched policy group.
+    PolicyTransition(MigrationDirection),
+    /// Step 5: the core is unlocked and accepts tasks under its new policy.
+    Unlock(CoreId),
+}
+
+/// Record of one executed core migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// When the migration happened.
+    pub at: SimTime,
+    /// The migrated core.
+    pub core: CoreId,
+    /// Direction of the move.
+    pub direction: MigrationDirection,
+    /// The protocol steps in execution order.
+    pub steps: Vec<MigrationStep>,
+}
+
+impl MigrationReport {
+    /// Validates the Fig. 8 protocol ordering: lock first, unlock last,
+    /// preemption before queue redistribution before the policy switch.
+    pub fn follows_protocol(&self) -> bool {
+        let order: Vec<u8> = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                MigrationStep::Lock(_) => 0,
+                MigrationStep::PreemptRunning(_) => 1,
+                MigrationStep::RedistributeQueue(_) => 2,
+                MigrationStep::PolicyTransition(_) => 3,
+                MigrationStep::Unlock(_) => 4,
+            })
+            .collect();
+        order == [0, 1, 2, 3, 4]
+    }
+}
+
+/// The utilization-gap decision logic, separated from execution for unit
+/// testing.
+#[derive(Debug, Clone)]
+pub struct RightsizingController {
+    cfg: RightsizingConfig,
+    last_migration: Option<SimTime>,
+}
+
+impl RightsizingController {
+    /// Creates a controller with the given configuration.
+    pub fn new(cfg: RightsizingConfig) -> Self {
+        RightsizingController { cfg, last_migration: None }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RightsizingConfig {
+        &self.cfg
+    }
+
+    /// Trailing window used for the utilization average.
+    pub fn window(&self) -> SimDuration {
+        self.cfg.window
+    }
+
+    /// Decides whether to migrate a core given the two groups' windowed
+    /// utilizations and current sizes. Returns `None` while in cooldown,
+    /// when the gap is below threshold, or when the donor group is at its
+    /// minimum size.
+    pub fn decide(
+        &self,
+        now: SimTime,
+        fifo_util: f64,
+        cfs_util: f64,
+        fifo_cores: usize,
+        cfs_cores: usize,
+    ) -> Option<MigrationDirection> {
+        if let Some(last) = self.last_migration {
+            if now.saturating_since(last) < self.cfg.cooldown {
+                return None;
+            }
+        }
+        let gap = fifo_util - cfs_util;
+        if gap > self.cfg.threshold && cfs_cores > self.cfg.min_cores {
+            // FIFO group overloaded: CFS donates a core.
+            Some(MigrationDirection::CfsToFifo)
+        } else if -gap > self.cfg.threshold && fifo_cores > self.cfg.min_cores {
+            // CFS group overloaded: FIFO donates a core.
+            Some(MigrationDirection::FifoToCfs)
+        } else {
+            None
+        }
+    }
+
+    /// Records that a migration was executed at `now` (starts the cooldown).
+    pub fn note_migration(&mut self, now: SimTime) {
+        self.last_migration = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> RightsizingController {
+        RightsizingController::new(RightsizingConfig {
+            window: SimDuration::from_secs(2),
+            threshold: 0.15,
+            cooldown: SimDuration::from_millis(500),
+            min_cores: 1,
+        })
+    }
+
+    #[test]
+    fn no_migration_below_threshold() {
+        let c = controller();
+        assert_eq!(c.decide(SimTime::from_secs(10), 0.9, 0.85, 25, 25), None);
+    }
+
+    #[test]
+    fn fifo_overload_pulls_core_from_cfs() {
+        let c = controller();
+        assert_eq!(
+            c.decide(SimTime::from_secs(10), 0.99, 0.40, 25, 25),
+            Some(MigrationDirection::CfsToFifo)
+        );
+    }
+
+    #[test]
+    fn cfs_overload_pulls_core_from_fifo() {
+        let c = controller();
+        assert_eq!(
+            c.decide(SimTime::from_secs(10), 0.30, 0.97, 25, 25),
+            Some(MigrationDirection::FifoToCfs)
+        );
+    }
+
+    #[test]
+    fn donor_group_respects_min_cores() {
+        let c = controller();
+        // CFS would donate but is at its minimum.
+        assert_eq!(c.decide(SimTime::from_secs(10), 0.99, 0.10, 49, 1), None);
+        assert_eq!(c.decide(SimTime::from_secs(10), 0.10, 0.99, 1, 49), None);
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_migrations() {
+        let mut c = controller();
+        c.note_migration(SimTime::from_millis(1_000));
+        assert_eq!(c.decide(SimTime::from_millis(1_200), 0.99, 0.10, 25, 25), None);
+        assert!(c
+            .decide(SimTime::from_millis(1_600), 0.99, 0.10, 25, 25)
+            .is_some());
+    }
+
+    #[test]
+    fn protocol_validation() {
+        let report = MigrationReport {
+            at: SimTime::ZERO,
+            core: CoreId::from_index(2),
+            direction: MigrationDirection::CfsToFifo,
+            steps: vec![
+                MigrationStep::Lock(CoreId::from_index(2)),
+                MigrationStep::PreemptRunning(None),
+                MigrationStep::RedistributeQueue(3),
+                MigrationStep::PolicyTransition(MigrationDirection::CfsToFifo),
+                MigrationStep::Unlock(CoreId::from_index(2)),
+            ],
+        };
+        assert!(report.follows_protocol());
+
+        let bad = MigrationReport {
+            steps: vec![
+                MigrationStep::PreemptRunning(None),
+                MigrationStep::Lock(CoreId::from_index(2)),
+                MigrationStep::RedistributeQueue(0),
+                MigrationStep::PolicyTransition(MigrationDirection::CfsToFifo),
+                MigrationStep::Unlock(CoreId::from_index(2)),
+            ],
+            ..report
+        };
+        assert!(!bad.follows_protocol());
+    }
+}

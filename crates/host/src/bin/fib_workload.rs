@@ -1,0 +1,36 @@
+//! The paper's Fibonacci workload binary (§V-A): a CPU-bound process whose
+//! runtime is controlled by the argument `N` (and an optional repeat
+//! count), used to emulate serverless functions of different durations.
+//!
+//! Usage: `fib-workload <N> [repeats]`
+
+use std::env;
+use std::process::ExitCode;
+
+/// Naive recursive Fibonacci — deliberately exponential, exactly like the
+/// paper's calibration workload (runtime grows ~φ per increment of N).
+fn fib(n: u32) -> u64 {
+    if n < 2 {
+        n as u64
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().collect();
+    let n: u32 = match args.get(1).and_then(|a| a.parse().ok()) {
+        Some(n) if n <= 50 => n,
+        _ => {
+            eprintln!("usage: fib-workload <N<=50> [repeats]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repeats: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let mut acc = 0u64;
+    for _ in 0..repeats {
+        acc = acc.wrapping_add(std::hint::black_box(fib(std::hint::black_box(n))));
+    }
+    println!("fib({n}) x{repeats} = {acc}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,77 @@
+//! Live Fibonacci calibration (§V-B "Calibration").
+//!
+//! The paper runs the Fibonacci binary for N = 36..46 and averages 100
+//! repetitions to map arguments to durations on their hardware. This
+//! module does the same measurement in-process (same naive recursion as
+//! the `fib-workload` binary) so a live deployment can anchor
+//! [`FibCalibration`](hybrid_scheduler) — well, the `azure-trace`
+//! calibration — to the current machine.
+
+use std::time::{Duration, Instant};
+
+/// Naive recursive Fibonacci, identical to the workload binary.
+pub fn fib_naive(n: u32) -> u64 {
+    if n < 2 {
+        n as u64
+    } else {
+        fib_naive(n - 1) + fib_naive(n - 2)
+    }
+}
+
+/// Measures the average runtime of `fib_naive(n)` over `repetitions`.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn measure_fib(n: u32, repetitions: u32) -> Duration {
+    assert!(repetitions > 0, "need at least one repetition");
+    let start = Instant::now();
+    for _ in 0..repetitions {
+        std::hint::black_box(fib_naive(std::hint::black_box(n)));
+    }
+    start.elapsed() / repetitions
+}
+
+/// Measures the golden-ratio growth between consecutive N — the empirical
+/// justification for the `azure-trace` cost model. Returns the mean ratio
+/// `t(n+1)/t(n)` over `lo..hi`.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo`.
+pub fn measure_growth_ratio(lo: u32, hi: u32, repetitions: u32) -> f64 {
+    assert!(hi > lo, "need at least one step");
+    let times: Vec<f64> =
+        (lo..=hi).map(|n| measure_fib(n, repetitions).as_secs_f64()).collect();
+    let ratios: Vec<f64> = times.windows(2).map(|w| w[1] / w[0]).collect();
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_matches_closed_values() {
+        assert_eq!(fib_naive(0), 0);
+        assert_eq!(fib_naive(10), 55);
+        assert_eq!(fib_naive(20), 6_765);
+    }
+
+    #[test]
+    fn measurement_is_positive_and_monotone() {
+        // Small N keeps the test fast on any machine.
+        let t25 = measure_fib(25, 3);
+        let t29 = measure_fib(29, 3);
+        assert!(t25 > Duration::ZERO);
+        assert!(t29 > t25, "fib(29) must take longer than fib(25)");
+    }
+
+    #[test]
+    fn growth_ratio_is_golden_ish() {
+        // Averaged over several steps the ratio lands near φ ≈ 1.618;
+        // noisy CI machines get a generous band.
+        let r = measure_growth_ratio(24, 30, 3);
+        assert!((1.3..=2.1).contains(&r), "growth ratio was {r}");
+    }
+}

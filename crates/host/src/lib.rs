@@ -1,0 +1,43 @@
+//! # faas-host
+//!
+//! The real-OS backend: runs the paper's hybrid placement policy against a
+//! live Linux kernel using stock scheduler APIs. Where the simulated stack
+//! (`faas-kernel` + `hybrid-scheduler`) reproduces the paper's *numbers*,
+//! this crate exercises the same mechanism on real processes:
+//!
+//! * [`sysapi`] — `sched_setaffinity(2)` / `sched_setscheduler(2)`
+//!   wrappers with graceful `SCHED_FIFO`→CFS fallback when the host lacks
+//!   `CAP_SYS_NICE`;
+//! * [`procstat`] — `/proc/<pid>/stat` CPU-time and `/proc/stat`
+//!   utilization monitoring (the psutil daemon of §VI-C);
+//! * [`HybridHostController`] — launch function processes pinned to a
+//!   FIFO core group, migrate them to the CFS group once their observed
+//!   CPU time exceeds the limit (§IV-A on stock APIs);
+//! * [`TraceRunner`] — replays a workload file onto the controller at its
+//!   inter-arrival times (the Fig. 9 workload generator, live);
+//! * [`UtilizationMonitor`] / [`HostRightsizer`] — the §VI-C utilization
+//!   daemon (a `/proc/stat` sampler thread) feeding the same rightsizing
+//!   decision logic the simulator uses;
+//! * [`calibrate`] — live Fibonacci calibration (§V-B) to anchor the
+//!   `azure-trace` duration model to the current machine;
+//! * the `fib-workload` binary — the paper's CPU-bound function stand-in.
+//!
+//! This crate intentionally contains the workspace's only `unsafe` code
+//! (FFI to the scheduling syscalls), kept to `sysapi`/`procstat`.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+mod controller;
+mod monitor;
+pub mod procstat;
+mod runner;
+pub mod sysapi;
+
+pub use controller::{HostConfig, HostEvent, HostRecord, HybridHostController};
+pub use monitor::{HostRightsizer, UtilizationMonitor, UtilizationSnapshot};
+pub use runner::{PlannedLaunch, TraceRunner};
+pub use sysapi::{
+    can_use_realtime, get_affinity, get_policy, num_cpus_configured, set_affinity,
+    set_policy, set_policy_or_fallback, Pid, SchedPolicy,
+};

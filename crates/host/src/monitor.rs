@@ -1,0 +1,298 @@
+//! The live utilization monitor — §VI-C's "CPU utilization daemon
+//! monitoring the CPU utilization of each core through psutil", rebuilt
+//! on `/proc/stat` with a background sampler thread and a shared snapshot
+//! (the paper's shared-memory hand-off).
+//!
+//! [`HostRightsizer`] consumes the snapshots and applies the same
+//! decision logic as the simulated controller
+//! ([`RightsizingController`](hybrid_scheduler::RightsizingController))
+//! to a live [`HostConfig`]-style core split: when the groups' utilization
+//! diverges, a core moves from the under-utilized group to the overloaded
+//! one, and all managed processes get their affinity masks refreshed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hybrid_scheduler::{MigrationDirection, RightsizingController};
+use parking_lot::Mutex;
+
+use crate::procstat::{read_core_ticks, CoreTicks};
+
+/// One utilization sample: per-core busy fraction since the previous
+/// sample, in `[0, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationSnapshot {
+    /// Busy fraction per core index.
+    pub per_core: Vec<f64>,
+}
+
+impl UtilizationSnapshot {
+    /// Average utilization over `cores` (0.0 for an empty set).
+    pub fn group_mean(&self, cores: &[usize]) -> f64 {
+        if cores.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 =
+            cores.iter().map(|&c| self.per_core.get(c).copied().unwrap_or(0.0)).sum();
+        sum / cores.len() as f64
+    }
+}
+
+/// A background `/proc/stat` sampler publishing utilization snapshots.
+///
+/// Dropping the monitor stops the sampler thread.
+pub struct UtilizationMonitor {
+    latest: Arc<Mutex<UtilizationSnapshot>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for UtilizationMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UtilizationMonitor").finish_non_exhaustive()
+    }
+}
+
+impl UtilizationMonitor {
+    /// Starts the sampler with the given period.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `/proc/stat` cannot be read at startup.
+    pub fn start(period: Duration) -> std::io::Result<Self> {
+        let mut prev = read_core_ticks()?;
+        let latest = Arc::new(Mutex::new(UtilizationSnapshot::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let latest_w = Arc::clone(&latest);
+        let stop_r = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_r.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                let Ok(cur) = read_core_ticks() else { continue };
+                let per_core: Vec<f64> = cur
+                    .iter()
+                    .zip(prev.iter().chain(std::iter::repeat(&CoreTicks::default())))
+                    .map(|(now, before)| now.utilization_since(before))
+                    .collect();
+                prev = cur;
+                *latest_w.lock() = UtilizationSnapshot { per_core };
+            }
+        });
+        Ok(UtilizationMonitor { latest, stop, handle: Some(handle) })
+    }
+
+    /// The most recent snapshot (empty until the first period elapses).
+    pub fn snapshot(&self) -> UtilizationSnapshot {
+        self.latest.lock().clone()
+    }
+}
+
+impl Drop for UtilizationMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Live CPU-group rightsizing over a mutable core split.
+///
+/// The decision logic is shared with the simulator
+/// (`hybrid_scheduler::RightsizingController`); this type owns the live
+/// core lists and tells the caller when to re-pin processes.
+#[derive(Debug)]
+pub struct HostRightsizer {
+    controller: RightsizingController,
+    fifo_cores: Vec<usize>,
+    cfs_cores: Vec<usize>,
+    /// Monotonic virtual clock fed by the caller (seconds of uptime).
+    migrations: usize,
+}
+
+impl HostRightsizer {
+    /// Creates a rightsizer over an initial split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either group is empty or they overlap.
+    pub fn new(
+        fifo_cores: Vec<usize>,
+        cfs_cores: Vec<usize>,
+        cfg: hybrid_scheduler::RightsizingConfig,
+    ) -> Self {
+        assert!(!fifo_cores.is_empty() && !cfs_cores.is_empty(), "both groups non-empty");
+        for c in &fifo_cores {
+            assert!(!cfs_cores.contains(c), "core groups must be disjoint");
+        }
+        HostRightsizer {
+            controller: RightsizingController::new(cfg),
+            fifo_cores,
+            cfs_cores,
+            migrations: 0,
+        }
+    }
+
+    /// Current FIFO-group cores.
+    pub fn fifo_cores(&self) -> &[usize] {
+        &self.fifo_cores
+    }
+
+    /// Current CFS-group cores.
+    pub fn cfs_cores(&self) -> &[usize] {
+        &self.cfs_cores
+    }
+
+    /// Number of migrations performed.
+    pub fn migrations(&self) -> usize {
+        self.migrations
+    }
+
+    /// Feeds one utilization snapshot at virtual time `now` and, if the
+    /// gap warrants it, migrates one core. Returns the direction when a
+    /// migration happened; the caller must then refresh affinity masks.
+    pub fn observe(
+        &mut self,
+        now: faas_simcore::SimTime,
+        snapshot: &UtilizationSnapshot,
+    ) -> Option<MigrationDirection> {
+        let fifo_util = snapshot.group_mean(&self.fifo_cores);
+        let cfs_util = snapshot.group_mean(&self.cfs_cores);
+        let decision = self.controller.decide(
+            now,
+            fifo_util,
+            cfs_util,
+            self.fifo_cores.len(),
+            self.cfs_cores.len(),
+        )?;
+        match decision {
+            MigrationDirection::CfsToFifo => {
+                let core = self.cfs_cores.pop().expect("cfs group non-empty");
+                self.fifo_cores.push(core);
+            }
+            MigrationDirection::FifoToCfs => {
+                let core = self.fifo_cores.pop().expect("fifo group non-empty");
+                self.cfs_cores.push(core);
+            }
+        }
+        self.controller.note_migration(now);
+        self.migrations += 1;
+        Some(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::{SimDuration, SimTime};
+    use hybrid_scheduler::RightsizingConfig;
+
+    fn snap(vals: &[f64]) -> UtilizationSnapshot {
+        UtilizationSnapshot { per_core: vals.to_vec() }
+    }
+
+    fn rightsizer() -> HostRightsizer {
+        HostRightsizer::new(
+            vec![0, 1],
+            vec![2, 3],
+            RightsizingConfig {
+                window: SimDuration::from_secs(1),
+                threshold: 0.2,
+                cooldown: SimDuration::from_millis(100),
+                min_cores: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn group_mean_over_snapshot() {
+        let s = snap(&[1.0, 0.5, 0.0, 0.25]);
+        assert!((s.group_mean(&[0, 1]) - 0.75).abs() < 1e-12);
+        assert!((s.group_mean(&[2, 3]) - 0.125).abs() < 1e-12);
+        assert_eq!(s.group_mean(&[]), 0.0);
+        assert_eq!(s.group_mean(&[99]), 0.0, "missing cores count as idle");
+    }
+
+    #[test]
+    fn overloaded_fifo_pulls_core() {
+        let mut r = rightsizer();
+        let got = r.observe(SimTime::from_secs(10), &snap(&[1.0, 1.0, 0.1, 0.1]));
+        assert_eq!(got, Some(MigrationDirection::CfsToFifo));
+        assert_eq!(r.fifo_cores(), &[0, 1, 3]);
+        assert_eq!(r.cfs_cores(), &[2]);
+        assert_eq!(r.migrations(), 1);
+    }
+
+    #[test]
+    fn cooldown_spaces_migrations() {
+        // Three CFS cores so the donor is not at min_cores after one move.
+        let mut r = HostRightsizer::new(
+            vec![0, 1],
+            vec![2, 3, 4],
+            RightsizingConfig {
+                window: SimDuration::from_secs(1),
+                threshold: 0.2,
+                cooldown: SimDuration::from_millis(100),
+                min_cores: 1,
+            },
+        );
+        let busy = snap(&[1.0, 1.0, 0.1, 0.1, 0.1]);
+        assert!(r.observe(SimTime::from_secs(10), &busy).is_some());
+        assert!(r.observe(SimTime::from_secs(10), &busy).is_none(), "cooldown");
+        assert!(r
+            .observe(SimTime::from_secs(10) + SimDuration::from_millis(200), &busy)
+            .is_some());
+        assert_eq!(r.migrations(), 2);
+    }
+
+    #[test]
+    fn balanced_groups_do_nothing() {
+        let mut r = rightsizer();
+        assert!(r.observe(SimTime::from_secs(5), &snap(&[0.9, 0.9, 0.85, 0.95])).is_none());
+    }
+
+    #[test]
+    fn min_cores_respected() {
+        let mut r = rightsizer();
+        let busy = snap(&[1.0, 1.0, 0.0, 0.0]);
+        let mut t = SimTime::from_secs(1);
+        let mut moved = 0;
+        for _ in 0..5 {
+            if r.observe(t, &busy).is_some() {
+                moved += 1;
+            }
+            t += SimDuration::from_secs(1);
+        }
+        assert_eq!(moved, 1, "CFS group stops donating at min_cores=1");
+        assert_eq!(r.cfs_cores().len(), 1);
+    }
+
+    #[test]
+    fn live_monitor_produces_snapshots() {
+        let monitor = match UtilizationMonitor::start(Duration::from_millis(50)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("skipping: /proc/stat unavailable ({e})");
+                return;
+            }
+        };
+        // Burn CPU so at least one core shows activity.
+        let mut acc = 0u64;
+        let t = std::time::Instant::now();
+        while t.elapsed() < Duration::from_millis(200) {
+            acc = acc.wrapping_add(1);
+        }
+        std::hint::black_box(acc);
+        let snapshot = monitor.snapshot();
+        assert!(!snapshot.per_core.is_empty(), "sampler published a snapshot");
+        assert!(snapshot.per_core.iter().all(|u| (0.0..=1.0).contains(u)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_groups_rejected() {
+        let _ = HostRightsizer::new(vec![0, 1], vec![1, 2], RightsizingConfig::default());
+    }
+}

@@ -1,0 +1,204 @@
+//! `/proc`-based runtime monitoring.
+//!
+//! The paper's user-space agent decides migrations from observed runtimes
+//! and a psutil daemon feeds CPU utilization through shared memory (§VI-C).
+//! On a plain Linux host the same signals come from `/proc/<pid>/stat`
+//! (per-process CPU ticks) and `/proc/stat` (per-core counters).
+
+use std::fs;
+use std::io;
+use std::time::Duration;
+
+use crate::sysapi::Pid;
+
+/// Per-process CPU usage snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcCpu {
+    /// User-mode CPU time consumed so far.
+    pub utime: Duration,
+    /// Kernel-mode CPU time consumed so far.
+    pub stime: Duration,
+    /// Single-character process state (`R`, `S`, `Z`, …).
+    pub state: char,
+}
+
+impl ProcCpu {
+    /// Total CPU time (user + system).
+    pub fn total(&self) -> Duration {
+        self.utime + self.stime
+    }
+}
+
+fn ticks_per_second() -> u64 {
+    // SAFETY: sysconf is always safe to call.
+    let t = unsafe { libc::sysconf(libc::_SC_CLK_TCK) };
+    if t <= 0 {
+        100
+    } else {
+        t as u64
+    }
+}
+
+fn ticks_to_duration(ticks: u64) -> Duration {
+    let tps = ticks_per_second();
+    Duration::from_nanos(ticks.saturating_mul(1_000_000_000 / tps))
+}
+
+/// Parses the body of `/proc/<pid>/stat`.
+///
+/// The second field (`comm`) may contain spaces and parentheses, so fields
+/// are located relative to the *last* `)` as the proc(5) man page advises.
+///
+/// # Errors
+///
+/// `InvalidData` on malformed content.
+pub fn parse_proc_stat(content: &str) -> io::Result<ProcCpu> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("stat: {what}"));
+    let close = content.rfind(')').ok_or_else(|| bad("missing ')'"))?;
+    let rest = content[close + 1..].trim();
+    let fields: Vec<&str> = rest.split_ascii_whitespace().collect();
+    // rest[0] is field 3 (state); utime/stime are fields 14/15 overall,
+    // i.e. indices 11/12 in `rest`.
+    if fields.len() < 13 {
+        return Err(bad("too few fields"));
+    }
+    let state = fields[0].chars().next().ok_or_else(|| bad("empty state"))?;
+    let utime: u64 = fields[11].parse().map_err(|_| bad("bad utime"))?;
+    let stime: u64 = fields[12].parse().map_err(|_| bad("bad stime"))?;
+    Ok(ProcCpu {
+        utime: ticks_to_duration(utime),
+        stime: ticks_to_duration(stime),
+        state,
+    })
+}
+
+/// Reads the CPU usage of a live process.
+///
+/// # Errors
+///
+/// `NotFound`-like OS errors when the process is gone, `InvalidData` on
+/// parse failure.
+pub fn read_proc_cpu(pid: Pid) -> io::Result<ProcCpu> {
+    let content = fs::read_to_string(format!("/proc/{pid}/stat"))?;
+    parse_proc_stat(&content)
+}
+
+/// One core's counters from `/proc/stat` (jiffies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreTicks {
+    /// Busy jiffies (user + nice + system + irq + softirq + steal).
+    pub busy: u64,
+    /// Idle jiffies (idle + iowait).
+    pub idle: u64,
+}
+
+impl CoreTicks {
+    /// Utilization between two snapshots of the same core, in `[0, 1]`.
+    pub fn utilization_since(&self, earlier: &CoreTicks) -> f64 {
+        let busy = self.busy.saturating_sub(earlier.busy);
+        let idle = self.idle.saturating_sub(earlier.idle);
+        let total = busy + idle;
+        if total == 0 {
+            return 0.0;
+        }
+        busy as f64 / total as f64
+    }
+}
+
+/// Parses per-core lines (`cpu0 …`, `cpu1 …`) of `/proc/stat` content.
+///
+/// # Errors
+///
+/// `InvalidData` when no per-core line parses.
+pub fn parse_core_ticks(content: &str) -> io::Result<Vec<CoreTicks>> {
+    let mut out = Vec::new();
+    for line in content.lines() {
+        let mut parts = line.split_ascii_whitespace();
+        let Some(label) = parts.next() else { continue };
+        if !label.starts_with("cpu") || label == "cpu" {
+            continue;
+        }
+        let nums: Vec<u64> = parts.filter_map(|p| p.parse().ok()).collect();
+        if nums.len() < 5 {
+            continue;
+        }
+        // user nice system idle iowait irq softirq steal ...
+        let idle = nums[3] + nums.get(4).copied().unwrap_or(0);
+        let busy: u64 = nums.iter().enumerate().filter(|(i, _)| *i != 3 && *i != 4).map(|(_, v)| v).sum();
+        out.push(CoreTicks { busy, idle });
+    }
+    if out.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "no per-core cpu lines"));
+    }
+    Ok(out)
+}
+
+/// Reads the current per-core counters of this host.
+///
+/// # Errors
+///
+/// Propagates `/proc/stat` I/O and parse errors.
+pub fn read_core_ticks() -> io::Result<Vec<CoreTicks>> {
+    parse_core_ticks(&fs::read_to_string("/proc/stat")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_typical_stat_line() {
+        // comm with spaces and parens — the hostile case.
+        let line = "1234 (my (we)ird name) R 1 1 1 0 -1 4194304 100 0 0 0 250 50 0 0 20 0 1 0 100 1000000 100 18446744073709551615 0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0";
+        let cpu = parse_proc_stat(line).unwrap();
+        assert_eq!(cpu.state, 'R');
+        // 250 + 50 ticks at USER_HZ.
+        let tps = super::ticks_per_second();
+        assert_eq!(cpu.total(), Duration::from_nanos(300 * (1_000_000_000 / tps)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_proc_stat("no parens here").is_err());
+        assert!(parse_proc_stat("1 (x) R 2 3").is_err());
+    }
+
+    #[test]
+    fn read_own_cpu_time() {
+        let me = std::process::id() as Pid;
+        // Burn a little CPU so the counters are non-trivial.
+        let mut acc = 0u64;
+        for i in 0..5_000_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        let cpu = read_proc_cpu(me).expect("read own /proc stat");
+        assert!(cpu.state == 'R' || cpu.state == 'S');
+    }
+
+    #[test]
+    fn parse_core_ticks_lines() {
+        let content = "cpu  100 0 100 800 0 0 0 0 0 0\n\
+                       cpu0 50 0 50 400 0 0 0 0 0 0\n\
+                       cpu1 50 0 50 400 10 0 0 0 0 0\n\
+                       intr 12345\n";
+        let cores = parse_core_ticks(content).unwrap();
+        assert_eq!(cores.len(), 2);
+        assert_eq!(cores[0], CoreTicks { busy: 100, idle: 400 });
+        assert_eq!(cores[1], CoreTicks { busy: 100, idle: 410 });
+    }
+
+    #[test]
+    fn utilization_between_snapshots() {
+        let a = CoreTicks { busy: 100, idle: 100 };
+        let b = CoreTicks { busy: 175, idle: 125 };
+        assert!((b.utilization_since(&a) - 0.75).abs() < 1e-12);
+        assert_eq!(a.utilization_since(&a), 0.0);
+    }
+
+    #[test]
+    fn read_host_core_ticks() {
+        let cores = read_core_ticks().expect("host /proc/stat");
+        assert!(!cores.is_empty());
+    }
+}

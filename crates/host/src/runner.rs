@@ -1,0 +1,210 @@
+//! Live workload replay (Fig. 9 steps ②–④ on a real kernel).
+//!
+//! [`TraceRunner`] reads a workload file — the same CSV the `azure-trace`
+//! crate writes — and launches one CPU-bound process per row at its
+//! inter-arrival time, handing each pid to the
+//! [`HybridHostController`](crate::HybridHostController). This is the
+//! paper's workload generator: "reads the items in the workload file and
+//! asynchronously launches Fibonacci functions according to the
+//! corresponding IAT".
+
+use std::io;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use crate::controller::HybridHostController;
+
+/// One row of a live workload: launch `command` at `at` after start.
+pub struct PlannedLaunch {
+    /// Offset from replay start.
+    pub at: Duration,
+    /// The process to spawn.
+    pub command: Command,
+}
+
+impl std::fmt::Debug for PlannedLaunch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannedLaunch").field("at", &self.at).finish()
+    }
+}
+
+/// Replays a planned launch sequence onto a [`HybridHostController`].
+#[derive(Debug)]
+pub struct TraceRunner {
+    launches: Vec<PlannedLaunch>,
+    /// Wall-clock compression: virtual IATs are divided by this factor.
+    speedup: f64,
+    poll: Duration,
+}
+
+impl TraceRunner {
+    /// Creates a runner over explicit launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    pub fn new(launches: Vec<PlannedLaunch>, speedup: f64) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        TraceRunner { launches, speedup, poll: Duration::from_millis(20) }
+    }
+
+    /// Builds launches from a workload CSV (as written by
+    /// `azure_trace::AzureTrace::write_csv`), mapping each row's
+    /// Fibonacci argument onto an invocation of `fib_binary`.
+    ///
+    /// `n_offset` rebases the trace's N=36..46 onto arguments that run in
+    /// reasonable time on the current machine (e.g. `-8` maps 36→28).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O and format errors.
+    pub fn from_workload_csv(
+        path: PathBuf,
+        fib_binary: PathBuf,
+        n_offset: i32,
+        speedup: f64,
+    ) -> io::Result<Self> {
+        let content = std::fs::read_to_string(path)?;
+        let bad =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("workload: {what}"));
+        let mut launches = Vec::new();
+        let mut at = Duration::ZERO;
+        for (i, line) in content.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.trim().split(',').collect();
+            if parts.len() != 4 {
+                return Err(bad("expected 4 fields"));
+            }
+            let iat_us: u64 = parts[0].parse().map_err(|_| bad("bad iat"))?;
+            let fib_n: i64 = parts[1].parse().map_err(|_| bad("bad fib_n"))?;
+            let n = (fib_n + n_offset as i64).clamp(1, 50) as u32;
+            at += Duration::from_micros(iat_us);
+            let mut command = Command::new(&fib_binary);
+            command.arg(n.to_string());
+            launches.push(PlannedLaunch { at, command });
+        }
+        Ok(TraceRunner::new(launches, speedup))
+    }
+
+    /// Number of planned launches.
+    pub fn len(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// `true` if nothing is planned.
+    pub fn is_empty(&self) -> bool {
+        self.launches.is_empty()
+    }
+
+    /// Replays all launches onto `controller`, polling it in between, and
+    /// waits (up to `drain_timeout`) for every process to finish.
+    /// Returns the number of successfully launched processes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first launch error (processes already launched keep
+    /// being managed by the controller).
+    pub fn replay(
+        self,
+        controller: &HybridHostController,
+        drain_timeout: Duration,
+    ) -> io::Result<usize> {
+        let start = Instant::now();
+        let mut launched = 0usize;
+        for planned in self.launches {
+            let due = planned.at.div_f64(self.speedup);
+            while start.elapsed() < due {
+                controller.poll_once();
+                let remaining = due.saturating_sub(start.elapsed());
+                std::thread::sleep(remaining.min(self.poll));
+            }
+            controller.launch(planned.command)?;
+            launched += 1;
+        }
+        controller.run_to_completion(self.poll, drain_timeout);
+        Ok(launched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::HostConfig;
+
+    fn sleep_launch(at_ms: u64, secs: &str) -> PlannedLaunch {
+        let mut command = Command::new("sleep");
+        command.arg(secs);
+        PlannedLaunch { at: Duration::from_millis(at_ms), command }
+    }
+
+    #[test]
+    fn replays_in_order_and_drains() {
+        let runner = TraceRunner::new(
+            vec![sleep_launch(0, "0.05"), sleep_launch(30, "0.05"), sleep_launch(60, "0.05")],
+            1.0,
+        );
+        assert_eq!(runner.len(), 3);
+        let ctl =
+            HybridHostController::new(HostConfig::split(1, 1, Duration::from_millis(500)));
+        match runner.replay(&ctl, Duration::from_secs(10)) {
+            Ok(n) => {
+                assert_eq!(n, 3);
+                assert_eq!(ctl.records().len(), 3);
+            }
+            Err(e) => eprintln!("skipping: cannot launch/pin here ({e})"),
+        }
+    }
+
+    #[test]
+    fn speedup_compresses_wall_clock() {
+        let runner = TraceRunner::new(vec![sleep_launch(5_000, "0.01")], 100.0);
+        let ctl =
+            HybridHostController::new(HostConfig::split(1, 1, Duration::from_millis(500)));
+        let t = Instant::now();
+        match runner.replay(&ctl, Duration::from_secs(10)) {
+            Ok(_) => assert!(
+                t.elapsed() < Duration::from_secs(3),
+                "5 s of virtual IAT at 100x must replay fast"
+            ),
+            Err(e) => eprintln!("skipping: cannot launch/pin here ({e})"),
+        }
+    }
+
+    #[test]
+    fn csv_loader_parses_generated_workloads() {
+        // Write a tiny workload file in the azure-trace format by hand.
+        let dir = std::env::temp_dir().join(format!("faas-host-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wl.csv");
+        std::fs::write(
+            &path,
+            "iat_us,fib_n,duration_us,mem_mib\n0,36,147000,128\n1000,41,1633000,256\n",
+        )
+        .unwrap();
+        let runner =
+            TraceRunner::from_workload_csv(path, PathBuf::from("/bin/true"), -10, 1.0)
+                .expect("parse workload");
+        assert_eq!(runner.len(), 2);
+        assert_eq!(runner.launches[1].at, Duration::from_millis(1));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_loader_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("faas-host-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "iat_us,fib_n,duration_us,mem_mib\n1,2\n").unwrap();
+        assert!(TraceRunner::from_workload_csv(
+            path,
+            PathBuf::from("/bin/true"),
+            0,
+            1.0
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,261 @@
+//! Safe wrappers over the Linux scheduling syscalls the paper manipulates.
+//!
+//! This is the real-OS counterpart of the simulated kernel's dispatch
+//! verbs: `sched_setaffinity(2)` pins a process to a core group and
+//! `sched_setscheduler(2)` selects its policy (`SCHED_FIFO` for the
+//! short-task group, `SCHED_OTHER`/CFS for the long-task group).
+//!
+//! `SCHED_FIFO` requires `CAP_SYS_NICE`; every setter reports a typed
+//! error so callers (and tests) can degrade gracefully on unprivileged
+//! hosts.
+
+use std::io;
+
+/// A process id.
+pub type Pid = libc::pid_t;
+
+/// Scheduling policy of a process, mirroring the kernel's classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// `SCHED_OTHER` — the CFS class.
+    Other,
+    /// `SCHED_FIFO` with a real-time priority in `1..=99`.
+    Fifo(i32),
+    /// `SCHED_RR` with a real-time priority in `1..=99`.
+    RoundRobin(i32),
+    /// `SCHED_BATCH`.
+    Batch,
+    /// Any policy this wrapper does not model.
+    Unknown(i32),
+}
+
+impl SchedPolicy {
+    fn to_raw(self) -> (i32, i32) {
+        match self {
+            SchedPolicy::Other => (libc::SCHED_OTHER, 0),
+            SchedPolicy::Fifo(p) => (libc::SCHED_FIFO, p),
+            SchedPolicy::RoundRobin(p) => (libc::SCHED_RR, p),
+            SchedPolicy::Batch => (libc::SCHED_BATCH, 0),
+            SchedPolicy::Unknown(raw) => (raw, 0),
+        }
+    }
+
+    fn from_raw(policy: i32, prio: i32) -> Self {
+        match policy {
+            x if x == libc::SCHED_OTHER => SchedPolicy::Other,
+            x if x == libc::SCHED_FIFO => SchedPolicy::Fifo(prio),
+            x if x == libc::SCHED_RR => SchedPolicy::RoundRobin(prio),
+            x if x == libc::SCHED_BATCH => SchedPolicy::Batch,
+            other => SchedPolicy::Unknown(other),
+        }
+    }
+}
+
+/// Pins `pid` to the given core indices.
+///
+/// # Errors
+///
+/// Returns the OS error (e.g. `EINVAL` for an empty/out-of-range set,
+/// `ESRCH` for a dead process).
+pub fn set_affinity(pid: Pid, cores: &[usize]) -> io::Result<()> {
+    if cores.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty core set"));
+    }
+    // SAFETY: cpu_set_t is a plain bitset; zeroed is a valid empty set.
+    let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
+    unsafe {
+        libc::CPU_ZERO(&mut set);
+        for &c in cores {
+            libc::CPU_SET(c, &mut set);
+        }
+    }
+    // SAFETY: `set` is a valid cpu_set_t of the size we pass.
+    let rc = unsafe { libc::sched_setaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &set) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Reads the affinity mask of `pid` as a list of core indices.
+///
+/// # Errors
+///
+/// Returns the OS error.
+pub fn get_affinity(pid: Pid) -> io::Result<Vec<usize>> {
+    // SAFETY: zeroed cpu_set_t is valid; the kernel fills it.
+    let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
+    let rc =
+        // SAFETY: `set` is a valid out-pointer of the size we pass.
+        unsafe { libc::sched_getaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &mut set) };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let max = num_cpus_configured();
+    let mut cores = Vec::new();
+    for c in 0..max {
+        // SAFETY: c < CPU_SETSIZE is guaranteed by the kernel's cpu count.
+        if unsafe { libc::CPU_ISSET(c, &set) } {
+            cores.push(c);
+        }
+    }
+    Ok(cores)
+}
+
+/// Sets the scheduling policy of `pid`.
+///
+/// # Errors
+///
+/// `EPERM` without `CAP_SYS_NICE` for real-time policies — callers should
+/// fall back to [`SchedPolicy::Other`] (see
+/// [`set_policy_or_fallback`]).
+pub fn set_policy(pid: Pid, policy: SchedPolicy) -> io::Result<()> {
+    let (raw, prio) = policy.to_raw();
+    let param = libc::sched_param { sched_priority: prio };
+    // SAFETY: `param` is a valid sched_param for the chosen policy.
+    let rc = unsafe { libc::sched_setscheduler(pid, raw, &param) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Sets `policy`, falling back to `SCHED_OTHER` when the host refuses a
+/// real-time class. Returns the policy actually in effect.
+///
+/// Unprivileged processes get `EPERM` (no `CAP_SYS_NICE`); sandboxed
+/// kernels (gVisor, some containers) reject real-time classes with
+/// `EINVAL` or `ENOSYS`. All three degrade to CFS.
+///
+/// # Errors
+///
+/// Returns the OS error if even the fallback fails.
+pub fn set_policy_or_fallback(pid: Pid, policy: SchedPolicy) -> io::Result<SchedPolicy> {
+    let realtime = matches!(policy, SchedPolicy::Fifo(_) | SchedPolicy::RoundRobin(_));
+    match set_policy(pid, policy) {
+        Ok(()) => Ok(policy),
+        Err(e)
+            if realtime
+                && matches!(
+                    e.raw_os_error(),
+                    Some(libc::EPERM) | Some(libc::EINVAL) | Some(libc::ENOSYS)
+                ) =>
+        {
+            set_policy(pid, SchedPolicy::Other)?;
+            Ok(SchedPolicy::Other)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Reads the scheduling policy of `pid`.
+///
+/// # Errors
+///
+/// Returns the OS error.
+pub fn get_policy(pid: Pid) -> io::Result<SchedPolicy> {
+    // SAFETY: plain syscall returning the policy number.
+    let raw = unsafe { libc::sched_getscheduler(pid) };
+    if raw < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let mut param = libc::sched_param { sched_priority: 0 };
+    // SAFETY: `param` is a valid out-pointer.
+    let rc = unsafe { libc::sched_getparam(pid, &mut param) };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(SchedPolicy::from_raw(raw, param.sched_priority))
+}
+
+/// Number of configured CPUs on this host.
+pub fn num_cpus_configured() -> usize {
+    // SAFETY: sysconf is always safe to call.
+    let n = unsafe { libc::sysconf(libc::_SC_NPROCESSORS_CONF) };
+    if n <= 0 {
+        1
+    } else {
+        n as usize
+    }
+}
+
+/// `true` if this process may use real-time scheduling classes.
+pub fn can_use_realtime() -> bool {
+    let me = std::process::id() as Pid;
+    let before = match get_policy(me) {
+        Ok(p) => p,
+        Err(_) => return false,
+    };
+    match set_policy(me, SchedPolicy::Fifo(1)) {
+        Ok(()) => {
+            let _ = set_policy(me, before);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me() -> Pid {
+        std::process::id() as Pid
+    }
+
+    #[test]
+    fn affinity_roundtrip_on_self() {
+        let original = get_affinity(me()).expect("read own affinity");
+        assert!(!original.is_empty());
+        // Restrict to the first allowed core, verify, restore.
+        let first = original[0];
+        set_affinity(me(), &[first]).expect("pin self");
+        let pinned = get_affinity(me()).expect("read pinned");
+        assert_eq!(pinned, vec![first]);
+        set_affinity(me(), &original).expect("restore");
+    }
+
+    #[test]
+    fn empty_core_set_rejected() {
+        let err = set_affinity(me(), &[]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn policy_read_on_self() {
+        let p = get_policy(me()).expect("read own policy");
+        // A fresh test process runs under CFS unless the harness changed it.
+        assert!(matches!(
+            p,
+            SchedPolicy::Other | SchedPolicy::Batch | SchedPolicy::Fifo(_) | SchedPolicy::RoundRobin(_)
+        ));
+    }
+
+    #[test]
+    fn fallback_setter_always_lands_on_some_policy() {
+        let got = set_policy_or_fallback(me(), SchedPolicy::Fifo(1)).expect("set with fallback");
+        match got {
+            SchedPolicy::Fifo(1) => {
+                // Privileged environment: restore CFS for the other tests.
+                set_policy(me(), SchedPolicy::Other).unwrap();
+            }
+            SchedPolicy::Other => {} // unprivileged fallback
+            other => panic!("unexpected policy {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_process_reports_error() {
+        // PID 0 targets the caller; use an almost-certainly-free pid.
+        let bogus: Pid = 2_147_483_000;
+        assert!(set_affinity(bogus, &[0]).is_err());
+        assert!(get_policy(bogus).is_err());
+    }
+
+    #[test]
+    fn cpu_count_positive() {
+        assert!(num_cpus_configured() >= 1);
+    }
+}

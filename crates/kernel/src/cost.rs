@@ -1,0 +1,88 @@
+//! Context-switch cost model.
+//!
+//! The paper's central claim (Obs. 1/5) is that preemption is not free:
+//! each context switch costs direct kernel time and — more importantly —
+//! indirect time re-warming caches and TLBs ("costly state saving and
+//! restoration" [31]). We model both:
+//!
+//! * **direct cost** occupies the core between two tasks but is not
+//!   attributed to either task's work;
+//! * **restore penalty** is added to the *preempted* task's remaining work:
+//!   when it next runs it must re-fill its cache footprint.
+
+use faas_simcore::SimDuration;
+
+/// Costs charged by the simulated kernel around preemptions.
+///
+/// # Examples
+///
+/// ```
+/// use faas_kernel::CostModel;
+/// use faas_simcore::SimDuration;
+///
+/// let model = CostModel::default();
+/// assert!(model.restore_penalty > model.ctx_switch);
+///
+/// let free = CostModel::free();
+/// assert!(free.ctx_switch.is_zero() && free.restore_penalty.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Direct kernel time to switch between two tasks on a core.
+    /// The core is busy but no task makes progress.
+    pub ctx_switch: SimDuration,
+    /// Extra work added to a task each time it is preempted, modelling the
+    /// cache/TLB state it must rebuild on its next run.
+    pub restore_penalty: SimDuration,
+}
+
+impl CostModel {
+    /// A zero-cost model, useful to isolate purely structural queueing
+    /// effects in tests and ablations.
+    pub const fn free() -> Self {
+        CostModel { ctx_switch: SimDuration::ZERO, restore_penalty: SimDuration::ZERO }
+    }
+
+    /// Creates a model from microsecond values.
+    pub const fn from_micros(ctx_switch_us: u64, restore_penalty_us: u64) -> Self {
+        CostModel {
+            ctx_switch: SimDuration::from_micros(ctx_switch_us),
+            restore_penalty: SimDuration::from_micros(restore_penalty_us),
+        }
+    }
+}
+
+impl Default for CostModel {
+    /// Defaults calibrated to the common x86 figures the literature cites:
+    /// ~5 µs direct switch cost and ~200 µs of indirect cache-refill work
+    /// for a memory-resident function footprint.
+    fn default() -> Self {
+        CostModel::from_micros(5, 200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nonzero() {
+        let m = CostModel::default();
+        assert_eq!(m.ctx_switch, SimDuration::from_micros(5));
+        assert_eq!(m.restore_penalty, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn free_is_zero() {
+        let m = CostModel::free();
+        assert!(m.ctx_switch.is_zero());
+        assert!(m.restore_penalty.is_zero());
+    }
+
+    #[test]
+    fn from_micros_roundtrip() {
+        let m = CostModel::from_micros(7, 300);
+        assert_eq!(m.ctx_switch.as_micros(), 7);
+        assert_eq!(m.restore_penalty.as_micros(), 300);
+    }
+}

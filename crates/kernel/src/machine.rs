@@ -1,0 +1,918 @@
+//! The simulated machine: cores + tasks + the kernel event loop.
+//!
+//! [`Machine`] plays the role of the ghOSt *kernel side*: it owns the
+//! ground truth about cores and tasks, delivers scheduling messages
+//! upward, and exposes the two verbs a user-space agent may invoke —
+//! [`Machine::dispatch`] (commit a task to a core, optionally with a time
+//! slice) and [`Machine::preempt`] (take a task off a core). Policies never
+//! mutate tasks or cores directly.
+
+use faas_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::core::{Core, CoreId, CoreState, CoreStats};
+use crate::cost::CostModel;
+use crate::message::KernelMessage;
+use crate::task::{Task, TaskId, TaskSpec, TaskState};
+use crate::util::UtilizationLedger;
+
+/// Host-OS interference model: the native kernel (timer ticks, kthreads,
+/// the CFS class ghOSt coexists with) periodically claims a core.
+///
+/// Table I of the paper attributes plain FIFO's poor p99 *execution* time to
+/// exactly this effect ("the p99 execution time of FIFO in the ghOSt system
+/// suffers due to the preemption from Linux native CFS").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterferenceConfig {
+    /// Mean interval between interference episodes per core (exponential).
+    pub mean_interval: SimDuration,
+    /// Mean length of one episode (jittered ±50%).
+    pub duration: SimDuration,
+}
+
+impl Default for InterferenceConfig {
+    /// Roughly one 5 ms housekeeping episode every 30 s per core.
+    fn default() -> Self {
+        InterferenceConfig {
+            mean_interval: SimDuration::from_secs(30),
+            duration: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Configuration of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of CPU cores in the enclave.
+    pub cores: usize,
+    /// Context-switch cost model.
+    pub cost: CostModel,
+    /// Optional host-OS interference.
+    pub interference: Option<InterferenceConfig>,
+    /// Bucket width of the utilization ledger.
+    pub util_bucket: SimDuration,
+    /// Seed for the machine's internal randomness (interference timing).
+    pub seed: u64,
+    /// Record the kernel→agent message log (costs memory; great for tests).
+    pub log_messages: bool,
+    /// Abort with [`SimError::Stalled`] if no task finishes for this long
+    /// while some remain unfinished.
+    pub stall_timeout: SimDuration,
+}
+
+impl MachineConfig {
+    /// A machine with `cores` cores and defaults everywhere else
+    /// (default cost model, no interference, 1 s utilization buckets).
+    pub fn new(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            cost: CostModel::default(),
+            interference: None,
+            util_bucket: SimDuration::from_secs(1),
+            seed: 0xFAA5,
+            log_messages: false,
+            stall_timeout: SimDuration::from_secs(3_600),
+        }
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables host-OS interference.
+    pub fn with_interference(mut self, i: InterferenceConfig) -> Self {
+        self.interference = Some(i);
+        self
+    }
+
+    /// Enables the kernel message log.
+    pub fn with_message_log(mut self) -> Self {
+        self.log_messages = true;
+        self
+    }
+
+    /// Sets the RNG seed for interference timing.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Errors returned by the scheduling verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedError {
+    /// The referenced core does not exist.
+    NoSuchCore(CoreId),
+    /// The referenced task does not exist.
+    NoSuchTask(TaskId),
+    /// Dispatch onto a core that is not idle.
+    CoreBusy(CoreId),
+    /// Dispatch of a task that is not runnable (already running/finished),
+    /// or preempt of a core that runs no task.
+    NotRunnable(TaskId),
+    /// Preempt on an idle or interference-occupied core.
+    NothingRunning(CoreId),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoSuchCore(c) => write!(f, "no such core {c}"),
+            SchedError::NoSuchTask(t) => write!(f, "no such task {t}"),
+            SchedError::CoreBusy(c) => write!(f, "core {c} is not idle"),
+            SchedError::NotRunnable(t) => write!(f, "task {t} is not runnable"),
+            SchedError::NothingRunning(c) => write!(f, "core {c} runs no task"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Terminal simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while tasks were still unfinished — the
+    /// policy lost track of runnable tasks.
+    Deadlock {
+        /// Number of unfinished tasks at the time of the deadlock.
+        unfinished: usize,
+    },
+    /// No task finished for `stall_timeout` of virtual time.
+    Stalled {
+        /// Virtual instant at which the stall was declared.
+        at: SimTime,
+        /// Number of unfinished tasks.
+        unfinished: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { unfinished } => {
+                write!(f, "event queue drained with {unfinished} unfinished tasks")
+            }
+            SimError::Stalled { at, unfinished } => {
+                write!(f, "no progress by {at} with {unfinished} unfinished tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A notification the kernel hands to the user-space policy.
+///
+/// These correspond one-to-one with the ghOSt message types the paper's
+/// agents consume (`MSG_TASK_NEW`, `MSG_TASK_PREEMPT`, `MSG_TASK_DEAD`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyCall {
+    /// A task arrived and awaits placement.
+    TaskNew(TaskId),
+    /// A task finished. For CPU-bound tasks the core is where it ran; a
+    /// task that finished an off-CPU wait ([`TaskSpec::io_wait`]) was on
+    /// no core, and the argument is conventionally core 0.
+    TaskFinished(TaskId, CoreId),
+    /// A task's dispatch time slice expired; it is now `Preempted` and the
+    /// policy must re-queue it.
+    SliceExpired(TaskId, CoreId),
+    /// The host OS kicked a task off a core; it is now `Preempted`.
+    InterferencePreempt(TaskId, CoreId),
+    /// Periodic policy tick.
+    Tick,
+    /// Kernel-internal event; nothing to deliver (cores may have changed
+    /// state, so the driver still sweeps idle cores).
+    Internal,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(TaskId),
+    Complete { core: CoreId, generation: u64 },
+    SliceExpire { core: CoreId, generation: u64 },
+    IoComplete(TaskId),
+    InterferenceStart(CoreId),
+    InterferenceEnd { core: CoreId, generation: u64 },
+    Tick,
+}
+
+/// The simulated machine (ghOSt kernel side).
+pub struct Machine {
+    cfg: MachineConfig,
+    now: SimTime,
+    cores: Vec<Core>,
+    tasks: Vec<Task>,
+    events: EventQueue<Event>,
+    util: UtilizationLedger,
+    rng: SimRng,
+    messages: Vec<(SimTime, KernelMessage)>,
+    finished: usize,
+    last_progress: SimTime,
+    tick_every: Option<SimDuration>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .field("tasks", &self.tasks.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine and schedules the arrival of every task in `specs`.
+    ///
+    /// Task ids are assigned densely in `specs` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is zero.
+    pub fn new(cfg: MachineConfig, specs: Vec<TaskSpec>) -> Self {
+        assert!(cfg.cores > 0, "machine needs at least one core");
+        let mut events = EventQueue::new();
+        let tasks: Vec<Task> = specs.into_iter().map(Task::new).collect();
+        for (i, t) in tasks.iter().enumerate() {
+            events.schedule(t.spec().arrival, Event::Arrival(TaskId(i as u32)));
+        }
+        let mut rng = SimRng::seed_from(cfg.seed);
+        if let Some(icfg) = cfg.interference {
+            for c in 0..cfg.cores {
+                let at = SimTime::ZERO
+                    + SimDuration::from_secs_f64(rng.exponential(icfg.mean_interval.as_secs_f64()));
+                events.schedule(at, Event::InterferenceStart(CoreId(c as u16)));
+            }
+        }
+        let util = UtilizationLedger::new(cfg.cores, cfg.util_bucket);
+        Machine {
+            cores: (0..cfg.cores).map(|_| Core::new()).collect(),
+            tasks,
+            events,
+            util,
+            rng,
+            messages: Vec::new(),
+            finished: 0,
+            now: SimTime::ZERO,
+            last_progress: SimTime::ZERO,
+            tick_every: None,
+            cfg,
+        }
+    }
+
+    /// Arms the periodic [`PolicyCall::Tick`]; used by the simulation driver.
+    pub(crate) fn arm_tick(&mut self, every: SimDuration) {
+        assert!(!every.is_zero(), "tick interval must be positive");
+        self.tick_every = Some(every);
+        self.events.schedule(self.now + every, Event::Tick);
+    }
+
+    // ---- queries -----------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of tasks (finished or not).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of finished tasks.
+    pub fn num_finished(&self) -> usize {
+        self.finished
+    }
+
+    /// Read access to a task's kernel record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// What `core` is doing right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_state(&self, core: CoreId) -> CoreState {
+        self.cores[core.index()].state
+    }
+
+    /// All cores currently idle, in id order.
+    pub fn idle_cores(&self) -> Vec<CoreId> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state == CoreState::Idle)
+            .map(|(i, _)| CoreId(i as u16))
+            .collect()
+    }
+
+    /// The task running on `core` and the length of its current run
+    /// segment, if any.
+    pub fn running_on(&self, core: CoreId) -> Option<(TaskId, SimDuration)> {
+        let c = &self.cores[core.index()];
+        match c.state {
+            CoreState::Running(t) => Some((t, self.now.saturating_since(c.work_start))),
+            _ => None,
+        }
+    }
+
+    /// Total observed on-CPU time of a task including its current run
+    /// segment. This is what the hybrid scheduler compares against the FIFO
+    /// time limit (§IV-A: "checks if the runtime of tasks on these cores
+    /// exceeds the time limit").
+    pub fn observed_runtime(&self, id: TaskId) -> SimDuration {
+        let base = self.tasks[id.index()].cpu_time();
+        let running_extra = self
+            .cores
+            .iter()
+            .find_map(|c| match c.state {
+                CoreState::Running(t) if t == id => {
+                    Some(self.now.saturating_since(c.work_start))
+                }
+                _ => None,
+            })
+            .unwrap_or(SimDuration::ZERO);
+        base + running_extra
+    }
+
+    /// Per-core statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_stats(&self, core: CoreId) -> CoreStats {
+        let c = &self.cores[core.index()];
+        CoreStats {
+            preemptions: c.preemptions,
+            ctx_switches: c.ctx_switches,
+            busy: self.util.total_busy(core.index()),
+        }
+    }
+
+    /// The utilization ledger (busy time per core per bucket).
+    pub fn utilization(&self) -> &UtilizationLedger {
+        &self.util
+    }
+
+    /// The kernel→agent message log (empty unless
+    /// [`MachineConfig::log_messages`] is set).
+    pub fn messages(&self) -> &[(SimTime, KernelMessage)] {
+        &self.messages
+    }
+
+    /// Snapshot of all task records.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    // ---- scheduling verbs (the agent ABI) -----------------------------
+
+    /// Commits `task` to run on `core`, optionally bounded by a time slice.
+    ///
+    /// With `slice = None` the task runs to completion (FIFO-style). With
+    /// `Some(s)`, a [`PolicyCall::SliceExpired`] fires after `s` of real
+    /// progress unless the task finishes first.
+    ///
+    /// A context switch is charged unless `task` was also the previous
+    /// occupant of this core (warm resume). A preempted task resuming on a
+    /// cold core additionally pays the
+    /// [`restore_penalty`](CostModel::restore_penalty) as extra work.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::CoreBusy`] if `core` is not idle,
+    /// [`SchedError::NotRunnable`] if `task` is running or finished, and
+    /// the `NoSuch*` variants for bad ids.
+    pub fn dispatch(
+        &mut self,
+        core: CoreId,
+        task: TaskId,
+        slice: Option<SimDuration>,
+    ) -> Result<(), SchedError> {
+        if core.index() >= self.cores.len() {
+            return Err(SchedError::NoSuchCore(core));
+        }
+        if task.index() >= self.tasks.len() {
+            return Err(SchedError::NoSuchTask(task));
+        }
+        if self.cores[core.index()].state != CoreState::Idle {
+            return Err(SchedError::CoreBusy(core));
+        }
+        let state = self.tasks[task.index()].state;
+        if !matches!(state, TaskState::Queued | TaskState::Preempted) {
+            return Err(SchedError::NotRunnable(task));
+        }
+
+        let warm = self.cores[core.index()].last_task == Some(task);
+        let switch_cost = if warm { SimDuration::ZERO } else { self.cfg.cost.ctx_switch };
+        if state == TaskState::Preempted && !warm {
+            // Cold resume: pay the cache/TLB restore penalty as extra work.
+            let t = &mut self.tasks[task.index()];
+            t.remaining += self.cfg.cost.restore_penalty;
+        }
+
+        let c = &mut self.cores[core.index()];
+        c.state = CoreState::Running(task);
+        c.generation += 1;
+        c.busy_since = Some(self.now);
+        c.work_start = self.now + switch_cost;
+        c.last_task = Some(task);
+        if !warm {
+            c.ctx_switches += 1;
+        }
+        let generation = c.generation;
+
+        let t = &mut self.tasks[task.index()];
+        t.state = TaskState::Running;
+        if t.first_run.is_none() {
+            t.first_run = Some(self.now);
+        }
+
+        let remaining = t.remaining;
+        let work_start = self.now + switch_cost;
+        match slice {
+            Some(s) if s < remaining => {
+                self.events.schedule(work_start + s, Event::SliceExpire { core, generation });
+            }
+            _ => {
+                self.events.schedule(work_start + remaining, Event::Complete { core, generation });
+            }
+        }
+        self.log(KernelMessage::Dispatch { task, core, slice });
+        Ok(())
+    }
+
+    /// Takes the running task off `core` (explicit policy preemption, e.g.
+    /// the hybrid scheduler's time-limit check or core rightsizing).
+    ///
+    /// The task moves to `Preempted`; the policy owns re-queueing it.
+    /// Returns the preempted task id.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NothingRunning`] if no task occupies `core`.
+    pub fn preempt(&mut self, core: CoreId) -> Result<TaskId, SchedError> {
+        if core.index() >= self.cores.len() {
+            return Err(SchedError::NoSuchCore(core));
+        }
+        let task = match self.cores[core.index()].state {
+            CoreState::Running(t) => t,
+            _ => return Err(SchedError::NothingRunning(core)),
+        };
+        self.stop_running(core, task, false);
+        self.log(KernelMessage::TaskPreempt { task, core, by_interference: false });
+        Ok(task)
+    }
+
+    // ---- engine ---------------------------------------------------------
+
+    /// Advances the simulation by one kernel event.
+    ///
+    /// Returns the policy notification to deliver, or `None` when every
+    /// task has finished.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when the event queue drains with unfinished
+    /// tasks; [`SimError::Stalled`] when no task completes for
+    /// [`MachineConfig::stall_timeout`] of virtual time.
+    pub fn advance(&mut self) -> Result<Option<PolicyCall>, SimError> {
+        if self.finished == self.tasks.len() {
+            return Ok(None);
+        }
+        let (at, ev) = match self.events.pop() {
+            Some(x) => x,
+            None => {
+                return Err(SimError::Deadlock { unfinished: self.tasks.len() - self.finished })
+            }
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        if self.now.saturating_since(self.last_progress) > self.cfg.stall_timeout {
+            return Err(SimError::Stalled {
+                at: self.now,
+                unfinished: self.tasks.len() - self.finished,
+            });
+        }
+        let call = match ev {
+            Event::Arrival(task) => {
+                self.log(KernelMessage::TaskNew { task });
+                PolicyCall::TaskNew(task)
+            }
+            Event::Complete { core, generation } => {
+                if self.cores[core.index()].generation != generation {
+                    PolicyCall::Internal
+                } else {
+                    let task = match self.cores[core.index()].state {
+                        CoreState::Running(t) => t,
+                        _ => unreachable!("live completion on non-running core"),
+                    };
+                    let io_wait = self.tasks[task.index()].spec().io_wait;
+                    if io_wait.is_zero() {
+                        self.finish_running(core, task);
+                        PolicyCall::TaskFinished(task, core)
+                    } else {
+                        // CPU work done; the function now waits off-CPU
+                        // for an external call. The core is released (the
+                        // idle sweep can refill it) but the task is billed
+                        // until the wait returns.
+                        self.release_to_io(core, task);
+                        self.events.schedule(self.now + io_wait, Event::IoComplete(task));
+                        PolicyCall::Internal
+                    }
+                }
+            }
+            Event::IoComplete(task) => {
+                let t = &mut self.tasks[task.index()];
+                debug_assert_eq!(t.state, TaskState::Blocked, "io completion for non-blocked");
+                t.completion = Some(self.now);
+                t.state = TaskState::Finished;
+                self.finished += 1;
+                self.last_progress = self.now;
+                self.log(KernelMessage::TaskDead { task, core: CoreId(0) });
+                PolicyCall::TaskFinished(task, CoreId(0))
+            }
+            Event::SliceExpire { core, generation } => {
+                if self.cores[core.index()].generation != generation {
+                    PolicyCall::Internal
+                } else {
+                    let task = match self.cores[core.index()].state {
+                        CoreState::Running(t) => t,
+                        _ => unreachable!("live slice expiry on non-running core"),
+                    };
+                    self.stop_running(core, task, false);
+                    self.log(KernelMessage::SliceExpired { task, core });
+                    PolicyCall::SliceExpired(task, core)
+                }
+            }
+            Event::InterferenceStart(core) => {
+                let preempted = match self.cores[core.index()].state {
+                    CoreState::Running(t) => {
+                        self.stop_running(core, t, true);
+                        self.log(KernelMessage::TaskPreempt {
+                            task: t,
+                            core,
+                            by_interference: true,
+                        });
+                        Some(t)
+                    }
+                    CoreState::Interference => None, // already occupied; skip episode
+                    CoreState::Idle => None,
+                };
+                if self.cores[core.index()].state == CoreState::Idle {
+                    let icfg = self.cfg.interference.expect("interference event without config");
+                    let c = &mut self.cores[core.index()];
+                    c.state = CoreState::Interference;
+                    c.generation += 1;
+                    c.busy_since = Some(self.now);
+                    c.last_task = None; // the intruder pollutes the cache
+                    let generation = c.generation;
+                    let dur = self.rng.jitter(icfg.duration, 0.5);
+                    self.events
+                        .schedule(self.now + dur, Event::InterferenceEnd { core, generation });
+                    self.log(KernelMessage::InterferenceStart { core });
+                }
+                match preempted {
+                    Some(t) => PolicyCall::InterferencePreempt(t, core),
+                    None => PolicyCall::Internal,
+                }
+            }
+            Event::InterferenceEnd { core, generation } => {
+                if self.cores[core.index()].generation == generation {
+                    let c = &mut self.cores[core.index()];
+                    if let Some(since) = c.busy_since.take() {
+                        let now = self.now;
+                        self.util.record_busy(core.index(), since, now);
+                    }
+                    c.state = CoreState::Idle;
+                    self.log(KernelMessage::InterferenceEnd { core });
+                }
+                // Schedule the next episode regardless.
+                let icfg = self.cfg.interference.expect("interference event without config");
+                let gap =
+                    SimDuration::from_secs_f64(self.rng.exponential(icfg.mean_interval.as_secs_f64()));
+                self.events.schedule(self.now + gap, Event::InterferenceStart(core));
+                PolicyCall::Internal
+            }
+            Event::Tick => {
+                let every = self.tick_every.expect("tick event without interval");
+                self.events.schedule(self.now + every, Event::Tick);
+                PolicyCall::Tick
+            }
+        };
+        Ok(Some(call))
+    }
+
+    /// Ends the current run segment of `task` on `core` without finishing
+    /// it: accounts progress, bumps preemption counters, frees the core.
+    fn stop_running(&mut self, core: CoreId, task: TaskId, by_interference: bool) {
+        let now = self.now;
+        let (ran, since) = {
+            let c = &mut self.cores[core.index()];
+            let ran = now.saturating_since(c.work_start);
+            let since = c.busy_since.take().expect("running core without busy_since");
+            c.state = CoreState::Idle;
+            c.generation += 1; // invalidate in-flight Complete/SliceExpire
+            c.preemptions += 1;
+            (ran, since)
+        };
+        self.util.record_busy(core.index(), since, now);
+        let t = &mut self.tasks[task.index()];
+        let ran = ran.min(t.remaining);
+        t.remaining -= ran;
+        t.cpu_time += ran;
+        t.preemptions += 1;
+        t.state = TaskState::Preempted;
+        let _ = by_interference;
+    }
+
+    /// Finishes the CPU work of `task` on `core` and moves it to the
+    /// off-CPU blocked state (external call in flight).
+    fn release_to_io(&mut self, core: CoreId, task: TaskId) {
+        let now = self.now;
+        let since = {
+            let c = &mut self.cores[core.index()];
+            let since = c.busy_since.take().expect("running core without busy_since");
+            c.state = CoreState::Idle;
+            c.generation += 1;
+            since
+        };
+        self.util.record_busy(core.index(), since, now);
+        let t = &mut self.tasks[task.index()];
+        t.cpu_time += t.remaining;
+        t.remaining = SimDuration::ZERO;
+        t.state = TaskState::Blocked;
+    }
+
+    /// Completes `task` on `core`.
+    fn finish_running(&mut self, core: CoreId, task: TaskId) {
+        let now = self.now;
+        let since = {
+            let c = &mut self.cores[core.index()];
+            let since = c.busy_since.take().expect("running core without busy_since");
+            c.state = CoreState::Idle;
+            c.generation += 1;
+            since
+        };
+        self.util.record_busy(core.index(), since, now);
+        let t = &mut self.tasks[task.index()];
+        t.cpu_time += t.remaining;
+        t.remaining = SimDuration::ZERO;
+        t.completion = Some(now);
+        t.state = TaskState::Finished;
+        self.finished += 1;
+        self.last_progress = now;
+        self.log(KernelMessage::TaskDead { task, core });
+    }
+
+    fn log(&mut self, msg: KernelMessage) {
+        if self.cfg.log_messages {
+            self.messages.push((self.now, msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_task_machine(work_ms: u64) -> Machine {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free()).with_message_log();
+        Machine::new(
+            cfg,
+            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(work_ms), 128)],
+        )
+    }
+
+    #[test]
+    fn single_task_runs_to_completion() {
+        let mut m = one_task_machine(100);
+        // Arrival.
+        assert_eq!(m.advance().unwrap(), Some(PolicyCall::TaskNew(TaskId(0))));
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // Completion.
+        assert_eq!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(0), CoreId(0)))
+        );
+        let t = m.task(TaskId(0));
+        assert_eq!(t.state(), TaskState::Finished);
+        assert_eq!(t.execution_time(), Some(SimDuration::from_millis(100)));
+        assert_eq!(t.response_time(), Some(SimDuration::ZERO));
+        assert_eq!(m.advance().unwrap(), None, "drained");
+    }
+
+    #[test]
+    fn slice_expiry_preempts_and_accounts_progress() {
+        let mut m = one_task_machine(100);
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(30))).unwrap();
+        assert_eq!(
+            m.advance().unwrap(),
+            Some(PolicyCall::SliceExpired(TaskId(0), CoreId(0)))
+        );
+        let t = m.task(TaskId(0));
+        assert_eq!(t.state(), TaskState::Preempted);
+        assert_eq!(t.remaining(), SimDuration::from_millis(70));
+        assert_eq!(t.preemptions(), 1);
+        assert_eq!(m.core_state(CoreId(0)), CoreState::Idle);
+    }
+
+    #[test]
+    fn warm_resume_charges_no_switch_or_penalty() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::from_micros(1_000, 5_000));
+        let mut m = Machine::new(
+            cfg,
+            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)],
+        );
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(30))).unwrap();
+        m.advance().unwrap(); // slice expiry at 1ms (switch) + 30ms
+        assert_eq!(m.now(), SimTime::from_micros(31_000));
+        assert_eq!(m.task(TaskId(0)).remaining(), SimDuration::from_millis(70));
+        // Re-dispatch the same task on the same core: warm, no extra costs.
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap();
+        assert_eq!(m.now(), SimTime::from_micros(31_000 + 70_000));
+        let stats = m.core_stats(CoreId(0));
+        assert_eq!(stats.ctx_switches, 1, "only the initial switch");
+    }
+
+    #[test]
+    fn cold_resume_pays_restore_penalty() {
+        let cfg = MachineConfig::new(2).with_cost(CostModel::from_micros(0, 5_000));
+        let mut m = Machine::new(
+            cfg,
+            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)],
+        );
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(40))).unwrap();
+        m.advance().unwrap();
+        // Resume on a different core: remaining 60ms + 5ms penalty.
+        m.dispatch(CoreId(1), TaskId(0), None).unwrap();
+        m.advance().unwrap();
+        let t = m.task(TaskId(0));
+        assert_eq!(t.completion(), Some(SimTime::from_millis(105)));
+        assert_eq!(t.cpu_time(), SimDuration::from_millis(105));
+    }
+
+    #[test]
+    fn explicit_preempt_mid_run() {
+        let mut m = one_task_machine(100);
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // No event has fired yet, so now == 0; preempting immediately
+        // yields zero progress.
+        let got = m.preempt(CoreId(0)).unwrap();
+        assert_eq!(got, TaskId(0));
+        assert_eq!(m.task(TaskId(0)).remaining(), SimDuration::from_millis(100));
+        assert_eq!(m.task(TaskId(0)).state(), TaskState::Preempted);
+        // The stale completion event is ignored.
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        loop {
+            match m.advance().unwrap() {
+                Some(PolicyCall::TaskFinished(..)) => break,
+                Some(_) => continue,
+                None => panic!("ended without completion"),
+            }
+        }
+        assert_eq!(m.task(TaskId(0)).state(), TaskState::Finished);
+    }
+
+    #[test]
+    fn dispatch_errors() {
+        let mut m = one_task_machine(10);
+        m.advance().unwrap();
+        assert_eq!(
+            m.dispatch(CoreId(9), TaskId(0), None),
+            Err(SchedError::NoSuchCore(CoreId(9)))
+        );
+        assert_eq!(
+            m.dispatch(CoreId(0), TaskId(9), None),
+            Err(SchedError::NoSuchTask(TaskId(9)))
+        );
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        assert_eq!(
+            m.dispatch(CoreId(0), TaskId(0), None),
+            Err(SchedError::CoreBusy(CoreId(0)))
+        );
+        assert_eq!(m.preempt(CoreId(9)), Err(SchedError::NoSuchCore(CoreId(9))));
+        m.advance().unwrap(); // completes
+        assert_eq!(
+            m.dispatch(CoreId(0), TaskId(0), None),
+            Err(SchedError::NotRunnable(TaskId(0)))
+        );
+        assert_eq!(m.preempt(CoreId(0)), Err(SchedError::NothingRunning(CoreId(0))));
+    }
+
+    #[test]
+    fn deadlock_detected_when_policy_strands_tasks() {
+        let mut m = one_task_machine(10);
+        m.advance().unwrap(); // arrival, but we never dispatch
+        assert_eq!(m.advance(), Err(SimError::Deadlock { unfinished: 1 }));
+    }
+
+    #[test]
+    fn message_log_records_protocol() {
+        let mut m = one_task_machine(10);
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap();
+        let kinds: Vec<&KernelMessage> = m.messages().iter().map(|(_, k)| k).collect();
+        assert!(matches!(kinds[0], KernelMessage::TaskNew { .. }));
+        assert!(matches!(kinds[1], KernelMessage::Dispatch { .. }));
+        assert!(matches!(kinds[2], KernelMessage::TaskDead { .. }));
+    }
+
+    #[test]
+    fn utilization_recorded_for_busy_interval() {
+        let mut m = one_task_machine(500);
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap();
+        let u = m.utilization().bucket_utilization(0, 0);
+        assert!((u - 0.5).abs() < 1e-9, "utilization was {u}");
+    }
+
+    #[test]
+    fn io_wait_bills_but_frees_the_core() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(1), 128)
+                .with_io_wait(SimDuration::from_secs(60)),
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(5), 128),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        // Arrivals.
+        assert!(matches!(m.advance().unwrap(), Some(PolicyCall::TaskNew(_))));
+        assert!(matches!(m.advance().unwrap(), Some(PolicyCall::TaskNew(_))));
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // CPU work of task 0 done at 1 ms: core freed, task blocked.
+        assert!(matches!(m.advance().unwrap(), Some(PolicyCall::Internal)));
+        assert_eq!(m.core_state(CoreId(0)), CoreState::Idle);
+        assert_eq!(m.task(TaskId(0)).state(), TaskState::Blocked);
+        // The second task runs to completion while the first waits.
+        m.dispatch(CoreId(0), TaskId(1), None).unwrap();
+        assert!(matches!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(1), _))
+        ));
+        // The waiting task finishes at 60.001 s.
+        assert!(matches!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(0), _))
+        ));
+        let t = m.task(TaskId(0));
+        assert_eq!(t.completion(), Some(SimTime::from_micros(60_001_000)));
+        // Billing: execution (wall clock) is the full minute; CPU is 1 ms —
+        // the paper's §I AWS Lambda example.
+        assert_eq!(t.execution_time(), Some(SimDuration::from_micros(60_001_000)));
+        assert_eq!(t.cpu_time(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn interference_occupies_idle_core_and_preempts_running() {
+        let icfg = InterferenceConfig {
+            mean_interval: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(10),
+        };
+        let cfg = MachineConfig::new(1)
+            .with_cost(CostModel::free())
+            .with_interference(icfg)
+            .with_seed(7);
+        let mut m = Machine::new(
+            cfg,
+            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(1), 128)],
+        );
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // Run until the task gets interference-preempted at least once.
+        let mut preempted = false;
+        for _ in 0..100 {
+            match m.advance().unwrap() {
+                Some(PolicyCall::InterferencePreempt(t, c)) => {
+                    preempted = true;
+                    assert_eq!(t, TaskId(0));
+                    assert_eq!(m.core_state(c), CoreState::Interference);
+                    break;
+                }
+                Some(PolicyCall::TaskFinished(..)) | None => break,
+                Some(_) => continue,
+            }
+        }
+        assert!(preempted, "task should get interference-preempted");
+    }
+}

@@ -1,0 +1,91 @@
+//! Kernel→agent message vocabulary (the ghOSt protocol, §III-A).
+//!
+//! ghOSt exposes thread-state changes to user-space agents as messages;
+//! the simulated kernel can record an equivalent log for observability and
+//! protocol tests.
+
+use faas_simcore::SimDuration;
+
+use crate::core::CoreId;
+use crate::task::TaskId;
+
+/// One message on the simulated kernel→agent channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMessage {
+    /// `MSG_TASK_NEW`: a task entered the enclave.
+    TaskNew {
+        /// The arriving task.
+        task: TaskId,
+    },
+    /// Agent committed a task to a core (the "transaction" in ghOSt terms).
+    Dispatch {
+        /// The dispatched task.
+        task: TaskId,
+        /// Target core.
+        core: CoreId,
+        /// Slice bound, `None` for run-to-completion.
+        slice: Option<SimDuration>,
+    },
+    /// `MSG_TASK_PREEMPT`: a task was taken off its core.
+    TaskPreempt {
+        /// The preempted task.
+        task: TaskId,
+        /// The core it ran on.
+        core: CoreId,
+        /// `true` when the host OS (native CFS class) grabbed the core,
+        /// `false` for an explicit policy preemption.
+        by_interference: bool,
+    },
+    /// A dispatch time slice ran out.
+    SliceExpired {
+        /// The task whose slice expired.
+        task: TaskId,
+        /// The core it ran on.
+        core: CoreId,
+    },
+    /// `MSG_TASK_DEAD`: a task finished and its process can be freed.
+    TaskDead {
+        /// The finished task.
+        task: TaskId,
+        /// The core it finished on.
+        core: CoreId,
+    },
+    /// Host-OS interference claimed a core.
+    InterferenceStart {
+        /// The claimed core.
+        core: CoreId,
+    },
+    /// Host-OS interference released a core.
+    InterferenceEnd {
+        /// The released core.
+        core: CoreId,
+    },
+}
+
+impl KernelMessage {
+    /// The task this message concerns, if any.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            KernelMessage::TaskNew { task }
+            | KernelMessage::Dispatch { task, .. }
+            | KernelMessage::TaskPreempt { task, .. }
+            | KernelMessage::SliceExpired { task, .. }
+            | KernelMessage::TaskDead { task, .. } => Some(*task),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_extraction() {
+        let t = TaskId(4);
+        let c = CoreId(1);
+        assert_eq!(KernelMessage::TaskNew { task: t }.task(), Some(t));
+        assert_eq!(KernelMessage::TaskDead { task: t, core: c }.task(), Some(t));
+        assert_eq!(KernelMessage::InterferenceStart { core: c }.task(), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! The user-space scheduling agent interface and the simulation driver.
+//!
+//! [`Scheduler`] is the simulated equivalent of a ghOSt user-space agent:
+//! the kernel delivers messages (task arrival, slice expiry, …) and the
+//! agent reacts by invoking the scheduling verbs on the [`Machine`].
+//! [`Simulation`] wires a machine and an agent together and runs the
+//! event loop to completion.
+
+use faas_simcore::{SimDuration, SimTime};
+
+use crate::core::{CoreId, CoreState, CoreStats};
+use crate::machine::{Machine, MachineConfig, PolicyCall, SimError};
+use crate::task::{Task, TaskId, TaskSpec};
+
+/// A user-space scheduling policy (ghOSt agent).
+///
+/// The driver guarantees:
+///
+/// * every callback runs with exclusive access to the [`Machine`];
+/// * after every kernel event, [`Scheduler::on_core_idle`] is invoked once
+///   for each core that is idle at that point (in core-id order), so a
+///   policy only needs to react locally;
+/// * a task handed over in `on_slice_expired` / `on_interference_preempt`
+///   is in the `Preempted` state and is *owned by the policy* until it is
+///   dispatched again — the kernel will never move it.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports and figures).
+    fn name(&self) -> &str;
+
+    /// If `Some`, the kernel delivers [`Scheduler::on_tick`] periodically.
+    fn tick_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// A new task arrived (`MSG_TASK_NEW`).
+    fn on_task_new(&mut self, m: &mut Machine, task: TaskId);
+
+    /// A task's dispatch slice expired; the task is now `Preempted`.
+    fn on_slice_expired(&mut self, m: &mut Machine, task: TaskId, core: CoreId);
+
+    /// A core has nothing to run. Dispatch here if work is queued.
+    fn on_core_idle(&mut self, m: &mut Machine, core: CoreId);
+
+    /// A task finished (`MSG_TASK_DEAD`). Default: no-op.
+    fn on_task_finished(&mut self, m: &mut Machine, task: TaskId, core: CoreId) {
+        let _ = (m, task, core);
+    }
+
+    /// The host OS kicked a task off a core. Default: treat it like a
+    /// slice expiry (re-queue per policy rules).
+    fn on_interference_preempt(&mut self, m: &mut Machine, task: TaskId, core: CoreId) {
+        self.on_slice_expired(m, task, core);
+    }
+
+    /// Periodic tick (armed via [`Scheduler::tick_interval`]). Default: no-op.
+    fn on_tick(&mut self, m: &mut Machine) {
+        let _ = m;
+    }
+}
+
+/// Outcome of a completed simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Policy name the run used.
+    pub policy: String,
+    /// Final task records (same order as the input specs).
+    pub tasks: Vec<Task>,
+    /// Per-core statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Virtual instant the last task finished.
+    pub finished_at: SimTime,
+    /// The machine in its final state (utilization ledger, message log).
+    pub machine: Machine,
+}
+
+impl SimReport {
+    /// Total CPU time consumed by all tasks (excludes switch overhead).
+    pub fn total_cpu_time(&self) -> SimDuration {
+        self.tasks.iter().map(Task::cpu_time).sum()
+    }
+
+    /// Total preemptions across all cores.
+    pub fn total_preemptions(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.preemptions).sum()
+    }
+}
+
+/// Binds a [`Machine`] to a [`Scheduler`] and runs the event loop.
+///
+/// # Examples
+///
+/// Run three tasks under a trivial single-core FIFO agent:
+///
+/// ```
+/// use faas_kernel::{
+///     CoreId, Machine, MachineConfig, Scheduler, Simulation, TaskId, TaskSpec,
+/// };
+/// use faas_simcore::{SimDuration, SimTime};
+/// use std::collections::VecDeque;
+///
+/// struct MiniFifo(VecDeque<TaskId>);
+/// impl Scheduler for MiniFifo {
+///     fn name(&self) -> &str { "mini-fifo" }
+///     fn on_task_new(&mut self, _m: &mut Machine, t: TaskId) { self.0.push_back(t); }
+///     fn on_slice_expired(&mut self, _m: &mut Machine, t: TaskId, _c: CoreId) {
+///         self.0.push_back(t);
+///     }
+///     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
+///         if let Some(t) = self.0.pop_front() {
+///             m.dispatch(core, t, None).unwrap();
+///         }
+///     }
+/// }
+///
+/// let specs: Vec<TaskSpec> = (0..3)
+///     .map(|i| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10 * (i + 1)), 128))
+///     .collect();
+/// let report = Simulation::new(MachineConfig::new(1), specs, MiniFifo(VecDeque::new()))
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.tasks.len(), 3);
+/// assert!(report.tasks.iter().all(|t| t.completion().is_some()));
+/// ```
+pub struct Simulation<P> {
+    machine: Machine,
+    policy: P,
+}
+
+impl<P: Scheduler> Simulation<P> {
+    /// Builds a simulation over `specs` with the given policy.
+    pub fn new(cfg: MachineConfig, specs: Vec<TaskSpec>, policy: P) -> Self {
+        let mut machine = Machine::new(cfg, specs);
+        if let Some(every) = policy.tick_interval() {
+            machine.arm_tick(every);
+        }
+        Simulation { machine, policy }
+    }
+
+    /// Read access to the machine mid-run (useful in tests).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Read access to the policy mid-run.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Advances by one kernel event, delivering messages to the policy and
+    /// sweeping idle cores. Returns `false` when the run is complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the machine.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        let call = match self.machine.advance()? {
+            Some(c) => c,
+            None => return Ok(false),
+        };
+        let m = &mut self.machine;
+        match call {
+            PolicyCall::TaskNew(t) => self.policy.on_task_new(m, t),
+            PolicyCall::TaskFinished(t, c) => self.policy.on_task_finished(m, t, c),
+            PolicyCall::SliceExpired(t, c) => self.policy.on_slice_expired(m, t, c),
+            PolicyCall::InterferencePreempt(t, c) => {
+                self.policy.on_interference_preempt(m, t, c)
+            }
+            PolicyCall::Tick => self.policy.on_tick(m),
+            PolicyCall::Internal => {}
+        }
+        // Idle sweep: give the policy one chance per event to fill each
+        // idle core.
+        for i in 0..self.machine.num_cores() {
+            let core = CoreId::from_index(i);
+            if self.machine.core_state(core) == CoreState::Idle {
+                self.policy.on_core_idle(&mut self.machine, core);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the policy strands tasks or
+    /// [`SimError::Stalled`] if progress halts for the configured timeout.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        while self.step()? {}
+        let finished_at = self.machine.now();
+        let core_stats = (0..self.machine.num_cores())
+            .map(|i| self.machine.core_stats(CoreId::from_index(i)))
+            .collect();
+        let tasks = self.machine.tasks().to_vec();
+        Ok(SimReport {
+            policy: self.policy.name().to_owned(),
+            tasks,
+            core_stats,
+            finished_at,
+            machine: self.machine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Global-queue FIFO over all cores; the simplest complete agent.
+    struct TestFifo {
+        queue: VecDeque<TaskId>,
+    }
+
+    impl Scheduler for TestFifo {
+        fn name(&self) -> &str {
+            "test-fifo"
+        }
+        fn on_task_new(&mut self, _m: &mut Machine, task: TaskId) {
+            self.queue.push_back(task);
+        }
+        fn on_slice_expired(&mut self, _m: &mut Machine, task: TaskId, _core: CoreId) {
+            self.queue.push_back(task);
+        }
+        fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
+            if let Some(t) = self.queue.pop_front() {
+                m.dispatch(core, t, None).unwrap();
+            }
+        }
+    }
+
+    fn run_fifo(cores: usize, specs: Vec<TaskSpec>) -> SimReport {
+        let cfg = MachineConfig::new(cores).with_cost(crate::CostModel::free());
+        Simulation::new(cfg, specs, TestFifo { queue: VecDeque::new() }).run().unwrap()
+    }
+
+    #[test]
+    fn serial_fifo_completes_in_arrival_order() {
+        let specs: Vec<TaskSpec> = (0..5)
+            .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128))
+            .collect();
+        let report = run_fifo(1, specs);
+        let completions: Vec<u64> =
+            report.tasks.iter().map(|t| t.completion().unwrap().as_millis()).collect();
+        assert_eq!(completions, vec![10, 20, 30, 40, 50]);
+        assert_eq!(report.finished_at, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn parallel_fifo_uses_all_cores() {
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128))
+            .collect();
+        let report = run_fifo(4, specs);
+        assert_eq!(report.finished_at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn staggered_arrivals_respected() {
+        let specs = vec![
+            TaskSpec::function(SimTime::from_millis(0), SimDuration::from_millis(30), 128),
+            TaskSpec::function(SimTime::from_millis(100), SimDuration::from_millis(5), 128),
+        ];
+        let report = run_fifo(1, specs);
+        assert_eq!(report.tasks[0].completion(), Some(SimTime::from_millis(30)));
+        // Second task arrives at 100, after the first finished.
+        assert_eq!(report.tasks[1].response_time(), Some(SimDuration::ZERO));
+        assert_eq!(report.tasks[1].completion(), Some(SimTime::from_millis(105)));
+    }
+
+    #[test]
+    fn report_totals() {
+        let specs: Vec<TaskSpec> = (0..3)
+            .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(20), 128))
+            .collect();
+        let report = run_fifo(1, specs);
+        assert_eq!(report.total_cpu_time(), SimDuration::from_millis(60));
+        assert_eq!(report.total_preemptions(), 0);
+        assert_eq!(report.policy, "test-fifo");
+    }
+}

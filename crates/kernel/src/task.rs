@@ -1,0 +1,266 @@
+//! Task model: the unit the scheduler places on cores.
+//!
+//! A task models one serverless function invocation (or one microVM thread
+//! in the Firecracker experiments): a CPU-bound computation needing a known
+//! amount of on-CPU work. The kernel tracks its lifecycle and the
+//! bookkeeping the paper's metrics (§II-B) are computed from: arrival,
+//! first run, completion and preemption count.
+
+use faas_simcore::{SimDuration, SimTime};
+
+/// Stable identifier of a task within one [`Machine`](crate::Machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// The numeric index of this task (dense, starting at 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A platform-provided placement hint (the paper's §VII-4 future work:
+/// scheduling a microVM's internal threads under different policies).
+///
+/// FaaS platforms know more than the kernel: historic durations, and
+/// which threads are latency-critical (the vCPU running user code) versus
+/// background (VMM/I-O). Hint-aware policies such as the hybrid scheduler
+/// may honor these; hint-oblivious policies ignore them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementHint {
+    /// No hint: treat like any other task.
+    #[default]
+    Auto,
+    /// Latency-insensitive background work (e.g. microVM VMM/I-O threads):
+    /// may bypass the latency-optimized path.
+    Background,
+}
+
+/// Immutable description of a task handed to the simulation up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Instant the invocation arrives at the platform.
+    pub arrival: SimTime,
+    /// Total on-CPU work the task needs to complete (uninterrupted).
+    pub work: SimDuration,
+    /// Memory allocated to the function, in MiB (drives pricing).
+    pub mem_mib: u32,
+    /// Optional duration hint (e.g. historical average) used by
+    /// deadline-based policies such as EDF. `None` for hint-free policies.
+    pub expected: Option<SimDuration>,
+    /// Free-form grouping tag; the Firecracker model uses it to link the
+    /// threads of one microVM. `0` for plain function processes.
+    pub group: u64,
+    /// Platform placement hint (see [`PlacementHint`]).
+    pub hint: PlacementHint,
+    /// Off-CPU wait after the CPU work completes (an external call — DB,
+    /// storage, HTTP). The core is released but the function has not
+    /// returned, so the wait is **billed**: this models the paper's §I
+    /// example where 1 ms of CPU plus a 1-minute database wait is billed
+    /// as the full minute.
+    pub io_wait: SimDuration,
+}
+
+impl TaskSpec {
+    /// A convenience constructor for a plain function invocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faas_kernel::TaskSpec;
+    /// use faas_simcore::{SimDuration, SimTime};
+    ///
+    /// let spec = TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(150), 128);
+    /// assert_eq!(spec.mem_mib, 128);
+    /// assert_eq!(spec.group, 0);
+    /// ```
+    pub fn function(arrival: SimTime, work: SimDuration, mem_mib: u32) -> Self {
+        TaskSpec {
+            arrival,
+            work,
+            mem_mib,
+            expected: None,
+            group: 0,
+            hint: PlacementHint::Auto,
+            io_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the duration hint used by deadline-based policies.
+    pub fn with_expected(mut self, expected: SimDuration) -> Self {
+        self.expected = Some(expected);
+        self
+    }
+
+    /// Sets the grouping tag (e.g. a microVM id).
+    pub fn with_group(mut self, group: u64) -> Self {
+        self.group = group;
+        self
+    }
+
+    /// Sets the placement hint.
+    pub fn with_hint(mut self, hint: PlacementHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Sets the trailing off-CPU wait (external call).
+    pub fn with_io_wait(mut self, io_wait: SimDuration) -> Self {
+        self.io_wait = io_wait;
+        self
+    }
+}
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Arrived but never run; waiting for the policy to place it.
+    Queued,
+    /// Currently occupying a core.
+    Running,
+    /// Ran at least once and was preempted; waiting to be placed again.
+    Preempted,
+    /// CPU work done; waiting off-CPU for an external call to return.
+    /// Billed but not schedulable.
+    Blocked,
+    /// All work done.
+    Finished,
+}
+
+/// Kernel-side record of one task (spec + mutable lifecycle bookkeeping).
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub(crate) spec: TaskSpec,
+    pub(crate) state: TaskState,
+    pub(crate) remaining: SimDuration,
+    pub(crate) first_run: Option<SimTime>,
+    pub(crate) completion: Option<SimTime>,
+    pub(crate) preemptions: u32,
+    /// Total time actually spent on a CPU (excludes queueing).
+    pub(crate) cpu_time: SimDuration,
+}
+
+impl Task {
+    pub(crate) fn new(spec: TaskSpec) -> Self {
+        let remaining = spec.work;
+        Task {
+            spec,
+            state: TaskState::Queued,
+            remaining,
+            first_run: None,
+            completion: None,
+            preemptions: 0,
+            cpu_time: SimDuration::ZERO,
+        }
+    }
+
+    /// The immutable spec this task was created from.
+    pub fn spec(&self) -> &TaskSpec {
+        &self.spec
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// Work still to be done (inflated by cache-warmup penalties after
+    /// preemptions; see [`CostModel`](crate::CostModel)).
+    pub fn remaining(&self) -> SimDuration {
+        self.remaining
+    }
+
+    /// Instant of first dispatch, if the task has ever run.
+    pub fn first_run(&self) -> Option<SimTime> {
+        self.first_run
+    }
+
+    /// Completion instant, if finished.
+    pub fn completion(&self) -> Option<SimTime> {
+        self.completion
+    }
+
+    /// How many times the task was preempted (slice expiry, explicit
+    /// preemption or host-OS interference).
+    pub fn preemptions(&self) -> u32 {
+        self.preemptions
+    }
+
+    /// Accumulated on-CPU time so far.
+    pub fn cpu_time(&self) -> SimDuration {
+        self.cpu_time
+    }
+
+    /// Execution time per the paper's §II-B: completion − first run.
+    /// `None` until the task finishes.
+    pub fn execution_time(&self) -> Option<SimDuration> {
+        Some(self.completion? - self.first_run?)
+    }
+
+    /// Response time per §II-B: first run − arrival.
+    pub fn response_time(&self) -> Option<SimDuration> {
+        Some(self.first_run? - self.spec.arrival)
+    }
+
+    /// Turnaround time per §II-B: completion − arrival.
+    pub fn turnaround_time(&self) -> Option<SimDuration> {
+        Some(self.completion? - self.spec.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TaskSpec {
+        TaskSpec::function(SimTime::from_millis(10), SimDuration::from_millis(100), 256)
+    }
+
+    #[test]
+    fn new_task_is_queued_with_full_work() {
+        let t = Task::new(spec());
+        assert_eq!(t.state(), TaskState::Queued);
+        assert_eq!(t.remaining(), SimDuration::from_millis(100));
+        assert_eq!(t.preemptions(), 0);
+        assert_eq!(t.execution_time(), None);
+        assert_eq!(t.response_time(), None);
+    }
+
+    #[test]
+    fn metrics_match_paper_equations() {
+        let mut t = Task::new(spec());
+        t.first_run = Some(SimTime::from_millis(40));
+        t.completion = Some(SimTime::from_millis(190));
+        // T_response = T_firstrun - T_arrival
+        assert_eq!(t.response_time(), Some(SimDuration::from_millis(30)));
+        // T_execution = T_completion - T_firstrun
+        assert_eq!(t.execution_time(), Some(SimDuration::from_millis(150)));
+        // T_turnaround = T_completion - T_arrival
+        assert_eq!(t.turnaround_time(), Some(SimDuration::from_millis(180)));
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let s = spec()
+            .with_expected(SimDuration::from_millis(90))
+            .with_group(7)
+            .with_hint(PlacementHint::Background);
+        assert_eq!(s.expected, Some(SimDuration::from_millis(90)));
+        assert_eq!(s.group, 7);
+        assert_eq!(s.hint, PlacementHint::Background);
+        assert_eq!(spec().hint, PlacementHint::Auto, "default hint is Auto");
+    }
+
+    #[test]
+    fn task_id_display_and_index() {
+        let id = TaskId(3);
+        assert_eq!(id.to_string(), "T3");
+        assert_eq!(id.index(), 3);
+    }
+}

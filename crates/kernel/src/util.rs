@@ -1,0 +1,194 @@
+//! Per-core utilization accounting.
+//!
+//! The paper's provider-side mechanisms (time-limit adaptation and CPU-group
+//! rightsizing, §IV-B) are driven by a utilization monitor — their daemon
+//! samples psutil into shared memory. Our simulated equivalent accumulates
+//! per-core busy microseconds into fixed-width time buckets, from which the
+//! policy (and the figure harnesses) read windowed averages.
+
+use faas_simcore::{SimDuration, SimTime};
+
+/// Accumulates busy time per core in fixed-width buckets.
+///
+/// # Examples
+///
+/// ```
+/// use faas_kernel::UtilizationLedger;
+/// use faas_simcore::{SimDuration, SimTime};
+///
+/// let mut ledger = UtilizationLedger::new(2, SimDuration::from_secs(1));
+/// // Core 0 busy for the first half of second zero.
+/// ledger.record_busy(0, SimTime::ZERO, SimTime::from_millis(500));
+/// assert_eq!(ledger.bucket_utilization(0, 0), 0.5);
+/// assert_eq!(ledger.bucket_utilization(1, 0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationLedger {
+    bucket: SimDuration,
+    /// `busy[core][bucket]` = busy microseconds of `core` in `bucket`.
+    busy: Vec<Vec<u64>>,
+}
+
+impl UtilizationLedger {
+    /// Creates a ledger for `cores` cores with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(cores: usize, bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        UtilizationLedger { bucket, busy: vec![Vec::new(); cores] }
+    }
+
+    /// Bucket width used by this ledger.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Number of cores tracked.
+    pub fn cores(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Records that `core` was busy during `[from, to)`, splitting the
+    /// interval across buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `to < from`.
+    pub fn record_busy(&mut self, core: usize, from: SimTime, to: SimTime) {
+        assert!(to >= from, "interval must be ordered");
+        let width = self.bucket.as_micros();
+        let lane = &mut self.busy[core];
+        let mut cur = from.as_micros();
+        let end = to.as_micros();
+        while cur < end {
+            let idx = (cur / width) as usize;
+            let bucket_end = (idx as u64 + 1) * width;
+            let chunk = end.min(bucket_end) - cur;
+            if lane.len() <= idx {
+                lane.resize(idx + 1, 0);
+            }
+            lane[idx] += chunk;
+            cur += chunk;
+        }
+    }
+
+    /// Number of buckets that have been touched on any core.
+    pub fn bucket_count(&self) -> usize {
+        self.busy.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Fraction of `bucket` during which `core` was busy, in `[0, 1]`.
+    /// Untouched buckets count as 0.
+    pub fn bucket_utilization(&self, core: usize, bucket: usize) -> f64 {
+        let lane = &self.busy[core];
+        let v = lane.get(bucket).copied().unwrap_or(0);
+        v as f64 / self.bucket.as_micros() as f64
+    }
+
+    /// Average utilization of a set of cores over a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn group_bucket_utilization(&self, cores: &[usize], bucket: usize) -> f64 {
+        assert!(!cores.is_empty(), "group must be non-empty");
+        cores.iter().map(|&c| self.bucket_utilization(c, bucket)).sum::<f64>() / cores.len() as f64
+    }
+
+    /// Average utilization of one core over the trailing `window` ending at
+    /// `now` (partial leading buckets are weighted by coverage).
+    pub fn windowed_utilization(&self, core: usize, now: SimTime, window: SimDuration) -> f64 {
+        let width = self.bucket.as_micros();
+        let end = now.as_micros();
+        let start = end.saturating_sub(window.as_micros());
+        if end == start {
+            return 0.0;
+        }
+        let lane = &self.busy[core];
+        let mut busy = 0u64;
+        let mut cur = start;
+        while cur < end {
+            let idx = (cur / width) as usize;
+            let bucket_end = (idx as u64 + 1) * width;
+            let span = end.min(bucket_end) - cur;
+            let in_bucket = lane.get(idx).copied().unwrap_or(0);
+            // Assume busy time is spread uniformly within the bucket when
+            // taking a partial slice of it.
+            busy += (in_bucket as u128 * span as u128 / width as u128) as u64;
+            cur += span;
+        }
+        busy as f64 / (end - start) as f64
+    }
+
+    /// Total busy time accumulated by `core`.
+    pub fn total_busy(&self, core: usize) -> SimDuration {
+        SimDuration::from_micros(self.busy[core].iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> UtilizationLedger {
+        UtilizationLedger::new(2, SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn interval_splits_across_buckets() {
+        let mut l = ledger();
+        // 0.5s .. 2.5s busy => buckets 0:0.5, 1:1.0, 2:0.5
+        l.record_busy(0, SimTime::from_millis(500), SimTime::from_millis(2_500));
+        assert!((l.bucket_utilization(0, 0) - 0.5).abs() < 1e-9);
+        assert!((l.bucket_utilization(0, 1) - 1.0).abs() < 1e-9);
+        assert!((l.bucket_utilization(0, 2) - 0.5).abs() < 1e-9);
+        assert_eq!(l.bucket_count(), 3);
+    }
+
+    #[test]
+    fn empty_interval_is_noop() {
+        let mut l = ledger();
+        l.record_busy(0, SimTime::from_millis(100), SimTime::from_millis(100));
+        assert_eq!(l.bucket_count(), 0);
+        assert_eq!(l.total_busy(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn group_average() {
+        let mut l = ledger();
+        l.record_busy(0, SimTime::ZERO, SimTime::from_secs(1)); // core 0: 100%
+        // core 1 idle.
+        assert!((l.group_bucket_utilization(&[0, 1], 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_utilization_full_and_partial() {
+        let mut l = ledger();
+        l.record_busy(0, SimTime::ZERO, SimTime::from_secs(2));
+        // Fully busy window.
+        let u = l.windowed_utilization(0, SimTime::from_secs(2), SimDuration::from_secs(2));
+        assert!((u - 1.0).abs() < 1e-9);
+        // Window extends past recorded data: 2s busy out of 4s.
+        let u = l.windowed_utilization(0, SimTime::from_secs(4), SimDuration::from_secs(4));
+        assert!((u - 0.5).abs() < 1e-9);
+        // Zero-length window.
+        assert_eq!(l.windowed_utilization(0, SimTime::ZERO, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn total_busy_accumulates() {
+        let mut l = ledger();
+        l.record_busy(1, SimTime::ZERO, SimTime::from_millis(300));
+        l.record_busy(1, SimTime::from_millis(700), SimTime::from_millis(900));
+        assert_eq!(l.total_busy(1), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reversed_interval_panics() {
+        let mut l = ledger();
+        l.record_busy(0, SimTime::from_millis(5), SimTime::from_millis(1));
+    }
+}

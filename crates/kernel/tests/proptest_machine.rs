@@ -1,0 +1,173 @@
+//! Property tests of the kernel substrate under an adversarial agent: a
+//! chaos policy that dispatches arbitrary runnable tasks with arbitrary
+//! slices and preempts cores at random. Whatever the agent does, the
+//! kernel's accounting must stay consistent and all work must eventually
+//! complete.
+
+use faas_kernel::{
+    CoreId, CoreState, CostModel, InterferenceConfig, KernelMessage, Machine, MachineConfig,
+    Scheduler, Simulation, TaskId, TaskSpec,
+};
+use faas_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+use faas_simcore::SimDuration as Dur;
+
+/// A deterministic chaos agent driven by an LCG.
+struct Chaos {
+    runnable: Vec<TaskId>,
+    state: u64,
+    preempt_bias: bool,
+}
+
+impl Chaos {
+    fn new(seed: u64, preempt_bias: bool) -> Self {
+        Chaos { runnable: Vec::new(), state: seed | 1, preempt_bias }
+    }
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state >> 33
+    }
+}
+
+impl Scheduler for Chaos {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+    fn on_task_new(&mut self, _m: &mut Machine, task: TaskId) {
+        self.runnable.push(task);
+    }
+    fn on_slice_expired(&mut self, _m: &mut Machine, task: TaskId, _core: CoreId) {
+        self.runnable.push(task);
+    }
+    fn on_task_finished(&mut self, m: &mut Machine, _task: TaskId, _core: CoreId) {
+        // Occasionally preempt some other running core for no reason.
+        if self.preempt_bias && self.next().is_multiple_of(3) {
+            let cores = m.num_cores();
+            let victim = CoreId::from_index((self.next() as usize) % cores);
+            if matches!(m.core_state(victim), CoreState::Running(_)) {
+                let t = m.preempt(victim).expect("victim was running");
+                self.runnable.push(t);
+            }
+        }
+    }
+    fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
+        if self.runnable.is_empty() {
+            return;
+        }
+        let idx = (self.next() as usize) % self.runnable.len();
+        let task = self.runnable.swap_remove(idx);
+        // Random slice: sometimes none, sometimes tiny, sometimes large.
+        let slice = match self.next() % 4 {
+            0 => None,
+            1 => Some(Dur::from_micros(1 + self.next() % 500)),
+            2 => Some(Dur::from_millis(1 + self.next() % 20)),
+            _ => Some(Dur::from_secs(10)),
+        };
+        m.dispatch(core, task, slice).expect("dispatch on idle core");
+    }
+}
+
+fn arb_specs() -> impl Strategy<Value = Vec<TaskSpec>> {
+    prop::collection::vec((0u64..2_000, 1u64..500), 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(arr, work)| {
+                TaskSpec::function(
+                    SimTime::from_millis(arr),
+                    SimDuration::from_millis(work),
+                    128,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the chaos agent does, accounting stays consistent.
+    #[test]
+    fn kernel_accounting_survives_chaos(
+        specs in arb_specs(),
+        seed in any::<u64>(),
+        cores in 1usize..5,
+        preempt_bias in any::<bool>(),
+    ) {
+        let cfg = MachineConfig::new(cores)
+            .with_cost(CostModel::from_micros(3, 50))
+            .with_message_log();
+        let total = specs.len();
+        let works: Vec<SimDuration> = specs.iter().map(|s| s.work).collect();
+        let report = Simulation::new(cfg, specs, Chaos::new(seed, preempt_bias))
+            .run()
+            .expect("chaos must not deadlock the kernel");
+        prop_assert_eq!(report.tasks.len(), total);
+        for (task, work) in report.tasks.iter().zip(&works) {
+            prop_assert!(task.completion().is_some());
+            // A task consumes at least its nominal work; preemptions only add.
+            prop_assert!(task.cpu_time() >= *work);
+            let exec = task.execution_time().unwrap();
+            prop_assert!(exec + SimDuration::from_micros(1) >= task.cpu_time() - (task.cpu_time() - *work),
+                "execution wall-clock below pure work");
+        }
+        // Busy time is bounded by capacity.
+        let busy: SimDuration = report.core_stats.iter().map(|s| s.busy).sum();
+        let cap = SimDuration::from_micros(report.finished_at.as_micros() * cores as u64);
+        prop_assert!(busy <= cap + SimDuration::from_micros(1));
+    }
+
+    /// The kernel message protocol is well-formed under chaos: one
+    /// TaskNew and one TaskDead per task, dispatches between them.
+    #[test]
+    fn message_protocol_is_well_formed(specs in arb_specs(), seed in any::<u64>()) {
+        let cfg = MachineConfig::new(2).with_message_log();
+        let total = specs.len();
+        let report =
+            Simulation::new(cfg, specs, Chaos::new(seed, true)).run().expect("completes");
+        let log = report.machine.messages();
+        let mut news = vec![0u32; total];
+        let mut deads = vec![0u32; total];
+        let mut dispatches = vec![0u32; total];
+        for (_, msg) in log {
+            match msg {
+                KernelMessage::TaskNew { task } => news[task.index()] += 1,
+                KernelMessage::TaskDead { task, .. } => deads[task.index()] += 1,
+                KernelMessage::Dispatch { task, .. } => dispatches[task.index()] += 1,
+                _ => {}
+            }
+        }
+        for i in 0..total {
+            prop_assert_eq!(news[i], 1, "exactly one TaskNew");
+            prop_assert_eq!(deads[i], 1, "exactly one TaskDead");
+            prop_assert!(dispatches[i] >= 1, "ran at least once");
+        }
+        // Per task: TaskNew precedes first Dispatch precedes TaskDead.
+        for i in 0..total {
+            let tid = |m: &KernelMessage| m.task().map(|t| t.index() == i).unwrap_or(false);
+            let first_new = log.iter().position(|(_, m)| matches!(m, KernelMessage::TaskNew{..}) && tid(m)).unwrap();
+            let first_dispatch = log.iter().position(|(_, m)| matches!(m, KernelMessage::Dispatch{..}) && tid(m)).unwrap();
+            let dead = log.iter().position(|(_, m)| matches!(m, KernelMessage::TaskDead{..}) && tid(m)).unwrap();
+            prop_assert!(first_new < first_dispatch);
+            prop_assert!(first_dispatch < dead);
+        }
+    }
+
+    /// Interference storms never corrupt accounting or strand tasks.
+    #[test]
+    fn interference_storm_is_survivable(specs in arb_specs(), seed in any::<u64>()) {
+        let storm = InterferenceConfig {
+            mean_interval: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(10),
+        };
+        let cfg = MachineConfig::new(2)
+            .with_interference(storm)
+            .with_seed(seed);
+        let total = specs.len();
+        let report =
+            Simulation::new(cfg, specs, Chaos::new(seed ^ 0xABCD, false)).run().expect("completes");
+        prop_assert_eq!(
+            report.tasks.iter().filter(|t| t.completion().is_some()).count(),
+            total
+        );
+    }
+}

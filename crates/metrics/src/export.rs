@@ -1,0 +1,90 @@
+//! CSV export of records and series (for external plotting of the
+//! regenerated figures).
+
+use std::io::Write;
+
+use faas_simcore::SimTime;
+
+use crate::record::TaskRecord;
+
+/// Writes task records as CSV with the paper's three metrics precomputed.
+///
+/// Columns: `arrival_us,first_run_us,completion_us,response_us,
+/// execution_us,turnaround_us,cpu_us,preemptions,mem_mib`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_records_csv<W: Write>(mut w: W, records: &[TaskRecord]) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "arrival_us,first_run_us,completion_us,response_us,execution_us,turnaround_us,cpu_us,preemptions,mem_mib"
+    )?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{}",
+            r.arrival.as_micros(),
+            r.first_run.as_micros(),
+            r.completion.as_micros(),
+            r.response_time().as_micros(),
+            r.execution_time().as_micros(),
+            r.turnaround_time().as_micros(),
+            r.cpu_time.as_micros(),
+            r.preemptions,
+            r.mem_mib
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a `(time, value)` series as two-column CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_series_csv<W: Write, V: std::fmt::Display>(
+    mut w: W,
+    header: (&str, &str),
+    series: &[(SimTime, V)],
+) -> std::io::Result<()> {
+    writeln!(w, "{},{}", header.0, header.1)?;
+    for (t, v) in series {
+        writeln!(w, "{},{}", t.as_micros(), v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::SimDuration;
+
+    #[test]
+    fn records_csv_shape() {
+        let r = TaskRecord {
+            arrival: SimTime::ZERO,
+            first_run: SimTime::from_millis(1),
+            completion: SimTime::from_millis(3),
+            cpu_time: SimDuration::from_millis(2),
+            preemptions: 1,
+            mem_mib: 128,
+        };
+        let mut buf = Vec::new();
+        write_records_csv(&mut buf, &[r]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("arrival_us,"));
+        assert_eq!(lines.next().unwrap(), "0,1000,3000,1000,2000,3000,2000,1,128");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn series_csv_shape() {
+        let series = vec![(SimTime::ZERO, 0.5), (SimTime::from_secs(1), 1.0)];
+        let mut buf = Vec::new();
+        write_series_csv(&mut buf, ("t_us", "util"), &series).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "t_us,util\n0,0.5\n1000000,1\n");
+    }
+}

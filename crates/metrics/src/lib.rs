@@ -1,0 +1,55 @@
+//! # faas-metrics
+//!
+//! The measurement vocabulary of the paper (§II-B, Fig. 3) and the CDF /
+//! percentile / time-series machinery every figure harness uses:
+//!
+//! * [`TaskRecord`] — per-invocation record with
+//!   [`execution_time`](TaskRecord::execution_time),
+//!   [`response_time`](TaskRecord::response_time) and
+//!   [`turnaround_time`](TaskRecord::turnaround_time) exactly as defined in
+//!   the paper;
+//! * [`MetricSummary`] / [`RunSummary`] — mean/p50/p90/p99/max/total
+//!   (Table I);
+//! * [`DurationCdf`] — the CDF curves of Figs. 4/5/6/11/12/21;
+//! * [`group_utilization_series`] / [`step_series`] — the utilization and
+//!   adaptive-limit timelines of Figs. 14/16/17/19;
+//! * [`jain_fairness`] / [`slowdowns`] / [`LogHistogram`] — fairness and
+//!   distribution statistics (Fig. 13's log-scale preemption counts);
+//! * CSV export for external plotting.
+//!
+//! ```
+//! use faas_metrics::{DurationCdf, Metric, RunSummary, TaskRecord};
+//! use faas_simcore::{SimDuration, SimTime};
+//!
+//! let records: Vec<TaskRecord> = (1..=100)
+//!     .map(|i| TaskRecord {
+//!         arrival: SimTime::ZERO,
+//!         first_run: SimTime::from_millis(i),
+//!         completion: SimTime::from_millis(i + 200),
+//!         cpu_time: SimDuration::from_millis(200),
+//!         preemptions: 0,
+//!         mem_mib: 128,
+//!     })
+//!     .collect();
+//! let summary = RunSummary::compute(&records);
+//! assert_eq!(summary.response.p99, SimDuration::from_millis(99));
+//! let cdf = DurationCdf::of_metric(&records, Metric::Execution);
+//! assert_eq!(cdf.percentile(0.5), SimDuration::from_millis(200));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod export;
+mod record;
+mod stats;
+mod summary;
+mod timeline;
+
+pub use cdf::DurationCdf;
+pub use export::{write_records_csv, write_series_csv};
+pub use record::{records_from_tasks, TaskRecord, UnfinishedTaskError};
+pub use stats::{jain_fairness, mean_stddev, slowdowns, LogHistogram};
+pub use summary::{Metric, MetricSummary, RunSummary};
+pub use timeline::{group_utilization_series, mean_utilization, step_series};

@@ -1,0 +1,174 @@
+//! Statistical summaries of a set of task records.
+
+use faas_simcore::SimDuration;
+
+use crate::record::TaskRecord;
+
+/// Which of the paper's three §II-B metrics to summarize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// `T_completion − T_firstrun` (the billable duration).
+    Execution,
+    /// `T_firstrun − T_arrival`.
+    Response,
+    /// `T_completion − T_arrival`.
+    Turnaround,
+}
+
+impl Metric {
+    /// All three metrics in the paper's plotting order.
+    pub const ALL: [Metric; 3] = [Metric::Execution, Metric::Response, Metric::Turnaround];
+
+    /// Extracts this metric from a record.
+    pub fn of(self, r: &TaskRecord) -> SimDuration {
+        match self {
+            Metric::Execution => r.execution_time(),
+            Metric::Response => r.response_time(),
+            Metric::Turnaround => r.turnaround_time(),
+        }
+    }
+
+    /// The label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Execution => "execution",
+            Metric::Response => "response",
+            Metric::Turnaround => "turnaround",
+        }
+    }
+}
+
+/// Five-number-ish summary of one metric over a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Number of records summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median (nearest rank).
+    pub p50: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
+    /// 99th percentile — the paper's Table I headline.
+    pub p99: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+    /// Sum over all records (useful for cost).
+    pub total: SimDuration,
+}
+
+impl MetricSummary {
+    /// Summarizes `metric` over `records`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn compute(records: &[TaskRecord], metric: Metric) -> Self {
+        assert!(!records.is_empty(), "cannot summarize zero records");
+        let mut values: Vec<SimDuration> = records.iter().map(|r| metric.of(r)).collect();
+        values.sort_unstable();
+        let n = values.len();
+        let total: SimDuration = values.iter().copied().sum();
+        let nearest = |p: f64| -> SimDuration {
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            values[rank - 1]
+        };
+        MetricSummary {
+            count: n,
+            mean: SimDuration::from_micros(total.as_micros() / n as u64),
+            p50: nearest(0.50),
+            p90: nearest(0.90),
+            p99: nearest(0.99),
+            max: values[n - 1],
+            total,
+        }
+    }
+}
+
+/// Table-I-style row: all three metric summaries for one scheduler run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Execution-time summary.
+    pub execution: MetricSummary,
+    /// Response-time summary.
+    pub response: MetricSummary,
+    /// Turnaround-time summary.
+    pub turnaround: MetricSummary,
+}
+
+impl RunSummary {
+    /// Computes all three summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn compute(records: &[TaskRecord]) -> Self {
+        RunSummary {
+            execution: MetricSummary::compute(records, Metric::Execution),
+            response: MetricSummary::compute(records, Metric::Response),
+            turnaround: MetricSummary::compute(records, Metric::Turnaround),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::SimTime;
+
+    fn record(response_ms: u64, exec_ms: u64) -> TaskRecord {
+        TaskRecord {
+            arrival: SimTime::ZERO,
+            first_run: SimTime::from_millis(response_ms),
+            completion: SimTime::from_millis(response_ms + exec_ms),
+            cpu_time: SimDuration::from_millis(exec_ms),
+            preemptions: 0,
+            mem_mib: 128,
+        }
+    }
+
+    #[test]
+    fn summary_of_uniform_records() {
+        let records: Vec<TaskRecord> = (1..=100).map(|i| record(0, i)).collect();
+        let s = MetricSummary::compute(&records, Metric::Execution);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, SimDuration::from_millis(50));
+        assert_eq!(s.p90, SimDuration::from_millis(90));
+        assert_eq!(s.p99, SimDuration::from_millis(99));
+        assert_eq!(s.max, SimDuration::from_millis(100));
+        assert_eq!(s.total, SimDuration::from_millis(5_050));
+        assert_eq!(s.mean, SimDuration::from_micros(50_500));
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let r = record(10, 40);
+        assert_eq!(Metric::Response.of(&r), SimDuration::from_millis(10));
+        assert_eq!(Metric::Execution.of(&r), SimDuration::from_millis(40));
+        assert_eq!(Metric::Turnaround.of(&r), SimDuration::from_millis(50));
+        assert_eq!(Metric::Execution.label(), "execution");
+        assert_eq!(Metric::ALL.len(), 3);
+    }
+
+    #[test]
+    fn run_summary_composes() {
+        let records: Vec<TaskRecord> = (0..10).map(|i| record(i, 10 * (i + 1))).collect();
+        let rs = RunSummary::compute(&records);
+        assert_eq!(rs.response.max, SimDuration::from_millis(9));
+        assert_eq!(rs.execution.max, SimDuration::from_millis(100));
+        assert_eq!(rs.turnaround.max, SimDuration::from_millis(109));
+    }
+
+    #[test]
+    fn single_record() {
+        let s = MetricSummary::compute(&[record(5, 20)], Metric::Turnaround);
+        assert_eq!(s.p50, s.p99);
+        assert_eq!(s.p99, SimDuration::from_millis(25));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_records_panic() {
+        let _ = MetricSummary::compute(&[], Metric::Execution);
+    }
+}

@@ -1,0 +1,126 @@
+//! Time-series extraction for the utilization figures (Figs. 14, 16, 17,
+//! 19).
+
+use faas_kernel::{CoreId, UtilizationLedger};
+use faas_simcore::{SimDuration, SimTime};
+
+/// Average utilization of a core group per ledger bucket — the series
+/// behind Fig. 14's "average CPU utilization among FIFO/CFS cores".
+///
+/// Returns `(bucket_start_time, average_utilization)` pairs covering every
+/// bucket the ledger has touched.
+///
+/// # Panics
+///
+/// Panics if `cores` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use faas_kernel::{CoreId, UtilizationLedger};
+/// use faas_metrics::group_utilization_series;
+/// use faas_simcore::{SimDuration, SimTime};
+///
+/// let mut ledger = UtilizationLedger::new(2, SimDuration::from_secs(1));
+/// ledger.record_busy(0, SimTime::ZERO, SimTime::from_secs(1));
+/// let series = group_utilization_series(&ledger, &[CoreId::from_index(0), CoreId::from_index(1)]);
+/// assert_eq!(series, vec![(SimTime::ZERO, 0.5)]);
+/// ```
+pub fn group_utilization_series(
+    ledger: &UtilizationLedger,
+    cores: &[CoreId],
+) -> Vec<(SimTime, f64)> {
+    assert!(!cores.is_empty(), "group must be non-empty");
+    let width = ledger.bucket_width();
+    let idx: Vec<usize> = cores.iter().map(|c| c.index()).collect();
+    (0..ledger.bucket_count())
+        .map(|b| {
+            let t = SimTime::ZERO + width * b as u64;
+            (t, ledger.group_bucket_utilization(&idx, b))
+        })
+        .collect()
+}
+
+/// Resamples a change-point series (e.g. the adaptive limit history or the
+/// FIFO-core-count history, recorded only on change) onto a regular grid,
+/// holding the last value — the x-axis shape the paper's timeline figures
+/// use.
+///
+/// # Panics
+///
+/// Panics if `step` is zero or `history` is empty.
+pub fn step_series<T: Copy>(
+    history: &[(SimTime, T)],
+    until: SimTime,
+    step: SimDuration,
+) -> Vec<(SimTime, T)> {
+    assert!(!step.is_zero(), "step must be positive");
+    assert!(!history.is_empty(), "history must be non-empty");
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut t = history[0].0;
+    let mut current = history[0].1;
+    while t <= until {
+        while i + 1 < history.len() && history[i + 1].0 <= t {
+            i += 1;
+            current = history[i].1;
+        }
+        out.push((t, current));
+        t += step;
+    }
+    out
+}
+
+/// Mean of a utilization series — a scalar summary for assertions.
+pub fn mean_utilization(series: &[(SimTime, f64)]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|(_, u)| u).sum::<f64>() / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_series_averages_cores() {
+        let mut ledger = UtilizationLedger::new(2, SimDuration::from_secs(1));
+        ledger.record_busy(0, SimTime::ZERO, SimTime::from_secs(2));
+        ledger.record_busy(1, SimTime::ZERO, SimTime::from_secs(1));
+        let series = group_utilization_series(
+            &ledger,
+            &[CoreId::from_index(0), CoreId::from_index(1)],
+        );
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 1.0).abs() < 1e-9);
+        assert!((series[1].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_series_holds_last_value() {
+        let history = vec![
+            (SimTime::ZERO, 10u64),
+            (SimTime::from_secs(3), 20u64),
+        ];
+        let out = step_series(&history, SimTime::from_secs(5), SimDuration::from_secs(1));
+        let values: Vec<u64> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![10, 10, 10, 20, 20, 20]);
+    }
+
+    #[test]
+    fn step_series_with_dense_history() {
+        let history: Vec<(SimTime, u64)> =
+            (0..10).map(|i| (SimTime::from_millis(i * 100), i)).collect();
+        let out = step_series(&history, SimTime::from_millis(900), SimDuration::from_millis(300));
+        let values: Vec<u64> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn mean_utilization_summary() {
+        assert_eq!(mean_utilization(&[]), 0.0);
+        let series = vec![(SimTime::ZERO, 0.5), (SimTime::from_secs(1), 1.0)];
+        assert!((mean_utilization(&series) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Shinjuku-like centralized scheduling (§III-C, [42]).
+//!
+//! Shinjuku achieves low tail latency through a centralized dispatcher with
+//! a global view and very fast preemption at millisecond scale. Our model:
+//! a single global queue; every dispatch carries a small quantum, so every
+//! waiting task gets on-CPU within one queue rotation. A lone task that
+//! keeps getting re-dispatched onto the same core resumes *warm* (the
+//! kernel charges no switch cost), so unconditional slicing is free when
+//! there is no contention. To model Shinjuku's cheap hardware-assisted
+//! preemption under contention, pair this policy with a reduced
+//! [`CostModel`](faas_kernel::CostModel) (see the Fig. 23 harness).
+
+use std::collections::VecDeque;
+
+use faas_kernel::{CoreId, Machine, Scheduler, TaskId};
+use faas_simcore::SimDuration;
+
+/// Centralized single-queue scheduler with conditional quantum preemption.
+///
+/// # Examples
+///
+/// ```
+/// use faas_kernel::{MachineConfig, Simulation, TaskSpec};
+/// use faas_policies::Shinjuku;
+/// use faas_simcore::{SimDuration, SimTime};
+///
+/// let specs = vec![
+///     TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(1), 128),
+///     TaskSpec::function(SimTime::from_millis(5), SimDuration::from_millis(2), 128),
+/// ];
+/// let report =
+///     Simulation::new(MachineConfig::new(1), specs, Shinjuku::new(SimDuration::from_millis(1)))
+///         .run()?;
+/// // The 2 ms task gets on-CPU within ~one quantum despite the 1 s hog.
+/// assert!(report.tasks[1].response_time().unwrap() <= SimDuration::from_millis(10));
+/// # Ok::<(), faas_kernel::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Shinjuku {
+    queue: VecDeque<TaskId>,
+    quantum: SimDuration,
+}
+
+impl Shinjuku {
+    /// Creates the policy with the given preemption quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn new(quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        Shinjuku { queue: VecDeque::new(), quantum }
+    }
+
+    /// The configured quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// Number of tasks waiting in the central queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Scheduler for Shinjuku {
+    fn name(&self) -> &str {
+        "shinjuku"
+    }
+
+    fn on_task_new(&mut self, _m: &mut Machine, task: TaskId) {
+        self.queue.push_back(task);
+    }
+
+    fn on_slice_expired(&mut self, _m: &mut Machine, task: TaskId, _core: CoreId) {
+        self.queue.push_back(task);
+    }
+
+    fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
+        if let Some(task) = self.queue.pop_front() {
+            m.dispatch(core, task, Some(self.quantum)).expect("dispatch on idle core");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_kernel::{CostModel, MachineConfig, Simulation, TaskSpec};
+    use faas_simcore::SimTime;
+
+    #[test]
+    fn lone_task_pays_no_switch_cost() {
+        // Quantum expiries on a lone task are warm resumes: with a
+        // non-zero cost model the task still finishes in exactly its work
+        // time plus the single initial switch.
+        let specs =
+            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(500), 128)];
+        let cfg = MachineConfig::new(1).with_cost(CostModel::from_micros(10, 1_000));
+        let report =
+            Simulation::new(cfg, specs, Shinjuku::new(SimDuration::from_millis(1)))
+                .run()
+                .unwrap();
+        assert_eq!(
+            report.tasks[0].completion().unwrap().as_micros(),
+            500_000 + 10,
+            "only the initial context switch is charged"
+        );
+        assert_eq!(report.core_stats[0].ctx_switches, 1);
+    }
+    #[test]
+    fn contended_tasks_share_within_quanta() {
+        let specs: Vec<TaskSpec> = (0..8)
+            .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(20), 128))
+            .collect();
+        let cfg = MachineConfig::new(2).with_cost(CostModel::free());
+        let report =
+            Simulation::new(cfg, specs, Shinjuku::new(SimDuration::from_millis(1)))
+                .run()
+                .unwrap();
+        for t in &report.tasks {
+            assert!(
+                t.response_time().unwrap() <= SimDuration::from_millis(10),
+                "centralized quantum keeps response low, got {}",
+                t.response_time().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn tail_latency_beats_fifo_under_skew() {
+        // One heavy task plus many light ones; compare p-worst response.
+        let mk = || {
+            let mut v =
+                vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(3), 128)];
+            v.extend((1..20).map(|i| {
+                TaskSpec::function(
+                    SimTime::from_millis(i),
+                    SimDuration::from_millis(5),
+                    128,
+                )
+            }));
+            v
+        };
+        let cfg = || MachineConfig::new(1).with_cost(CostModel::free());
+        let fifo = Simulation::new(cfg(), mk(), crate::Fifo::new()).run().unwrap();
+        let shin = Simulation::new(cfg(), mk(), Shinjuku::new(SimDuration::from_millis(1)))
+            .run()
+            .unwrap();
+        let worst = |r: &faas_kernel::SimReport| {
+            r.tasks.iter().map(|t| t.response_time().unwrap()).max().unwrap()
+        };
+        assert!(worst(&shin) < worst(&fifo) / 10);
+    }
+}

@@ -1,0 +1,217 @@
+//! A deterministic future-event list.
+//!
+//! [`EventQueue`] is a min-heap keyed on ([`SimTime`], insertion sequence):
+//! events fire in time order and, within the same instant, in insertion
+//! order. The sequence tie-break makes simulations bit-for-bit reproducible
+//! regardless of payload type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    cancelled: bool,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest event first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with deterministic FIFO tie-breaking and O(log n)
+/// cancellation (lazy deletion).
+///
+/// # Examples
+///
+/// ```
+/// use faas_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "late");
+/// q.schedule(SimTime::from_millis(1), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_millis(1), "early"));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    live: usize,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at instant `at`. Returns a handle that can
+    /// be passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, cancelled: false, payload });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will be silently skipped when reached).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        let inserted = self.cancelled.insert(id.0);
+        if inserted {
+            // The event may have already fired; popping reconciles `live`.
+            if self.live > 0 {
+                self.live -= 1;
+            }
+        }
+        inserted
+    }
+
+    /// Removes and returns the earliest live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if ev.cancelled || self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// The instant of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let seq = ev.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(ev.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_millis(1), "keep");
+        let drop_ = q.schedule(SimTime::from_millis(2), "drop");
+        assert!(q.cancel(drop_));
+        assert!(!q.cancel(drop_), "double-cancel returns false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "keep");
+        assert_eq!(q.pop(), None);
+        let _ = keep;
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let head = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.cancel(head);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

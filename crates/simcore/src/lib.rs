@@ -1,0 +1,48 @@
+//! # faas-simcore
+//!
+//! The deterministic discrete-event simulation engine underneath the
+//! `serverless-hybrid-sched` workspace.
+//!
+//! This crate deliberately knows nothing about CPUs, tasks or schedulers —
+//! it provides exactly three things:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock;
+//! * [`EventQueue`] — a future-event list with deterministic tie-breaking
+//!   and cancellation;
+//! * [`SimRng`] — a seeded random generator with the samplers used by the
+//!   Azure-like trace synthesizer.
+//!
+//! # Examples
+//!
+//! A tiny simulation loop:
+//!
+//! ```
+//! use faas_simcore::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Tick(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! let mut now = SimTime::ZERO;
+//! q.schedule(now + SimDuration::from_millis(1), Ev::Tick(1));
+//! q.schedule(now + SimDuration::from_millis(2), Ev::Tick(2));
+//!
+//! let mut fired = Vec::new();
+//! while let Some((t, ev)) = q.pop() {
+//!     now = t; // virtual time only ever moves forward
+//!     fired.push(ev);
+//! }
+//! assert_eq!(fired, vec![Ev::Tick(1), Ev::Tick(2)]);
+//! assert_eq!(now, SimTime::from_millis(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod rng;
+mod time;
+
+pub use events::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

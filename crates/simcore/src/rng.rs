@@ -1,0 +1,229 @@
+//! Deterministic random sampling for workload synthesis.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the inverse-
+//! transform samplers the trace generator needs (exponential, bounded
+//! Pareto, log-normal via Box–Muller on the underlying uniform) plus a
+//! weighted discrete sampler. Everything is reproducible from the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random-number generator for simulations.
+///
+/// # Examples
+///
+/// ```
+/// use faas_simcore::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.uniform_f64(), b.uniform_f64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// An exponential sample with the given mean (inverse-transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u: f64 = 1.0 - self.uniform_f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// A standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.uniform_f64();
+        let u2: f64 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A log-normal sample with the given parameters of the underlying
+    /// normal distribution.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// A Pareto sample with minimum `xm` and shape `alpha`, truncated at `cap`.
+    ///
+    /// Used for bursty per-minute invocation counts: heavy-tailed spikes on
+    /// top of a base rate, as in the Azure trace's arrival pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm <= 0`, `alpha <= 0` or `cap < xm`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0 && cap >= xm, "invalid pareto parameters");
+        let u: f64 = 1.0 - self.uniform_f64();
+        (xm / u.powf(1.0 / alpha)).min(cap)
+    }
+
+    /// Samples an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.uniform_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A duration jittered by a multiplicative factor uniform in
+    /// `[1-frac, 1+frac]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not within `[0, 1)`.
+    pub fn jitter(&mut self, base: SimDuration, frac: f64) -> SimDuration {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        if frac == 0.0 {
+            return base;
+        }
+        base.mul_f64(self.uniform_range(1.0 - frac, 1.0 + frac))
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_f64().to_bits(), b.uniform_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.uniform_f64() == b.uniform_f64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..10_000 {
+            let x = rng.pareto(1.0, 1.5, 50.0);
+            assert!((1.0..=50.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut rng = SimRng::seed_from(11);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from(3);
+        let base = SimDuration::from_millis(100);
+        for _ in 0..1_000 {
+            let d = rng.jitter(base, 0.05);
+            assert!(d >= SimDuration::from_millis(95) && d <= SimDuration::from_millis(105));
+        }
+        assert_eq!(rng.jitter(base, 0.0), base);
+    }
+
+    #[test]
+    fn normal_mean_and_var_are_standard() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_index_rejects_zero_total() {
+        let mut rng = SimRng::seed_from(1);
+        rng.weighted_index(&[0.0, 0.0]);
+    }
+}

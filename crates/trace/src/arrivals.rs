@@ -1,0 +1,183 @@
+//! Bursty per-minute arrival synthesis (§II-A, §V-B, Fig. 2 right).
+//!
+//! The Azure trace records per-minute invocation counts per function; the
+//! paper derives inter-arrival times by assuming arrivals are regularly
+//! spaced within each minute (`interval = 60 s / count`) and merging the
+//! per-function arrival sequences. We synthesize the per-minute counts
+//! with a heavy-tailed spike process on top of a base rate — matching the
+//! "sudden spikes" of Fig. 2 — then apply the paper's regular-spacing rule.
+
+use faas_simcore::{SimDuration, SimRng, SimTime};
+
+/// Shape of the synthetic per-minute arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalConfig {
+    /// Relative amplitude of heavy-tailed spikes (0 = flat rate).
+    pub burstiness: f64,
+    /// Pareto shape of the spikes (smaller = heavier tail).
+    pub spike_alpha: f64,
+    /// Cap on the per-minute spike multiplier.
+    pub spike_cap: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig { burstiness: 0.6, spike_alpha: 1.8, spike_cap: 6.0 }
+    }
+}
+
+/// Synthesizes per-minute invocation counts that sum exactly to `total`.
+///
+/// Weights are `1 + burstiness * (pareto - 1)` per minute, scaled to the
+/// target with largest-remainder rounding.
+///
+/// # Panics
+///
+/// Panics if `minutes == 0` or `total == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use azure_trace::{per_minute_counts, ArrivalConfig};
+/// use faas_simcore::SimRng;
+///
+/// let mut rng = SimRng::seed_from(7);
+/// let counts = per_minute_counts(10, 2_952, &ArrivalConfig::default(), &mut rng);
+/// assert_eq!(counts.len(), 10);
+/// assert_eq!(counts.iter().sum::<usize>(), 2_952);
+/// ```
+pub fn per_minute_counts(
+    minutes: usize,
+    total: usize,
+    cfg: &ArrivalConfig,
+    rng: &mut SimRng,
+) -> Vec<usize> {
+    assert!(minutes > 0, "need at least one minute");
+    assert!(total > 0, "need at least one invocation");
+    let weights: Vec<f64> = (0..minutes)
+        .map(|_| {
+            let spike = rng.pareto(1.0, cfg.spike_alpha, cfg.spike_cap);
+            1.0 + cfg.burstiness * (spike - 1.0)
+        })
+        .collect();
+    largest_remainder(&weights, total)
+}
+
+/// Distributes `total` integer units proportionally to `weights` using the
+/// largest-remainder method, so the result sums exactly to `total`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn largest_remainder(weights: &[f64], total: usize) -> Vec<usize> {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "weights must sum to a positive value");
+    let exact: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for i in 0..(total - assigned) {
+        counts[order[i % order.len()]] += 1;
+    }
+    counts
+}
+
+/// Expands one minute's per-class counts into arrival instants using the
+/// paper's regular-spacing rule: class `k` with count `c` arrives at
+/// `minute_start + i * 60s/c` for `i = 0..c`. Returns `(arrival, class)`
+/// pairs sorted by arrival (merge step of §V-B).
+pub fn arrivals_within_minute(
+    minute: usize,
+    class_counts: &[usize],
+) -> Vec<(SimTime, usize)> {
+    let minute_start = SimTime::from_secs(minute as u64 * 60);
+    let mut out = Vec::new();
+    for (class, &count) in class_counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let interval = SimDuration::from_micros(60_000_000 / count as u64);
+        for i in 0..count {
+            out.push((minute_start + interval * i as u64, class));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Coefficient of variation of per-minute counts — a burstiness summary
+/// used to check the Fig. 2 spiky shape.
+pub fn burstiness_cv(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<usize>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_exactly() {
+        let mut rng = SimRng::seed_from(1);
+        for total in [1usize, 7, 100, 12_442] {
+            let counts = per_minute_counts(7, total, &ArrivalConfig::default(), &mut rng);
+            assert_eq!(counts.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn flat_config_is_even() {
+        let mut rng = SimRng::seed_from(2);
+        let cfg = ArrivalConfig { burstiness: 0.0, ..ArrivalConfig::default() };
+        let counts = per_minute_counts(4, 100, &cfg, &mut rng);
+        assert_eq!(counts, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn bursty_config_has_spread() {
+        let mut rng = SimRng::seed_from(3);
+        let counts = per_minute_counts(60, 60_000, &ArrivalConfig::default(), &mut rng);
+        assert!(burstiness_cv(&counts) > 0.1, "expected visible burstiness");
+    }
+
+    #[test]
+    fn largest_remainder_is_fair() {
+        let counts = largest_remainder(&[1.0, 1.0, 1.0], 10);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn arrivals_regularly_spaced_and_sorted() {
+        let arr = arrivals_within_minute(1, &[3, 0, 2]);
+        assert_eq!(arr.len(), 5);
+        for w in arr.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Class 0 spacing is 20 s starting at minute 1.
+        let class0: Vec<u64> =
+            arr.iter().filter(|(_, c)| *c == 0).map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(class0, vec![60_000_000, 80_000_000, 100_000_000]);
+    }
+
+    #[test]
+    fn burstiness_cv_edge_cases() {
+        assert_eq!(burstiness_cv(&[]), 0.0);
+        assert_eq!(burstiness_cv(&[5, 5, 5]), 0.0);
+        assert!(burstiness_cv(&[0, 10]) > 0.9);
+    }
+}

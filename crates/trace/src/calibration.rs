@@ -1,0 +1,185 @@
+//! Fibonacci calibration (§V-B).
+//!
+//! The paper emulates function durations with naive-recursive Fibonacci
+//! binaries, calibrated by running `fib(N)` for N = 36..46 and matching the
+//! measured durations to the Azure trace's duration buckets. Naive
+//! `fib(N)` performs `O(φ^N)` calls, so its runtime grows by the golden
+//! ratio per increment of N — which makes the calibrated cost model
+//! hardware-independent up to one anchor point. We anchor bucket `N = 41`
+//! at 1,633 ms, the 90th-percentile duration the paper reports for its
+//! sampled workload (§II-E / §VI-A).
+
+use faas_simcore::SimDuration;
+
+/// Lowest Fibonacci argument in the calibrated range.
+pub const FIB_MIN_N: u32 = 36;
+/// Highest Fibonacci argument in the calibrated range.
+pub const FIB_MAX_N: u32 = 46;
+/// The anchor bucket: `fib(41)` ≙ 1,633 ms (the paper's p90).
+pub const ANCHOR_N: u32 = 41;
+/// Duration of the anchor bucket.
+pub const ANCHOR_MS: f64 = 1_633.0;
+
+const PHI: f64 = 1.618_033_988_749_895;
+
+/// The Fibonacci-argument → duration cost model.
+///
+/// # Examples
+///
+/// ```
+/// use azure_trace::FibCalibration;
+/// use faas_simcore::SimDuration;
+///
+/// let cal = FibCalibration::paper_default();
+/// assert_eq!(cal.duration(41), SimDuration::from_millis(1_633));
+/// // One step of N multiplies the runtime by the golden ratio.
+/// let r = cal.duration(42).as_micros() as f64 / cal.duration(41).as_micros() as f64;
+/// assert!((r - 1.618).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FibCalibration {
+    anchor_n: u32,
+    anchor_ms: f64,
+}
+
+impl FibCalibration {
+    /// The paper-anchored calibration (`fib(41)` = 1,633 ms).
+    pub fn paper_default() -> Self {
+        FibCalibration { anchor_n: ANCHOR_N, anchor_ms: ANCHOR_MS }
+    }
+
+    /// A calibration anchored at a measured point, e.g. from running the
+    /// real `fib-workload` binary of the `faas-host` crate on this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor_ms` is not positive or `anchor_n` is outside
+    /// `[FIB_MIN_N, FIB_MAX_N]`.
+    pub fn anchored(anchor_n: u32, anchor_ms: f64) -> Self {
+        assert!(anchor_ms > 0.0, "anchor duration must be positive");
+        assert!(
+            (FIB_MIN_N..=FIB_MAX_N).contains(&anchor_n),
+            "anchor N out of calibrated range"
+        );
+        FibCalibration { anchor_n, anchor_ms }
+    }
+
+    /// Modelled runtime of `fib(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `[FIB_MIN_N, FIB_MAX_N]`.
+    pub fn duration(&self, n: u32) -> SimDuration {
+        assert!((FIB_MIN_N..=FIB_MAX_N).contains(&n), "N={n} out of calibrated range");
+        let ms = self.anchor_ms * PHI.powi(n as i32 - self.anchor_n as i32);
+        SimDuration::from_secs_f64(ms / 1e3)
+    }
+
+    /// The bucket argument whose modelled duration is nearest to `d`
+    /// (log-scale nearest, matching the paper's bucketing of trace
+    /// durations into calibrated ranges).
+    pub fn nearest_n(&self, d: SimDuration) -> u32 {
+        let mut best = FIB_MIN_N;
+        let mut best_err = f64::INFINITY;
+        let target = (d.as_micros().max(1)) as f64;
+        for n in FIB_MIN_N..=FIB_MAX_N {
+            let model = self.duration(n).as_micros() as f64;
+            let err = (model.ln() - target.ln()).abs();
+            if err < best_err {
+                best_err = err;
+                best = n;
+            }
+        }
+        best
+    }
+
+    /// All `(N, duration)` buckets in ascending order.
+    pub fn buckets(&self) -> Vec<(u32, SimDuration)> {
+        (FIB_MIN_N..=FIB_MAX_N).map(|n| (n, self.duration(n))).collect()
+    }
+}
+
+/// The Fibonacci number itself (iteratively), used to sanity-check the
+/// golden-ratio growth assumption and by the host workload binary's tests.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(azure_trace::fib_value(10), 55);
+/// ```
+pub fn fib_value(n: u32) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_is_exact() {
+        let cal = FibCalibration::paper_default();
+        assert_eq!(cal.duration(ANCHOR_N), SimDuration::from_millis(1_633));
+    }
+
+    #[test]
+    fn growth_matches_golden_ratio() {
+        let cal = FibCalibration::paper_default();
+        for n in FIB_MIN_N..FIB_MAX_N {
+            let r = cal.duration(n + 1).as_secs_f64() / cal.duration(n).as_secs_f64();
+            assert!((r - PHI).abs() < 1e-3, "ratio at N={n} was {r}");
+        }
+    }
+
+    #[test]
+    fn naive_call_count_growth_justifies_model() {
+        // The number of calls of naive fib(n) is 2*fib(n+1)-1; its growth
+        // rate tends to φ, which is what the cost model assumes.
+        let calls = |n: u32| 2 * fib_value(n + 1) - 1;
+        let r = calls(40) as f64 / calls(39) as f64;
+        assert!((r - PHI).abs() < 1e-4, "call-count ratio was {r}");
+    }
+
+    #[test]
+    fn nearest_n_roundtrips_buckets() {
+        let cal = FibCalibration::paper_default();
+        for (n, d) in cal.buckets() {
+            assert_eq!(cal.nearest_n(d), n);
+        }
+    }
+
+    #[test]
+    fn nearest_n_clamps_extremes() {
+        let cal = FibCalibration::paper_default();
+        assert_eq!(cal.nearest_n(SimDuration::from_millis(1)), FIB_MIN_N);
+        assert_eq!(cal.nearest_n(SimDuration::from_secs(3_600)), FIB_MAX_N);
+    }
+
+    #[test]
+    fn custom_anchor_shifts_scale() {
+        // A machine twice as fast: anchor fib(41) at 816 ms.
+        let cal = FibCalibration::anchored(41, 816.5);
+        let paper = FibCalibration::paper_default();
+        let ratio = paper.duration(44).as_secs_f64() / cal.duration(44).as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fib_values() {
+        assert_eq!(fib_value(0), 0);
+        assert_eq!(fib_value(1), 1);
+        assert_eq!(fib_value(20), 6_765);
+        assert_eq!(fib_value(46), 1_836_311_903);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_duration_panics() {
+        let _ = FibCalibration::paper_default().duration(30);
+    }
+}

@@ -1,0 +1,46 @@
+//! # azure-trace
+//!
+//! Synthetic reconstruction of the Microsoft Azure FaaS workload the paper
+//! evaluates on (§V), built from the published marginals the paper itself
+//! relies on — the original trace is not redistributable, see the
+//! substitution table in the workspace `DESIGN.md`.
+//!
+//! * [`FibCalibration`] — the paper's Fibonacci duration calibration
+//!   (§V-B), anchored at `fib(41)` = 1,633 ms;
+//! * [`DurationDistribution`] / [`MemoryDistribution`] — duration and
+//!   memory marginals (80% < ~1 s, p90 = 1,633 ms, ~90% small memory);
+//! * [`per_minute_counts`] / [`arrivals_within_minute`] — bursty arrivals
+//!   with the paper's regular-spacing rule;
+//! * [`AzureTrace`] / [`TraceConfig`] — end-to-end workload synthesis
+//!   (`W2` = 12,442 invocations / 2 min, `W10`, `WFC` = 2,952 / 10 min)
+//!   plus the CSV workload-file round-trip of Fig. 9;
+//! * [`EmpiricalCdf`] / [`ks_statistic`] — the Fig. 10 representativeness
+//!   check, made quantitative.
+//!
+//! ```
+//! use azure_trace::{AzureTrace, TraceConfig};
+//!
+//! let trace = AzureTrace::generate(&TraceConfig::w2());
+//! assert_eq!(trace.len(), 12_442);
+//! let specs = trace.to_task_specs();
+//! assert_eq!(specs.len(), 12_442);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod calibration;
+mod compare;
+mod durations;
+mod stats;
+mod workload;
+
+pub use arrivals::{
+    arrivals_within_minute, burstiness_cv, largest_remainder, per_minute_counts, ArrivalConfig,
+};
+pub use calibration::{fib_value, FibCalibration, ANCHOR_MS, ANCHOR_N, FIB_MAX_N, FIB_MIN_N};
+pub use compare::{ks_statistic, EmpiricalCdf};
+pub use durations::{DurationDistribution, MemoryDistribution, DEFAULT_WEIGHTS};
+pub use stats::TraceStats;
+pub use workload::{AzureTrace, Invocation, TraceConfig};

@@ -1,0 +1,61 @@
+//! Adaptive tuning: watch the provider-side mechanisms of §IV-B at work —
+//! the FIFO time limit tracking a percentile of recent durations, and the
+//! rightsizing controller migrating cores between the groups.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use serverless_hybrid_sched::hybrid::MigrationDirection;
+use serverless_hybrid_sched::prelude::*;
+
+fn main() {
+    // Five minutes of Azure-like load, scaled 1/10 onto 5 cores.
+    let trace = AzureTrace::generate(&TraceConfig::w10().downscaled(10));
+    let cfg = HybridConfig::split(3, 2)
+        .with_time_limit(TimeLimitPolicy::Adaptive {
+            percentile: 0.95,
+            initial: SimDuration::from_millis(1_633),
+        })
+        .with_rightsizing(RightsizingConfig::default());
+    let mut sim = Simulation::new(
+        MachineConfig::new(cfg.total_cores()),
+        trace.to_task_specs(),
+        HybridScheduler::new(cfg),
+    );
+    while sim.step().expect("simulation completes") {}
+
+    let policy = sim.policy();
+    println!("workload: {} invocations", trace.len());
+    println!(
+        "time limit: started at 1,633 ms, ended at {:.0} ms after {} changes",
+        policy.limit().as_millis_f64(),
+        policy.limit_history().len() - 1
+    );
+    println!("limit trajectory (first 10 changes):");
+    for (t, l) in policy.limit_history().iter().take(10) {
+        println!("  t={:>7.2}s  limit={:>8.0}ms", t.as_secs_f64(), l.as_millis_f64());
+    }
+    println!(
+        "tasks migrated FIFO->CFS after exceeding the limit: {}",
+        policy.tasks_migrated()
+    );
+    println!("core migrations executed by the rightsizing controller:");
+    for m in policy.migrations().iter().take(10) {
+        let dir = match m.direction {
+            MigrationDirection::CfsToFifo => "CFS->FIFO",
+            MigrationDirection::FifoToCfs => "FIFO->CFS",
+        };
+        println!(
+            "  t={:>7.2}s  core {} {dir}  (protocol ok: {})",
+            m.at.as_secs_f64(),
+            m.core.index(),
+            m.follows_protocol()
+        );
+    }
+    println!(
+        "final split: {} FIFO cores / {} CFS cores",
+        policy.fifo_cores().len(),
+        policy.cfs_cores().len()
+    );
+}

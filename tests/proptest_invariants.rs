@@ -1,0 +1,213 @@
+//! Property-based tests: scheduling invariants that must hold for every
+//! policy on arbitrary workloads.
+
+use proptest::prelude::*;
+use serverless_hybrid_sched::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Wl {
+    specs: Vec<TaskSpec>,
+    cores: usize,
+}
+
+fn workload() -> impl Strategy<Value = Wl> {
+    (
+        1usize..=4,
+        prop::collection::vec((0u64..5_000, 1u64..2_000, prop::sample::select(vec![128u32, 256, 1024])), 1..60),
+    )
+        .prop_map(|(cores, raw)| Wl {
+            cores,
+            specs: raw
+                .into_iter()
+                .map(|(arr_ms, work_ms, mem)| {
+                    TaskSpec::function(
+                        SimTime::from_millis(arr_ms),
+                        SimDuration::from_millis(work_ms),
+                        mem,
+                    )
+                    .with_expected(SimDuration::from_millis(work_ms))
+                })
+                .collect(),
+        })
+}
+
+fn policies(cores: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Fifo::new()),
+        Box::new(Cfs::with_cores(cores)),
+        Box::new(FifoWithLimit::new(SimDuration::from_millis(50))),
+        Box::new(RoundRobin::new(SimDuration::from_millis(20))),
+        Box::new(Edf::new()),
+        Box::new(Shinjuku::new(SimDuration::from_millis(5))),
+    ]
+}
+
+/// Boxed schedulers still need the trait implemented for Box<dyn ...>.
+struct Boxed(Box<dyn Scheduler>);
+impl Scheduler for Boxed {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn tick_interval(&self) -> Option<SimDuration> {
+        self.0.tick_interval()
+    }
+    fn on_task_new(&mut self, m: &mut Machine, t: serverless_hybrid_sched::kernel::TaskId) {
+        self.0.on_task_new(m, t)
+    }
+    fn on_slice_expired(
+        &mut self,
+        m: &mut Machine,
+        t: serverless_hybrid_sched::kernel::TaskId,
+        c: serverless_hybrid_sched::kernel::CoreId,
+    ) {
+        self.0.on_slice_expired(m, t, c)
+    }
+    fn on_task_finished(
+        &mut self,
+        m: &mut Machine,
+        t: serverless_hybrid_sched::kernel::TaskId,
+        c: serverless_hybrid_sched::kernel::CoreId,
+    ) {
+        self.0.on_task_finished(m, t, c)
+    }
+    fn on_interference_preempt(
+        &mut self,
+        m: &mut Machine,
+        t: serverless_hybrid_sched::kernel::TaskId,
+        c: serverless_hybrid_sched::kernel::CoreId,
+    ) {
+        self.0.on_interference_preempt(m, t, c)
+    }
+    fn on_core_idle(
+        &mut self,
+        m: &mut Machine,
+        c: serverless_hybrid_sched::kernel::CoreId,
+    ) {
+        self.0.on_core_idle(m, c)
+    }
+    fn on_tick(&mut self, m: &mut Machine) {
+        self.0.on_tick(m)
+    }
+}
+
+fn check_invariants(wl: &Wl, policy: Boxed) -> Result<(), TestCaseError> {
+    let name = policy.name().to_owned();
+    let cfg = MachineConfig::new(wl.cores);
+    let report = Simulation::new(cfg, wl.specs.clone(), policy)
+        .run()
+        .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+    let mut by_completion: Vec<(SimTime, SimTime)> = Vec::new();
+    for (task, spec) in report.tasks.iter().zip(&wl.specs) {
+        // Everything completes.
+        let completion =
+            task.completion().ok_or_else(|| TestCaseError::fail(format!("{name}: stranded")))?;
+        let first = task.first_run().expect("completed task ran");
+        // Causality.
+        prop_assert!(first >= spec.arrival, "{name}: ran before arrival");
+        prop_assert!(completion >= first, "{name}: completed before first run");
+        // Work conservation: a task consumes at least its work, and its
+        // wall-clock execution bounds its CPU time.
+        prop_assert!(task.cpu_time() >= spec.work, "{name}: finished with missing work");
+        prop_assert!(
+            completion - first >= task.cpu_time() - spec.work || task.cpu_time() <= completion - first + SimDuration::from_micros(1),
+            "{name}: cpu time exceeds wall-clock execution"
+        );
+        by_completion.push((first, completion));
+    }
+    // Metric identity: turnaround = response + execution.
+    for r in records_from_tasks(&report.tasks) {
+        prop_assert_eq!(
+            r.turnaround_time(),
+            r.response_time() + r.execution_time(),
+            "{}: metric identity broken",
+            name.clone()
+        );
+    }
+    // Total busy time never exceeds cores x makespan.
+    let busy: SimDuration = report.core_stats.iter().map(|s| s.busy).sum();
+    let bound = SimDuration::from_micros(
+        report.finished_at.as_micros() * wl.cores as u64 + 1,
+    );
+    prop_assert!(busy <= bound, "{name}: busy {busy} exceeds capacity {bound}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_upholds_invariants(wl in workload()) {
+        for p in policies(wl.cores) {
+            check_invariants(&wl, Boxed(p))?;
+        }
+    }
+
+    #[test]
+    fn hybrid_upholds_invariants(wl in workload()) {
+        // The hybrid scheduler needs at least two cores (one per group).
+        let cores = wl.cores.max(2);
+        let wl = Wl { cores, specs: wl.specs.clone() };
+        let cfg = HybridConfig::split(cores / 2 + cores % 2, cores / 2)
+            .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(200)));
+        let report = Simulation::new(
+            MachineConfig::new(cores),
+            wl.specs.clone(),
+            HybridScheduler::new(cfg),
+        )
+        .run()
+        .map_err(|e| TestCaseError::fail(format!("hybrid: {e}")))?;
+        for (task, spec) in report.tasks.iter().zip(&wl.specs) {
+            prop_assert!(task.completion().is_some(), "hybrid stranded a task");
+            prop_assert!(task.cpu_time() >= spec.work);
+            // Short tasks (under the fixed limit) never get preempted by
+            // the policy itself (host interference is off here).
+            if spec.work < SimDuration::from_millis(200) {
+                prop_assert_eq!(task.preemptions(), 0, "short task was preempted");
+            }
+        }
+    }
+
+    #[test]
+    fn rightsizing_migrations_always_follow_fig8_protocol(wl in workload()) {
+        let cores = wl.cores.max(3);
+        let cfg = HybridConfig::split(cores - 1, 1).with_rightsizing(RightsizingConfig {
+            window: SimDuration::from_millis(300),
+            threshold: 0.1,
+            cooldown: SimDuration::from_millis(100),
+            min_cores: 1,
+        });
+        let mut sim = Simulation::new(
+            MachineConfig::new(cores),
+            wl.specs.clone(),
+            HybridScheduler::new(cfg),
+        );
+        while sim.step().map_err(|e| TestCaseError::fail(format!("{e}")))? {}
+        for m in sim.policy().migrations() {
+            prop_assert!(m.follows_protocol(), "protocol violated: {:?}", m);
+        }
+        // Core groups always partition the machine.
+        prop_assert_eq!(
+            sim.policy().fifo_cores().len() + sim.policy().cfs_cores().len(),
+            cores
+        );
+    }
+
+    #[test]
+    fn hybrid_with_rightsizing_upholds_invariants(wl in workload()) {
+        let cores = wl.cores.max(2);
+        let cfg = HybridConfig::split(1, cores - 1).with_rightsizing(RightsizingConfig {
+            window: SimDuration::from_millis(500),
+            threshold: 0.2,
+            cooldown: SimDuration::from_millis(200),
+            min_cores: 1,
+        });
+        let report = Simulation::new(
+            MachineConfig::new(cores),
+            wl.specs.clone(),
+            HybridScheduler::new(cfg),
+        )
+        .run()
+        .map_err(|e| TestCaseError::fail(format!("hybrid+rightsizing: {e}")))?;
+        prop_assert!(report.tasks.iter().all(|t| t.completion().is_some()));
+    }
+}
