@@ -2,7 +2,7 @@
 //! policy does (enqueue, pick-next, preempt bookkeeping), the sliding
 //! window percentile, the event queue, and trace synthesis.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use faas_bench::timing::{black_box, Bench};
 
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
@@ -28,17 +28,35 @@ fn run_sim<P: Scheduler>(cores: usize, n: usize, policy: P) {
     black_box(report.finished_at);
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies(c: &mut Bench) {
     let mut g = c.benchmark_group("policy_event_loop_500_tasks");
     g.sample_size(10);
-    g.bench_function("fifo", |b| b.iter(|| run_sim(4, 500, faas_policies::Fifo::new())));
-    g.bench_function("cfs", |b| b.iter(|| run_sim(4, 500, faas_policies::Cfs::with_cores(4))));
-    g.bench_function("round_robin", |b| {
-        b.iter(|| run_sim(4, 500, faas_policies::RoundRobin::new(SimDuration::from_millis(10))))
+    g.bench_function("fifo", |b| {
+        b.iter(|| run_sim(4, 500, faas_policies::Fifo::new()))
     });
-    g.bench_function("edf", |b| b.iter(|| run_sim(4, 500, faas_policies::Edf::new())));
+    g.bench_function("cfs", |b| {
+        b.iter(|| run_sim(4, 500, faas_policies::Cfs::with_cores(4)))
+    });
+    g.bench_function("round_robin", |b| {
+        b.iter(|| {
+            run_sim(
+                4,
+                500,
+                faas_policies::RoundRobin::new(SimDuration::from_millis(10)),
+            )
+        })
+    });
+    g.bench_function("edf", |b| {
+        b.iter(|| run_sim(4, 500, faas_policies::Edf::new()))
+    });
     g.bench_function("shinjuku", |b| {
-        b.iter(|| run_sim(4, 500, faas_policies::Shinjuku::new(SimDuration::from_millis(1))))
+        b.iter(|| {
+            run_sim(
+                4,
+                500,
+                faas_policies::Shinjuku::new(SimDuration::from_millis(1)),
+            )
+        })
     });
     g.bench_function("hybrid", |b| {
         b.iter(|| {
@@ -50,7 +68,7 @@ fn bench_policies(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_primitives(c: &mut Criterion) {
+fn bench_primitives(c: &mut Bench) {
     c.bench_function("event_queue_schedule_pop_1k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
@@ -80,5 +98,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_policies, bench_primitives);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_policies(&mut c);
+    bench_primitives(&mut c);
+}

@@ -3,7 +3,7 @@
 //! miniature of the entire evaluation. Run the `src/bin/figNN_*` binaries
 //! for the full-scale series.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use faas_bench::timing::{black_box, Bench};
 
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_kernel::{InterferenceConfig, MachineConfig, Scheduler, Simulation};
@@ -25,11 +25,13 @@ fn machine() -> MachineConfig {
 }
 
 fn cost_of<P: Scheduler>(trace: &AzureTrace, policy: P) -> f64 {
-    let report = Simulation::new(machine(), trace.to_task_specs(), policy).run().unwrap();
+    let report = Simulation::new(machine(), trace.to_task_specs(), policy)
+        .run()
+        .unwrap();
     PriceModel::duration_only().workload_cost(&records_from_tasks(&report.tasks))
 }
 
-fn bench_process_figures(c: &mut Criterion) {
+fn bench_process_figures(c: &mut Bench) {
     let trace = w2_small();
     let mut g = c.benchmark_group("figures_w2_div40");
     g.sample_size(10);
@@ -42,28 +44,39 @@ fn bench_process_figures(c: &mut Criterion) {
     });
     // Fig. 5.
     g.bench_function("fig05_fifo_100ms", |b| {
-        b.iter(|| black_box(cost_of(&trace, FifoWithLimit::new(SimDuration::from_millis(100)))))
+        b.iter(|| {
+            black_box(cost_of(
+                &trace,
+                FifoWithLimit::new(SimDuration::from_millis(100)),
+            ))
+        })
     });
     // Figs. 6/11/12/13/14/20 + Table I: the hybrid at the paper split.
     g.bench_function("fig06_hybrid_25_25", |b| {
         b.iter(|| {
-            black_box(cost_of(&trace, HybridScheduler::new(HybridConfig::paper_25_25())))
+            black_box(cost_of(
+                &trace,
+                HybridScheduler::new(HybridConfig::paper_25_25()),
+            ))
         })
     });
     // Fig. 11: the worst split, exercising the long-tail path.
     g.bench_function("fig11_hybrid_40_10", |b| {
-        b.iter(|| black_box(cost_of(&trace, HybridScheduler::new(HybridConfig::split(40, 10)))))
+        b.iter(|| {
+            black_box(cost_of(
+                &trace,
+                HybridScheduler::new(HybridConfig::split(40, 10)),
+            ))
+        })
     });
     // Figs. 15/16/17: adaptive limits.
     for pct in [75u32, 95u32] {
         g.bench_function(format!("fig15_17_adaptive_p{pct}"), |b| {
             b.iter(|| {
-                let cfg = HybridConfig::paper_25_25().with_time_limit(
-                    TimeLimitPolicy::Adaptive {
-                        percentile: pct as f64 / 100.0,
-                        initial: SimDuration::from_millis(1_633),
-                    },
-                );
+                let cfg = HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
+                    percentile: pct as f64 / 100.0,
+                    initial: SimDuration::from_millis(1_633),
+                });
                 black_box(cost_of(&trace, HybridScheduler::new(cfg)))
             })
         });
@@ -71,26 +84,33 @@ fn bench_process_figures(c: &mut Criterion) {
     // Figs. 18/19: rightsizing.
     g.bench_function("fig18_19_rightsizing", |b| {
         b.iter(|| {
-            let cfg =
-                HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
+            let cfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
             black_box(cost_of(&trace, HybridScheduler::new(cfg)))
         })
     });
     // Fig. 23 extras.
     g.bench_function("fig23_round_robin", |b| {
-        b.iter(|| black_box(cost_of(&trace, RoundRobin::new(SimDuration::from_millis(10)))))
+        b.iter(|| {
+            black_box(cost_of(
+                &trace,
+                RoundRobin::new(SimDuration::from_millis(10)),
+            ))
+        })
     });
-    g.bench_function("fig23_edf", |b| b.iter(|| black_box(cost_of(&trace, Edf::new()))));
+    g.bench_function("fig23_edf", |b| {
+        b.iter(|| black_box(cost_of(&trace, Edf::new())))
+    });
     g.bench_function("fig23_shinjuku", |b| {
         b.iter(|| black_box(cost_of(&trace, Shinjuku::new(SimDuration::from_millis(1)))))
     });
     g.finish();
 }
 
-fn bench_firecracker_figures(c: &mut Criterion) {
+fn bench_firecracker_figures(c: &mut Bench) {
     // Figs. 21/22: the microVM fleet (1/40 of the 2,952 VMs).
-    let trace =
-        AzureTrace::generate(&TraceConfig::w10().downscaled(40)).truncated(74).stretched(3.0);
+    let trace = AzureTrace::generate(&TraceConfig::w10().downscaled(40))
+        .truncated(74)
+        .stretched(3.0);
     let mut g = c.benchmark_group("figures_firecracker_div40");
     g.sample_size(10);
     g.bench_function("fig21_22_hybrid_fleet", |b| {
@@ -120,5 +140,8 @@ fn bench_firecracker_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_process_figures, bench_firecracker_figures);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_process_figures(&mut c);
+    bench_firecracker_figures(&mut c);
+}

@@ -27,7 +27,11 @@ fn main() {
     for (name, cost) in variants {
         let machine = || MachineConfig::new(PAPER_CORES).with_cost(cost);
         let (_, fifo) = run_policy(machine(), trace.to_task_specs(), Fifo::new());
-        let (_, cfs) = run_policy(machine(), trace.to_task_specs(), Cfs::with_cores(PAPER_CORES));
+        let (_, cfs) = run_policy(
+            machine(),
+            trace.to_task_specs(),
+            Cfs::with_cores(PAPER_CORES),
+        );
         let f = model.workload_cost(&fifo);
         let c = model.workload_cost(&cfs);
         println!("{name}\t{f:.4}\t{c:.4}\t{:.1}x", cost_ratio(c, f));

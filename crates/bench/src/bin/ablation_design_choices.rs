@@ -21,12 +21,16 @@ fn main() {
 
     println!("# Ablation 1 | CFS-side placement of migrated tasks");
     println!("placement\tmean_exec_s\tp99_exec_s\tcost_usd");
-    for (name, placement) in
-        [("round_robin(paper)", CfsPlacement::RoundRobin), ("least_loaded", CfsPlacement::LeastLoaded)]
-    {
+    for (name, placement) in [
+        ("round_robin(paper)", CfsPlacement::RoundRobin),
+        ("least_loaded", CfsPlacement::LeastLoaded),
+    ] {
         let cfg = HybridConfig::paper_25_25().with_cfs_placement(placement);
-        let (_, records) =
-            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let (_, records) = run_policy(
+            paper_machine(),
+            trace.to_task_specs(),
+            HybridScheduler::new(cfg),
+        );
         let s = MetricSummary::compute(&records, Metric::Execution);
         println!(
             "{name}\t{:.3}\t{:.3}\t{:.4}",
@@ -46,10 +50,17 @@ fn main() {
                 initial: SimDuration::from_millis(1_633),
             })
         };
-        let (_, records) =
-            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let (_, records) = run_policy(
+            paper_machine(),
+            trace.to_task_specs(),
+            HybridScheduler::new(cfg),
+        );
         let s = MetricSummary::compute(&records, Metric::Execution);
-        println!("{window_size}\t{:.3}\t{:.4}", s.mean.as_secs_f64(), model.workload_cost(&records));
+        println!(
+            "{window_size}\t{:.3}\t{:.4}",
+            s.mean.as_secs_f64(),
+            model.workload_cost(&records)
+        );
     }
 
     println!("# Ablation 3 | rightsizing threshold");
@@ -60,11 +71,8 @@ fn main() {
             ..RightsizingConfig::default()
         });
         let machine = paper_machine();
-        let mut sim = faas_kernel::Simulation::new(
-            machine,
-            trace.to_task_specs(),
-            HybridScheduler::new(cfg),
-        );
+        let mut sim =
+            faas_kernel::Simulation::new(machine, trace.to_task_specs(), HybridScheduler::new(cfg));
         while sim.step().expect("simulation completes") {}
         let migrations = sim.policy().migrations().len();
         let records = faas_metrics::records_from_tasks(sim.machine().tasks());
@@ -81,7 +89,11 @@ fn main() {
     let fleet_trace = wfc_trace();
     for (name, fc, hints) in [
         ("uniform(paper)", FirecrackerConfig::paper_fleet(), false),
-        ("aux_to_cfs(future-work)", FirecrackerConfig::paper_fleet_hinted(), true),
+        (
+            "aux_to_cfs(future-work)",
+            FirecrackerConfig::paper_fleet_hinted(),
+            true,
+        ),
     ] {
         let mut cfg = HybridConfig::paper_25_25();
         if hints {
@@ -110,7 +122,10 @@ fn main() {
             },
         ),
     ] {
-        let fc = FirecrackerConfig { boot_kind, ..FirecrackerConfig::paper_fleet() };
+        let fc = FirecrackerConfig {
+            boot_kind,
+            ..FirecrackerConfig::paper_fleet()
+        };
         let out = run_fleet(
             &fleet_trace,
             &fc,

@@ -58,14 +58,25 @@ fn main() -> ExitCode {
     results.push(("fifo", r));
     let (_, r) = run_policy(machine(), specs(), Cfs::with_cores(cores));
     results.push(("cfs", r));
-    let (_, r) =
-        run_policy(machine(), specs(), FifoWithLimit::new(SimDuration::from_millis(100)));
+    let (_, r) = run_policy(
+        machine(),
+        specs(),
+        FifoWithLimit::new(SimDuration::from_millis(100)),
+    );
     results.push(("fifo+100ms", r));
-    let (_, r) = run_policy(machine(), specs(), RoundRobin::new(SimDuration::from_millis(10)));
+    let (_, r) = run_policy(
+        machine(),
+        specs(),
+        RoundRobin::new(SimDuration::from_millis(10)),
+    );
     results.push(("round-robin", r));
     let (_, r) = run_policy(machine(), specs(), Edf::new());
     results.push(("edf", r));
-    let (_, r) = run_policy(machine(), specs(), Shinjuku::new(SimDuration::from_millis(1)));
+    let (_, r) = run_policy(
+        machine(),
+        specs(),
+        Shinjuku::new(SimDuration::from_millis(1)),
+    );
     results.push(("shinjuku", r));
     let (_, r) = run_policy(machine(), specs(), Sfs::new(SimDuration::from_millis(50)));
     results.push(("sfs", r));

@@ -4,14 +4,22 @@
 //! the workload's tail weight, not a missing mechanism.
 
 use faas_bench::{paper_machine, print_summary_row, run_policy, w2_trace};
-use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
 use faas_simcore::SimDuration;
+use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
 use lambda_pricing::PriceModel;
 
 fn main() {
     let trace = w2_trace();
     let cfg = HybridConfig::paper_25_25()
         .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(500)));
-    let (_, r) = run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
-    print_summary_row("hybrid-500ms", &r, PriceModel::duration_only().workload_cost(&r));
+    let (_, r) = run_policy(
+        paper_machine(),
+        trace.to_task_specs(),
+        HybridScheduler::new(cfg),
+    );
+    print_summary_row(
+        "hybrid-500ms",
+        &r,
+        PriceModel::duration_only().workload_cost(&r),
+    );
 }

@@ -18,5 +18,8 @@ fn main() {
     for (m, c) in counts.iter().enumerate() {
         println!("{m}\t{c}");
     }
-    println!("# burstiness (coefficient of variation) = {:.2}", burstiness_cv(&counts));
+    println!(
+        "# burstiness (coefficient of variation) = {:.2}",
+        burstiness_cv(&counts)
+    );
 }

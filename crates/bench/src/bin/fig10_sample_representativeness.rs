@@ -5,7 +5,11 @@
 use azure_trace::{ks_statistic, AzureTrace, EmpiricalCdf, TraceConfig};
 
 fn durations_of(trace: &AzureTrace) -> Vec<f64> {
-    trace.invocations().iter().map(|i| i.duration.as_secs_f64()).collect()
+    trace
+        .invocations()
+        .iter()
+        .map(|i| i.duration.as_secs_f64())
+        .collect()
 }
 
 fn main() {

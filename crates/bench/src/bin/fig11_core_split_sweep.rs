@@ -12,17 +12,27 @@ fn main() {
     let mut means = Vec::new();
     for (fifo, cfs) in [(10, 40), (20, 30), (25, 25), (30, 20), (40, 10)] {
         let cfg = HybridConfig::split(fifo, cfs);
-        let (_, records) =
-            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let (_, records) = run_policy(
+            paper_machine(),
+            trace.to_task_specs(),
+            HybridScheduler::new(cfg),
+        );
         let label = format!("hybrid({fifo},{cfs})");
         print_cdf("Fig. 11", &label, Metric::Execution, &records);
         means.push((label, MetricSummary::compute(&records, Metric::Execution)));
     }
     let (_, cfs) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
     print_cdf("Fig. 11", "cfs(50)", Metric::Execution, &cfs);
-    means.push(("cfs(50)".into(), MetricSummary::compute(&cfs, Metric::Execution)));
+    means.push((
+        "cfs(50)".into(),
+        MetricSummary::compute(&cfs, Metric::Execution),
+    ));
     println!("# split\tmean_exec_s\tp99_exec_s");
     for (label, s) in means {
-        println!("{label}\t{:.3}\t{:.3}", s.mean.as_secs_f64(), s.p99.as_secs_f64());
+        println!(
+            "{label}\t{:.3}\t{:.3}",
+            s.mean.as_secs_f64(),
+            s.p99.as_secs_f64()
+        );
     }
 }

@@ -13,8 +13,7 @@ fn main() {
         trace.to_task_specs(),
         HybridScheduler::new(HybridConfig::paper_25_25()),
     );
-    let (cfs_report, _) =
-        run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
+    let (cfs_report, _) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
     println!("# Fig. 13 | per-core preemption counts (cores 0-24 = FIFO group)");
     println!("core\thybrid\tcfs");
     for i in 0..50 {
@@ -23,7 +22,13 @@ fn main() {
             hyb_report.core_stats[i].preemptions, cfs_report.core_stats[i].preemptions
         );
     }
-    let fifo_group: u64 = hyb_report.core_stats[..25].iter().map(|s| s.preemptions).sum();
-    let cfs_group: u64 = hyb_report.core_stats[25..].iter().map(|s| s.preemptions).sum();
+    let fifo_group: u64 = hyb_report.core_stats[..25]
+        .iter()
+        .map(|s| s.preemptions)
+        .sum();
+    let cfs_group: u64 = hyb_report.core_stats[25..]
+        .iter()
+        .map(|s| s.preemptions)
+        .sum();
     println!("# hybrid FIFO-group total={fifo_group} CFS-group total={cfs_group}");
 }

@@ -29,9 +29,16 @@ fn main() {
         mean_utilization(&cfs)
     );
     let during = |s: &[(faas_simcore::SimTime, f64)]| {
-        let w: Vec<_> =
-            s.iter().filter(|(t, _)| *t <= faas_simcore::SimTime::from_secs(120)).copied().collect();
+        let w: Vec<_> = s
+            .iter()
+            .filter(|(t, _)| *t <= faas_simcore::SimTime::from_secs(120))
+            .copied()
+            .collect();
         mean_utilization(&w)
     };
-    println!("# mean during arrivals: fifo={:.3} cfs={:.3}", during(&fifo), during(&cfs));
+    println!(
+        "# mean during arrivals: fifo={:.3} cfs={:.3}",
+        during(&fifo),
+        during(&cfs)
+    );
 }

@@ -16,14 +16,21 @@ fn main() {
             percentile: pct,
             initial: SimDuration::from_millis(1_633),
         });
-        let (_, records) =
-            run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+        let (_, records) = run_policy(
+            paper_machine(),
+            trace.to_task_specs(),
+            HybridScheduler::new(cfg),
+        );
         let label = format!("ts=p{:.0}", pct * 100.0);
         print_cdf("Fig. 15", &label, Metric::Execution, &records);
         rows.push((label, MetricSummary::compute(&records, Metric::Execution)));
     }
     println!("# limit\tmean_exec_s\tp99_exec_s");
     for (label, s) in rows {
-        println!("{label}\t{:.3}\t{:.3}", s.mean.as_secs_f64(), s.p99.as_secs_f64());
+        println!(
+            "{label}\t{:.3}\t{:.3}",
+            s.mean.as_secs_f64(),
+            s.p99.as_secs_f64()
+        );
     }
 }

@@ -14,8 +14,11 @@ fn main() {
         HybridScheduler::new(HybridConfig::paper_25_25()),
     );
     let rcfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
-    let (rreport, rightsized) =
-        run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(rcfg));
+    let (rreport, rightsized) = run_policy(
+        paper_machine(),
+        trace.to_task_specs(),
+        HybridScheduler::new(rcfg),
+    );
     for metric in Metric::ALL {
         print_cdf("Fig. 18", "fixed(25,25)", metric, &fixed);
         print_cdf("Fig. 18", "rightsized", metric, &rightsized);

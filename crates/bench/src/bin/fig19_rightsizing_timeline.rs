@@ -11,21 +11,27 @@ use hybrid_scheduler::{Group, HybridConfig, HybridScheduler, RightsizingConfig};
 fn main() {
     let trace = w10_trace();
     let cfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
-    let mut sim =
-        Simulation::new(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+    let mut sim = Simulation::new(
+        paper_machine(),
+        trace.to_task_specs(),
+        HybridScheduler::new(cfg),
+    );
     while sim.step().expect("simulation completes") {}
     let end = sim.machine().now();
-    let arrivals_end = trace.invocations().last().expect("non-empty trace").arrival
-        + SimDuration::from_secs(30);
-    let fifo_counts = step_series(sim.policy().fifo_size_history(), end, SimDuration::from_secs(1));
+    let arrivals_end =
+        trace.invocations().last().expect("non-empty trace").arrival + SimDuration::from_secs(30);
+    let fifo_counts = step_series(
+        sim.policy().fifo_size_history(),
+        end,
+        SimDuration::from_secs(1),
+    );
     // Group membership changes over time, so compute per-bucket utilization
     // against the *final* membership for a stable series, plus per-group
     // means from the ledger.
     let util = sim.machine().utilization();
     println!("# Fig. 19 | rightsizing timeline");
     println!("t_s\tall_util\tfifo_cores");
-    let horizon = (end.min(arrivals_end).as_secs_f64().ceil() as usize)
-        .min(util.bucket_count());
+    let horizon = (end.min(arrivals_end).as_secs_f64().ceil() as usize).min(util.bucket_count());
     let all: Vec<usize> = (0..50).collect();
     let mut series = Vec::new();
     for i in 0..horizon {
@@ -44,7 +50,11 @@ fn main() {
             hybrid_scheduler::MigrationDirection::CfsToFifo => "cfs->fifo",
             hybrid_scheduler::MigrationDirection::FifoToCfs => "fifo->cfs",
         };
-        println!("# migration at {:.1}s: core {} {dir}", m.at.as_secs_f64(), m.core.index());
+        println!(
+            "# migration at {:.1}s: core {} {dir}",
+            m.at.as_secs_f64(),
+            m.core.index()
+        );
     }
     let final_fifo = sim
         .policy()

@@ -12,9 +12,8 @@ use microvm_sim::{run_fleet, FirecrackerConfig};
 fn main() {
     let trace = wfc_trace();
     let fc = FirecrackerConfig::paper_fleet();
-    let machine = || {
-        MachineConfig::new(PAPER_CORES).with_interference(InterferenceConfig::default())
-    };
+    let machine =
+        || MachineConfig::new(PAPER_CORES).with_interference(InterferenceConfig::default());
     let _ = machine; // run_fleet builds its own default machine
     let hybrid = run_fleet(
         &trace,

@@ -36,18 +36,28 @@ fn main() {
         FifoWithLimit::new(SimDuration::from_millis(100)),
     );
     row("fifo_100ms", &r);
-    let (_, r) =
-        run_policy(paper_machine(), specs(), RoundRobin::new(SimDuration::from_millis(10)));
+    let (_, r) = run_policy(
+        paper_machine(),
+        specs(),
+        RoundRobin::new(SimDuration::from_millis(10)),
+    );
     row("round_robin", &r);
     let (_, r) = run_policy(paper_machine(), specs(), Edf::new());
     row("edf", &r);
     // Shinjuku's hardware-assisted preemption: same policy, cheaper
     // context switches (5x lower restore penalty).
     let shinjuku_machine = paper_machine().with_cost(CostModel::from_micros(1, 40));
-    let (_, r) =
-        run_policy(shinjuku_machine, specs(), Shinjuku::new(SimDuration::from_millis(1)));
+    let (_, r) = run_policy(
+        shinjuku_machine,
+        specs(),
+        Shinjuku::new(SimDuration::from_millis(1)),
+    );
     row("shinjuku", &r);
-    let (_, r) = run_policy(paper_machine(), specs(), Sfs::new(SimDuration::from_millis(50)));
+    let (_, r) = run_policy(
+        paper_machine(),
+        specs(),
+        Sfs::new(SimDuration::from_millis(50)),
+    );
     row("sfs", &r);
     let (_, r) = run_policy(paper_machine(), specs(), Mlfq::new(MlfqParams::default()));
     row("mlfq", &r);

@@ -11,14 +11,19 @@ use std::io::BufWriter;
 use std::path::PathBuf;
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "workloads".into());
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| "workloads".into());
     std::fs::create_dir_all(&dir)?;
     let sets: Vec<(&str, AzureTrace)> = vec![
         ("w2.csv", AzureTrace::generate(&TraceConfig::w2())),
         ("w10.csv", AzureTrace::generate(&TraceConfig::w10())),
         (
             "firecracker.csv",
-            AzureTrace::generate(&TraceConfig::w10()).truncated(2_952).stretched(3.0),
+            AzureTrace::generate(&TraceConfig::w10())
+                .truncated(2_952)
+                .stretched(3.0),
         ),
     ];
     for (name, trace) in sets {

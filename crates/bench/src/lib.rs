@@ -12,13 +12,12 @@
 #![warn(missing_docs)]
 
 mod plot;
+pub mod timing;
 
 pub use plot::ascii_chart;
 
 use azure_trace::{AzureTrace, TraceConfig};
-use faas_kernel::{
-    InterferenceConfig, MachineConfig, Scheduler, SimReport, Simulation, TaskSpec,
-};
+use faas_kernel::{InterferenceConfig, MachineConfig, Scheduler, SimReport, Simulation, TaskSpec};
 use faas_metrics::{records_from_tasks, DurationCdf, Metric, RunSummary, TaskRecord};
 
 /// The paper's enclave size: 50 cores of the Xeon testbed (§V-C).
@@ -47,7 +46,9 @@ pub fn run_policy<P: Scheduler>(
     specs: Vec<TaskSpec>,
     policy: P,
 ) -> (SimReport, Vec<TaskRecord>) {
-    let report = Simulation::new(machine, specs, policy).run().expect("simulation completes");
+    let report = Simulation::new(machine, specs, policy)
+        .run()
+        .expect("simulation completes");
     let records = records_from_tasks(&report.tasks);
     (report, records)
 }
@@ -67,7 +68,10 @@ pub fn w10_trace() -> AzureTrace {
 /// 10-minute trace — the prefix the paper could launch before running
 /// out of host memory (§VI-E).
 pub fn wfc_trace() -> AzureTrace {
-    let keep = match std::env::var("SCALE_DIV").ok().and_then(|v| v.parse::<usize>().ok()) {
+    let keep = match std::env::var("SCALE_DIV")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(div) if div > 1 => (2_952 / div).max(1),
         _ => 2_952,
     };
@@ -75,11 +79,16 @@ pub fn wfc_trace() -> AzureTrace {
     // cannot start microVMs that fast: the jailer/API/boot path paces the
     // fleet (Firecracker launch overhead "hits the limit of our server
     // capacity much sooner"). Stretch arrivals accordingly.
-    AzureTrace::generate(&scaled(TraceConfig::w10())).truncated(keep).stretched(3.0)
+    AzureTrace::generate(&scaled(TraceConfig::w10()))
+        .truncated(keep)
+        .stretched(3.0)
 }
 
 fn scaled(cfg: TraceConfig) -> TraceConfig {
-    match std::env::var("SCALE_DIV").ok().and_then(|v| v.parse::<usize>().ok()) {
+    match std::env::var("SCALE_DIV")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(div) if div > 1 => cfg.downscaled(div),
         _ => cfg,
     }
@@ -102,14 +111,22 @@ pub fn print_cdf_chart(title: &str, metric: Metric, curves: &[(&str, &[TaskRecor
         .iter()
         .map(|(name, records)| {
             let cdf = DurationCdf::of_metric(records, metric);
-            let pts: Vec<(f64, f64)> =
-                cdf.series(40).into_iter().map(|(d, p)| (d.as_secs_f64(), p)).collect();
+            let pts: Vec<(f64, f64)> = cdf
+                .series(40)
+                .into_iter()
+                .map(|(d, p)| (d.as_secs_f64(), p))
+                .collect();
             (name.to_string(), pts)
         })
         .collect();
-    let borrowed: Vec<(&str, &[(f64, f64)])> =
-        series.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
-    println!("# {title} | {} CDF (x = seconds, y = fraction)", metric.label());
+    let borrowed: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_slice()))
+        .collect();
+    println!(
+        "# {title} | {} CDF (x = seconds, y = fraction)",
+        metric.label()
+    );
     print!("{}", ascii_chart(&borrowed, 64, 12));
 }
 

@@ -23,8 +23,7 @@
 /// ```
 pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
     assert!(width >= 2 && height >= 2, "chart too small");
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     assert!(!points.is_empty(), "nothing to plot");
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let mut y_max = f64::NEG_INFINITY;

@@ -1,0 +1,199 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The offline build environment has no `criterion`, so the `benches/`
+//! targets (registered with `harness = false`) use this module instead.
+//! It keeps criterion's call shape — groups, `bench_function`, a
+//! [`Bencher`] passed to the closure, [`black_box`] — and reports
+//! min/median/mean wall time per iteration on stdout.
+//!
+//! Command-line arguments that do not start with `-` act as substring
+//! filters on benchmark names, matching `cargo bench <filter>` usage.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness: owns the name filters and default sample count.
+#[derive(Debug)]
+pub struct Bench {
+    filters: Vec<String>,
+    sample_size: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            filters: Vec::new(),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Bench {
+    /// Builds a harness from `std::env::args`, treating every non-flag
+    /// argument as a name filter (flags like `--bench` are ignored).
+    pub fn from_env() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Bench {
+            filters,
+            sample_size: 20,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        println!("group: {name}");
+        Group {
+            bench: self,
+            sample_size: None,
+        }
+    }
+
+    /// Times one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        self.run_one(name, samples, f);
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    fn run_one<F>(&mut self, name: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut b);
+        let mut times = b.times;
+        if times.is_empty() {
+            println!("  {name:<40} (no samples)");
+            return;
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            times.len()
+        );
+    }
+}
+
+/// A group of benchmarks sharing an optional sample-size override.
+#[derive(Debug)]
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    sample_size: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.bench.sample_size);
+        self.bench.run_one(name.as_ref(), samples, f);
+    }
+
+    /// Ends the group (exists for criterion call-shape compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut bench = Bench {
+            filters: Vec::new(),
+            sample_size: 3,
+        };
+        let mut calls = 0u32;
+        bench.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_names() {
+        let mut bench = Bench {
+            filters: vec!["only-this".into()],
+            sample_size: 3,
+        };
+        let mut ran = false;
+        bench.bench_function("something-else", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+        bench.bench_function("yes-only-this-one", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_sample_size_overrides_default() {
+        let mut bench = Bench {
+            filters: Vec::new(),
+            sample_size: 50,
+        };
+        let mut calls = 0u32;
+        let mut g = bench.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("counted", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 3); // 1 warm-up + 2 samples
+    }
+}

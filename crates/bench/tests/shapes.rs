@@ -31,13 +31,7 @@ fn machines_have_paper_core_count() {
 #[test]
 fn cfs_is_fairer_but_slower_than_fifo_even_downscaled() {
     let specs: Vec<faas_kernel::TaskSpec> = (0..40)
-        .map(|_| {
-            faas_kernel::TaskSpec::function(
-                SimTime::ZERO,
-                SimDuration::from_millis(100),
-                128,
-            )
-        })
+        .map(|_| faas_kernel::TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128))
         .collect();
     let m = || faas_kernel::MachineConfig::new(2);
     let (_, fifo) = run_policy(m(), specs.clone(), Fifo::new());
@@ -48,7 +42,10 @@ fn cfs_is_fairer_but_slower_than_fifo_even_downscaled() {
     // FIFO: execution time is near-optimal.
     let exec_fifo = MetricSummary::compute(&fifo, Metric::Execution).mean;
     let exec_cfs = MetricSummary::compute(&cfs, Metric::Execution).mean;
-    assert!(exec_fifo * 3 < exec_cfs, "fifo {exec_fifo} vs cfs {exec_cfs}");
+    assert!(
+        exec_fifo * 3 < exec_cfs,
+        "fifo {exec_fifo} vs cfs {exec_cfs}"
+    );
     // And the bill follows execution time.
     let model = PriceModel::duration_only();
     assert!(model.workload_cost(&fifo) * 3.0 < model.workload_cost(&cfs));
@@ -58,8 +55,14 @@ fn cfs_is_fairer_but_slower_than_fifo_even_downscaled() {
 fn hybrid_runs_on_bench_machines() {
     let trace = small_trace();
     let cfg = HybridConfig::paper_25_25();
-    let (report, records) =
-        run_policy(paper_machine(), trace.to_task_specs(), HybridScheduler::new(cfg));
+    let (report, records) = run_policy(
+        paper_machine(),
+        trace.to_task_specs(),
+        HybridScheduler::new(cfg),
+    );
     assert_eq!(records.len(), trace.len());
-    assert!(report.total_preemptions() < 10_000, "downscaled run preempts rarely");
+    assert!(
+        report.total_preemptions() < 10_000,
+        "downscaled run preempts rarely"
+    );
 }

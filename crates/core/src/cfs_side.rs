@@ -30,8 +30,16 @@ pub(crate) struct CfsSide {
 
 impl CfsSide {
     pub(crate) fn new(sched_latency: SimDuration, min_granularity: SimDuration) -> Self {
-        assert!(!min_granularity.is_zero(), "min_granularity must be positive");
-        CfsSide { rqs: HashMap::new(), offsets: HashMap::new(), sched_latency, min_granularity }
+        assert!(
+            !min_granularity.is_zero(),
+            "min_granularity must be positive"
+        );
+        CfsSide {
+            rqs: HashMap::new(),
+            offsets: HashMap::new(),
+            sched_latency,
+            min_granularity,
+        }
     }
 
     pub(crate) fn add_core(&mut self, core: usize) {
@@ -60,8 +68,7 @@ impl CfsSide {
     }
 
     fn effective_vr(&self, m: &Machine, task: TaskId) -> i64 {
-        self.offsets.get(&task).copied().unwrap_or(0)
-            + m.task(task).cpu_time().as_micros() as i64
+        self.offsets.get(&task).copied().unwrap_or(0) + m.task(task).cpu_time().as_micros() as i64
     }
 
     /// Enqueues a task entering this core fresh: placed at the core's
@@ -106,7 +113,11 @@ impl CfsSide {
         match victim {
             Some((v, len)) if len > 1 => {
                 let key = *self.rqs[&v].queue.iter().next_back().expect("non-empty");
-                self.rqs.get_mut(&v).expect("victim exists").queue.remove(&key);
+                self.rqs
+                    .get_mut(&v)
+                    .expect("victim exists")
+                    .queue
+                    .remove(&key);
                 self.enqueue_new(m, core, key.1);
                 true
             }
@@ -131,8 +142,16 @@ impl CfsSide {
             if max_len <= min_len + 1 {
                 return moved;
             }
-            let key = *self.rqs[&max_c].queue.iter().next_back().expect("non-empty");
-            self.rqs.get_mut(&max_c).expect("max exists").queue.remove(&key);
+            let key = *self.rqs[&max_c]
+                .queue
+                .iter()
+                .next_back()
+                .expect("non-empty");
+            self.rqs
+                .get_mut(&max_c)
+                .expect("max exists")
+                .queue
+                .remove(&key);
             self.enqueue_new(m, min_c, key.1);
             moved += 1;
         }

@@ -158,7 +158,10 @@ mod tests {
     fn paper_defaults() {
         let c = HybridConfig::paper_25_25();
         assert_eq!(c.total_cores(), 50);
-        assert_eq!(c.time_limit, TimeLimitPolicy::Fixed(SimDuration::from_millis(1_633)));
+        assert_eq!(
+            c.time_limit,
+            TimeLimitPolicy::Fixed(SimDuration::from_millis(1_633))
+        );
         assert_eq!(c.window_size, 100);
         assert!(c.rightsizing.is_none());
         assert_eq!(c.cfs_placement, CfsPlacement::RoundRobin);

@@ -231,7 +231,8 @@ impl HybridScheduler {
             let observed = m.task(task).cpu_time();
             match self.limit.checked_sub(observed) {
                 Some(budget) if !budget.is_zero() => {
-                    m.dispatch(core, task, Some(budget)).expect("dispatch on idle fifo core");
+                    m.dispatch(core, task, Some(budget))
+                        .expect("dispatch on idle fifo core");
                     return;
                 }
                 _ => {
@@ -249,7 +250,8 @@ impl HybridScheduler {
             return;
         }
         if let Some((task, slice)) = self.cfs.pop(idx) {
-            m.dispatch(core, task, Some(slice)).expect("dispatch on idle cfs core");
+            m.dispatch(core, task, Some(slice))
+                .expect("dispatch on idle cfs core");
         }
     }
 
@@ -281,7 +283,10 @@ impl HybridScheduler {
                     .iter()
                     .min_by_key(|c| self.cfs.queue_len(c.index()))
                     .expect("cfs group non-empty");
-                debug_assert!(self.cfs.has_core(core.index()), "donor must be a CFS member");
+                debug_assert!(
+                    self.cfs.has_core(core.index()),
+                    "donor must be a CFS member"
+                );
                 // Step 1: lock — atomic here, recorded for observability.
                 steps.push(MigrationStep::Lock(core));
                 // Step 2: preempt the occupying task, if any, into a
@@ -312,7 +317,12 @@ impl HybridScheduler {
                 steps.push(MigrationStep::PolicyTransition(direction));
                 // Step 5: unlock — the idle sweep will feed it FIFO work.
                 steps.push(MigrationStep::Unlock(core));
-                self.migrations.push(MigrationReport { at: now, core, direction, steps });
+                self.migrations.push(MigrationReport {
+                    at: now,
+                    core,
+                    direction,
+                    steps,
+                });
             }
             MigrationDirection::FifoToCfs => {
                 // Donate the most recently added FIFO core (LIFO keeps the
@@ -339,7 +349,12 @@ impl HybridScheduler {
                 steps.push(MigrationStep::RedistributeQueue(moved));
                 steps.push(MigrationStep::PolicyTransition(direction));
                 steps.push(MigrationStep::Unlock(core));
-                self.migrations.push(MigrationReport { at: now, core, direction, steps });
+                self.migrations.push(MigrationReport {
+                    at: now,
+                    core,
+                    direction,
+                    steps,
+                });
             }
         }
         self.fifo_size_history.push((now, self.fifo_cores.len()));
@@ -427,7 +442,9 @@ impl Scheduler for HybridScheduler {
     }
 
     fn on_tick(&mut self, m: &mut Machine) {
-        let Some(controller) = &self.controller else { return };
+        let Some(controller) = &self.controller else {
+            return;
+        };
         let window = controller.window();
         let fifo_util = self.group_utilization(m, &self.fifo_cores, window);
         let cfs_util = self.group_utilization(m, &self.cfs_cores, window);
@@ -456,16 +473,26 @@ mod tests {
 
     fn run(cfg: HybridConfig, specs: Vec<TaskSpec>) -> SimReport {
         let mcfg = MachineConfig::new(cfg.total_cores()).with_cost(CostModel::free());
-        Simulation::new(mcfg, specs, HybridScheduler::new(cfg)).run().unwrap()
+        Simulation::new(mcfg, specs, HybridScheduler::new(cfg))
+            .run()
+            .unwrap()
     }
 
     fn mixed_specs(short: usize, long: usize) -> Vec<TaskSpec> {
         let mut v = Vec::new();
         for i in 0..long {
-            v.push(TaskSpec::function(SimTime::from_millis(i as u64), ms(800), 128));
+            v.push(TaskSpec::function(
+                SimTime::from_millis(i as u64),
+                ms(800),
+                128,
+            ));
         }
         for i in 0..short {
-            v.push(TaskSpec::function(SimTime::from_millis(i as u64), ms(20), 128));
+            v.push(TaskSpec::function(
+                SimTime::from_millis(i as u64),
+                ms(20),
+                128,
+            ));
         }
         v
     }
@@ -504,7 +531,11 @@ mod tests {
         // The FIFO core saw exactly one preemption: the limit migration.
         // The rest are warm CFS slice expiries on core 1.
         assert_eq!(report.core_stats[0].preemptions, 1);
-        assert_eq!(report.core_stats[0].busy, ms(100), "FIFO side ran the task for the limit");
+        assert_eq!(
+            report.core_stats[0].busy,
+            ms(100),
+            "FIFO side ran the task for the limit"
+        );
     }
 
     #[test]
@@ -552,7 +583,10 @@ mod tests {
             "overload imbalance should trigger at least one migration"
         );
         for report in policy.migrations() {
-            assert!(report.follows_protocol(), "Fig. 8 ordering violated: {report:?}");
+            assert!(
+                report.follows_protocol(),
+                "Fig. 8 ordering violated: {report:?}"
+            );
             assert_eq!(report.direction, MigrationDirection::CfsToFifo);
         }
         assert!(policy.fifo_cores().len() > 2);
@@ -598,7 +632,11 @@ mod tests {
         let mut sim = Simulation::new(mcfg, specs, HybridScheduler::new(cfg));
         while sim.step().unwrap() {}
         assert_eq!(sim.policy().background_routed(), 1);
-        assert_eq!(sim.policy().tasks_migrated(), 0, "hint routing is not a limit migration");
+        assert_eq!(
+            sim.policy().tasks_migrated(),
+            0,
+            "hint routing is not a limit migration"
+        );
         // The background task ran on the CFS core (core 1).
         let report_tasks = sim.machine().tasks();
         assert!(report_tasks.iter().all(|t| t.completion().is_some()));
@@ -608,7 +646,7 @@ mod tests {
     fn hints_ignored_unless_enabled() {
         use faas_kernel::PlacementHint;
         let specs = vec![
-            TaskSpec::function(SimTime::ZERO, ms(30), 128).with_hint(PlacementHint::Background),
+            TaskSpec::function(SimTime::ZERO, ms(30), 128).with_hint(PlacementHint::Background)
         ];
         let cfg = HybridConfig::split(1, 1).with_time_limit(TimeLimitPolicy::Fixed(ms(1_000)));
         let mcfg = MachineConfig::new(2).with_cost(CostModel::free());
@@ -622,10 +660,13 @@ mod tests {
         let cfg = HybridConfig::split(1, 2)
             .with_time_limit(TimeLimitPolicy::Fixed(ms(10)))
             .with_cfs_placement(CfsPlacement::LeastLoaded);
-        let specs: Vec<TaskSpec> =
-            (0..12).map(|_| TaskSpec::function(SimTime::ZERO, ms(200), 128)).collect();
+        let specs: Vec<TaskSpec> = (0..12)
+            .map(|_| TaskSpec::function(SimTime::ZERO, ms(200), 128))
+            .collect();
         let mcfg = MachineConfig::new(3).with_cost(CostModel::free());
-        let report = Simulation::new(mcfg, specs, HybridScheduler::new(cfg)).run().unwrap();
+        let report = Simulation::new(mcfg, specs, HybridScheduler::new(cfg))
+            .run()
+            .unwrap();
         assert!(report.tasks.iter().all(|t| t.completion().is_some()));
     }
 
@@ -655,7 +696,14 @@ mod tests {
             })
             .collect();
         let report = run(cfg, specs);
-        assert_eq!(report.tasks.iter().filter(|t| t.completion().is_some()).count(), 300);
+        assert_eq!(
+            report
+                .tasks
+                .iter()
+                .filter(|t| t.completion().is_some())
+                .count(),
+            300
+        );
     }
 
     #[test]
@@ -672,8 +720,7 @@ mod tests {
                 .collect()
         };
         let cost = CostModel::default();
-        let hybrid_cfg =
-            HybridConfig::split(2, 2).with_time_limit(TimeLimitPolicy::Fixed(ms(500)));
+        let hybrid_cfg = HybridConfig::split(2, 2).with_time_limit(TimeLimitPolicy::Fixed(ms(500)));
         let hybrid = Simulation::new(
             MachineConfig::new(4).with_cost(cost),
             specs(),

@@ -46,7 +46,5 @@ mod window;
 
 pub use config::{CfsPlacement, HybridConfig, RightsizingConfig, TimeLimitPolicy};
 pub use hybrid::{Group, HybridScheduler};
-pub use rightsizing::{
-    MigrationDirection, MigrationReport, MigrationStep, RightsizingController,
-};
+pub use rightsizing::{MigrationDirection, MigrationReport, MigrationStep, RightsizingController};
 pub use window::SlidingWindow;

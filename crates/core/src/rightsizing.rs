@@ -86,7 +86,10 @@ pub struct RightsizingController {
 impl RightsizingController {
     /// Creates a controller with the given configuration.
     pub fn new(cfg: RightsizingConfig) -> Self {
-        RightsizingController { cfg, last_migration: None }
+        RightsizingController {
+            cfg,
+            last_migration: None,
+        }
     }
 
     /// The configuration in use.
@@ -183,7 +186,10 @@ mod tests {
     fn cooldown_suppresses_back_to_back_migrations() {
         let mut c = controller();
         c.note_migration(SimTime::from_millis(1_000));
-        assert_eq!(c.decide(SimTime::from_millis(1_200), 0.99, 0.10, 25, 25), None);
+        assert_eq!(
+            c.decide(SimTime::from_millis(1_200), 0.99, 0.10, 25, 25),
+            None
+        );
         assert!(c
             .decide(SimTime::from_millis(1_600), 0.99, 0.10, 25, 25)
             .is_some());

@@ -35,7 +35,11 @@ impl SlidingWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        SlidingWindow { buf: Vec::with_capacity(capacity), capacity, next: 0 }
+        SlidingWindow {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Records a duration, evicting the oldest when full.
@@ -72,7 +76,10 @@ impl SlidingWindow {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> Option<SimDuration> {
-        assert!((0.0..=1.0).contains(&p), "percentile fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile fraction must be in [0,1]"
+        );
         if self.buf.is_empty() {
             return None;
         }

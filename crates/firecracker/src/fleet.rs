@@ -20,10 +20,7 @@ fn group_of_vm(vm_index: usize) -> u64 {
 
 /// Expands a launch plan into kernel task specs (failed launches produce
 /// no tasks). Returns the specs and, per spec, the VM index it belongs to.
-pub fn expand_to_specs(
-    plan: &LaunchPlan,
-    cfg: &FirecrackerConfig,
-) -> (Vec<TaskSpec>, Vec<usize>) {
+pub fn expand_to_specs(plan: &LaunchPlan, cfg: &FirecrackerConfig) -> (Vec<TaskSpec>, Vec<usize>) {
     let mut specs = Vec::new();
     let mut owner = Vec::new();
     for (i, vm) in plan.vms().iter().enumerate() {
@@ -41,8 +38,11 @@ pub fn expand_to_specs(
         owner.push(i);
         // Auxiliary VMM/I-O threads, optionally hinted as background work
         // for hint-aware schedulers (§VII-4).
-        let aux_hint =
-            if cfg.aux_background { PlacementHint::Background } else { PlacementHint::Auto };
+        let aux_hint = if cfg.aux_background {
+            PlacementHint::Background
+        } else {
+            PlacementHint::Auto
+        };
         for _ in 0..cfg.aux_threads {
             specs.push(
                 TaskSpec::function(inv.arrival, cfg.aux_work, inv.mem_mib)
@@ -215,12 +215,21 @@ mod tests {
     #[test]
     fn aux_background_hint_tagging() {
         let plain = FirecrackerConfig::default();
-        let hinted = FirecrackerConfig { aux_background: true, ..plain };
+        let hinted = FirecrackerConfig {
+            aux_background: true,
+            ..plain
+        };
         let plan = plan_of(2);
         let (specs, _) = expand_to_specs(&plan, &hinted);
-        let backgrounds =
-            specs.iter().filter(|s| s.hint == PlacementHint::Background).count();
-        assert_eq!(backgrounds, 2 * hinted.aux_threads, "every aux thread is hinted");
+        let backgrounds = specs
+            .iter()
+            .filter(|s| s.hint == PlacementHint::Background)
+            .count();
+        assert_eq!(
+            backgrounds,
+            2 * hinted.aux_threads,
+            "every aux thread is hinted"
+        );
         let (specs, _) = expand_to_specs(&plan, &plain);
         assert!(specs.iter().all(|s| s.hint == PlacementHint::Auto));
     }

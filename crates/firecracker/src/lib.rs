@@ -66,7 +66,11 @@ pub fn run_fleet<P: Scheduler>(
     let (specs, _) = expand_to_specs(&plan, cfg);
     let report = Simulation::new(MachineConfig::new(cores), specs, policy).run()?;
     let vm_records = vm_records(&plan, &report.tasks);
-    Ok(FleetOutcome { plan, vm_records, report })
+    Ok(FleetOutcome {
+        plan,
+        vm_records,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -82,20 +86,23 @@ mod tests {
 
     #[test]
     fn fleet_runs_under_fifo() {
-        let out = run_fleet(&tiny_trace(), &FirecrackerConfig::default(), 8, Fifo::new())
-            .unwrap();
+        let out = run_fleet(&tiny_trace(), &FirecrackerConfig::default(), 8, Fifo::new()).unwrap();
         assert_eq!(out.plan.failed(), 0, "big host, small fleet");
         assert_eq!(out.vm_records.len(), out.plan.launched());
     }
 
     #[test]
     fn fleet_runs_under_cfs_and_hybrid() {
-        let cfs = run_fleet(&tiny_trace(), &FirecrackerConfig::default(), 8, Cfs::with_cores(8))
-            .unwrap();
-        let hcfg = HybridConfig::split(4, 4)
-            .with_time_limit(TimeLimitPolicy::Fixed(faas_simcore::SimDuration::from_millis(
-                1_633,
-            )));
+        let cfs = run_fleet(
+            &tiny_trace(),
+            &FirecrackerConfig::default(),
+            8,
+            Cfs::with_cores(8),
+        )
+        .unwrap();
+        let hcfg = HybridConfig::split(4, 4).with_time_limit(TimeLimitPolicy::Fixed(
+            faas_simcore::SimDuration::from_millis(1_633),
+        ));
         let hybrid = run_fleet(
             &tiny_trace(),
             &FirecrackerConfig::default(),
@@ -103,7 +110,11 @@ mod tests {
             HybridScheduler::new(hcfg),
         )
         .unwrap();
-        assert_eq!(cfs.vm_records.len(), hybrid.vm_records.len(), "same admitted fleet");
+        assert_eq!(
+            cfs.vm_records.len(),
+            hybrid.vm_records.len(),
+            "same admitted fleet"
+        );
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl FirecrackerConfig {
     /// The §VII-4 variant of [`FirecrackerConfig::paper_fleet`]: VMM/I-O
     /// threads carry the background placement hint.
     pub fn paper_fleet_hinted() -> Self {
-        FirecrackerConfig { aux_background: true, ..FirecrackerConfig::paper_fleet() }
+        FirecrackerConfig {
+            aux_background: true,
+            ..FirecrackerConfig::paper_fleet()
+        }
     }
 
     /// The effective CPU work of a function of nominal `duration` inside
@@ -133,7 +136,10 @@ impl FirecrackerConfig {
     pub fn boot_work(&self, index: usize) -> SimDuration {
         match self.boot_kind {
             BootKind::Full => self.boot_cpu,
-            BootKind::Snapshot { restore_cpu, hit_rate } => {
+            BootKind::Snapshot {
+                restore_cpu,
+                hit_rate,
+            } => {
                 let x = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40; // 0..2^24
                 if (x as f64) < hit_rate * (1u64 << 24) as f64 {
                     restore_cpu
@@ -223,7 +229,10 @@ impl LaunchPlan {
                 estimated_release: release,
             });
         }
-        LaunchPlan { vms, peak_resident_mib: peak }
+        LaunchPlan {
+            vms,
+            peak_resident_mib: peak,
+        }
     }
 
     /// All planned VMs in arrival order.
@@ -233,7 +242,10 @@ impl LaunchPlan {
 
     /// Number of successfully admitted VMs.
     pub fn launched(&self) -> usize {
-        self.vms.iter().filter(|v| v.outcome == LaunchOutcome::Launched).count()
+        self.vms
+            .iter()
+            .filter(|v| v.outcome == LaunchOutcome::Launched)
+            .count()
     }
 
     /// Number of failed launches.
@@ -270,7 +282,11 @@ mod tests {
     }
 
     fn small_host(host_mem_mib: u64) -> FirecrackerConfig {
-        FirecrackerConfig { host_mem_mib, vmm_overhead_mib: 0, ..Default::default() }
+        FirecrackerConfig {
+            host_mem_mib,
+            vmm_overhead_mib: 0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -306,7 +322,10 @@ mod tests {
     fn backlog_extends_residency() {
         // One core: 100 VMs of 1 s each arriving at t=0 build a 100 s
         // backlog, so later VMs stay resident far longer than their work.
-        let cfg = FirecrackerConfig { drain_cores: 1, ..small_host(u64::MAX) };
+        let cfg = FirecrackerConfig {
+            drain_cores: 1,
+            ..small_host(u64::MAX)
+        };
         let invs: Vec<Invocation> = (0..100).map(|_| inv(0, 1_000, 128)).collect();
         let plan = LaunchPlan::admit(&invs, &cfg);
         let last = plan.vms().last().unwrap();

@@ -41,8 +41,9 @@ pub fn measure_fib(n: u32, repetitions: u32) -> Duration {
 /// Panics if `hi <= lo`.
 pub fn measure_growth_ratio(lo: u32, hi: u32, repetitions: u32) -> f64 {
     assert!(hi > lo, "need at least one step");
-    let times: Vec<f64> =
-        (lo..=hi).map(|n| measure_fib(n, repetitions).as_secs_f64()).collect();
+    let times: Vec<f64> = (lo..=hi)
+        .map(|n| measure_fib(n, repetitions).as_secs_f64())
+        .collect();
     let ratios: Vec<f64> = times.windows(2).map(|w| w[1] / w[0]).collect();
     ratios.iter().sum::<f64>() / ratios.len() as f64
 }

@@ -13,10 +13,8 @@ use std::io;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-
 use crate::procstat::read_proc_cpu;
+use crate::sync::{unbounded, Mutex, Receiver, Sender};
 use crate::sysapi::{set_affinity, set_policy_or_fallback, Pid, SchedPolicy};
 
 /// Configuration of the live hybrid controller.
@@ -145,7 +143,10 @@ impl HybridHostController {
     /// Propagates spawn/affinity errors; the policy setter falls back to
     /// CFS when real-time classes are not permitted.
     pub fn launch(&self, mut command: Command) -> io::Result<Pid> {
-        let child = command.stdout(Stdio::null()).stderr(Stdio::null()).spawn()?;
+        let child = command
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
         let pid = child.id() as Pid;
         set_affinity(pid, &self.cfg.fifo_cores)?;
         let got = set_policy_or_fallback(pid, SchedPolicy::Fifo(self.cfg.fifo_priority))?;

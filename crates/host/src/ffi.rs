@@ -1,0 +1,161 @@
+//! Minimal in-tree replacement for the `libc` crate.
+//!
+//! The build environment is offline, so instead of depending on `libc`
+//! this module declares exactly the symbols the host backend needs: the
+//! `sched_*` syscall wrappers, `sysconf`, and the `cpu_set_t` bit-set
+//! helpers. Names and signatures mirror the `libc` crate so the calling
+//! code reads identically.
+//!
+//! On non-Linux targets the same symbols exist but every call fails (the
+//! whole crate is a live-Linux backend; see the crate docs). That keeps
+//! `cargo build --workspace` green on any platform while making the
+//! platform gap explicit at run time rather than compile time.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// A process id (`pid_t`).
+pub type pid_t = i32;
+
+/// C `long`: pointer-sized on every Linux ABI this crate targets.
+#[cfg(target_pointer_width = "64")]
+pub type c_long = i64;
+/// C `long`: pointer-sized on every Linux ABI this crate targets.
+#[cfg(target_pointer_width = "32")]
+pub type c_long = i32;
+
+/// `SCHED_OTHER` — the CFS class.
+pub const SCHED_OTHER: i32 = 0;
+/// `SCHED_FIFO` — the real-time FIFO class.
+pub const SCHED_FIFO: i32 = 1;
+/// `SCHED_RR` — the real-time round-robin class.
+pub const SCHED_RR: i32 = 2;
+/// `SCHED_BATCH` — the batch variant of CFS.
+pub const SCHED_BATCH: i32 = 3;
+
+/// `EPERM` — operation not permitted.
+pub const EPERM: i32 = 1;
+/// `EINVAL` — invalid argument.
+pub const EINVAL: i32 = 22;
+/// `ENOSYS` — syscall not implemented (sandboxed kernels).
+pub const ENOSYS: i32 = 38;
+
+/// `sysconf(3)` name for the configured processor count (glibc/musl value).
+pub const _SC_NPROCESSORS_CONF: i32 = 83;
+/// `sysconf(3)` name for clock ticks per second (glibc/musl value).
+pub const _SC_CLK_TCK: i32 = 2;
+
+/// Number of CPUs representable in a [`cpu_set_t`] (glibc `CPU_SETSIZE`).
+pub const CPU_SETSIZE: usize = 1024;
+
+/// The kernel CPU affinity bit-set (`cpu_set_t`): 1024 bits as machine
+/// words, identical in size and layout to glibc's definition.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE / 64],
+}
+
+/// Clears every CPU in the set.
+///
+/// # Safety
+///
+/// Always safe; `unsafe` only mirrors the `libc` crate's signature.
+pub unsafe fn CPU_ZERO(cpuset: &mut cpu_set_t) {
+    cpuset.bits = [0; CPU_SETSIZE / 64];
+}
+
+/// Adds `cpu` to the set. Out-of-range indices are ignored, as in glibc.
+///
+/// # Safety
+///
+/// Always safe; `unsafe` only mirrors the `libc` crate's signature.
+pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE {
+        cpuset.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// Tests whether `cpu` is in the set; out-of-range indices are `false`.
+///
+/// # Safety
+///
+/// Always safe; `unsafe` only mirrors the `libc` crate's signature.
+pub unsafe fn CPU_ISSET(cpu: usize, cpuset: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE && cpuset.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+/// `sched_param` for `sched_setscheduler(2)`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct sched_param {
+    /// Real-time priority (`1..=99` for the RT classes, 0 otherwise).
+    pub sched_priority: i32,
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const cpu_set_t) -> i32;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: usize, mask: *mut cpu_set_t) -> i32;
+    pub fn sched_setscheduler(pid: pid_t, policy: i32, param: *const sched_param) -> i32;
+    pub fn sched_getscheduler(pid: pid_t) -> i32;
+    pub fn sched_getparam(pid: pid_t, param: *mut sched_param) -> i32;
+    pub fn sysconf(name: i32) -> c_long;
+}
+
+// Non-Linux stubs: same surface, every scheduling call reports failure and
+// sysconf falls back to "unknown" so callers use their defaults.
+#[cfg(not(target_os = "linux"))]
+mod stubs {
+    use super::{cpu_set_t, pid_t, sched_param};
+
+    pub unsafe fn sched_setaffinity(_: pid_t, _: usize, _: *const cpu_set_t) -> i32 {
+        -1
+    }
+    pub unsafe fn sched_getaffinity(_: pid_t, _: usize, _: *mut cpu_set_t) -> i32 {
+        -1
+    }
+    pub unsafe fn sched_setscheduler(_: pid_t, _: i32, _: *const sched_param) -> i32 {
+        -1
+    }
+    pub unsafe fn sched_getscheduler(_: pid_t) -> i32 {
+        -1
+    }
+    pub unsafe fn sched_getparam(_: pid_t, _: *mut sched_param) -> i32 {
+        -1
+    }
+    pub unsafe fn sysconf(_: i32) -> super::c_long {
+        -1
+    }
+}
+#[cfg(not(target_os = "linux"))]
+pub use stubs::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_roundtrip() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_ZERO(&mut set);
+            assert!(!CPU_ISSET(0, &set));
+            CPU_SET(0, &mut set);
+            CPU_SET(63, &mut set);
+            CPU_SET(64, &mut set);
+            CPU_SET(1023, &mut set);
+            CPU_SET(4096, &mut set); // ignored, out of range
+            assert!(CPU_ISSET(0, &set));
+            assert!(CPU_ISSET(63, &set));
+            assert!(CPU_ISSET(64, &set));
+            assert!(CPU_ISSET(1023, &set));
+            assert!(!CPU_ISSET(1, &set));
+            assert!(!CPU_ISSET(4096, &set));
+        }
+    }
+
+    #[test]
+    fn cpu_set_layout_matches_glibc() {
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+}

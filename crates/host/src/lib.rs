@@ -29,15 +29,17 @@
 
 pub mod calibrate;
 mod controller;
+mod ffi;
 mod monitor;
 pub mod procstat;
 mod runner;
+pub mod sync;
 pub mod sysapi;
 
 pub use controller::{HostConfig, HostEvent, HostRecord, HybridHostController};
 pub use monitor::{HostRightsizer, UtilizationMonitor, UtilizationSnapshot};
 pub use runner::{PlannedLaunch, TraceRunner};
 pub use sysapi::{
-    can_use_realtime, get_affinity, get_policy, num_cpus_configured, set_affinity,
-    set_policy, set_policy_or_fallback, Pid, SchedPolicy,
+    can_use_realtime, get_affinity, get_policy, num_cpus_configured, set_affinity, set_policy,
+    set_policy_or_fallback, Pid, SchedPolicy,
 };

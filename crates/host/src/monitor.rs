@@ -16,9 +16,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hybrid_scheduler::{MigrationDirection, RightsizingController};
-use parking_lot::Mutex;
 
 use crate::procstat::{read_core_ticks, CoreTicks};
+use crate::sync::Mutex;
 
 /// One utilization sample: per-core busy fraction since the previous
 /// sample, in `[0, 1]`.
@@ -34,8 +34,10 @@ impl UtilizationSnapshot {
         if cores.is_empty() {
             return 0.0;
         }
-        let sum: f64 =
-            cores.iter().map(|&c| self.per_core.get(c).copied().unwrap_or(0.0)).sum();
+        let sum: f64 = cores
+            .iter()
+            .map(|&c| self.per_core.get(c).copied().unwrap_or(0.0))
+            .sum();
         sum / cores.len() as f64
     }
 }
@@ -80,7 +82,11 @@ impl UtilizationMonitor {
                 *latest_w.lock() = UtilizationSnapshot { per_core };
             }
         });
-        Ok(UtilizationMonitor { latest, stop, handle: Some(handle) })
+        Ok(UtilizationMonitor {
+            latest,
+            stop,
+            handle: Some(handle),
+        })
     }
 
     /// The most recent snapshot (empty until the first period elapses).
@@ -123,7 +129,10 @@ impl HostRightsizer {
         cfs_cores: Vec<usize>,
         cfg: hybrid_scheduler::RightsizingConfig,
     ) -> Self {
-        assert!(!fifo_cores.is_empty() && !cfs_cores.is_empty(), "both groups non-empty");
+        assert!(
+            !fifo_cores.is_empty() && !cfs_cores.is_empty(),
+            "both groups non-empty"
+        );
         for c in &fifo_cores {
             assert!(!cfs_cores.contains(c), "core groups must be disjoint");
         }
@@ -190,7 +199,9 @@ mod tests {
     use hybrid_scheduler::RightsizingConfig;
 
     fn snap(vals: &[f64]) -> UtilizationSnapshot {
-        UtilizationSnapshot { per_core: vals.to_vec() }
+        UtilizationSnapshot {
+            per_core: vals.to_vec(),
+        }
     }
 
     fn rightsizer() -> HostRightsizer {
@@ -240,9 +251,15 @@ mod tests {
         );
         let busy = snap(&[1.0, 1.0, 0.1, 0.1, 0.1]);
         assert!(r.observe(SimTime::from_secs(10), &busy).is_some());
-        assert!(r.observe(SimTime::from_secs(10), &busy).is_none(), "cooldown");
+        assert!(
+            r.observe(SimTime::from_secs(10), &busy).is_none(),
+            "cooldown"
+        );
         assert!(r
-            .observe(SimTime::from_secs(10) + SimDuration::from_millis(200), &busy)
+            .observe(
+                SimTime::from_secs(10) + SimDuration::from_millis(200),
+                &busy
+            )
             .is_some());
         assert_eq!(r.migrations(), 2);
     }
@@ -250,7 +267,9 @@ mod tests {
     #[test]
     fn balanced_groups_do_nothing() {
         let mut r = rightsizer();
-        assert!(r.observe(SimTime::from_secs(5), &snap(&[0.9, 0.9, 0.85, 0.95])).is_none());
+        assert!(r
+            .observe(SimTime::from_secs(5), &snap(&[0.9, 0.9, 0.85, 0.95]))
+            .is_none());
     }
 
     #[test]
@@ -286,7 +305,10 @@ mod tests {
         }
         std::hint::black_box(acc);
         let snapshot = monitor.snapshot();
-        assert!(!snapshot.per_core.is_empty(), "sampler published a snapshot");
+        assert!(
+            !snapshot.per_core.is_empty(),
+            "sampler published a snapshot"
+        );
         assert!(snapshot.per_core.iter().all(|u| (0.0..=1.0).contains(u)));
     }
 

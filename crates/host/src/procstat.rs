@@ -9,6 +9,7 @@ use std::fs;
 use std::io;
 use std::time::Duration;
 
+use crate::ffi as libc;
 use crate::sysapi::Pid;
 
 /// Per-process CPU usage snapshot.
@@ -122,13 +123,24 @@ pub fn parse_core_ticks(content: &str) -> io::Result<Vec<CoreTicks>> {
         if nums.len() < 5 {
             continue;
         }
-        // user nice system idle iowait irq softirq steal ...
+        // user nice system idle iowait irq softirq steal guest guest_nice;
+        // guest/guest_nice are already folded into user/nice by the
+        // kernel, so summing past column 7 would double-count them.
         let idle = nums[3] + nums.get(4).copied().unwrap_or(0);
-        let busy: u64 = nums.iter().enumerate().filter(|(i, _)| *i != 3 && *i != 4).map(|(_, v)| v).sum();
+        let busy: u64 = nums
+            .iter()
+            .take(8)
+            .enumerate()
+            .filter(|(i, _)| *i != 3 && *i != 4)
+            .map(|(_, v)| v)
+            .sum();
         out.push(CoreTicks { busy, idle });
     }
     if out.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "no per-core cpu lines"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no per-core cpu lines",
+        ));
     }
     Ok(out)
 }
@@ -154,7 +166,10 @@ mod tests {
         assert_eq!(cpu.state, 'R');
         // 250 + 50 ticks at USER_HZ.
         let tps = super::ticks_per_second();
-        assert_eq!(cpu.total(), Duration::from_nanos(300 * (1_000_000_000 / tps)));
+        assert_eq!(
+            cpu.total(),
+            Duration::from_nanos(300 * (1_000_000_000 / tps))
+        );
     }
 
     #[test]
@@ -184,14 +199,47 @@ mod tests {
                        intr 12345\n";
         let cores = parse_core_ticks(content).unwrap();
         assert_eq!(cores.len(), 2);
-        assert_eq!(cores[0], CoreTicks { busy: 100, idle: 400 });
-        assert_eq!(cores[1], CoreTicks { busy: 100, idle: 410 });
+        assert_eq!(
+            cores[0],
+            CoreTicks {
+                busy: 100,
+                idle: 400
+            }
+        );
+        assert_eq!(
+            cores[1],
+            CoreTicks {
+                busy: 100,
+                idle: 410
+            }
+        );
+    }
+
+    #[test]
+    fn guest_ticks_are_not_double_counted() {
+        // guest (30) and guest_nice (5) are already inside user/nice.
+        let content = "cpu0 80 10 40 500 20 5 5 10 30 5\n";
+        let cores = parse_core_ticks(content).unwrap();
+        // busy = user+nice+system+irq+softirq+steal = 80+10+40+5+5+10.
+        assert_eq!(
+            cores[0],
+            CoreTicks {
+                busy: 150,
+                idle: 520
+            }
+        );
     }
 
     #[test]
     fn utilization_between_snapshots() {
-        let a = CoreTicks { busy: 100, idle: 100 };
-        let b = CoreTicks { busy: 175, idle: 125 };
+        let a = CoreTicks {
+            busy: 100,
+            idle: 100,
+        };
+        let b = CoreTicks {
+            busy: 175,
+            idle: 125,
+        };
         assert!((b.utilization_since(&a) - 0.75).abs() < 1e-12);
         assert_eq!(a.utilization_since(&a), 0.0);
     }

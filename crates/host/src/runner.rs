@@ -25,7 +25,9 @@ pub struct PlannedLaunch {
 
 impl std::fmt::Debug for PlannedLaunch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PlannedLaunch").field("at", &self.at).finish()
+        f.debug_struct("PlannedLaunch")
+            .field("at", &self.at)
+            .finish()
     }
 }
 
@@ -46,7 +48,11 @@ impl TraceRunner {
     /// Panics if `speedup` is not positive.
     pub fn new(launches: Vec<PlannedLaunch>, speedup: f64) -> Self {
         assert!(speedup > 0.0, "speedup must be positive");
-        TraceRunner { launches, speedup, poll: Duration::from_millis(20) }
+        TraceRunner {
+            launches,
+            speedup,
+            poll: Duration::from_millis(20),
+        }
     }
 
     /// Builds launches from a workload CSV (as written by
@@ -137,18 +143,24 @@ mod tests {
     fn sleep_launch(at_ms: u64, secs: &str) -> PlannedLaunch {
         let mut command = Command::new("sleep");
         command.arg(secs);
-        PlannedLaunch { at: Duration::from_millis(at_ms), command }
+        PlannedLaunch {
+            at: Duration::from_millis(at_ms),
+            command,
+        }
     }
 
     #[test]
     fn replays_in_order_and_drains() {
         let runner = TraceRunner::new(
-            vec![sleep_launch(0, "0.05"), sleep_launch(30, "0.05"), sleep_launch(60, "0.05")],
+            vec![
+                sleep_launch(0, "0.05"),
+                sleep_launch(30, "0.05"),
+                sleep_launch(60, "0.05"),
+            ],
             1.0,
         );
         assert_eq!(runner.len(), 3);
-        let ctl =
-            HybridHostController::new(HostConfig::split(1, 1, Duration::from_millis(500)));
+        let ctl = HybridHostController::new(HostConfig::split(1, 1, Duration::from_millis(500)));
         match runner.replay(&ctl, Duration::from_secs(10)) {
             Ok(n) => {
                 assert_eq!(n, 3);
@@ -161,8 +173,7 @@ mod tests {
     #[test]
     fn speedup_compresses_wall_clock() {
         let runner = TraceRunner::new(vec![sleep_launch(5_000, "0.01")], 100.0);
-        let ctl =
-            HybridHostController::new(HostConfig::split(1, 1, Duration::from_millis(500)));
+        let ctl = HybridHostController::new(HostConfig::split(1, 1, Duration::from_millis(500)));
         let t = Instant::now();
         match runner.replay(&ctl, Duration::from_secs(10)) {
             Ok(_) => assert!(
@@ -184,9 +195,8 @@ mod tests {
             "iat_us,fib_n,duration_us,mem_mib\n0,36,147000,128\n1000,41,1633000,256\n",
         )
         .unwrap();
-        let runner =
-            TraceRunner::from_workload_csv(path, PathBuf::from("/bin/true"), -10, 1.0)
-                .expect("parse workload");
+        let runner = TraceRunner::from_workload_csv(path, PathBuf::from("/bin/true"), -10, 1.0)
+            .expect("parse workload");
         assert_eq!(runner.len(), 2);
         assert_eq!(runner.launches[1].at, Duration::from_millis(1));
         let _ = std::fs::remove_dir_all(dir);
@@ -198,13 +208,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.csv");
         std::fs::write(&path, "iat_us,fib_n,duration_us,mem_mib\n1,2\n").unwrap();
-        assert!(TraceRunner::from_workload_csv(
-            path,
-            PathBuf::from("/bin/true"),
-            0,
-            1.0
-        )
-        .is_err());
+        assert!(TraceRunner::from_workload_csv(path, PathBuf::from("/bin/true"), 0, 1.0).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 }

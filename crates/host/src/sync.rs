@@ -1,0 +1,119 @@
+//! Tiny std-based stand-ins for `parking_lot` and `crossbeam-channel`.
+//!
+//! The offline build environment has no external crates, so this module
+//! provides the two primitives the host backend uses, with the same call
+//! shapes: a [`Mutex`] whose `lock()` returns the guard directly (poison
+//! is ignored — a panicked holder doesn't invalidate scheduler state
+//! here), and an [`unbounded`] MPMC channel whose [`Receiver`] is
+//! cloneable and supports non-blocking draining.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, MutexGuard};
+
+/// A mutex with `parking_lot`'s ergonomics: `lock()` returns the guard.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering the guard if a previous holder
+    /// panicked.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The sending half of an unbounded channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value; never blocks and never fails.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        self.queue.lock().push_back(value);
+        Ok(())
+    }
+}
+
+/// The receiving half of an unbounded channel; clone freely.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues one value if any is ready.
+    pub fn try_recv(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Drains every value currently in the channel without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv())
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let queue = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        Sender {
+            queue: Arc::clone(&queue),
+        },
+        Receiver { queue },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_delivers_in_order_across_clones() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let rx2 = rx.clone();
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

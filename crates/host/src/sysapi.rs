@@ -11,6 +11,8 @@
 
 use std::io;
 
+use crate::ffi as libc;
+
 /// A process id.
 pub type Pid = libc::pid_t;
 
@@ -59,7 +61,10 @@ impl SchedPolicy {
 /// `ESRCH` for a dead process).
 pub fn set_affinity(pid: Pid, cores: &[usize]) -> io::Result<()> {
     if cores.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty core set"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "empty core set",
+        ));
     }
     // SAFETY: cpu_set_t is a plain bitset; zeroed is a valid empty set.
     let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
@@ -112,7 +117,9 @@ pub fn get_affinity(pid: Pid) -> io::Result<Vec<usize>> {
 /// [`set_policy_or_fallback`]).
 pub fn set_policy(pid: Pid, policy: SchedPolicy) -> io::Result<()> {
     let (raw, prio) = policy.to_raw();
-    let param = libc::sched_param { sched_priority: prio };
+    let param = libc::sched_param {
+        sched_priority: prio,
+    };
     // SAFETY: `param` is a valid sched_param for the chosen policy.
     let rc = unsafe { libc::sched_setscheduler(pid, raw, &param) };
     if rc == 0 {
@@ -229,7 +236,10 @@ mod tests {
         // A fresh test process runs under CFS unless the harness changed it.
         assert!(matches!(
             p,
-            SchedPolicy::Other | SchedPolicy::Batch | SchedPolicy::Fifo(_) | SchedPolicy::RoundRobin(_)
+            SchedPolicy::Other
+                | SchedPolicy::Batch
+                | SchedPolicy::Fifo(_)
+                | SchedPolicy::RoundRobin(_)
         ));
     }
 

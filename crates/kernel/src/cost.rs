@@ -40,7 +40,10 @@ impl CostModel {
     /// A zero-cost model, useful to isolate purely structural queueing
     /// effects in tests and ablations.
     pub const fn free() -> Self {
-        CostModel { ctx_switch: SimDuration::ZERO, restore_penalty: SimDuration::ZERO }
+        CostModel {
+            ctx_switch: SimDuration::ZERO,
+            restore_penalty: SimDuration::ZERO,
+        }
     }
 
     /// Creates a model from microsecond values.

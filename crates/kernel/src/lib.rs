@@ -64,9 +64,7 @@ mod util;
 
 pub use crate::core::{CoreId, CoreState, CoreStats};
 pub use cost::CostModel;
-pub use machine::{
-    InterferenceConfig, Machine, MachineConfig, PolicyCall, SchedError, SimError,
-};
+pub use machine::{InterferenceConfig, Machine, MachineConfig, PolicyCall, SchedError, SimError};
 pub use message::KernelMessage;
 pub use sched::{Scheduler, SimReport, Simulation};
 pub use task::{PlacementHint, Task, TaskId, TaskSpec, TaskState};

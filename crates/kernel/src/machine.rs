@@ -339,9 +339,7 @@ impl Machine {
             .cores
             .iter()
             .find_map(|c| match c.state {
-                CoreState::Running(t) if t == id => {
-                    Some(self.now.saturating_since(c.work_start))
-                }
+                CoreState::Running(t) if t == id => Some(self.now.saturating_since(c.work_start)),
                 _ => None,
             })
             .unwrap_or(SimDuration::ZERO);
@@ -417,7 +415,11 @@ impl Machine {
         }
 
         let warm = self.cores[core.index()].last_task == Some(task);
-        let switch_cost = if warm { SimDuration::ZERO } else { self.cfg.cost.ctx_switch };
+        let switch_cost = if warm {
+            SimDuration::ZERO
+        } else {
+            self.cfg.cost.ctx_switch
+        };
         if state == TaskState::Preempted && !warm {
             // Cold resume: pay the cache/TLB restore penalty as extra work.
             let t = &mut self.tasks[task.index()];
@@ -445,10 +447,12 @@ impl Machine {
         let work_start = self.now + switch_cost;
         match slice {
             Some(s) if s < remaining => {
-                self.events.schedule(work_start + s, Event::SliceExpire { core, generation });
+                self.events
+                    .schedule(work_start + s, Event::SliceExpire { core, generation });
             }
             _ => {
-                self.events.schedule(work_start + remaining, Event::Complete { core, generation });
+                self.events
+                    .schedule(work_start + remaining, Event::Complete { core, generation });
             }
         }
         self.log(KernelMessage::Dispatch { task, core, slice });
@@ -473,7 +477,11 @@ impl Machine {
             _ => return Err(SchedError::NothingRunning(core)),
         };
         self.stop_running(core, task, false);
-        self.log(KernelMessage::TaskPreempt { task, core, by_interference: false });
+        self.log(KernelMessage::TaskPreempt {
+            task,
+            core,
+            by_interference: false,
+        });
         Ok(task)
     }
 
@@ -496,7 +504,9 @@ impl Machine {
         let (at, ev) = match self.events.pop() {
             Some(x) => x,
             None => {
-                return Err(SimError::Deadlock { unfinished: self.tasks.len() - self.finished })
+                return Err(SimError::Deadlock {
+                    unfinished: self.tasks.len() - self.finished,
+                })
             }
         };
         debug_assert!(at >= self.now, "time went backwards");
@@ -530,7 +540,8 @@ impl Machine {
                         // idle sweep can refill it) but the task is billed
                         // until the wait returns.
                         self.release_to_io(core, task);
-                        self.events.schedule(self.now + io_wait, Event::IoComplete(task));
+                        self.events
+                            .schedule(self.now + io_wait, Event::IoComplete(task));
                         PolicyCall::Internal
                     }
                 }
@@ -542,7 +553,10 @@ impl Machine {
                 t.state = TaskState::Finished;
                 self.finished += 1;
                 self.last_progress = self.now;
-                self.log(KernelMessage::TaskDead { task, core: CoreId(0) });
+                self.log(KernelMessage::TaskDead {
+                    task,
+                    core: CoreId(0),
+                });
                 PolicyCall::TaskFinished(task, CoreId(0))
             }
             Event::SliceExpire { core, generation } => {
@@ -573,7 +587,10 @@ impl Machine {
                     CoreState::Idle => None,
                 };
                 if self.cores[core.index()].state == CoreState::Idle {
-                    let icfg = self.cfg.interference.expect("interference event without config");
+                    let icfg = self
+                        .cfg
+                        .interference
+                        .expect("interference event without config");
                     let c = &mut self.cores[core.index()];
                     c.state = CoreState::Interference;
                     c.generation += 1;
@@ -601,10 +618,15 @@ impl Machine {
                     self.log(KernelMessage::InterferenceEnd { core });
                 }
                 // Schedule the next episode regardless.
-                let icfg = self.cfg.interference.expect("interference event without config");
-                let gap =
-                    SimDuration::from_secs_f64(self.rng.exponential(icfg.mean_interval.as_secs_f64()));
-                self.events.schedule(self.now + gap, Event::InterferenceStart(core));
+                let icfg = self
+                    .cfg
+                    .interference
+                    .expect("interference event without config");
+                let gap = SimDuration::from_secs_f64(
+                    self.rng.exponential(icfg.mean_interval.as_secs_f64()),
+                );
+                self.events
+                    .schedule(self.now + gap, Event::InterferenceStart(core));
                 PolicyCall::Internal
             }
             Event::Tick => {
@@ -623,7 +645,10 @@ impl Machine {
         let (ran, since) = {
             let c = &mut self.cores[core.index()];
             let ran = now.saturating_since(c.work_start);
-            let since = c.busy_since.take().expect("running core without busy_since");
+            let since = c
+                .busy_since
+                .take()
+                .expect("running core without busy_since");
             c.state = CoreState::Idle;
             c.generation += 1; // invalidate in-flight Complete/SliceExpire
             c.preemptions += 1;
@@ -645,7 +670,10 @@ impl Machine {
         let now = self.now;
         let since = {
             let c = &mut self.cores[core.index()];
-            let since = c.busy_since.take().expect("running core without busy_since");
+            let since = c
+                .busy_since
+                .take()
+                .expect("running core without busy_since");
             c.state = CoreState::Idle;
             c.generation += 1;
             since
@@ -662,7 +690,10 @@ impl Machine {
         let now = self.now;
         let since = {
             let c = &mut self.cores[core.index()];
-            let since = c.busy_since.take().expect("running core without busy_since");
+            let since = c
+                .busy_since
+                .take()
+                .expect("running core without busy_since");
             c.state = CoreState::Idle;
             c.generation += 1;
             since
@@ -690,10 +721,16 @@ mod tests {
     use super::*;
 
     fn one_task_machine(work_ms: u64) -> Machine {
-        let cfg = MachineConfig::new(1).with_cost(CostModel::free()).with_message_log();
+        let cfg = MachineConfig::new(1)
+            .with_cost(CostModel::free())
+            .with_message_log();
         Machine::new(
             cfg,
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(work_ms), 128)],
+            vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_millis(work_ms),
+                128,
+            )],
         )
     }
 
@@ -719,7 +756,8 @@ mod tests {
     fn slice_expiry_preempts_and_accounts_progress() {
         let mut m = one_task_machine(100);
         m.advance().unwrap();
-        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(30))).unwrap();
+        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(30)))
+            .unwrap();
         assert_eq!(
             m.advance().unwrap(),
             Some(PolicyCall::SliceExpired(TaskId(0), CoreId(0)))
@@ -736,10 +774,15 @@ mod tests {
         let cfg = MachineConfig::new(1).with_cost(CostModel::from_micros(1_000, 5_000));
         let mut m = Machine::new(
             cfg,
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)],
+            vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_millis(100),
+                128,
+            )],
         );
         m.advance().unwrap();
-        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(30))).unwrap();
+        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(30)))
+            .unwrap();
         m.advance().unwrap(); // slice expiry at 1ms (switch) + 30ms
         assert_eq!(m.now(), SimTime::from_micros(31_000));
         assert_eq!(m.task(TaskId(0)).remaining(), SimDuration::from_millis(70));
@@ -756,10 +799,15 @@ mod tests {
         let cfg = MachineConfig::new(2).with_cost(CostModel::from_micros(0, 5_000));
         let mut m = Machine::new(
             cfg,
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)],
+            vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_millis(100),
+                128,
+            )],
         );
         m.advance().unwrap();
-        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(40))).unwrap();
+        m.dispatch(CoreId(0), TaskId(0), Some(SimDuration::from_millis(40)))
+            .unwrap();
         m.advance().unwrap();
         // Resume on a different core: remaining 60ms + 5ms penalty.
         m.dispatch(CoreId(1), TaskId(0), None).unwrap();
@@ -815,7 +863,10 @@ mod tests {
             m.dispatch(CoreId(0), TaskId(0), None),
             Err(SchedError::NotRunnable(TaskId(0)))
         );
-        assert_eq!(m.preempt(CoreId(0)), Err(SchedError::NothingRunning(CoreId(0))));
+        assert_eq!(
+            m.preempt(CoreId(0)),
+            Err(SchedError::NothingRunning(CoreId(0)))
+        );
     }
 
     #[test]
@@ -879,7 +930,10 @@ mod tests {
         assert_eq!(t.completion(), Some(SimTime::from_micros(60_001_000)));
         // Billing: execution (wall clock) is the full minute; CPU is 1 ms —
         // the paper's §I AWS Lambda example.
-        assert_eq!(t.execution_time(), Some(SimDuration::from_micros(60_001_000)));
+        assert_eq!(
+            t.execution_time(),
+            Some(SimDuration::from_micros(60_001_000))
+        );
         assert_eq!(t.cpu_time(), SimDuration::from_millis(1));
     }
 
@@ -895,7 +949,11 @@ mod tests {
             .with_seed(7);
         let mut m = Machine::new(
             cfg,
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(1), 128)],
+            vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+                128,
+            )],
         );
         m.advance().unwrap();
         m.dispatch(CoreId(0), TaskId(0), None).unwrap();

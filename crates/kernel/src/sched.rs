@@ -162,9 +162,7 @@ impl<P: Scheduler> Simulation<P> {
             PolicyCall::TaskNew(t) => self.policy.on_task_new(m, t),
             PolicyCall::TaskFinished(t, c) => self.policy.on_task_finished(m, t, c),
             PolicyCall::SliceExpired(t, c) => self.policy.on_slice_expired(m, t, c),
-            PolicyCall::InterferencePreempt(t, c) => {
-                self.policy.on_interference_preempt(m, t, c)
-            }
+            PolicyCall::InterferencePreempt(t, c) => self.policy.on_interference_preempt(m, t, c),
             PolicyCall::Tick => self.policy.on_tick(m),
             PolicyCall::Internal => {}
         }
@@ -231,7 +229,15 @@ mod tests {
 
     fn run_fifo(cores: usize, specs: Vec<TaskSpec>) -> SimReport {
         let cfg = MachineConfig::new(cores).with_cost(crate::CostModel::free());
-        Simulation::new(cfg, specs, TestFifo { queue: VecDeque::new() }).run().unwrap()
+        Simulation::new(
+            cfg,
+            specs,
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run()
+        .unwrap()
     }
 
     #[test]
@@ -240,8 +246,11 @@ mod tests {
             .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128))
             .collect();
         let report = run_fifo(1, specs);
-        let completions: Vec<u64> =
-            report.tasks.iter().map(|t| t.completion().unwrap().as_millis()).collect();
+        let completions: Vec<u64> = report
+            .tasks
+            .iter()
+            .map(|t| t.completion().unwrap().as_millis())
+            .collect();
         assert_eq!(completions, vec![10, 20, 30, 40, 50]);
         assert_eq!(report.finished_at, SimTime::from_millis(50));
     }
@@ -265,7 +274,10 @@ mod tests {
         assert_eq!(report.tasks[0].completion(), Some(SimTime::from_millis(30)));
         // Second task arrives at 100, after the first finished.
         assert_eq!(report.tasks[1].response_time(), Some(SimDuration::ZERO));
-        assert_eq!(report.tasks[1].completion(), Some(SimTime::from_millis(105)));
+        assert_eq!(
+            report.tasks[1].completion(),
+            Some(SimTime::from_millis(105))
+        );
     }
 
     #[test]

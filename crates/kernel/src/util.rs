@@ -37,7 +37,10 @@ impl UtilizationLedger {
     /// Panics if `bucket` is zero.
     pub fn new(cores: usize, bucket: SimDuration) -> Self {
         assert!(!bucket.is_zero(), "bucket width must be positive");
-        UtilizationLedger { bucket, busy: vec![Vec::new(); cores] }
+        UtilizationLedger {
+            bucket,
+            busy: vec![Vec::new(); cores],
+        }
     }
 
     /// Bucket width used by this ledger.
@@ -94,7 +97,11 @@ impl UtilizationLedger {
     /// Panics if `cores` is empty.
     pub fn group_bucket_utilization(&self, cores: &[usize], bucket: usize) -> f64 {
         assert!(!cores.is_empty(), "group must be non-empty");
-        cores.iter().map(|&c| self.bucket_utilization(c, bucket)).sum::<f64>() / cores.len() as f64
+        cores
+            .iter()
+            .map(|&c| self.bucket_utilization(c, bucket))
+            .sum::<f64>()
+            / cores.len() as f64
     }
 
     /// Average utilization of one core over the trailing `window` ending at
@@ -159,7 +166,7 @@ mod tests {
     fn group_average() {
         let mut l = ledger();
         l.record_busy(0, SimTime::ZERO, SimTime::from_secs(1)); // core 0: 100%
-        // core 1 idle.
+                                                                // core 1 idle.
         assert!((l.group_bucket_utilization(&[0, 1], 0) - 0.5).abs() < 1e-9);
     }
 
@@ -174,7 +181,10 @@ mod tests {
         let u = l.windowed_utilization(0, SimTime::from_secs(4), SimDuration::from_secs(4));
         assert!((u - 0.5).abs() < 1e-9);
         // Zero-length window.
-        assert_eq!(l.windowed_utilization(0, SimTime::ZERO, SimDuration::ZERO), 0.0);
+        assert_eq!(
+            l.windowed_utilization(0, SimTime::ZERO, SimDuration::ZERO),
+            0.0
+        );
     }
 
     #[test]

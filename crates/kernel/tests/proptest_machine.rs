@@ -8,8 +8,8 @@ use faas_kernel::{
     CoreId, CoreState, CostModel, InterferenceConfig, KernelMessage, Machine, MachineConfig,
     Scheduler, Simulation, TaskId, TaskSpec,
 };
+use faas_simcore::check::{self, Gen};
 use faas_simcore::{SimDuration, SimTime};
-use proptest::prelude::*;
 
 use faas_simcore::SimDuration as Dur;
 
@@ -22,10 +22,17 @@ struct Chaos {
 
 impl Chaos {
     fn new(seed: u64, preempt_bias: bool) -> Self {
-        Chaos { runnable: Vec::new(), state: seed | 1, preempt_bias }
+        Chaos {
+            runnable: Vec::new(),
+            state: seed | 1,
+            preempt_bias,
+        }
     }
     fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.state >> 33
     }
 }
@@ -64,35 +71,34 @@ impl Scheduler for Chaos {
             2 => Some(Dur::from_millis(1 + self.next() % 20)),
             _ => Some(Dur::from_secs(10)),
         };
-        m.dispatch(core, task, slice).expect("dispatch on idle core");
+        m.dispatch(core, task, slice)
+            .expect("dispatch on idle core");
     }
 }
 
-fn arb_specs() -> impl Strategy<Value = Vec<TaskSpec>> {
-    prop::collection::vec((0u64..2_000, 1u64..500), 1..40).prop_map(|raw| {
-        raw.into_iter()
-            .map(|(arr, work)| {
-                TaskSpec::function(
-                    SimTime::from_millis(arr),
-                    SimDuration::from_millis(work),
-                    128,
-                )
-            })
-            .collect()
-    })
+fn arb_specs(g: &mut Gen) -> Vec<TaskSpec> {
+    let n = g.usize_in(1, 40);
+    (0..n)
+        .map(|_| {
+            let arr = g.u64_in(0, 2_000);
+            let work = g.u64_in(1, 500);
+            TaskSpec::function(
+                SimTime::from_millis(arr),
+                SimDuration::from_millis(work),
+                128,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever the chaos agent does, accounting stays consistent.
-    #[test]
-    fn kernel_accounting_survives_chaos(
-        specs in arb_specs(),
-        seed in any::<u64>(),
-        cores in 1usize..5,
-        preempt_bias in any::<bool>(),
-    ) {
+/// Whatever the chaos agent does, accounting stays consistent.
+#[test]
+fn kernel_accounting_survives_chaos() {
+    check::run("kernel_accounting_survives_chaos", 64, |g| {
+        let specs = arb_specs(g);
+        let seed = g.u64_in(0, u64::MAX);
+        let cores = g.usize_in(1, 5);
+        let preempt_bias = g.boolean();
         let cfg = MachineConfig::new(cores)
             .with_cost(CostModel::from_micros(3, 50))
             .with_message_log();
@@ -101,29 +107,36 @@ proptest! {
         let report = Simulation::new(cfg, specs, Chaos::new(seed, preempt_bias))
             .run()
             .expect("chaos must not deadlock the kernel");
-        prop_assert_eq!(report.tasks.len(), total);
+        assert_eq!(report.tasks.len(), total);
         for (task, work) in report.tasks.iter().zip(&works) {
-            prop_assert!(task.completion().is_some());
+            assert!(task.completion().is_some());
             // A task consumes at least its nominal work; preemptions only add.
-            prop_assert!(task.cpu_time() >= *work);
+            assert!(task.cpu_time() >= *work);
             let exec = task.execution_time().unwrap();
-            prop_assert!(exec + SimDuration::from_micros(1) >= task.cpu_time() - (task.cpu_time() - *work),
-                "execution wall-clock below pure work");
+            assert!(
+                exec + SimDuration::from_micros(1) >= task.cpu_time() - (task.cpu_time() - *work),
+                "execution wall-clock below pure work"
+            );
         }
         // Busy time is bounded by capacity.
         let busy: SimDuration = report.core_stats.iter().map(|s| s.busy).sum();
         let cap = SimDuration::from_micros(report.finished_at.as_micros() * cores as u64);
-        prop_assert!(busy <= cap + SimDuration::from_micros(1));
-    }
+        assert!(busy <= cap + SimDuration::from_micros(1));
+    });
+}
 
-    /// The kernel message protocol is well-formed under chaos: one
-    /// TaskNew and one TaskDead per task, dispatches between them.
-    #[test]
-    fn message_protocol_is_well_formed(specs in arb_specs(), seed in any::<u64>()) {
+/// The kernel message protocol is well-formed under chaos: one
+/// TaskNew and one TaskDead per task, dispatches between them.
+#[test]
+fn message_protocol_is_well_formed() {
+    check::run("message_protocol_is_well_formed", 64, |g| {
+        let specs = arb_specs(g);
+        let seed = g.u64_in(0, u64::MAX);
         let cfg = MachineConfig::new(2).with_message_log();
         let total = specs.len();
-        let report =
-            Simulation::new(cfg, specs, Chaos::new(seed, true)).run().expect("completes");
+        let report = Simulation::new(cfg, specs, Chaos::new(seed, true))
+            .run()
+            .expect("completes");
         let log = report.machine.messages();
         let mut news = vec![0u32; total];
         let mut deads = vec![0u32; total];
@@ -137,24 +150,37 @@ proptest! {
             }
         }
         for i in 0..total {
-            prop_assert_eq!(news[i], 1, "exactly one TaskNew");
-            prop_assert_eq!(deads[i], 1, "exactly one TaskDead");
-            prop_assert!(dispatches[i] >= 1, "ran at least once");
+            assert_eq!(news[i], 1, "exactly one TaskNew");
+            assert_eq!(deads[i], 1, "exactly one TaskDead");
+            assert!(dispatches[i] >= 1, "ran at least once");
         }
         // Per task: TaskNew precedes first Dispatch precedes TaskDead.
         for i in 0..total {
             let tid = |m: &KernelMessage| m.task().map(|t| t.index() == i).unwrap_or(false);
-            let first_new = log.iter().position(|(_, m)| matches!(m, KernelMessage::TaskNew{..}) && tid(m)).unwrap();
-            let first_dispatch = log.iter().position(|(_, m)| matches!(m, KernelMessage::Dispatch{..}) && tid(m)).unwrap();
-            let dead = log.iter().position(|(_, m)| matches!(m, KernelMessage::TaskDead{..}) && tid(m)).unwrap();
-            prop_assert!(first_new < first_dispatch);
-            prop_assert!(first_dispatch < dead);
+            let first_new = log
+                .iter()
+                .position(|(_, m)| matches!(m, KernelMessage::TaskNew { .. }) && tid(m))
+                .unwrap();
+            let first_dispatch = log
+                .iter()
+                .position(|(_, m)| matches!(m, KernelMessage::Dispatch { .. }) && tid(m))
+                .unwrap();
+            let dead = log
+                .iter()
+                .position(|(_, m)| matches!(m, KernelMessage::TaskDead { .. }) && tid(m))
+                .unwrap();
+            assert!(first_new < first_dispatch);
+            assert!(first_dispatch < dead);
         }
-    }
+    });
+}
 
-    /// Interference storms never corrupt accounting or strand tasks.
-    #[test]
-    fn interference_storm_is_survivable(specs in arb_specs(), seed in any::<u64>()) {
+/// Interference storms never corrupt accounting or strand tasks.
+#[test]
+fn interference_storm_is_survivable() {
+    check::run("interference_storm_is_survivable", 64, |g| {
+        let specs = arb_specs(g);
+        let seed = g.u64_in(0, u64::MAX);
         let storm = InterferenceConfig {
             mean_interval: SimDuration::from_millis(50),
             duration: SimDuration::from_millis(10),
@@ -163,11 +189,16 @@ proptest! {
             .with_interference(storm)
             .with_seed(seed);
         let total = specs.len();
-        let report =
-            Simulation::new(cfg, specs, Chaos::new(seed ^ 0xABCD, false)).run().expect("completes");
-        prop_assert_eq!(
-            report.tasks.iter().filter(|t| t.completion().is_some()).count(),
+        let report = Simulation::new(cfg, specs, Chaos::new(seed ^ 0xABCD, false))
+            .run()
+            .expect("completes");
+        assert_eq!(
+            report
+                .tasks
+                .iter()
+                .filter(|t| t.completion().is_some())
+                .count(),
             total
         );
-    }
+    });
 }

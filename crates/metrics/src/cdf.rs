@@ -70,7 +70,10 @@ impl DurationCdf {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&p), "percentile fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile fraction must be in [0,1]"
+        );
         let n = self.sorted.len();
         let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
         self.sorted[rank - 1]

@@ -75,7 +75,10 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let mut lines = text.lines();
         assert!(lines.next().unwrap().starts_with("arrival_us,"));
-        assert_eq!(lines.next().unwrap(), "0,1000,3000,1000,2000,3000,2000,1,128");
+        assert_eq!(
+            lines.next().unwrap(),
+            "0,1000,3000,1000,2000,3000,2000,1,128"
+        );
         assert_eq!(lines.next(), None);
     }
 

@@ -85,7 +85,10 @@ impl std::error::Error for UnfinishedTaskError {}
 /// Converts every finished task of a report into records, preserving order
 /// and skipping unfinished ones.
 pub fn records_from_tasks(tasks: &[Task]) -> Vec<TaskRecord> {
-    tasks.iter().filter_map(|t| TaskRecord::try_from(t).ok()).collect()
+    tasks
+        .iter()
+        .filter_map(|t| TaskRecord::try_from(t).ok())
+        .collect()
 }
 
 #[cfg(test)]
@@ -120,16 +123,22 @@ mod tests {
     fn stretch_ratio() {
         let r = record();
         assert!((r.stretch() - 3.0).abs() < 1e-12);
-        let ideal = TaskRecord { cpu_time: SimDuration::from_millis(300), ..r };
+        let ideal = TaskRecord {
+            cpu_time: SimDuration::from_millis(300),
+            ..r
+        };
         assert!((ideal.stretch() - 1.0).abs() < 1e-12);
-        let degenerate = TaskRecord { cpu_time: SimDuration::ZERO, ..r };
+        let degenerate = TaskRecord {
+            cpu_time: SimDuration::ZERO,
+            ..r
+        };
         assert_eq!(degenerate.stretch(), 1.0);
     }
 
     #[test]
     fn conversion_from_kernel_task() {
-        use faas_kernel::{MachineConfig, Simulation, TaskSpec};
         use faas_kernel::{CoreId, Machine, Scheduler, TaskId};
+        use faas_kernel::{MachineConfig, Simulation, TaskSpec};
         struct Greedy;
         impl Scheduler for Greedy {
             fn name(&self) -> &str {
@@ -141,9 +150,14 @@ mod tests {
             fn on_slice_expired(&mut self, _m: &mut Machine, _t: TaskId, _c: CoreId) {}
             fn on_core_idle(&mut self, _m: &mut Machine, _c: CoreId) {}
         }
-        let specs =
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 512)];
-        let report = Simulation::new(MachineConfig::new(1), specs, Greedy).run().unwrap();
+        let specs = vec![TaskSpec::function(
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            512,
+        )];
+        let report = Simulation::new(MachineConfig::new(1), specs, Greedy)
+            .run()
+            .unwrap();
         let recs = records_from_tasks(&report.tasks);
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].mem_mib, 512);
@@ -155,7 +169,11 @@ mod tests {
         use faas_kernel::{Machine, MachineConfig, TaskSpec};
         let m = Machine::new(
             MachineConfig::new(1),
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(1), 128)],
+            vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_millis(1),
+                128,
+            )],
         );
         let err = TaskRecord::try_from(&m.tasks()[0]).unwrap_err();
         assert_eq!(err, UnfinishedTaskError);

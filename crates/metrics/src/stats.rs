@@ -28,8 +28,15 @@ pub fn mean_stddev(values: &[SimDuration]) -> (SimDuration, SimDuration) {
     assert!(!values.is_empty(), "need at least one value");
     let n = values.len() as f64;
     let mean = values.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n;
-    let var = values.iter().map(|d| (d.as_secs_f64() - mean).powi(2)).sum::<f64>() / n;
-    (SimDuration::from_secs_f64(mean), SimDuration::from_secs_f64(var.sqrt()))
+    let var = values
+        .iter()
+        .map(|d| (d.as_secs_f64() - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    (
+        SimDuration::from_secs_f64(mean),
+        SimDuration::from_secs_f64(var.sqrt()),
+    )
 }
 
 /// Jain's fairness index over non-negative values: 1.0 = perfectly equal,
@@ -41,7 +48,10 @@ pub fn mean_stddev(values: &[SimDuration]) -> (SimDuration, SimDuration) {
 /// Panics if `values` is empty or any value is negative.
 pub fn jain_fairness(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "need at least one value");
-    assert!(values.iter().all(|v| *v >= 0.0), "values must be non-negative");
+    assert!(
+        values.iter().all(|v| *v >= 0.0),
+        "values must be non-negative"
+    );
     let sum: f64 = values.iter().sum();
     let sum_sq: f64 = values.iter().map(|v| v * v).sum();
     if sum_sq == 0.0 {
@@ -156,8 +166,10 @@ mod tests {
         let (m, sd) = mean_stddev(&[SimDuration::from_millis(4)]);
         assert_eq!(m, SimDuration::from_millis(4));
         assert_eq!(sd, SimDuration::ZERO);
-        let values: Vec<SimDuration> =
-            [2u64, 4, 4, 4, 5, 5, 7, 9].iter().map(|&v| SimDuration::from_millis(v)).collect();
+        let values: Vec<SimDuration> = [2u64, 4, 4, 4, 5, 5, 7, 9]
+            .iter()
+            .map(|&v| SimDuration::from_millis(v))
+            .collect();
         let (m, sd) = mean_stddev(&values);
         assert_eq!(m, SimDuration::from_millis(5));
         assert_eq!(sd, SimDuration::from_millis(2));

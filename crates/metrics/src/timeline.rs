@@ -88,10 +88,8 @@ mod tests {
         let mut ledger = UtilizationLedger::new(2, SimDuration::from_secs(1));
         ledger.record_busy(0, SimTime::ZERO, SimTime::from_secs(2));
         ledger.record_busy(1, SimTime::ZERO, SimTime::from_secs(1));
-        let series = group_utilization_series(
-            &ledger,
-            &[CoreId::from_index(0), CoreId::from_index(1)],
-        );
+        let series =
+            group_utilization_series(&ledger, &[CoreId::from_index(0), CoreId::from_index(1)]);
         assert_eq!(series.len(), 2);
         assert!((series[0].1 - 1.0).abs() < 1e-9);
         assert!((series[1].1 - 0.5).abs() < 1e-9);
@@ -99,10 +97,7 @@ mod tests {
 
     #[test]
     fn step_series_holds_last_value() {
-        let history = vec![
-            (SimTime::ZERO, 10u64),
-            (SimTime::from_secs(3), 20u64),
-        ];
+        let history = vec![(SimTime::ZERO, 10u64), (SimTime::from_secs(3), 20u64)];
         let out = step_series(&history, SimTime::from_secs(5), SimDuration::from_secs(1));
         let values: Vec<u64> = out.iter().map(|(_, v)| *v).collect();
         assert_eq!(values, vec![10, 10, 10, 20, 20, 20]);
@@ -110,9 +105,14 @@ mod tests {
 
     #[test]
     fn step_series_with_dense_history() {
-        let history: Vec<(SimTime, u64)> =
-            (0..10).map(|i| (SimTime::from_millis(i * 100), i)).collect();
-        let out = step_series(&history, SimTime::from_millis(900), SimDuration::from_millis(300));
+        let history: Vec<(SimTime, u64)> = (0..10)
+            .map(|i| (SimTime::from_millis(i * 100), i))
+            .collect();
+        let out = step_series(
+            &history,
+            SimTime::from_millis(900),
+            SimDuration::from_millis(300),
+        );
         let values: Vec<u64> = out.iter().map(|(_, v)| *v).collect();
         assert_eq!(values, vec![0, 3, 6, 9]);
     }

@@ -93,7 +93,10 @@ impl Cfs {
     /// Panics if `cores` is zero or `min_granularity` is zero.
     pub fn with_params(cores: usize, params: CfsParams) -> Self {
         assert!(cores > 0, "need at least one core");
-        assert!(!params.min_granularity.is_zero(), "min_granularity must be positive");
+        assert!(
+            !params.min_granularity.is_zero(),
+            "min_granularity must be positive"
+        );
         Cfs {
             params,
             rqs: (0..cores).map(|_| CoreRq::default()).collect(),
@@ -211,7 +214,8 @@ impl Scheduler for Cfs {
         let rq = &mut self.rqs[idx];
         rq.min_vruntime = rq.min_vruntime.max(key.0);
         let slice = self.slice_for(self.rqs[idx].queue.len());
-        m.dispatch(core, key.1, Some(slice)).expect("cfs dispatch on idle core");
+        m.dispatch(core, key.1, Some(slice))
+            .expect("cfs dispatch on idle core");
     }
 }
 
@@ -223,7 +227,9 @@ mod tests {
 
     fn run(cores: usize, specs: Vec<TaskSpec>) -> SimReport {
         let cfg = MachineConfig::new(cores).with_cost(CostModel::free());
-        Simulation::new(cfg, specs, Cfs::with_cores(cores)).run().unwrap()
+        Simulation::new(cfg, specs, Cfs::with_cores(cores))
+            .run()
+            .unwrap()
     }
 
     fn uniform(n: usize, work_ms: u64) -> Vec<TaskSpec> {
@@ -243,10 +249,16 @@ mod tests {
         // 8 identical tasks on 1 core must all finish within one slice of
         // each other (processor sharing).
         let report = run(1, uniform(8, 40));
-        let completions: Vec<u64> =
-            report.tasks.iter().map(|t| t.completion().unwrap().as_millis()).collect();
+        let completions: Vec<u64> = report
+            .tasks
+            .iter()
+            .map(|t| t.completion().unwrap().as_millis())
+            .collect();
         let spread = completions.iter().max().unwrap() - completions.iter().min().unwrap();
-        assert!(spread <= 40, "completion spread {spread}ms too wide for fair sharing");
+        assert!(
+            spread <= 40,
+            "completion spread {spread}ms too wide for fair sharing"
+        );
     }
 
     #[test]
@@ -306,7 +318,9 @@ mod tests {
             TaskSpec::function(SimTime::from_millis(500), SimDuration::from_millis(10), 128),
         ];
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report = Simulation::new(cfg, specs, Cfs::with_cores(1)).run().unwrap();
+        let report = Simulation::new(cfg, specs, Cfs::with_cores(1))
+            .run()
+            .unwrap();
         assert!(
             report.tasks[1].response_time().unwrap() <= SimDuration::from_millis(1),
             "wakeup preemption must run the newcomer immediately, got {}",
@@ -320,10 +334,14 @@ mod tests {
             TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(5), 128),
             TaskSpec::function(SimTime::from_millis(500), SimDuration::from_millis(10), 128),
         ];
-        let params = CfsParams { wakeup_preemption: false, ..CfsParams::default() };
+        let params = CfsParams {
+            wakeup_preemption: false,
+            ..CfsParams::default()
+        };
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report =
-            Simulation::new(cfg, specs, Cfs::with_params(1, params)).run().unwrap();
+        let report = Simulation::new(cfg, specs, Cfs::with_params(1, params))
+            .run()
+            .unwrap();
         // Without the wakeup path the newcomer waits for the slice timer.
         assert!(
             report.tasks[1].response_time().unwrap() >= SimDuration::from_millis(2),

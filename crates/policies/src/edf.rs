@@ -41,7 +41,9 @@ pub struct Edf {
 impl Edf {
     /// Creates an empty EDF agent.
     pub fn new() -> Self {
-        Edf { queue: BinaryHeap::new() }
+        Edf {
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// Number of queued (not running) tasks.
@@ -145,7 +147,10 @@ mod tests {
         ];
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
         let report = Simulation::new(cfg, specs, Edf::new()).run().unwrap();
-        assert!(report.tasks[0].preemptions() >= 1, "long task must be preempted");
+        assert!(
+            report.tasks[0].preemptions() >= 1,
+            "long task must be preempted"
+        );
         assert!(
             report.tasks[1].response_time().unwrap() <= SimDuration::from_millis(5),
             "urgent task runs immediately"

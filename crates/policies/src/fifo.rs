@@ -41,7 +41,9 @@ pub struct Fifo {
 impl Fifo {
     /// Creates an empty FIFO agent.
     pub fn new() -> Self {
-        Fifo { queue: VecDeque::new() }
+        Fifo {
+            queue: VecDeque::new(),
+        }
     }
 
     /// Number of tasks waiting in the global queue.
@@ -67,7 +69,8 @@ impl Scheduler for Fifo {
 
     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
         if let Some(task) = self.queue.pop_front() {
-            m.dispatch(core, task, None).expect("fifo dispatch on idle core");
+            m.dispatch(core, task, None)
+                .expect("fifo dispatch on idle core");
         }
     }
 }
@@ -87,17 +90,15 @@ mod tests {
     #[test]
     fn runs_in_arrival_order_single_core() {
         let specs: Vec<TaskSpec> = (0..4)
-            .map(|i| {
-                TaskSpec::function(
-                    SimTime::from_millis(i),
-                    SimDuration::from_millis(50),
-                    128,
-                )
-            })
+            .map(|i| TaskSpec::function(SimTime::from_millis(i), SimDuration::from_millis(50), 128))
             .collect();
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
         let report = Simulation::new(cfg, specs, Fifo::new()).run().unwrap();
-        let first_runs: Vec<_> = report.tasks.iter().map(|t| t.first_run().unwrap()).collect();
+        let first_runs: Vec<_> = report
+            .tasks
+            .iter()
+            .map(|t| t.first_run().unwrap())
+            .collect();
         let mut sorted = first_runs.clone();
         sorted.sort();
         assert_eq!(first_runs, sorted);
@@ -106,7 +107,9 @@ mod tests {
     #[test]
     fn execution_equals_work_without_interference() {
         let cfg = MachineConfig::new(2).with_cost(CostModel::free());
-        let report = Simulation::new(cfg, uniform_specs(10, 25), Fifo::new()).run().unwrap();
+        let report = Simulation::new(cfg, uniform_specs(10, 25), Fifo::new())
+            .run()
+            .unwrap();
         for t in &report.tasks {
             assert_eq!(t.execution_time().unwrap(), SimDuration::from_millis(25));
             assert_eq!(t.preemptions(), 0);
@@ -132,7 +135,9 @@ mod tests {
     #[test]
     fn zero_preemptions_across_cores() {
         let cfg = MachineConfig::new(4).with_cost(CostModel::default());
-        let report = Simulation::new(cfg, uniform_specs(40, 10), Fifo::new()).run().unwrap();
+        let report = Simulation::new(cfg, uniform_specs(40, 10), Fifo::new())
+            .run()
+            .unwrap();
         assert_eq!(report.total_preemptions(), 0);
     }
 }

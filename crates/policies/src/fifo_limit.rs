@@ -45,7 +45,10 @@ impl FifoWithLimit {
     /// Panics if `limit` is zero.
     pub fn new(limit: SimDuration) -> Self {
         assert!(!limit.is_zero(), "preemption limit must be positive");
-        FifoWithLimit { queue: VecDeque::new(), limit }
+        FifoWithLimit {
+            queue: VecDeque::new(),
+            limit,
+        }
     }
 
     /// The configured preemption limit.
@@ -74,7 +77,8 @@ impl Scheduler for FifoWithLimit {
 
     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
         if let Some(task) = self.queue.pop_front() {
-            m.dispatch(core, task, Some(self.limit)).expect("dispatch on idle core");
+            m.dispatch(core, task, Some(self.limit))
+                .expect("dispatch on idle core");
         }
     }
 }
@@ -91,10 +95,13 @@ mod tests {
             .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(50), 128))
             .collect();
         let cfg = MachineConfig::new(2).with_cost(CostModel::free());
-        let report =
-            Simulation::new(cfg, specs, FifoWithLimit::new(SimDuration::from_millis(100)))
-                .run()
-                .unwrap();
+        let report = Simulation::new(
+            cfg,
+            specs,
+            FifoWithLimit::new(SimDuration::from_millis(100)),
+        )
+        .run()
+        .unwrap();
         assert!(report.tasks.iter().all(|t| t.preemptions() == 0));
     }
 
@@ -106,10 +113,13 @@ mod tests {
             TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128),
         ];
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report =
-            Simulation::new(cfg, specs, FifoWithLimit::new(SimDuration::from_millis(100)))
-                .run()
-                .unwrap();
+        let report = Simulation::new(
+            cfg,
+            specs,
+            FifoWithLimit::new(SimDuration::from_millis(100)),
+        )
+        .run()
+        .unwrap();
         // The two 10 ms tasks finish before the 250 ms task despite arriving later.
         assert!(report.tasks[1].completion().unwrap() < report.tasks[0].completion().unwrap());
         assert!(report.tasks[2].completion().unwrap() < report.tasks[0].completion().unwrap());
@@ -120,7 +130,11 @@ mod tests {
     fn response_time_improves_over_plain_fifo() {
         // Paper §II-D: preemption alleviates head-of-line blocking.
         let mk_specs = || {
-            let mut v = vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(5), 128)];
+            let mut v = vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_secs(5),
+                128,
+            )];
             v.extend((0..10).map(|i| {
                 TaskSpec::function(
                     SimTime::from_millis(i * 10),
@@ -131,11 +145,16 @@ mod tests {
             v
         };
         let cfg = || MachineConfig::new(1).with_cost(CostModel::free());
-        let plain = Simulation::new(cfg(), mk_specs(), crate::Fifo::new()).run().unwrap();
-        let limited =
-            Simulation::new(cfg(), mk_specs(), FifoWithLimit::new(SimDuration::from_millis(100)))
-                .run()
-                .unwrap();
+        let plain = Simulation::new(cfg(), mk_specs(), crate::Fifo::new())
+            .run()
+            .unwrap();
+        let limited = Simulation::new(
+            cfg(),
+            mk_specs(),
+            FifoWithLimit::new(SimDuration::from_millis(100)),
+        )
+        .run()
+        .unwrap();
         let worst = |r: &faas_kernel::SimReport| {
             r.tasks[1..]
                 .iter()

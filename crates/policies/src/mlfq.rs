@@ -131,7 +131,8 @@ impl Scheduler for Mlfq {
         for level in 0..self.queues.len() {
             if let Some(task) = self.queues[level].pop_front() {
                 let q = self.quantum_at(level);
-                m.dispatch(core, task, Some(q)).expect("dispatch on idle core");
+                m.dispatch(core, task, Some(q))
+                    .expect("dispatch on idle core");
                 return;
             }
         }
@@ -161,7 +162,9 @@ mod tests {
 
     fn run(specs: Vec<TaskSpec>, params: MlfqParams) -> faas_kernel::SimReport {
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        Simulation::new(cfg, specs, Mlfq::new(params)).run().unwrap()
+        Simulation::new(cfg, specs, Mlfq::new(params))
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -188,17 +191,27 @@ mod tests {
     fn boost_prevents_starvation() {
         // A hog plus a steady stream of short tasks: without the boost the
         // hog would starve at the bottom level; with it, it finishes.
-        let mut specs =
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(900), 128)];
+        let mut specs = vec![TaskSpec::function(
+            SimTime::ZERO,
+            SimDuration::from_millis(900),
+            128,
+        )];
         specs.extend((0..200).map(|i| {
-            TaskSpec::function(SimTime::from_millis(i * 9), SimDuration::from_millis(8), 128)
+            TaskSpec::function(
+                SimTime::from_millis(i * 9),
+                SimDuration::from_millis(8),
+                128,
+            )
         }));
         let params = MlfqParams {
             boost_every: SimDuration::from_millis(200),
             ..MlfqParams::default()
         };
         let report = run(specs, params);
-        assert!(report.tasks[0].completion().is_some(), "hog must not starve");
+        assert!(
+            report.tasks[0].completion().is_some(),
+            "hog must not starve"
+        );
     }
 
     #[test]
@@ -211,7 +224,11 @@ mod tests {
 
     #[test]
     fn demotion_saturates_at_bottom_level() {
-        let specs = vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(2), 128)];
+        let specs = vec![TaskSpec::function(
+            SimTime::ZERO,
+            SimDuration::from_secs(2),
+            128,
+        )];
         let params = MlfqParams {
             levels: 3,
             boost_every: SimDuration::from_secs(60),
@@ -226,6 +243,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_levels_rejected() {
-        let _ = Mlfq::new(MlfqParams { levels: 0, ..MlfqParams::default() });
+        let _ = Mlfq::new(MlfqParams {
+            levels: 0,
+            ..MlfqParams::default()
+        });
     }
 }

@@ -41,7 +41,10 @@ impl RoundRobin {
     /// Panics if `quantum` is zero.
     pub fn new(quantum: SimDuration) -> Self {
         assert!(!quantum.is_zero(), "quantum must be positive");
-        RoundRobin { queue: VecDeque::new(), quantum }
+        RoundRobin {
+            queue: VecDeque::new(),
+            quantum,
+        }
     }
 
     /// The configured quantum.
@@ -65,7 +68,8 @@ impl Scheduler for RoundRobin {
 
     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
         if let Some(task) = self.queue.pop_front() {
-            m.dispatch(core, task, Some(self.quantum)).expect("dispatch on idle core");
+            m.dispatch(core, task, Some(self.quantum))
+                .expect("dispatch on idle core");
         }
     }
 }
@@ -82,10 +86,9 @@ mod tests {
             .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(30), 128))
             .collect();
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report =
-            Simulation::new(cfg, specs, RoundRobin::new(SimDuration::from_millis(10)))
-                .run()
-                .unwrap();
+        let report = Simulation::new(cfg, specs, RoundRobin::new(SimDuration::from_millis(10)))
+            .run()
+            .unwrap();
         // Processor sharing: both finish within one quantum of each other.
         let c0 = report.tasks[0].completion().unwrap().as_millis();
         let c1 = report.tasks[1].completion().unwrap().as_millis();
@@ -99,10 +102,9 @@ mod tests {
             TaskSpec::function(SimTime::from_millis(1), SimDuration::from_millis(10), 128),
         ];
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report =
-            Simulation::new(cfg, specs, RoundRobin::new(SimDuration::from_millis(50)))
-                .run()
-                .unwrap();
+        let report = Simulation::new(cfg, specs, RoundRobin::new(SimDuration::from_millis(50)))
+            .run()
+            .unwrap();
         assert!(
             report.tasks[1].completion().unwrap() < SimTime::from_millis(200),
             "short task must finish quickly under RR"

@@ -55,7 +55,10 @@ impl Sfs {
     /// Panics if `quantum` is zero.
     pub fn new(quantum: SimDuration) -> Self {
         assert!(!quantum.is_zero(), "quantum must be positive");
-        Sfs { queue: BinaryHeap::new(), quantum }
+        Sfs {
+            queue: BinaryHeap::new(),
+            quantum,
+        }
     }
 
     /// The configured quantum.
@@ -89,7 +92,8 @@ impl Scheduler for Sfs {
 
     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
         if let Some(Reverse((_, task))) = self.queue.pop() {
-            m.dispatch(core, task, Some(self.quantum)).expect("dispatch on idle core");
+            m.dispatch(core, task, Some(self.quantum))
+                .expect("dispatch on idle core");
         }
     }
 }
@@ -113,7 +117,9 @@ mod tests {
             TaskSpec::function(SimTime::from_millis(60), SimDuration::from_millis(60), 128),
         ];
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report = Simulation::new(cfg, specs, Sfs::new(quantum())).run().unwrap();
+        let report = Simulation::new(cfg, specs, Sfs::new(quantum()))
+            .run()
+            .unwrap();
         assert!(report.tasks[1].completion().unwrap() < report.tasks[0].completion().unwrap());
     }
 
@@ -132,7 +138,9 @@ mod tests {
             ));
         }
         let cfg = MachineConfig::new(2).with_cost(CostModel::free());
-        let report = Simulation::new(cfg, specs, Sfs::new(quantum())).run().unwrap();
+        let report = Simulation::new(cfg, specs, Sfs::new(quantum()))
+            .run()
+            .unwrap();
         for t in &report.tasks[4..] {
             assert!(
                 t.turnaround_time().unwrap() <= SimDuration::from_millis(200),
@@ -148,9 +156,14 @@ mod tests {
             .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(150), 128))
             .collect();
         let cfg = MachineConfig::new(1).with_cost(CostModel::free());
-        let report = Simulation::new(cfg, specs, Sfs::new(quantum())).run().unwrap();
-        let completions: Vec<u64> =
-            report.tasks.iter().map(|t| t.completion().unwrap().as_millis()).collect();
+        let report = Simulation::new(cfg, specs, Sfs::new(quantum()))
+            .run()
+            .unwrap();
+        let completions: Vec<u64> = report
+            .tasks
+            .iter()
+            .map(|t| t.completion().unwrap().as_millis())
+            .collect();
         let spread = completions.iter().max().unwrap() - completions.iter().min().unwrap();
         assert!(spread <= 100, "fair sharing expected, spread {spread}ms");
     }

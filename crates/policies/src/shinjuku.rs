@@ -49,7 +49,10 @@ impl Shinjuku {
     /// Panics if `quantum` is zero.
     pub fn new(quantum: SimDuration) -> Self {
         assert!(!quantum.is_zero(), "quantum must be positive");
-        Shinjuku { queue: VecDeque::new(), quantum }
+        Shinjuku {
+            queue: VecDeque::new(),
+            quantum,
+        }
     }
 
     /// The configured quantum.
@@ -78,7 +81,8 @@ impl Scheduler for Shinjuku {
 
     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
         if let Some(task) = self.queue.pop_front() {
-            m.dispatch(core, task, Some(self.quantum)).expect("dispatch on idle core");
+            m.dispatch(core, task, Some(self.quantum))
+                .expect("dispatch on idle core");
         }
     }
 }
@@ -94,13 +98,15 @@ mod tests {
         // Quantum expiries on a lone task are warm resumes: with a
         // non-zero cost model the task still finishes in exactly its work
         // time plus the single initial switch.
-        let specs =
-            vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(500), 128)];
+        let specs = vec![TaskSpec::function(
+            SimTime::ZERO,
+            SimDuration::from_millis(500),
+            128,
+        )];
         let cfg = MachineConfig::new(1).with_cost(CostModel::from_micros(10, 1_000));
-        let report =
-            Simulation::new(cfg, specs, Shinjuku::new(SimDuration::from_millis(1)))
-                .run()
-                .unwrap();
+        let report = Simulation::new(cfg, specs, Shinjuku::new(SimDuration::from_millis(1)))
+            .run()
+            .unwrap();
         assert_eq!(
             report.tasks[0].completion().unwrap().as_micros(),
             500_000 + 10,
@@ -114,10 +120,9 @@ mod tests {
             .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(20), 128))
             .collect();
         let cfg = MachineConfig::new(2).with_cost(CostModel::free());
-        let report =
-            Simulation::new(cfg, specs, Shinjuku::new(SimDuration::from_millis(1)))
-                .run()
-                .unwrap();
+        let report = Simulation::new(cfg, specs, Shinjuku::new(SimDuration::from_millis(1)))
+            .run()
+            .unwrap();
         for t in &report.tasks {
             assert!(
                 t.response_time().unwrap() <= SimDuration::from_millis(10),
@@ -131,24 +136,29 @@ mod tests {
     fn tail_latency_beats_fifo_under_skew() {
         // One heavy task plus many light ones; compare p-worst response.
         let mk = || {
-            let mut v =
-                vec![TaskSpec::function(SimTime::ZERO, SimDuration::from_secs(3), 128)];
+            let mut v = vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_secs(3),
+                128,
+            )];
             v.extend((1..20).map(|i| {
-                TaskSpec::function(
-                    SimTime::from_millis(i),
-                    SimDuration::from_millis(5),
-                    128,
-                )
+                TaskSpec::function(SimTime::from_millis(i), SimDuration::from_millis(5), 128)
             }));
             v
         };
         let cfg = || MachineConfig::new(1).with_cost(CostModel::free());
-        let fifo = Simulation::new(cfg(), mk(), crate::Fifo::new()).run().unwrap();
+        let fifo = Simulation::new(cfg(), mk(), crate::Fifo::new())
+            .run()
+            .unwrap();
         let shin = Simulation::new(cfg(), mk(), Shinjuku::new(SimDuration::from_millis(1)))
             .run()
             .unwrap();
         let worst = |r: &faas_kernel::SimReport| {
-            r.tasks.iter().map(|t| t.response_time().unwrap()).max().unwrap()
+            r.tasks
+                .iter()
+                .map(|t| t.response_time().unwrap())
+                .max()
+                .unwrap()
         };
         assert!(worst(&shin) < worst(&fifo) / 10);
     }

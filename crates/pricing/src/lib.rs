@@ -64,7 +64,10 @@ impl PriceModel {
     /// matching the paper's "multiplying the total execution time … by the
     /// cost per millisecond").
     pub fn duration_only() -> Self {
-        PriceModel { usd_per_request: 0.0, ..PriceModel::aws_lambda_2024() }
+        PriceModel {
+            usd_per_request: 0.0,
+            ..PriceModel::aws_lambda_2024()
+        }
     }
 
     /// The per-millisecond price of one invocation at `mem_mib`.
@@ -90,8 +93,7 @@ impl PriceModel {
 
     /// Cost in USD of a `duration` at `mem_mib`.
     pub fn cost_of_duration(&self, duration: SimDuration, mem_mib: u32) -> f64 {
-        self.billable(duration).as_millis_f64() * self.usd_per_ms(mem_mib)
-            + self.usd_per_request
+        self.billable(duration).as_millis_f64() * self.usd_per_ms(mem_mib) + self.usd_per_request
     }
 
     /// Total workload cost, each invocation billed at its own memory size —
@@ -169,9 +171,18 @@ mod tests {
     #[test]
     fn billing_rounds_up_to_granularity() {
         let m = PriceModel::aws_lambda_2024();
-        assert_eq!(m.billable(SimDuration::from_micros(1)), SimDuration::from_millis(1));
-        assert_eq!(m.billable(SimDuration::from_micros(1_001)), SimDuration::from_millis(2));
-        assert_eq!(m.billable(SimDuration::from_millis(5)), SimDuration::from_millis(5));
+        assert_eq!(
+            m.billable(SimDuration::from_micros(1)),
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(
+            m.billable(SimDuration::from_micros(1_001)),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(
+            m.billable(SimDuration::from_millis(5)),
+            SimDuration::from_millis(5)
+        );
         assert_eq!(m.billable(SimDuration::ZERO), SimDuration::ZERO);
     }
 
@@ -205,7 +216,10 @@ mod tests {
         assert_eq!(sweep.len(), SWEEP_TIERS_MIB.len());
         let at_128 = sweep[0].1;
         let at_1024 = sweep.iter().find(|(t, _)| *t == 1_024).unwrap().1;
-        assert!((at_1024 / at_128 - 8.0).abs() < 1e-9, "price scales with memory");
+        assert!(
+            (at_1024 / at_128 - 8.0).abs() < 1e-9,
+            "price scales with memory"
+        );
     }
 
     #[test]

@@ -80,7 +80,12 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, cancelled: false, payload });
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            cancelled: false,
+            payload,
+        });
         self.live += 1;
         EventId(seq)
     }

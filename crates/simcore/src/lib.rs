@@ -4,13 +4,15 @@
 //! `serverless-hybrid-sched` workspace.
 //!
 //! This crate deliberately knows nothing about CPUs, tasks or schedulers —
-//! it provides exactly three things:
+//! it provides exactly four things:
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock;
 //! * [`EventQueue`] — a future-event list with deterministic tie-breaking
 //!   and cancellation;
 //! * [`SimRng`] — a seeded random generator with the samplers used by the
-//!   Azure-like trace synthesizer.
+//!   Azure-like trace synthesizer;
+//! * [`check`] — a miniature property-test harness (the workspace's
+//!   offline stand-in for `proptest`).
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod events;
 mod rng;
 mod time;

@@ -1,12 +1,11 @@
 //! Deterministic random sampling for workload synthesis.
 //!
-//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the inverse-
-//! transform samplers the trace generator needs (exponential, bounded
-//! Pareto, log-normal via Box–Muller on the underlying uniform) plus a
-//! weighted discrete sampler. Everything is reproducible from the seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! [`SimRng`] is a seeded xoshiro256** generator (state expanded from the
+//! 64-bit seed with SplitMix64, so the workspace needs no external crates)
+//! plus the inverse-transform samplers the trace generator needs
+//! (exponential, bounded Pareto, log-normal via Box–Muller on the
+//! underlying uniform) and a weighted discrete sampler. Everything is
+//! reproducible from the seed.
 
 use crate::time::SimDuration;
 
@@ -23,18 +22,50 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used only to expand the seed into xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// A uniform sample in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> the standard [0,1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform sample in `[lo, hi)`.
@@ -44,7 +75,21 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        // `lo + (hi - lo) * u` can round up to exactly `hi` for u close
+        // to 1; keep the documented half-open contract.
+        (lo + (hi - lo) * self.uniform_f64()).min(hi.next_down())
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Lemire-style widening multiply; the bias for any practical `n`
+        // is far below what a simulation could observe.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
     }
 
     /// A uniform integer in `[0, n)`.
@@ -53,8 +98,7 @@ impl SimRng {
     ///
     /// Panics if `n == 0`.
     pub fn uniform_usize(&mut self, n: usize) -> usize {
-        assert!(n > 0, "empty range");
-        self.inner.gen_range(0..n)
+        self.uniform_u64(n as u64) as usize
     }
 
     /// An exponential sample with the given mean (inverse-transform).
@@ -90,7 +134,10 @@ impl SimRng {
     ///
     /// Panics if `xm <= 0`, `alpha <= 0` or `cap < xm`.
     pub fn pareto(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0 && cap >= xm, "invalid pareto parameters");
+        assert!(
+            xm > 0.0 && alpha > 0.0 && cap >= xm,
+            "invalid pareto parameters"
+        );
         let u: f64 = 1.0 - self.uniform_f64();
         (xm / u.powf(1.0 / alpha)).min(cap)
     }
@@ -121,7 +168,10 @@ impl SimRng {
     ///
     /// Panics if `frac` is not within `[0, 1)`.
     pub fn jitter(&mut self, base: SimDuration, frac: f64) -> SimDuration {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
         if frac == 0.0 {
             return base;
         }
@@ -154,8 +204,33 @@ mod tests {
     fn different_seed_different_stream() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..32).filter(|_| a.uniform_f64() == b.uniform_f64()).count();
+        let same = (0..32)
+            .filter(|_| a.uniform_f64() == b.uniform_f64())
+            .count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_range_excludes_hi() {
+        let mut rng = SimRng::seed_from(17);
+        for _ in 0..100_000 {
+            let x = rng.uniform_range(0.0, 0.1);
+            assert!((0.0..0.1).contains(&x), "got {x}");
+        }
+    }
+
+    #[test]
+    fn uniform_u64_spans_beyond_u32() {
+        let mut rng = SimRng::seed_from(23);
+        let mut above_u32 = 0u32;
+        for _ in 0..1_000 {
+            let x = rng.uniform_u64(u64::MAX);
+            if x > u64::from(u32::MAX) {
+                above_u32 += 1;
+            }
+        }
+        // Virtually every draw from [0, 2^64-1) lies above 2^32.
+        assert!(above_u32 > 990, "only {above_u32} large draws");
     }
 
     #[test]

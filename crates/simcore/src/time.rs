@@ -117,7 +117,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1e6).round() as u64)
     }
 
@@ -172,7 +175,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -306,7 +312,10 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_millis(30));
         assert_eq!(d / 4, SimDuration::from_micros(2_500));
         assert_eq!(d.mul_f64(0.5), SimDuration::from_millis(5));
-        assert_eq!(d.saturating_sub(SimDuration::from_millis(20)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_millis(20)),
+            SimDuration::ZERO
+        );
         assert_eq!(d.checked_sub(SimDuration::from_millis(20)), None);
         assert_eq!(
             d.checked_sub(SimDuration::from_millis(4)),
@@ -357,8 +366,19 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_millis(3), SimTime::ZERO, SimTime::from_millis(1)];
+        let mut v = vec![
+            SimTime::from_millis(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_millis(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_millis(3)
+            ]
+        );
     }
 }

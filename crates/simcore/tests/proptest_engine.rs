@@ -1,29 +1,30 @@
 //! Property-based tests for the discrete-event engine.
 
-use faas_simcore::{EventQueue, SimDuration, SimTime};
-use proptest::prelude::*;
+use faas_simcore::{check, EventQueue, SimDuration, SimTime};
 
-proptest! {
-    /// Popped timestamps are non-decreasing for arbitrary schedules.
-    #[test]
-    fn pop_order_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Popped timestamps are non-decreasing for arbitrary schedules.
+#[test]
+fn pop_order_is_monotone() {
+    check::run("pop_order_is_monotone", 256, |g| {
+        let times = g.vec_u64(0, 1_000_000, 1, 200);
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(*t), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
-    }
+    });
+}
 
-    /// Every non-cancelled event is delivered exactly once.
-    #[test]
-    fn delivery_is_exactly_once(
-        times in prop::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Every non-cancelled event is delivered exactly once.
+#[test]
+fn delivery_is_exactly_once() {
+    check::run("delivery_is_exactly_once", 256, |g| {
+        let times = g.vec_u64(0, 1_000, 1, 100);
+        let cancel_mask = g.vec_bool(1, 100);
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
@@ -33,7 +34,7 @@ proptest! {
         let mut expected: Vec<usize> = Vec::new();
         for (i, id) in &ids {
             if *cancel_mask.get(*i).unwrap_or(&false) {
-                prop_assert!(q.cancel(*id));
+                assert!(q.cancel(*id));
             } else {
                 expected.push(*i);
             }
@@ -41,29 +42,36 @@ proptest! {
         let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Ties at the same instant preserve insertion order.
-    #[test]
-    fn fifo_within_instant(n in 1usize..100) {
+/// Ties at the same instant preserve insertion order.
+#[test]
+fn fifo_within_instant() {
+    check::run("fifo_within_instant", 64, |g| {
+        let n = g.usize_in(1, 100);
         let mut q = EventQueue::new();
         let t = SimTime::from_millis(1);
         for i in 0..n {
             q.schedule(t, i);
         }
         let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    /// SimTime/SimDuration arithmetic round-trips.
-    #[test]
-    fn time_arithmetic_roundtrip(base in 0u64..u32::MAX as u64, delta in 0u64..u32::MAX as u64) {
+/// SimTime/SimDuration arithmetic round-trips.
+#[test]
+fn time_arithmetic_roundtrip() {
+    check::run("time_arithmetic_roundtrip", 256, |g| {
+        let base = g.u64_in(0, u32::MAX as u64);
+        let delta = g.u64_in(0, u32::MAX as u64);
         let t = SimTime::from_micros(base);
         let d = SimDuration::from_micros(delta);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!((t + d).saturating_since(t), d);
-        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
-    }
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).saturating_since(t), d);
+        assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    });
 }

@@ -22,7 +22,11 @@ pub struct ArrivalConfig {
 
 impl Default for ArrivalConfig {
     fn default() -> Self {
-        ArrivalConfig { burstiness: 0.6, spike_alpha: 1.8, spike_cap: 6.0 }
+        ArrivalConfig {
+            burstiness: 0.6,
+            spike_alpha: 1.8,
+            spike_cap: 6.0,
+        }
     }
 }
 
@@ -92,10 +96,7 @@ pub fn largest_remainder(weights: &[f64], total: usize) -> Vec<usize> {
 /// paper's regular-spacing rule: class `k` with count `c` arrives at
 /// `minute_start + i * 60s/c` for `i = 0..c`. Returns `(arrival, class)`
 /// pairs sorted by arrival (merge step of §V-B).
-pub fn arrivals_within_minute(
-    minute: usize,
-    class_counts: &[usize],
-) -> Vec<(SimTime, usize)> {
+pub fn arrivals_within_minute(minute: usize, class_counts: &[usize]) -> Vec<(SimTime, usize)> {
     let minute_start = SimTime::from_secs(minute as u64 * 60);
     let mut out = Vec::new();
     for (class, &count) in class_counts.iter().enumerate() {
@@ -122,7 +123,11 @@ pub fn burstiness_cv(counts: &[usize]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean
 }
 
@@ -142,7 +147,10 @@ mod tests {
     #[test]
     fn flat_config_is_even() {
         let mut rng = SimRng::seed_from(2);
-        let cfg = ArrivalConfig { burstiness: 0.0, ..ArrivalConfig::default() };
+        let cfg = ArrivalConfig {
+            burstiness: 0.0,
+            ..ArrivalConfig::default()
+        };
         let counts = per_minute_counts(4, 100, &cfg, &mut rng);
         assert_eq!(counts, vec![25, 25, 25, 25]);
     }
@@ -169,8 +177,11 @@ mod tests {
             assert!(w[0].0 <= w[1].0);
         }
         // Class 0 spacing is 20 s starting at minute 1.
-        let class0: Vec<u64> =
-            arr.iter().filter(|(_, c)| *c == 0).map(|(t, _)| t.as_micros()).collect();
+        let class0: Vec<u64> = arr
+            .iter()
+            .filter(|(_, c)| *c == 0)
+            .map(|(t, _)| t.as_micros())
+            .collect();
         assert_eq!(class0, vec![60_000_000, 80_000_000, 100_000_000]);
     }
 

@@ -45,7 +45,10 @@ pub struct FibCalibration {
 impl FibCalibration {
     /// The paper-anchored calibration (`fib(41)` = 1,633 ms).
     pub fn paper_default() -> Self {
-        FibCalibration { anchor_n: ANCHOR_N, anchor_ms: ANCHOR_MS }
+        FibCalibration {
+            anchor_n: ANCHOR_N,
+            anchor_ms: ANCHOR_MS,
+        }
     }
 
     /// A calibration anchored at a measured point, e.g. from running the
@@ -61,7 +64,10 @@ impl FibCalibration {
             (FIB_MIN_N..=FIB_MAX_N).contains(&anchor_n),
             "anchor N out of calibrated range"
         );
-        FibCalibration { anchor_n, anchor_ms }
+        FibCalibration {
+            anchor_n,
+            anchor_ms,
+        }
     }
 
     /// Modelled runtime of `fib(n)`.
@@ -70,7 +76,10 @@ impl FibCalibration {
     ///
     /// Panics if `n` is outside `[FIB_MIN_N, FIB_MAX_N]`.
     pub fn duration(&self, n: u32) -> SimDuration {
-        assert!((FIB_MIN_N..=FIB_MAX_N).contains(&n), "N={n} out of calibrated range");
+        assert!(
+            (FIB_MIN_N..=FIB_MAX_N).contains(&n),
+            "N={n} out of calibrated range"
+        );
         let ms = self.anchor_ms * PHI.powi(n as i32 - self.anchor_n as i32);
         SimDuration::from_secs_f64(ms / 1e3)
     }
@@ -95,7 +104,9 @@ impl FibCalibration {
 
     /// All `(N, duration)` buckets in ascending order.
     pub fn buckets(&self) -> Vec<(u32, SimDuration)> {
-        (FIB_MIN_N..=FIB_MAX_N).map(|n| (n, self.duration(n))).collect()
+        (FIB_MIN_N..=FIB_MAX_N)
+            .map(|n| (n, self.duration(n)))
+            .collect()
     }
 }
 

@@ -61,7 +61,10 @@ impl EmpiricalCdf {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile fraction must be in [0,1]"
+        );
         let n = self.sorted.len();
         let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
         self.sorted[rank - 1]

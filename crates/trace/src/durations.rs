@@ -19,8 +19,9 @@ use faas_simcore::{SimDuration, SimRng};
 use crate::calibration::{FibCalibration, FIB_MAX_N, FIB_MIN_N};
 
 /// Default per-bucket weights for N = 36..=46.
-pub const DEFAULT_WEIGHTS: [f64; 11] =
-    [0.28, 0.20, 0.16, 0.14, 0.10, 0.04, 0.03, 0.02, 0.015, 0.01, 0.005];
+pub const DEFAULT_WEIGHTS: [f64; 11] = [
+    0.28, 0.20, 0.16, 0.14, 0.10, 0.04, 0.03, 0.02, 0.015, 0.01, 0.005,
+];
 
 /// A discrete duration distribution over Fibonacci buckets.
 ///
@@ -59,9 +60,19 @@ impl DurationDistribution {
     ///
     /// Panics if `weights` does not have 11 entries or sums to zero.
     pub fn with_weights(calibration: FibCalibration, weights: Vec<f64>) -> Self {
-        assert_eq!(weights.len(), (FIB_MAX_N - FIB_MIN_N + 1) as usize, "need 11 weights");
-        assert!(weights.iter().sum::<f64>() > 0.0, "weights must sum to a positive value");
-        DurationDistribution { calibration, weights }
+        assert_eq!(
+            weights.len(),
+            (FIB_MAX_N - FIB_MIN_N + 1) as usize,
+            "need 11 weights"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must sum to a positive value"
+        );
+        DurationDistribution {
+            calibration,
+            weights,
+        }
     }
 
     /// The calibration mapping buckets to durations.
@@ -87,7 +98,10 @@ impl DurationDistribution {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&p), "percentile fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile fraction must be in [0,1]"
+        );
         let total: f64 = self.weights.iter().sum();
         let mut cum = 0.0;
         for (i, w) in self.weights.iter().enumerate() {
@@ -154,9 +168,16 @@ impl MemoryDistribution {
     ///
     /// Panics if lengths differ, tiers are empty, or weights sum to zero.
     pub fn new(tiers_mib: Vec<u32>, weights: Vec<f64>) -> Self {
-        assert_eq!(tiers_mib.len(), weights.len(), "tiers/weights length mismatch");
+        assert_eq!(
+            tiers_mib.len(),
+            weights.len(),
+            "tiers/weights length mismatch"
+        );
         assert!(!tiers_mib.is_empty(), "need at least one tier");
-        assert!(weights.iter().sum::<f64>() > 0.0, "weights must sum to a positive value");
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must sum to a positive value"
+        );
         MemoryDistribution { tiers_mib, weights }
     }
 
@@ -253,7 +274,10 @@ mod tests {
     #[test]
     fn memory_distribution_mostly_small() {
         let m = MemoryDistribution::azure_like();
-        assert!(m.fraction_at_most(256) >= 0.88, "Azure: ~90% small functions");
+        assert!(
+            m.fraction_at_most(256) >= 0.88,
+            "Azure: ~90% small functions"
+        );
         let mut rng = SimRng::seed_from(3);
         for _ in 0..1_000 {
             assert!(m.tiers().contains(&m.sample(&mut rng)));

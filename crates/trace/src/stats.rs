@@ -43,7 +43,9 @@ impl TraceStats {
         let inv = trace.invocations();
         let first = inv.first().expect("non-empty").arrival;
         let last = inv.last().expect("non-empty").arrival;
-        let span = last.saturating_since(first).max(SimDuration::from_micros(1));
+        let span = last
+            .saturating_since(first)
+            .max(SimDuration::from_micros(1));
 
         let iats = trace.inter_arrival_times();
         let (mean_iat, iat_cv) = if iats.is_empty() {
@@ -51,8 +53,11 @@ impl TraceStats {
         } else {
             let n = iats.len() as f64;
             let mean = iats.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n;
-            let var =
-                iats.iter().map(|d| (d.as_secs_f64() - mean).powi(2)).sum::<f64>() / n;
+            let var = iats
+                .iter()
+                .map(|d| (d.as_secs_f64() - mean).powi(2))
+                .sum::<f64>()
+                / n;
             let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
             (SimDuration::from_secs_f64(mean), cv)
         };
@@ -60,14 +65,12 @@ impl TraceStats {
         let mut durations: Vec<SimDuration> = inv.iter().map(|i| i.duration).collect();
         durations.sort_unstable();
         let total_work: SimDuration = durations.iter().copied().sum();
-        let mean_duration =
-            SimDuration::from_micros(total_work.as_micros() / inv.len() as u64);
+        let mean_duration = SimDuration::from_micros(total_work.as_micros() / inv.len() as u64);
         let rank = ((0.9 * inv.len() as f64).ceil() as usize).clamp(1, inv.len());
         let p90_duration = durations[rank - 1];
 
         let rate_per_sec = inv.len() as f64 / span.as_secs_f64();
-        let offered_load =
-            total_work.as_secs_f64() / (span.as_secs_f64() * cores as f64);
+        let offered_load = total_work.as_secs_f64() / (span.as_secs_f64() * cores as f64);
         TraceStats {
             invocations: inv.len(),
             span,
@@ -84,7 +87,9 @@ impl TraceStats {
     /// Per-minute invocation counts (the Fig. 2 right panel series).
     pub fn per_minute_counts(trace: &AzureTrace) -> Vec<usize> {
         let inv = trace.invocations();
-        let Some(last) = inv.last() else { return Vec::new() };
+        let Some(last) = inv.last() else {
+            return Vec::new();
+        };
         let minutes = (last.arrival.as_micros() / 60_000_000) as usize + 1;
         let mut counts = vec![0usize; minutes];
         for i in inv {

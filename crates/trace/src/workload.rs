@@ -47,18 +47,30 @@ impl TraceConfig {
     /// The 10-minute workload used for the adaptive-limit and rightsizing
     /// timelines (Figs. 16/17/19), at the same rate as `W2`.
     pub fn w10() -> Self {
-        TraceConfig { minutes: 10, total_invocations: 62_210, ..TraceConfig::w2() }
+        TraceConfig {
+            minutes: 10,
+            total_invocations: 62_210,
+            ..TraceConfig::w2()
+        }
     }
 
     /// The Firecracker workload `WFC`: 2,952 microVM launches in the first
     /// ten minutes (§VI-E) — the host-memory ceiling the paper hits.
     pub fn firecracker() -> Self {
-        TraceConfig { minutes: 10, total_invocations: 2_952, ..TraceConfig::w2() }
+        TraceConfig {
+            minutes: 10,
+            total_invocations: 2_952,
+            ..TraceConfig::w2()
+        }
     }
 
     /// A tiny deterministic workload for unit tests and doc examples.
     pub fn tiny() -> Self {
-        TraceConfig { minutes: 1, total_invocations: 50, ..TraceConfig::w2() }
+        TraceConfig {
+            minutes: 1,
+            total_invocations: 50,
+            ..TraceConfig::w2()
+        }
     }
 
     /// Scales the invocation count (e.g. for criterion benches), keeping
@@ -116,8 +128,7 @@ impl AzureTrace {
             if count == 0 {
                 continue;
             }
-            let class_counts =
-                crate::arrivals::largest_remainder(durations.weights(), count);
+            let class_counts = crate::arrivals::largest_remainder(durations.weights(), count);
             for (arrival, class) in arrivals_within_minute(minute, &class_counts) {
                 let fib_n = FIB_MIN_N + class as u32;
                 invocations.push(Invocation {
@@ -129,7 +140,12 @@ impl AzureTrace {
             }
         }
         invocations.sort_by_key(|i| i.arrival);
-        AzureTrace { invocations, durations, jitter: cfg.jitter, seed: cfg.seed }
+        AzureTrace {
+            invocations,
+            durations,
+            jitter: cfg.jitter,
+            seed: cfg.seed,
+        }
     }
 
     /// The sorted invocations.
@@ -172,14 +188,17 @@ impl AzureTrace {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn stretched(&self, factor: f64) -> AzureTrace {
-        assert!(factor.is_finite() && factor > 0.0, "stretch factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "stretch factor must be positive"
+        );
         AzureTrace {
             invocations: self
                 .invocations
                 .iter()
                 .map(|i| Invocation {
                     arrival: SimTime::from_micros(
-                        (i.arrival.as_micros() as f64 * factor).round() as u64,
+                        (i.arrival.as_micros() as f64 * factor).round() as u64
                     ),
                     ..*i
                 })
@@ -197,7 +216,13 @@ impl AzureTrace {
         self.invocations
             .iter()
             .map(|inv| {
-                spec_from_sample(inv.arrival, inv.duration, inv.mem_mib, self.jitter, &mut rng)
+                spec_from_sample(
+                    inv.arrival,
+                    inv.duration,
+                    inv.mem_mib,
+                    self.jitter,
+                    &mut rng,
+                )
             })
             .collect()
     }
@@ -375,12 +400,11 @@ mod tests {
         // The per-minute largest-remainder split preserves the duration
         // weights almost exactly.
         let trace = AzureTrace::generate(&TraceConfig::w2());
-        let n41_or_less = trace
-            .invocations()
-            .iter()
-            .filter(|i| i.fib_n <= 41)
-            .count() as f64
+        let n41_or_less = trace.invocations().iter().filter(|i| i.fib_n <= 41).count() as f64
             / trace.len() as f64;
-        assert!((n41_or_less - 0.92).abs() < 0.01, "p90 bucket share was {n41_or_less}");
+        assert!(
+            (n41_or_less - 0.92).abs() < 0.01,
+            "p90 bucket share was {n41_or_less}"
+        );
     }
 }

@@ -34,7 +34,11 @@ fn main() {
     );
     println!("limit trajectory (first 10 changes):");
     for (t, l) in policy.limit_history().iter().take(10) {
-        println!("  t={:>7.2}s  limit={:>8.0}ms", t.as_secs_f64(), l.as_millis_f64());
+        println!(
+            "  t={:>7.2}s  limit={:>8.0}ms",
+            t.as_secs_f64(),
+            l.as_millis_f64()
+        );
     }
     println!(
         "tasks migrated FIFO->CFS after exceeding the limit: {}",

@@ -26,7 +26,10 @@ fn main() {
     let trace = AzureTrace::generate(&TraceConfig::w2().downscaled(10));
     let model = PriceModel::duration_only();
     println!("{} invocations on {CORES} cores\n", trace.len());
-    println!("{:<14}{:>12}{:>18}", "scheduler", "cost_usd", "p99_response_s");
+    println!(
+        "{:<14}{:>12}{:>18}",
+        "scheduler", "cost_usd", "p99_response_s"
+    );
 
     let hybrid_cfg = HybridConfig::split(3, 2);
     let rows: Vec<(&str, Vec<TaskRecord>)> = vec![
@@ -36,10 +39,19 @@ fn main() {
             "fifo+100ms",
             run_records(&trace, FifoWithLimit::new(SimDuration::from_millis(100))),
         ),
-        ("round-robin", run_records(&trace, RoundRobin::new(SimDuration::from_millis(10)))),
+        (
+            "round-robin",
+            run_records(&trace, RoundRobin::new(SimDuration::from_millis(10))),
+        ),
         ("edf", run_records(&trace, Edf::new())),
-        ("shinjuku", run_records(&trace, Shinjuku::new(SimDuration::from_millis(1)))),
-        ("hybrid", run_records(&trace, HybridScheduler::new(hybrid_cfg))),
+        (
+            "shinjuku",
+            run_records(&trace, Shinjuku::new(SimDuration::from_millis(1))),
+        ),
+        (
+            "hybrid",
+            run_records(&trace, HybridScheduler::new(hybrid_cfg)),
+        ),
     ];
 
     let mut cheapest = ("", f64::INFINITY);
@@ -58,7 +70,11 @@ fn main() {
     let hybrid = &rows.last().unwrap().1;
     let cfs = &rows[1].1;
     println!("\nmem_mib      hybrid_usd       cfs_usd");
-    for ((mem, h), (_, c)) in model.memory_sweep(hybrid).iter().zip(model.memory_sweep(cfs)) {
+    for ((mem, h), (_, c)) in model
+        .memory_sweep(hybrid)
+        .iter()
+        .zip(model.memory_sweep(cfs))
+    {
         println!("{mem:<10}{h:>12.4}{c:>14.4}");
     }
 }

@@ -32,8 +32,7 @@ fn main() {
         HybridScheduler::new(HybridConfig::split(4, 4)),
     )
     .expect("hybrid fleet completes");
-    let cfs = run_fleet(&trace, &fc, cores, Cfs::with_cores(cores))
-        .expect("cfs fleet completes");
+    let cfs = run_fleet(&trace, &fc, cores, Cfs::with_cores(cores)).expect("cfs fleet completes");
 
     println!(
         "fleet: {} launch attempts, {} launched, {} failed ({:.1}% — the paper's 'horizontal line')",
@@ -42,7 +41,11 @@ fn main() {
         hybrid.plan.failed(),
         hybrid.plan.failure_rate() * 100.0
     );
-    println!("peak resident memory: {} MiB of {} MiB", hybrid.plan.peak_resident_mib(), fc.host_mem_mib);
+    println!(
+        "peak resident memory: {} MiB of {} MiB",
+        hybrid.plan.peak_resident_mib(),
+        fc.host_mem_mib
+    );
 
     let model = PriceModel::duration_only();
     for (name, out) in [("hybrid", &hybrid), ("cfs", &cfs)] {
@@ -55,7 +58,6 @@ fn main() {
         );
     }
     let saving = 100.0
-        * (1.0
-            - model.workload_cost(&hybrid.vm_records) / model.workload_cost(&cfs.vm_records));
+        * (1.0 - model.workload_cost(&hybrid.vm_records) / model.workload_cost(&cfs.vm_records));
     println!("hybrid saves {saving:.1}% on the microVM fleet (paper: ~10%)");
 }

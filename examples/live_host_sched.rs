@@ -19,8 +19,9 @@ use serverless_hybrid_sched::host::{
 fn busy_command(iterations: u64) -> Command {
     // A portable CPU burner: no external binaries needed.
     let mut cmd = Command::new("sh");
-    cmd.arg("-c")
-        .arg(format!("i=0; while [ $i -lt {iterations} ]; do i=$((i+1)); done"));
+    cmd.arg("-c").arg(format!(
+        "i=0; while [ $i -lt {iterations} ]; do i=$((i+1)); done"
+    ));
     cmd
 }
 
@@ -32,7 +33,11 @@ fn main() {
     }
     println!(
         "host: {cpus} CPUs | real-time classes {}",
-        if can_use_realtime() { "available (SCHED_FIFO)" } else { "unavailable -> CFS fallback" }
+        if can_use_realtime() {
+            "available (SCHED_FIFO)"
+        } else {
+            "unavailable -> CFS fallback"
+        }
     );
 
     // 1 FIFO core + 1 CFS core, 300 ms CPU-time limit.
@@ -49,7 +54,10 @@ fn main() {
             }
         }
     }
-    println!("effective FIFO-group policy: {:?}", ctl.effective_fifo_policy());
+    println!(
+        "effective FIFO-group policy: {:?}",
+        ctl.effective_fifo_policy()
+    );
 
     let done = ctl.run_to_completion(Duration::from_millis(25), Duration::from_secs(60));
     println!("all processes finished: {done}");

@@ -39,5 +39,8 @@ fn main() {
     );
     let usd = PriceModel::duration_only().workload_cost(&records);
     println!("AWS-Lambda-priced cost of the run: ${usd:.4}");
-    println!("total preemptions across all cores: {}", report.total_preemptions());
+    println!(
+        "total preemptions across all cores: {}",
+        report.total_preemptions()
+    );
 }

@@ -44,27 +44,23 @@
 #![warn(missing_docs)]
 
 pub use azure_trace as trace;
+pub use faas_host as host;
 pub use faas_kernel as kernel;
 pub use faas_metrics as metrics;
 pub use faas_policies as policies;
 pub use faas_simcore as simcore;
-pub use faas_host as host;
 pub use hybrid_scheduler as hybrid;
 pub use lambda_pricing as pricing;
 pub use microvm_sim as firecracker;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::hybrid::{
-        HybridConfig, HybridScheduler, RightsizingConfig, TimeLimitPolicy,
-    };
+    pub use crate::hybrid::{HybridConfig, HybridScheduler, RightsizingConfig, TimeLimitPolicy};
     pub use crate::kernel::{
-        CostModel, InterferenceConfig, Machine, MachineConfig, Scheduler, SimReport,
-        Simulation, TaskSpec,
+        CostModel, InterferenceConfig, Machine, MachineConfig, Scheduler, SimReport, Simulation,
+        TaskSpec,
     };
-    pub use crate::metrics::{
-        records_from_tasks, DurationCdf, Metric, RunSummary, TaskRecord,
-    };
+    pub use crate::metrics::{records_from_tasks, DurationCdf, Metric, RunSummary, TaskRecord};
     pub use crate::policies::{Cfs, Edf, Fifo, FifoWithLimit, RoundRobin, Shinjuku};
     pub use crate::pricing::PriceModel;
     pub use crate::simcore::{SimDuration, SimTime};

@@ -15,8 +15,9 @@ fn machine() -> MachineConfig {
 }
 
 fn run(policy: impl Scheduler) -> (SimReport, Vec<TaskRecord>) {
-    let report =
-        Simulation::new(machine(), trace().to_task_specs(), policy).run().expect("completes");
+    let report = Simulation::new(machine(), trace().to_task_specs(), policy)
+        .run()
+        .expect("completes");
     let records = records_from_tasks(&report.tasks);
     (report, records)
 }
@@ -52,7 +53,10 @@ fn observation_3_preemption_limit_improves_fifo_response_and_turnaround() {
     let (_, limited) = run(FifoWithLimit::new(SimDuration::from_millis(100)));
     let fifo_s = RunSummary::compute(&fifo);
     let lim_s = RunSummary::compute(&limited);
-    assert!(lim_s.response.p99 < fifo_s.response.p99, "response improves");
+    assert!(
+        lim_s.response.p99 < fifo_s.response.p99,
+        "response improves"
+    );
     assert!(
         lim_s.execution.p50 >= fifo_s.execution.p50,
         "execution time is the price of preemption"
@@ -65,7 +69,10 @@ fn observation_5_cfs_costs_many_times_more_than_fifo() {
     let (_, cfs) = run(Cfs::with_cores(CORES));
     let model = PriceModel::duration_only();
     let ratio = model.workload_cost(&cfs) / model.workload_cost(&fifo);
-    assert!(ratio > 5.0, "CFS/FIFO cost ratio was only {ratio:.1}x (paper: >10x)");
+    assert!(
+        ratio > 5.0,
+        "CFS/FIFO cost ratio was only {ratio:.1}x (paper: >10x)"
+    );
 }
 
 #[test]
@@ -80,8 +87,14 @@ fn conclusion_1_hybrid_beats_cfs_on_execution_and_turnaround() {
         h.execution.p99,
         c.execution.p99
     );
-    assert!(h.turnaround.p99 < c.turnaround.p99, "hybrid also wins turnaround");
-    assert!(c.response.p99 < h.response.p99, "CFS keeps the response-time crown");
+    assert!(
+        h.turnaround.p99 < c.turnaround.p99,
+        "hybrid also wins turnaround"
+    );
+    assert!(
+        c.response.p99 < h.response.p99,
+        "CFS keeps the response-time crown"
+    );
 }
 
 #[test]
@@ -101,11 +114,17 @@ fn conclusion_4_hybrid_is_the_cheapest_of_the_three() {
     let (_, h) = run(hybrid());
     let (_, f) = run(Fifo::new());
     let (_, c) = run(Cfs::with_cores(CORES));
-    let (hc, fc, cc) =
-        (model.workload_cost(&h), model.workload_cost(&f), model.workload_cost(&c));
+    let (hc, fc, cc) = (
+        model.workload_cost(&h),
+        model.workload_cost(&f),
+        model.workload_cost(&c),
+    );
     assert!(hc < cc, "hybrid (${hc:.4}) must undercut CFS (${cc:.4})");
     assert!(fc < cc, "FIFO also undercuts CFS");
-    assert!(hc < fc * 1.6, "hybrid stays in FIFO's cost class (${hc:.4} vs ${fc:.4})");
+    assert!(
+        hc < fc * 1.6,
+        "hybrid stays in FIFO's cost class (${hc:.4} vs ${fc:.4})"
+    );
 }
 
 #[test]
@@ -145,7 +164,9 @@ fn figure_11_extreme_split_shows_long_tail() {
         )
         .run()
         .expect("completes");
-        RunSummary::compute(&records_from_tasks(&report.tasks)).execution.p99
+        RunSummary::compute(&records_from_tasks(&report.tasks))
+            .execution
+            .p99
     };
     let starved_cfs = {
         let report = Simulation::new(
@@ -155,7 +176,9 @@ fn figure_11_extreme_split_shows_long_tail() {
         )
         .run()
         .expect("completes");
-        RunSummary::compute(&records_from_tasks(&report.tasks)).execution.p99
+        RunSummary::compute(&records_from_tasks(&report.tasks))
+            .execution
+            .p99
     };
     assert!(
         balanced * 2 < starved_cfs,

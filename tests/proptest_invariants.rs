@@ -1,8 +1,8 @@
 //! Property-based tests: scheduling invariants that must hold for every
 //! policy on arbitrary workloads.
 
-use proptest::prelude::*;
 use serverless_hybrid_sched::prelude::*;
+use serverless_hybrid_sched::simcore::check::{self, Gen};
 
 #[derive(Debug, Clone)]
 struct Wl {
@@ -10,25 +10,24 @@ struct Wl {
     cores: usize,
 }
 
-fn workload() -> impl Strategy<Value = Wl> {
-    (
-        1usize..=4,
-        prop::collection::vec((0u64..5_000, 1u64..2_000, prop::sample::select(vec![128u32, 256, 1024])), 1..60),
-    )
-        .prop_map(|(cores, raw)| Wl {
-            cores,
-            specs: raw
-                .into_iter()
-                .map(|(arr_ms, work_ms, mem)| {
-                    TaskSpec::function(
-                        SimTime::from_millis(arr_ms),
-                        SimDuration::from_millis(work_ms),
-                        mem,
-                    )
-                    .with_expected(SimDuration::from_millis(work_ms))
-                })
-                .collect(),
+fn workload(g: &mut Gen) -> Wl {
+    let cores = g.usize_in(1, 5);
+    let n = g.usize_in(1, 60);
+    let mems = [128u32, 256, 1024];
+    let specs = (0..n)
+        .map(|_| {
+            let arr_ms = g.u64_in(0, 5_000);
+            let work_ms = g.u64_in(1, 2_000);
+            let mem = mems[g.usize_in(0, mems.len())];
+            TaskSpec::function(
+                SimTime::from_millis(arr_ms),
+                SimDuration::from_millis(work_ms),
+                mem,
+            )
+            .with_expected(SimDuration::from_millis(work_ms))
         })
+        .collect();
+    Wl { cores, specs }
 }
 
 fn policies(cores: usize) -> Vec<Box<dyn Scheduler>> {
@@ -78,11 +77,7 @@ impl Scheduler for Boxed {
     ) {
         self.0.on_interference_preempt(m, t, c)
     }
-    fn on_core_idle(
-        &mut self,
-        m: &mut Machine,
-        c: serverless_hybrid_sched::kernel::CoreId,
-    ) {
+    fn on_core_idle(&mut self, m: &mut Machine, c: serverless_hybrid_sched::kernel::CoreId) {
         self.0.on_core_idle(m, c)
     }
     fn on_tick(&mut self, m: &mut Machine) {
@@ -90,63 +85,72 @@ impl Scheduler for Boxed {
     }
 }
 
-fn check_invariants(wl: &Wl, policy: Boxed) -> Result<(), TestCaseError> {
+fn check_invariants(wl: &Wl, policy: Boxed) {
     let name = policy.name().to_owned();
     let cfg = MachineConfig::new(wl.cores);
     let report = Simulation::new(cfg, wl.specs.clone(), policy)
         .run()
-        .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     let mut by_completion: Vec<(SimTime, SimTime)> = Vec::new();
     for (task, spec) in report.tasks.iter().zip(&wl.specs) {
         // Everything completes.
-        let completion =
-            task.completion().ok_or_else(|| TestCaseError::fail(format!("{name}: stranded")))?;
+        let completion = task
+            .completion()
+            .unwrap_or_else(|| panic!("{name}: stranded"));
         let first = task.first_run().expect("completed task ran");
         // Causality.
-        prop_assert!(first >= spec.arrival, "{name}: ran before arrival");
-        prop_assert!(completion >= first, "{name}: completed before first run");
+        assert!(first >= spec.arrival, "{name}: ran before arrival");
+        assert!(completion >= first, "{name}: completed before first run");
         // Work conservation: a task consumes at least its work, and its
         // wall-clock execution bounds its CPU time.
-        prop_assert!(task.cpu_time() >= spec.work, "{name}: finished with missing work");
-        prop_assert!(
-            completion - first >= task.cpu_time() - spec.work || task.cpu_time() <= completion - first + SimDuration::from_micros(1),
+        assert!(
+            task.cpu_time() >= spec.work,
+            "{name}: finished with missing work"
+        );
+        assert!(
+            completion - first >= task.cpu_time() - spec.work
+                || task.cpu_time() <= completion - first + SimDuration::from_micros(1),
             "{name}: cpu time exceeds wall-clock execution"
         );
         by_completion.push((first, completion));
     }
     // Metric identity: turnaround = response + execution.
     for r in records_from_tasks(&report.tasks) {
-        prop_assert_eq!(
+        assert_eq!(
             r.turnaround_time(),
             r.response_time() + r.execution_time(),
-            "{}: metric identity broken",
-            name.clone()
+            "{name}: metric identity broken"
         );
     }
     // Total busy time never exceeds cores x makespan.
     let busy: SimDuration = report.core_stats.iter().map(|s| s.busy).sum();
-    let bound = SimDuration::from_micros(
-        report.finished_at.as_micros() * wl.cores as u64 + 1,
+    let bound = SimDuration::from_micros(report.finished_at.as_micros() * wl.cores as u64 + 1);
+    assert!(
+        busy <= bound,
+        "{name}: busy {busy} exceeds capacity {bound}"
     );
-    prop_assert!(busy <= bound, "{name}: busy {busy} exceeds capacity {bound}");
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_policy_upholds_invariants(wl in workload()) {
+#[test]
+fn every_policy_upholds_invariants() {
+    check::run("every_policy_upholds_invariants", 48, |g| {
+        let wl = workload(g);
         for p in policies(wl.cores) {
-            check_invariants(&wl, Boxed(p))?;
+            check_invariants(&wl, Boxed(p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn hybrid_upholds_invariants(wl in workload()) {
+#[test]
+fn hybrid_upholds_invariants() {
+    check::run("hybrid_upholds_invariants", 48, |g| {
+        let wl = workload(g);
         // The hybrid scheduler needs at least two cores (one per group).
         let cores = wl.cores.max(2);
-        let wl = Wl { cores, specs: wl.specs.clone() };
+        let wl = Wl {
+            cores,
+            specs: wl.specs.clone(),
+        };
         let cfg = HybridConfig::split(cores / 2 + cores % 2, cores / 2)
             .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(200)));
         let report = Simulation::new(
@@ -155,45 +159,61 @@ proptest! {
             HybridScheduler::new(cfg),
         )
         .run()
-        .map_err(|e| TestCaseError::fail(format!("hybrid: {e}")))?;
+        .unwrap_or_else(|e| panic!("hybrid: {e}"));
         for (task, spec) in report.tasks.iter().zip(&wl.specs) {
-            prop_assert!(task.completion().is_some(), "hybrid stranded a task");
-            prop_assert!(task.cpu_time() >= spec.work);
+            assert!(task.completion().is_some(), "hybrid stranded a task");
+            assert!(task.cpu_time() >= spec.work);
             // Short tasks (under the fixed limit) never get preempted by
             // the policy itself (host interference is off here).
             if spec.work < SimDuration::from_millis(200) {
-                prop_assert_eq!(task.preemptions(), 0, "short task was preempted");
+                assert_eq!(task.preemptions(), 0, "short task was preempted");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn rightsizing_migrations_always_follow_fig8_protocol(wl in workload()) {
-        let cores = wl.cores.max(3);
-        let cfg = HybridConfig::split(cores - 1, 1).with_rightsizing(RightsizingConfig {
-            window: SimDuration::from_millis(300),
-            threshold: 0.1,
-            cooldown: SimDuration::from_millis(100),
-            min_cores: 1,
-        });
-        let mut sim = Simulation::new(
-            MachineConfig::new(cores),
-            wl.specs.clone(),
-            HybridScheduler::new(cfg),
-        );
-        while sim.step().map_err(|e| TestCaseError::fail(format!("{e}")))? {}
-        for m in sim.policy().migrations() {
-            prop_assert!(m.follows_protocol(), "protocol violated: {:?}", m);
-        }
-        // Core groups always partition the machine.
-        prop_assert_eq!(
-            sim.policy().fifo_cores().len() + sim.policy().cfs_cores().len(),
-            cores
-        );
-    }
+#[test]
+fn rightsizing_migrations_always_follow_fig8_protocol() {
+    check::run(
+        "rightsizing_migrations_always_follow_fig8_protocol",
+        48,
+        |g| {
+            let wl = workload(g);
+            let cores = wl.cores.max(3);
+            let cfg = HybridConfig::split(cores - 1, 1).with_rightsizing(RightsizingConfig {
+                window: SimDuration::from_millis(300),
+                threshold: 0.1,
+                cooldown: SimDuration::from_millis(100),
+                min_cores: 1,
+            });
+            let mut sim = Simulation::new(
+                MachineConfig::new(cores),
+                wl.specs.clone(),
+                HybridScheduler::new(cfg),
+            );
+            loop {
+                match sim.step() {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            for m in sim.policy().migrations() {
+                assert!(m.follows_protocol(), "protocol violated: {m:?}");
+            }
+            // Core groups always partition the machine.
+            assert_eq!(
+                sim.policy().fifo_cores().len() + sim.policy().cfs_cores().len(),
+                cores
+            );
+        },
+    );
+}
 
-    #[test]
-    fn hybrid_with_rightsizing_upholds_invariants(wl in workload()) {
+#[test]
+fn hybrid_with_rightsizing_upholds_invariants() {
+    check::run("hybrid_with_rightsizing_upholds_invariants", 48, |g| {
+        let wl = workload(g);
         let cores = wl.cores.max(2);
         let cfg = HybridConfig::split(1, cores - 1).with_rightsizing(RightsizingConfig {
             window: SimDuration::from_millis(500),
@@ -207,7 +227,7 @@ proptest! {
             HybridScheduler::new(cfg),
         )
         .run()
-        .map_err(|e| TestCaseError::fail(format!("hybrid+rightsizing: {e}")))?;
-        prop_assert!(report.tasks.iter().all(|t| t.completion().is_some()));
-    }
+        .unwrap_or_else(|e| panic!("hybrid+rightsizing: {e}"));
+        assert!(report.tasks.iter().all(|t| t.completion().is_some()));
+    });
 }

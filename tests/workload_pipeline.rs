@@ -40,11 +40,45 @@ fn fig10_sample_is_representative() {
     let long = AzureTrace::generate(&TraceConfig::w10().downscaled(4));
     let durs = |t: &AzureTrace| {
         EmpiricalCdf::from_samples(
-            t.invocations().iter().map(|i| i.duration.as_secs_f64()).collect(),
+            t.invocations()
+                .iter()
+                .map(|i| i.duration.as_secs_f64())
+                .collect(),
         )
     };
     let ks = ks_statistic(&durs(&sample), &durs(&long));
-    assert!(ks < 0.02, "KS statistic {ks} too large — sample unrepresentative");
+    assert!(
+        ks < 0.02,
+        "KS statistic {ks} too large — sample unrepresentative"
+    );
+}
+
+#[test]
+fn prelude_end_to_end_smoke() {
+    // The quickstart path, via nothing but the facade prelude: synthesize
+    // a trace, run it through the paper's hybrid scheduler, extract the
+    // metric records, and bill them.
+    let trace = AzureTrace::generate(&TraceConfig::w2().downscaled(50));
+    let n = trace.len();
+    assert!(n > 0, "downscaled W2 still contains invocations");
+    let cfg = HybridConfig::paper_25_25();
+    let report = Simulation::new(
+        MachineConfig::new(cfg.total_cores()),
+        trace.to_task_specs(),
+        HybridScheduler::new(cfg),
+    )
+    .run()
+    .expect("hybrid simulation completes");
+    let records = records_from_tasks(&report.tasks);
+    assert_eq!(records.len(), n, "one metrics record per invocation");
+    assert!(
+        records
+            .iter()
+            .all(|r| r.execution_time() > SimDuration::ZERO),
+        "every task executed for a nonzero duration"
+    );
+    let usd = PriceModel::duration_only().workload_cost(&records);
+    assert!(usd > 0.0, "the workload costs real money");
 }
 
 #[test]
@@ -60,24 +94,37 @@ fn same_seed_same_bill() {
         .expect("completes");
         PriceModel::duration_only().workload_cost(&records_from_tasks(&report.tasks))
     };
-    assert_eq!(cost().to_bits(), cost().to_bits(), "whole pipeline is deterministic");
+    assert_eq!(
+        cost().to_bits(),
+        cost().to_bits(),
+        "whole pipeline is deterministic"
+    );
 }
 
 #[test]
 fn firecracker_fleet_pipeline() {
     use serverless_hybrid_sched::firecracker::{run_fleet, FirecrackerConfig};
-    let trace =
-        AzureTrace::generate(&TraceConfig::w10().downscaled(100)).truncated(30).stretched(3.0);
+    let trace = AzureTrace::generate(&TraceConfig::w10().downscaled(100))
+        .truncated(30)
+        .stretched(3.0);
     let fc = FirecrackerConfig {
         host_mem_mib: 4 * 1_024,
         drain_cores: 4,
         ..FirecrackerConfig::paper_fleet()
     };
-    let out = run_fleet(&trace, &fc, 4, HybridScheduler::new(HybridConfig::split(2, 2)))
-        .expect("fleet completes");
+    let out = run_fleet(
+        &trace,
+        &fc,
+        4,
+        HybridScheduler::new(HybridConfig::split(2, 2)),
+    )
+    .expect("fleet completes");
     assert_eq!(out.plan.vms().len(), 30);
     assert_eq!(out.vm_records.len(), out.plan.launched());
-    assert!(out.plan.failed() > 0, "tiny host must reject part of the burst");
+    assert!(
+        out.plan.failed() > 0,
+        "tiny host must reject part of the burst"
+    );
     // Billing covers exactly the completed VMs.
     let usd = PriceModel::duration_only().workload_cost(&out.vm_records);
     assert!(usd > 0.0);
