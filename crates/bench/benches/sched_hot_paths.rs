@@ -1,6 +1,12 @@
 //! Microbenchmarks of the scheduler hot paths: the per-event work each
 //! policy does (enqueue, pick-next, preempt bookkeeping), the sliding
 //! window percentile, the event queue, and trace synthesis.
+//!
+//! Each policy benchmark declares its kernel-event count, so the harness
+//! reports events/sec — the per-event cost of the whole loop (kernel
+//! bookkeeping + idle sweep + policy decision). Results are written to
+//! `BENCH_sched.json` at the workspace root: the committed baseline future
+//! PRs diff against. Set `BENCH_QUICK` for the CI smoke run.
 
 use faas_bench::timing::{black_box, Bench};
 
@@ -8,6 +14,14 @@ use azure_trace::{AzureTrace, TraceConfig};
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
 use hybrid_scheduler::{HybridConfig, HybridScheduler, SlidingWindow, TimeLimitPolicy};
+
+/// Where the machine-readable baseline lands (the workspace root).
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+
+/// Quick-mode (`BENCH_QUICK`) runs land here instead, so a CI smoke run
+/// or a local smoke run can never clobber the committed full-fidelity
+/// baseline with 3-sample noise. Gitignored.
+const QUICK_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.quick.json");
 
 fn specs(n: usize) -> Vec<TaskSpec> {
     (0..n)
@@ -22,54 +36,51 @@ fn specs(n: usize) -> Vec<TaskSpec> {
         .collect()
 }
 
-fn run_sim<P: Scheduler>(cores: usize, n: usize, policy: P) {
+fn run_sim<P: Scheduler>(cores: usize, n: usize, policy: P) -> u64 {
     let cfg = MachineConfig::new(cores).with_cost(CostModel::default());
-    let report = Simulation::new(cfg, specs(n), policy).run().unwrap();
-    black_box(report.finished_at);
+    let mut sim = Simulation::new(cfg, specs(n), policy);
+    while sim.step().unwrap() {}
+    black_box(sim.machine().now());
+    sim.machine().events_processed()
 }
 
 fn bench_policies(c: &mut Bench) {
     let mut g = c.benchmark_group("policy_event_loop_500_tasks");
     g.sample_size(10);
-    g.bench_function("fifo", |b| {
-        b.iter(|| run_sim(4, 500, faas_policies::Fifo::new()))
-    });
-    g.bench_function("cfs", |b| {
-        b.iter(|| run_sim(4, 500, faas_policies::Cfs::with_cores(4)))
-    });
-    g.bench_function("round_robin", |b| {
-        b.iter(|| {
-            run_sim(
-                4,
-                500,
-                faas_policies::RoundRobin::new(SimDuration::from_millis(10)),
-            )
-        })
-    });
-    g.bench_function("edf", |b| {
-        b.iter(|| run_sim(4, 500, faas_policies::Edf::new()))
-    });
-    g.bench_function("shinjuku", |b| {
-        b.iter(|| {
-            run_sim(
-                4,
-                500,
-                faas_policies::Shinjuku::new(SimDuration::from_millis(1)),
-            )
-        })
-    });
-    g.bench_function("hybrid", |b| {
-        b.iter(|| {
-            let cfg = HybridConfig::split(2, 2)
-                .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(100)));
-            run_sim(4, 500, HybridScheduler::new(cfg))
-        })
-    });
+    macro_rules! policy_bench {
+        ($name:literal, $make:expr) => {
+            // One untimed run determines the deterministic event count so
+            // the harness can report events/sec.
+            let events = run_sim(4, 500, $make);
+            g.throughput(events);
+            g.bench_function($name, |b| b.iter(|| run_sim(4, 500, $make)));
+        };
+    }
+    policy_bench!("fifo", faas_policies::Fifo::new());
+    policy_bench!("cfs", faas_policies::Cfs::with_cores(4));
+    policy_bench!(
+        "round_robin",
+        faas_policies::RoundRobin::new(SimDuration::from_millis(10))
+    );
+    policy_bench!("edf", faas_policies::Edf::new());
+    policy_bench!(
+        "shinjuku",
+        faas_policies::Shinjuku::new(SimDuration::from_millis(1))
+    );
+    policy_bench!(
+        "hybrid",
+        HybridScheduler::new(
+            HybridConfig::split(2, 2)
+                .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(100)))
+        )
+    );
     g.finish();
 }
 
 fn bench_primitives(c: &mut Bench) {
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
+    let mut g = c.benchmark_group("primitives");
+    g.throughput(1_000);
+    g.bench_function("event_queue_schedule_pop_1k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..1_000u64 {
@@ -80,6 +91,7 @@ fn bench_primitives(c: &mut Bench) {
             }
         })
     });
+    g.finish();
     c.bench_function("sliding_window_push_percentile", |b| {
         let mut w = SlidingWindow::new(100);
         for i in 0..100u64 {
@@ -102,4 +114,17 @@ fn main() {
     let mut c = Bench::from_env();
     bench_policies(&mut c);
     bench_primitives(&mut c);
+    if c.filtered() {
+        println!("name filters active: not overwriting BENCH_sched.json");
+        return;
+    }
+    let (path, label) = if c.quick() {
+        (QUICK_PATH, "BENCH_sched.quick.json (quick mode)")
+    } else {
+        (BASELINE_PATH, "BENCH_sched.json")
+    };
+    match c.write_json(path) {
+        Ok(()) => println!("baseline written: {label}"),
+        Err(e) => eprintln!("warning: could not write {label}: {e}"),
+    }
 }

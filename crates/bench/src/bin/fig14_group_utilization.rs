@@ -1,5 +1,9 @@
 //! Fig. 14: average CPU utilization of the FIFO group vs the CFS group
 //! over time (hybrid 25/25, W2). Shape: both stay high (~100%).
+//!
+//! A single simulation feeds the figure, so there is nothing for the
+//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
+//! output is trivially identical at any thread count.
 
 use faas_bench::{paper_machine, run_policy, w2_trace};
 use faas_kernel::CoreId;

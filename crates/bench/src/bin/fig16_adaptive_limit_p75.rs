@@ -1,6 +1,10 @@
 //! Fig. 16: utilization of both groups + the adaptive limit over time,
 //! limit = p75 of the last 100 durations, 10-minute workload. Shape: the
 //! limit drops to ~0.5 s and FIFO-group utilization hovers around 90%.
+//!
+//! A single simulation feeds the figure, so there is nothing for the
+//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
+//! output is trivially identical at any thread count.
 
 use faas_bench::{paper_machine, w10_trace};
 use faas_kernel::{CoreId, Simulation};

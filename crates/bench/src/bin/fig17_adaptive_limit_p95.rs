@@ -1,6 +1,10 @@
 //! Fig. 17: same timeline as Fig. 16 with the limit at p95. Shape: the
 //! limit is larger and volatile; tasks are rarely preempted off the FIFO
 //! cores, leaving the CFS group under-utilized.
+//!
+//! A single simulation feeds the figure, so there is nothing for the
+//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
+//! output is trivially identical at any thread count.
 
 use faas_bench::{paper_machine, w10_trace};
 use faas_kernel::{CoreId, Simulation};

@@ -1,6 +1,10 @@
 //! Fig. 19: utilization of both groups + the number of FIFO cores over
 //! time with rightsizing on the 10-minute workload. Shape: utilization of
 //! both groups stays high; the FIFO core count adapts.
+//!
+//! A single simulation feeds the figure, so there is nothing for the
+//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
+//! output is trivially identical at any thread count.
 
 use faas_bench::{paper_machine, w10_trace};
 use faas_kernel::Simulation;

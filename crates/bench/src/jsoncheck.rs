@@ -1,0 +1,228 @@
+//! A minimal JSON well-formedness checker (no external crates).
+//!
+//! The bench harness emits `BENCH_sched.json` baselines; CI must fail if
+//! a change corrupts that output. A full parser is overkill — this module
+//! validates syntax per RFC 8259 and lets callers assert on the raw text
+//! for content checks.
+
+/// Validates that `text` is one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn err(what: &str, pos: usize) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(_) => Err(err("unexpected character", *pos)),
+        None => Err(err("unexpected end of input", *pos)),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err("expected object key string", *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err("expected ':'", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err("expected ',' or '}'", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err("expected ',' or ']'", *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(err("bad \\u escape", *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(err("bad escape", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(err("raw control character in string", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err(err("unterminated string", *pos))
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + word.len() && &b[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(err("bad literal", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: 0, or a nonzero digit followed by digits.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(err("bad number", start)),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(err("bad fraction", *pos));
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(err("bad exponent", *pos));
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e3",
+            r#""hi \n é""#,
+            r#"{"a": [1, 2.5, {"b": true}], "c": null}"#,
+            "  { \"x\" : [ ] }\n",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, ]",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{} extra",
+            "{\"a\": 1,}",
+            "\"bad \\x escape\"",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} wrongly accepted");
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = validate("[1, oops]").unwrap_err();
+        assert!(e.contains("byte 4"), "got: {e}");
+    }
+}

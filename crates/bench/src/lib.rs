@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsoncheck;
+pub mod par;
 mod plot;
 pub mod timing;
 

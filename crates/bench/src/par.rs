@@ -1,0 +1,160 @@
+//! A zero-dependency parallel runner for independent simulation jobs.
+//!
+//! The figure sweeps are embarrassingly parallel: each `run_policy` call
+//! is a self-contained deterministic simulation. This module fans such
+//! jobs across OS threads with `std::thread::scope` — no external crates,
+//! no work-stealing runtime — while keeping results in **input order**,
+//! so a sweep binary's stdout is byte-identical at any thread count.
+//!
+//! The thread count comes from the `BENCH_THREADS` environment variable;
+//! unset or invalid values fall back to the host's available parallelism.
+//! `BENCH_THREADS=1` forces fully sequential execution on the calling
+//! thread (handy for timing baselines and debugging).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker-thread count: `BENCH_THREADS` if set to a positive integer,
+/// otherwise the host's available parallelism (1 if unknown).
+pub fn bench_threads() -> usize {
+    match std::env::var("BENCH_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to [`bench_threads`] worker threads and
+/// returns the results **in input order** regardless of scheduling.
+///
+/// `f` receives `(index, item)`. Items are claimed from a shared counter,
+/// so long jobs do not serialize behind short ones. With one thread (or
+/// one item) everything runs on the calling thread. A panic in any job
+/// (e.g. a simulation deadlock) propagates to the caller.
+///
+/// # Examples
+///
+/// ```
+/// let squares = faas_bench::par::par_map(vec![1u64, 2, 3], |i, x| x * x + i as u64);
+/// assert_eq!(squares, vec![1, 5, 11]);
+/// ```
+///
+/// # Panics
+///
+/// Re-raises the first panic observed in a worker thread.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = bench_threads().min(n);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let out = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker finished every claimed job")
+        })
+        .collect()
+}
+
+/// Runs a batch of heterogeneous jobs in parallel, returning their results
+/// in input order. Sugar over [`par_map`] for sweeps whose cases are not
+/// uniform enough for a single `(index, item)` closure.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed in a worker thread.
+pub fn run_all<R: Send>(jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<R> {
+    par_map(jobs, |_, job| job())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        // Make later items finish first by sleeping less.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map(items, |i, x| {
+            std::thread::sleep(std::time::Duration::from_micros(200 - 10 * x));
+            (i, x * 2)
+        });
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(vec![7u32], |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn run_all_mixes_job_shapes() {
+        let jobs: Vec<Box<dyn FnOnce() -> String + Send>> = vec![
+            Box::new(|| "first".to_string()),
+            Box::new(|| format!("{}", 2 * 21)),
+        ];
+        assert_eq!(run_all(jobs), vec!["first".to_string(), "42".to_string()]);
+    }
+
+    #[test]
+    fn thread_count_env_parsing() {
+        // Can't mutate the environment safely in parallel tests; just
+        // check the fallback is sane.
+        assert!(bench_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = par_map(vec![0u8, 1], |_, x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! Validates the committed `BENCH_sched.json` perf baseline: well-formed
+//! JSON (in-tree checker, no serde) with the expected schema marker and
+//! result rows. CI runs this after regenerating the file in quick mode,
+//! so a harness change that corrupts the baseline fails the build.
+
+use faas_bench::jsoncheck;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+
+fn baseline() -> String {
+    std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_sched.json must be committed at the workspace root \
+             (regenerate with `cargo bench -p faas-bench --bench sched_hot_paths`): {e}"
+        )
+    })
+}
+
+#[test]
+fn baseline_is_well_formed_json() {
+    let text = baseline();
+    jsoncheck::validate(&text).expect("BENCH_sched.json is malformed");
+}
+
+/// Quick-mode runs write `BENCH_sched.quick.json` next to the committed
+/// baseline (so they can never clobber it); when one exists — e.g. right
+/// after CI's smoke run — it must be well-formed too.
+#[test]
+fn quick_output_if_present_is_well_formed() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.quick.json");
+    if let Ok(text) = std::fs::read_to_string(path) {
+        jsoncheck::validate(&text).expect("BENCH_sched.quick.json is malformed");
+        assert!(
+            text.contains("\"quick\": true"),
+            "quick output must be marked quick"
+        );
+    }
+}
+
+#[test]
+fn baseline_has_schema_and_expected_rows() {
+    let text = baseline();
+    assert!(
+        text.contains("\"schema\": \"faas-bench/v1\""),
+        "schema marker missing"
+    );
+    // The hot-path benches that must always be present in the baseline.
+    for name in [
+        "\"name\": \"fifo\"",
+        "\"name\": \"cfs\"",
+        "\"name\": \"hybrid\"",
+        "\"name\": \"event_queue_schedule_pop_1k\"",
+    ] {
+        assert!(text.contains(name), "baseline missing row: {name}");
+    }
+    // Regression tracking requires the fields future PRs diff against.
+    for field in [
+        "\"median_ns\"",
+        "\"min_ns\"",
+        "\"mad_ns\"",
+        "\"events_per_sec\"",
+    ] {
+        assert!(text.contains(field), "baseline missing field: {field}");
+    }
+}

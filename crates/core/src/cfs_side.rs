@@ -19,10 +19,17 @@ struct Rq {
 }
 
 /// Dynamic-membership CFS run queues.
+///
+/// `rqs` is a dense vector indexed by core id (`None` = not a member).
+/// `steal_into` and `balance` pick victims by iterating it, so iteration
+/// order must be deterministic — a `HashMap` here once made tie-breaks,
+/// and therefore whole simulations, nondeterministic across runs. The
+/// dense layout also makes the per-dispatch queue lookups O(1).
 #[derive(Debug)]
 pub(crate) struct CfsSide {
-    rqs: HashMap<usize, Rq>,
+    rqs: Vec<Option<Rq>>,
     /// vruntime offset per task: effective vr = offset + cpu_time.
+    /// Only keyed lookups, never iterated, so hashing is safe here.
     offsets: HashMap<TaskId, i64>,
     sched_latency: SimDuration,
     min_granularity: SimDuration,
@@ -35,7 +42,7 @@ impl CfsSide {
             "min_granularity must be positive"
         );
         CfsSide {
-            rqs: HashMap::new(),
+            rqs: Vec::new(),
             offsets: HashMap::new(),
             sched_latency,
             min_granularity,
@@ -43,28 +50,48 @@ impl CfsSide {
     }
 
     pub(crate) fn add_core(&mut self, core: usize) {
-        self.rqs.entry(core).or_default();
+        if core >= self.rqs.len() {
+            self.rqs.resize_with(core + 1, || None);
+        }
+        if self.rqs[core].is_none() {
+            self.rqs[core] = Some(Rq::default());
+        }
     }
 
     /// Removes a core, returning its queued tasks in vruntime order.
     pub(crate) fn remove_core(&mut self, core: usize) -> Vec<TaskId> {
-        match self.rqs.remove(&core) {
+        match self.rqs.get_mut(core).and_then(Option::take) {
             Some(rq) => rq.queue.into_iter().map(|(_, t)| t).collect(),
             None => Vec::new(),
         }
     }
 
     pub(crate) fn has_core(&self, core: usize) -> bool {
-        self.rqs.contains_key(&core)
+        matches!(self.rqs.get(core), Some(Some(_)))
     }
 
     pub(crate) fn queue_len(&self, core: usize) -> usize {
-        self.rqs.get(&core).map(|r| r.queue.len()).unwrap_or(0)
+        match self.rqs.get(core) {
+            Some(Some(r)) => r.queue.len(),
+            _ => 0,
+        }
     }
 
     /// Total queued tasks across all member cores.
     pub(crate) fn total_queued(&self) -> usize {
-        self.rqs.values().map(|r| r.queue.len()).sum()
+        self.rqs.iter().flatten().map(|r| r.queue.len()).sum()
+    }
+
+    /// Iterates `(core, rq)` over member cores in ascending core order.
+    fn members(&self) -> impl Iterator<Item = (usize, &Rq)> {
+        self.rqs
+            .iter()
+            .enumerate()
+            .filter_map(|(c, rq)| rq.as_ref().map(|r| (c, r)))
+    }
+
+    fn rq_mut(&mut self, core: usize) -> Option<&mut Rq> {
+        self.rqs.get_mut(core).and_then(Option::as_mut)
     }
 
     fn effective_vr(&self, m: &Machine, task: TaskId) -> i64 {
@@ -74,29 +101,34 @@ impl CfsSide {
     /// Enqueues a task entering this core fresh: placed at the core's
     /// `min_vruntime` so it is not starved nor unfairly boosted.
     pub(crate) fn enqueue_new(&mut self, m: &Machine, core: usize, task: TaskId) {
-        let rq = self.rqs.get_mut(&core).expect("enqueue on member core");
         let cpu = m.task(task).cpu_time().as_micros() as i64;
+        let rq = self
+            .rqs
+            .get_mut(core)
+            .and_then(Option::as_mut)
+            .expect("enqueue on member core");
         let offset = rq.min_vruntime - cpu;
-        self.offsets.insert(task, offset);
         rq.queue.insert((offset + cpu, task));
+        self.offsets.insert(task, offset);
     }
 
     /// Re-enqueues a task that already belongs to this core (slice expiry);
     /// its vruntime advanced by the CPU time it just consumed.
     pub(crate) fn requeue(&mut self, m: &Machine, core: usize, task: TaskId) {
         let vr = self.effective_vr(m, task);
-        let rq = self.rqs.get_mut(&core).expect("requeue on member core");
+        let rq = self.rq_mut(core).expect("requeue on member core");
         rq.queue.insert((vr, task));
     }
 
     /// Pops the smallest-vruntime task of `core` together with its slice.
     pub(crate) fn pop(&mut self, core: usize) -> Option<(TaskId, SimDuration)> {
-        let rq = self.rqs.get_mut(&core)?;
+        let (sched_latency, min_granularity) = (self.sched_latency, self.min_granularity);
+        let rq = self.rq_mut(core)?;
         let key = *rq.queue.iter().next()?;
         rq.queue.remove(&key);
         rq.min_vruntime = rq.min_vruntime.max(key.0);
         let nr = rq.queue.len() as u64 + 1;
-        let slice = (self.sched_latency / nr).max(self.min_granularity);
+        let slice = (sched_latency / nr).max(min_granularity);
         Some((key.1, slice))
     }
 
@@ -105,19 +137,20 @@ impl CfsSide {
     /// steal happened.
     pub(crate) fn steal_into(&mut self, m: &Machine, core: usize) -> bool {
         let victim = self
-            .rqs
-            .iter()
-            .filter(|(&c, _)| c != core)
+            .members()
+            .filter(|&(c, _)| c != core)
             .max_by_key(|(_, rq)| rq.queue.len())
-            .map(|(&c, rq)| (c, rq.queue.len()));
+            .map(|(c, rq)| (c, rq.queue.len()));
         match victim {
             Some((v, len)) if len > 1 => {
-                let key = *self.rqs[&v].queue.iter().next_back().expect("non-empty");
-                self.rqs
-                    .get_mut(&v)
+                let key = *self
+                    .rq_mut(v)
                     .expect("victim exists")
                     .queue
-                    .remove(&key);
+                    .iter()
+                    .next_back()
+                    .expect("non-empty");
+                self.rq_mut(v).expect("victim exists").queue.remove(&key);
                 self.enqueue_new(m, core, key.1);
                 true
             }
@@ -131,27 +164,25 @@ impl CfsSide {
     pub(crate) fn balance(&mut self, m: &Machine) -> usize {
         let mut moved = 0;
         loop {
-            let (max_c, max_len) = match self.rqs.iter().max_by_key(|(_, r)| r.queue.len()) {
-                Some((&c, r)) => (c, r.queue.len()),
+            let (max_c, max_len) = match self.members().max_by_key(|(_, r)| r.queue.len()) {
+                Some((c, r)) => (c, r.queue.len()),
                 None => return moved,
             };
-            let (min_c, min_len) = match self.rqs.iter().min_by_key(|(_, r)| r.queue.len()) {
-                Some((&c, r)) => (c, r.queue.len()),
+            let (min_c, min_len) = match self.members().min_by_key(|(_, r)| r.queue.len()) {
+                Some((c, r)) => (c, r.queue.len()),
                 None => return moved,
             };
             if max_len <= min_len + 1 {
                 return moved;
             }
-            let key = *self.rqs[&max_c]
+            let key = *self
+                .rq_mut(max_c)
+                .expect("max exists")
                 .queue
                 .iter()
                 .next_back()
                 .expect("non-empty");
-            self.rqs
-                .get_mut(&max_c)
-                .expect("max exists")
-                .queue
-                .remove(&key);
+            self.rq_mut(max_c).expect("max exists").queue.remove(&key);
             self.enqueue_new(m, min_c, key.1);
             moved += 1;
         }

@@ -41,5 +41,5 @@ pub use monitor::{HostRightsizer, UtilizationMonitor, UtilizationSnapshot};
 pub use runner::{PlannedLaunch, TraceRunner};
 pub use sysapi::{
     can_use_realtime, get_affinity, get_policy, num_cpus_configured, set_affinity, set_policy,
-    set_policy_or_fallback, Pid, SchedPolicy,
+    set_policy_or_fallback, Pid, SchedPolicy, SysError,
 };

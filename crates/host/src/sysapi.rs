@@ -16,6 +16,74 @@ use crate::ffi as libc;
 /// A process id.
 pub type Pid = libc::pid_t;
 
+/// A typed failure from the scheduling syscall wrappers.
+///
+/// On Linux every failure carries the real OS errno. On other platforms
+/// the FFI stubs cannot set `errno`, so instead of surfacing a stale or
+/// zero errno the wrappers report [`SysError::UnsupportedPlatform`],
+/// naming the call that is Linux-only (ROADMAP "non-Linux platform gap").
+#[derive(Debug)]
+pub enum SysError {
+    /// The underlying syscall failed with a real OS error.
+    Os(io::Error),
+    /// The call is not available on this platform (non-Linux build).
+    UnsupportedPlatform {
+        /// The syscall wrapper that was invoked.
+        call: &'static str,
+    },
+}
+
+impl std::fmt::Display for SysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SysError::Os(e) => write!(f, "{e}"),
+            SysError::UnsupportedPlatform { call } => {
+                write!(f, "{call} is only available on Linux")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SysError::Os(e) => Some(e),
+            SysError::UnsupportedPlatform { .. } => None,
+        }
+    }
+}
+
+impl From<SysError> for io::Error {
+    fn from(e: SysError) -> io::Error {
+        match e {
+            SysError::Os(e) => e,
+            SysError::UnsupportedPlatform { .. } => {
+                io::Error::new(io::ErrorKind::Unsupported, e.to_string())
+            }
+        }
+    }
+}
+
+impl SysError {
+    /// The raw OS errno, if this is a real OS error.
+    pub fn raw_os_error(&self) -> Option<i32> {
+        match self {
+            SysError::Os(e) => e.raw_os_error(),
+            SysError::UnsupportedPlatform { .. } => None,
+        }
+    }
+}
+
+/// Builds the error for a failed syscall: the live errno on Linux, the
+/// typed platform gap everywhere else (where the stubs leave errno stale).
+fn syscall_error(call: &'static str) -> SysError {
+    if cfg!(target_os = "linux") {
+        SysError::Os(io::Error::last_os_error())
+    } else {
+        SysError::UnsupportedPlatform { call }
+    }
+}
+
 /// Scheduling policy of a process, mirroring the kernel's classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedPolicy {
@@ -58,13 +126,14 @@ impl SchedPolicy {
 /// # Errors
 ///
 /// Returns the OS error (e.g. `EINVAL` for an empty/out-of-range set,
-/// `ESRCH` for a dead process).
-pub fn set_affinity(pid: Pid, cores: &[usize]) -> io::Result<()> {
+/// `ESRCH` for a dead process), or
+/// [`SysError::UnsupportedPlatform`] on non-Linux builds.
+pub fn set_affinity(pid: Pid, cores: &[usize]) -> Result<(), SysError> {
     if cores.is_empty() {
-        return Err(io::Error::new(
+        return Err(SysError::Os(io::Error::new(
             io::ErrorKind::InvalidInput,
             "empty core set",
-        ));
+        )));
     }
     // SAFETY: cpu_set_t is a plain bitset; zeroed is a valid empty set.
     let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
@@ -79,7 +148,7 @@ pub fn set_affinity(pid: Pid, cores: &[usize]) -> io::Result<()> {
     if rc == 0 {
         Ok(())
     } else {
-        Err(io::Error::last_os_error())
+        Err(syscall_error("sched_setaffinity"))
     }
 }
 
@@ -87,15 +156,16 @@ pub fn set_affinity(pid: Pid, cores: &[usize]) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns the OS error.
-pub fn get_affinity(pid: Pid) -> io::Result<Vec<usize>> {
+/// Returns the OS error, or [`SysError::UnsupportedPlatform`] on
+/// non-Linux builds.
+pub fn get_affinity(pid: Pid) -> Result<Vec<usize>, SysError> {
     // SAFETY: zeroed cpu_set_t is valid; the kernel fills it.
     let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
     let rc =
         // SAFETY: `set` is a valid out-pointer of the size we pass.
         unsafe { libc::sched_getaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &mut set) };
     if rc != 0 {
-        return Err(io::Error::last_os_error());
+        return Err(syscall_error("sched_getaffinity"));
     }
     let max = num_cpus_configured();
     let mut cores = Vec::new();
@@ -114,8 +184,9 @@ pub fn get_affinity(pid: Pid) -> io::Result<Vec<usize>> {
 ///
 /// `EPERM` without `CAP_SYS_NICE` for real-time policies — callers should
 /// fall back to [`SchedPolicy::Other`] (see
-/// [`set_policy_or_fallback`]).
-pub fn set_policy(pid: Pid, policy: SchedPolicy) -> io::Result<()> {
+/// [`set_policy_or_fallback`]). On non-Linux builds every call reports
+/// [`SysError::UnsupportedPlatform`].
+pub fn set_policy(pid: Pid, policy: SchedPolicy) -> Result<(), SysError> {
     let (raw, prio) = policy.to_raw();
     let param = libc::sched_param {
         sched_priority: prio,
@@ -125,7 +196,7 @@ pub fn set_policy(pid: Pid, policy: SchedPolicy) -> io::Result<()> {
     if rc == 0 {
         Ok(())
     } else {
-        Err(io::Error::last_os_error())
+        Err(syscall_error("sched_setscheduler"))
     }
 }
 
@@ -138,8 +209,9 @@ pub fn set_policy(pid: Pid, policy: SchedPolicy) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns the OS error if even the fallback fails.
-pub fn set_policy_or_fallback(pid: Pid, policy: SchedPolicy) -> io::Result<SchedPolicy> {
+/// Returns the OS error if even the fallback fails, or
+/// [`SysError::UnsupportedPlatform`] on non-Linux builds.
+pub fn set_policy_or_fallback(pid: Pid, policy: SchedPolicy) -> Result<SchedPolicy, SysError> {
     let realtime = matches!(policy, SchedPolicy::Fifo(_) | SchedPolicy::RoundRobin(_));
     match set_policy(pid, policy) {
         Ok(()) => Ok(policy),
@@ -161,18 +233,19 @@ pub fn set_policy_or_fallback(pid: Pid, policy: SchedPolicy) -> io::Result<Sched
 ///
 /// # Errors
 ///
-/// Returns the OS error.
-pub fn get_policy(pid: Pid) -> io::Result<SchedPolicy> {
+/// Returns the OS error, or [`SysError::UnsupportedPlatform`] on
+/// non-Linux builds.
+pub fn get_policy(pid: Pid) -> Result<SchedPolicy, SysError> {
     // SAFETY: plain syscall returning the policy number.
     let raw = unsafe { libc::sched_getscheduler(pid) };
     if raw < 0 {
-        return Err(io::Error::last_os_error());
+        return Err(syscall_error("sched_getscheduler"));
     }
     let mut param = libc::sched_param { sched_priority: 0 };
     // SAFETY: `param` is a valid out-pointer.
     let rc = unsafe { libc::sched_getparam(pid, &mut param) };
     if rc != 0 {
-        return Err(io::Error::last_os_error());
+        return Err(syscall_error("sched_getparam"));
     }
     Ok(SchedPolicy::from_raw(raw, param.sched_priority))
 }
@@ -226,8 +299,32 @@ mod tests {
 
     #[test]
     fn empty_core_set_rejected() {
-        let err = set_affinity(me(), &[]).unwrap_err();
+        let err: io::Error = set_affinity(me(), &[]).unwrap_err().into();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn unsupported_platform_error_is_typed() {
+        let e = SysError::UnsupportedPlatform {
+            call: "sched_setaffinity",
+        };
+        assert!(e.to_string().contains("only available on Linux"));
+        assert_eq!(e.raw_os_error(), None);
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    #[test]
+    fn non_linux_calls_report_platform_gap() {
+        // On non-Linux hosts the stubs fail without touching errno; the
+        // wrapper must say why instead of surfacing a stale errno.
+        match get_policy(me()) {
+            Err(SysError::UnsupportedPlatform { call }) => {
+                assert_eq!(call, "sched_getscheduler");
+            }
+            other => panic!("expected UnsupportedPlatform, got {other:?}"),
+        }
     }
 
     #[test]

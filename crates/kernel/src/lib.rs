@@ -56,6 +56,7 @@
 
 mod core;
 mod cost;
+mod idle;
 mod machine;
 mod message;
 mod sched;

@@ -11,6 +11,7 @@ use faas_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::core::{Core, CoreId, CoreState, CoreStats};
 use crate::cost::CostModel;
+use crate::idle::IdleSet;
 use crate::message::KernelMessage;
 use crate::task::{Task, TaskId, TaskSpec, TaskState};
 use crate::util::UtilizationLedger;
@@ -210,6 +211,16 @@ pub struct Machine {
     finished: usize,
     last_progress: SimTime,
     tick_every: Option<SimDuration>,
+    /// Incrementally maintained set of idle cores (updated on every core
+    /// state transition; replaces the per-event O(cores) scan).
+    idle: IdleSet,
+    /// Monotonic count of busy→idle transitions. The driver compares it
+    /// against the value at its last idle sweep to decide whether any
+    /// core's state changed — the batching signal, at the cost of one
+    /// increment on the hot path.
+    idle_transitions: u64,
+    /// Kernel events processed so far (stale generations included).
+    events_processed: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -258,6 +269,9 @@ impl Machine {
             now: SimTime::ZERO,
             last_progress: SimTime::ZERO,
             tick_every: None,
+            idle: IdleSet::all_idle(cfg.cores),
+            idle_transitions: 0,
+            events_processed: 0,
             cfg,
         }
     }
@@ -309,18 +323,27 @@ impl Machine {
         self.cores[core.index()].state
     }
 
-    /// All cores currently idle, in id order.
-    pub fn idle_cores(&self) -> Vec<CoreId> {
-        self.cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.state == CoreState::Idle)
-            .map(|(i, _)| CoreId(i as u16))
-            .collect()
+    /// All cores currently idle, in ascending id order.
+    ///
+    /// Backed by an incrementally maintained bitset, so this is
+    /// allocation-free and O(idle cores) rather than O(all cores).
+    pub fn idle_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.idle.iter()
+    }
+
+    /// Number of currently idle cores (O(1)).
+    pub fn num_idle_cores(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Appends the idle cores to `buf` in ascending id order without
+    /// allocating (the snapshot the simulation driver sweeps over).
+    pub fn fill_idle_cores(&self, buf: &mut Vec<CoreId>) {
+        self.idle.fill(buf);
     }
 
     /// The task running on `core` and the length of its current run
-    /// segment, if any.
+    /// segment, if any. O(1): a direct core-record lookup.
     pub fn running_on(&self, core: CoreId) -> Option<(TaskId, SimDuration)> {
         let c = &self.cores[core.index()];
         match c.state {
@@ -329,21 +352,33 @@ impl Machine {
         }
     }
 
+    /// The core `task` currently occupies, if it is running. O(1) via the
+    /// task→core back-pointer (the inverse of [`Machine::running_on`]).
+    pub fn core_of(&self, task: TaskId) -> Option<CoreId> {
+        self.tasks[task.index()].on_core
+    }
+
     /// Total observed on-CPU time of a task including its current run
     /// segment. This is what the hybrid scheduler compares against the FIFO
     /// time limit (§IV-A: "checks if the runtime of tasks on these cores
     /// exceeds the time limit").
+    ///
+    /// O(1): uses the task→core back-pointer instead of scanning cores.
     pub fn observed_runtime(&self, id: TaskId) -> SimDuration {
-        let base = self.tasks[id.index()].cpu_time();
-        let running_extra = self
-            .cores
-            .iter()
-            .find_map(|c| match c.state {
-                CoreState::Running(t) if t == id => Some(self.now.saturating_since(c.work_start)),
-                _ => None,
-            })
-            .unwrap_or(SimDuration::ZERO);
-        base + running_extra
+        let t = &self.tasks[id.index()];
+        let running_extra = match t.on_core {
+            Some(core) => self
+                .now
+                .saturating_since(self.cores[core.index()].work_start),
+            None => SimDuration::ZERO,
+        };
+        t.cpu_time() + running_extra
+    }
+
+    /// Kernel events processed so far, stale-generation events included
+    /// (the denominator of the bench harness's events/sec throughput).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Per-core statistics.
@@ -436,9 +471,11 @@ impl Machine {
             c.ctx_switches += 1;
         }
         let generation = c.generation;
+        self.idle.remove(core);
 
         let t = &mut self.tasks[task.index()];
         t.state = TaskState::Running;
+        t.on_core = Some(core);
         if t.first_run.is_none() {
             t.first_run = Some(self.now);
         }
@@ -511,6 +548,7 @@ impl Machine {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.events_processed += 1;
         if self.now.saturating_since(self.last_progress) > self.cfg.stall_timeout {
             return Err(SimError::Stalled {
                 at: self.now,
@@ -591,6 +629,7 @@ impl Machine {
                         .cfg
                         .interference
                         .expect("interference event without config");
+                    self.idle.remove(core);
                     let c = &mut self.cores[core.index()];
                     c.state = CoreState::Interference;
                     c.generation += 1;
@@ -615,6 +654,7 @@ impl Machine {
                         self.util.record_busy(core.index(), since, now);
                     }
                     c.state = CoreState::Idle;
+                    self.mark_idle(core);
                     self.log(KernelMessage::InterferenceEnd { core });
                 }
                 // Schedule the next episode regardless.
@@ -654,6 +694,7 @@ impl Machine {
             c.preemptions += 1;
             (ran, since)
         };
+        self.mark_idle(core);
         self.util.record_busy(core.index(), since, now);
         let t = &mut self.tasks[task.index()];
         let ran = ran.min(t.remaining);
@@ -661,6 +702,7 @@ impl Machine {
         t.cpu_time += ran;
         t.preemptions += 1;
         t.state = TaskState::Preempted;
+        t.on_core = None;
         let _ = by_interference;
     }
 
@@ -678,11 +720,13 @@ impl Machine {
             c.generation += 1;
             since
         };
+        self.mark_idle(core);
         self.util.record_busy(core.index(), since, now);
         let t = &mut self.tasks[task.index()];
         t.cpu_time += t.remaining;
         t.remaining = SimDuration::ZERO;
         t.state = TaskState::Blocked;
+        t.on_core = None;
     }
 
     /// Completes `task` on `core`.
@@ -698,6 +742,7 @@ impl Machine {
             c.generation += 1;
             since
         };
+        self.mark_idle(core);
         self.util.record_busy(core.index(), since, now);
         let t = &mut self.tasks[task.index()];
         t.cpu_time += t.remaining;
@@ -706,7 +751,22 @@ impl Machine {
         t.state = TaskState::Finished;
         self.finished += 1;
         self.last_progress = now;
+        t.on_core = None;
         self.log(KernelMessage::TaskDead { task, core });
+    }
+
+    /// Records a busy→idle transition: updates the idle set and bumps the
+    /// change counter the driver's batched sweep keys off.
+    #[inline]
+    fn mark_idle(&mut self, core: CoreId) {
+        self.idle.insert(core);
+        self.idle_transitions += 1;
+    }
+
+    /// Monotonic count of busy→idle transitions (the driver's batching
+    /// signal: unchanged counter ⇒ no core became idle ⇒ no sweep needed).
+    pub(crate) fn idle_transitions(&self) -> u64 {
+        self.idle_transitions
     }
 
     fn log(&mut self, msg: KernelMessage) {

@@ -17,9 +17,15 @@ use crate::task::{Task, TaskId, TaskSpec};
 /// The driver guarantees:
 ///
 /// * every callback runs with exclusive access to the [`Machine`];
-/// * after every kernel event, [`Scheduler::on_core_idle`] is invoked once
-///   for each core that is idle at that point (in core-id order), so a
-///   policy only needs to react locally;
+/// * after every kernel event that delivers a policy callback,
+///   [`Scheduler::on_core_idle`] is invoked once for each core that is
+///   idle at that point (in core-id order), so a policy only needs to
+///   react locally;
+/// * the sweep is skipped only when it provably cannot matter: after a
+///   kernel-internal event (no callback ran) when additionally no core
+///   became idle since the last sweep and that sweep made no offer at
+///   all — so the policy's decision inputs are exactly those it already
+///   declined under;
 /// * a task handed over in `on_slice_expired` / `on_interference_preempt`
 ///   is in the `Preempted` state and is *owned by the policy* until it is
 ///   dispatched again — the kernel will never move it.
@@ -124,6 +130,19 @@ impl SimReport {
 pub struct Simulation<P> {
     machine: Machine,
     policy: P,
+    /// Reusable scratch for the idle sweep (no per-event allocation).
+    sweep_buf: Vec<CoreId>,
+    /// Per-core stamp of the last step a core was offered to the policy,
+    /// bounding each core to one `on_core_idle` call per event.
+    swept_at: Vec<u64>,
+    step: u64,
+    /// [`Machine::idle_transitions`] at the end of the previous sweep; an
+    /// unchanged counter means no core became idle since.
+    swept_transitions: u64,
+    /// Whether the previous sweep invoked `on_core_idle` at all. An offer
+    /// may mutate policy state even when declined, so the next event must
+    /// re-sweep; only an offer-free quiescent state allows skipping.
+    last_sweep_offered: bool,
 }
 
 impl<P: Scheduler> Simulation<P> {
@@ -133,7 +152,16 @@ impl<P: Scheduler> Simulation<P> {
         if let Some(every) = policy.tick_interval() {
             machine.arm_tick(every);
         }
-        Simulation { machine, policy }
+        let cores = machine.num_cores();
+        Simulation {
+            machine,
+            policy,
+            sweep_buf: Vec::with_capacity(cores),
+            swept_at: vec![0; cores],
+            step: 0,
+            swept_transitions: 0,
+            last_sweep_offered: false,
+        }
     }
 
     /// Read access to the machine mid-run (useful in tests).
@@ -157,7 +185,9 @@ impl<P: Scheduler> Simulation<P> {
             Some(c) => c,
             None => return Ok(false),
         };
+        self.step += 1;
         let m = &mut self.machine;
+        let delivered = !matches!(call, PolicyCall::Internal);
         match call {
             PolicyCall::TaskNew(t) => self.policy.on_task_new(m, t),
             PolicyCall::TaskFinished(t, c) => self.policy.on_task_finished(m, t, c),
@@ -166,13 +196,48 @@ impl<P: Scheduler> Simulation<P> {
             PolicyCall::Tick => self.policy.on_tick(m),
             PolicyCall::Internal => {}
         }
-        // Idle sweep: give the policy one chance per event to fill each
-        // idle core.
-        for i in 0..self.machine.num_cores() {
-            let core = CoreId::from_index(i);
-            if self.machine.core_state(core) == CoreState::Idle {
-                self.policy.on_core_idle(&mut self.machine, core);
+        // Idle sweep, batched: the sweep is skipped only when it provably
+        // cannot matter — the event was kernel-internal (no policy
+        // callback ran), no core transitioned to idle since the last
+        // sweep, and the last sweep made no `on_core_idle` offer (an
+        // offer, even a declined one, may mutate policy state — e.g. the
+        // hybrid agent migrates over-limit tasks between its queues while
+        // declining a core). In the common loaded phases of a simulation
+        // every core is busy and completions arrive stale, so whole
+        // swaths of events skip the sweep; when it does run, it walks the
+        // idle bitset into a reusable buffer — no allocation and no
+        // O(all cores) scan. Cores freed by preempts made during the
+        // sweep itself are picked up in follow-up passes, each core
+        // offered at most once per event.
+        if delivered
+            || self.machine.idle_transitions() != self.swept_transitions
+            || self.last_sweep_offered
+        {
+            let mut offered = false;
+            while self.machine.num_idle_cores() > 0 {
+                let pass_transitions = self.machine.idle_transitions();
+                self.sweep_buf.clear();
+                self.machine.fill_idle_cores(&mut self.sweep_buf);
+                let mut pass_offered = false;
+                for i in 0..self.sweep_buf.len() {
+                    let core = self.sweep_buf[i];
+                    if self.machine.core_state(core) == CoreState::Idle
+                        && self.swept_at[core.index()] != self.step
+                    {
+                        self.swept_at[core.index()] = self.step;
+                        pass_offered = true;
+                        self.policy.on_core_idle(&mut self.machine, core);
+                    }
+                }
+                offered |= pass_offered;
+                // Another pass only if a core was freed during this one
+                // (each core is still offered at most once per event).
+                if !pass_offered || self.machine.idle_transitions() == pass_transitions {
+                    break;
+                }
             }
+            self.swept_transitions = self.machine.idle_transitions();
+            self.last_sweep_offered = offered;
         }
         Ok(true)
     }

@@ -17,6 +17,14 @@ impl TaskId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Creates a task id from an index.
+    ///
+    /// Only meaningful for indices below the machine's task count; the
+    /// machine validates ids at use sites.
+    pub fn from_index(index: usize) -> Self {
+        TaskId(index as u32)
+    }
 }
 
 impl std::fmt::Display for TaskId {
@@ -144,6 +152,9 @@ pub struct Task {
     pub(crate) preemptions: u32,
     /// Total time actually spent on a CPU (excludes queueing).
     pub(crate) cpu_time: SimDuration,
+    /// The core this task currently occupies (`Some` iff `Running`); the
+    /// back-pointer that makes `Machine::observed_runtime` O(1).
+    pub(crate) on_core: Option<crate::core::CoreId>,
 }
 
 impl Task {
@@ -157,7 +168,13 @@ impl Task {
             completion: None,
             preemptions: 0,
             cpu_time: SimDuration::ZERO,
+            on_core: None,
         }
+    }
+
+    /// The core this task currently occupies, if it is `Running`.
+    pub fn running_core(&self) -> Option<crate::core::CoreId> {
+        self.on_core
     }
 
     /// The immutable spec this task was created from.

@@ -175,6 +175,205 @@ fn message_protocol_is_well_formed() {
     });
 }
 
+/// The incrementally maintained idle-core set always equals the
+/// brute-force scan over core states, and the task→core back-pointer
+/// (`core_of` / `observed_runtime`) always matches a brute-force search,
+/// across randomized dispatch/preempt/finish/interference sequences.
+#[test]
+fn incremental_idle_set_matches_brute_force() {
+    check::run("incremental_idle_set_matches_brute_force", 48, |g| {
+        let specs = arb_specs(g);
+        let cores = g.usize_in(1, 6);
+        let with_interference = g.boolean();
+        let seed = g.u64_in(0, u64::MAX);
+        let mut cfg = MachineConfig::new(cores).with_cost(CostModel::from_micros(3, 50));
+        if with_interference {
+            cfg = cfg
+                .with_interference(InterferenceConfig {
+                    mean_interval: SimDuration::from_millis(40),
+                    duration: SimDuration::from_millis(5),
+                })
+                .with_seed(seed);
+        }
+        let total = specs.len();
+        let mut m = Machine::new(cfg, specs);
+        let mut lcg = seed | 1;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut runnable: Vec<TaskId> = Vec::new();
+        let check_invariants = |m: &Machine| {
+            // Idle set == brute-force scan, same order.
+            let incremental: Vec<CoreId> = m.idle_cores().collect();
+            let brute: Vec<CoreId> = (0..m.num_cores())
+                .map(CoreId::from_index)
+                .filter(|c| m.core_state(*c) == CoreState::Idle)
+                .collect();
+            assert_eq!(incremental, brute, "idle set diverged from scan");
+            assert_eq!(m.num_idle_cores(), brute.len());
+            let mut buf = Vec::new();
+            m.fill_idle_cores(&mut buf);
+            assert_eq!(buf, brute);
+            // Back-pointer == brute-force search, both directions.
+            for c in (0..m.num_cores()).map(CoreId::from_index) {
+                match m.core_state(c) {
+                    CoreState::Running(t) => {
+                        assert_eq!(m.core_of(t), Some(c), "missing back-pointer");
+                        assert_eq!(m.task(t).running_core(), Some(c));
+                    }
+                    _ => assert!(
+                        (0..m.num_tasks()).all(|i| m.core_of(TaskId::from_index(i)) != Some(c)),
+                        "stale back-pointer onto non-running core {c}"
+                    ),
+                }
+            }
+            // observed_runtime == the pre-backpointer O(cores) definition.
+            for i in 0..m.num_tasks() {
+                let id = TaskId::from_index(i);
+                let brute_extra = (0..m.num_cores())
+                    .map(CoreId::from_index)
+                    .find_map(|c| match m.running_on(c) {
+                        Some((t, ran)) if t == id => Some(ran),
+                        _ => None,
+                    })
+                    .unwrap_or(SimDuration::ZERO);
+                assert_eq!(m.observed_runtime(id), m.task(id).cpu_time() + brute_extra);
+            }
+        };
+        let mut finished = 0usize;
+        let mut safety = 0u32;
+        while finished < total {
+            safety += 1;
+            assert!(safety < 200_000, "runaway property case");
+            match m.advance().expect("no deadlock: we always dispatch") {
+                None => break,
+                Some(call) => {
+                    match call {
+                        faas_kernel::PolicyCall::TaskNew(t) => runnable.push(t),
+                        faas_kernel::PolicyCall::SliceExpired(t, _)
+                        | faas_kernel::PolicyCall::InterferencePreempt(t, _) => runnable.push(t),
+                        faas_kernel::PolicyCall::TaskFinished(..) => finished += 1,
+                        _ => {}
+                    }
+                    check_invariants(&m);
+                    // Randomly preempt a running core.
+                    if next().is_multiple_of(7) {
+                        let victim = CoreId::from_index((next() as usize) % m.num_cores());
+                        if matches!(m.core_state(victim), CoreState::Running(_)) {
+                            let t = m.preempt(victim).expect("victim was running");
+                            runnable.push(t);
+                            check_invariants(&m);
+                        }
+                    }
+                    // Fill idle cores with random runnable tasks.
+                    let idle: Vec<CoreId> = m.idle_cores().collect();
+                    for core in idle {
+                        if runnable.is_empty() {
+                            break;
+                        }
+                        let idx = (next() as usize) % runnable.len();
+                        let task = runnable.swap_remove(idx);
+                        let slice = match next() % 3 {
+                            0 => None,
+                            1 => Some(SimDuration::from_micros(1 + next() % 900)),
+                            _ => Some(SimDuration::from_millis(1 + next() % 30)),
+                        };
+                        m.dispatch(core, task, slice).expect("idle core dispatch");
+                        check_invariants(&m);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The batched idle sweep in `Simulation::step` (which skips the sweep
+/// after internal events when no core became idle and the last sweep
+/// made no offer) is observationally equivalent to the brute-force
+/// driver it replaced: advance the machine, deliver the callback, then
+/// unconditionally offer every idle core in id order after every event.
+#[test]
+fn batched_sweep_equals_brute_force_driver() {
+    /// The pre-batching driver, re-implemented over the public API.
+    fn run_brute_force(
+        cfg: MachineConfig,
+        specs: Vec<TaskSpec>,
+        mut policy: Chaos,
+    ) -> faas_kernel::Machine {
+        let mut m = Machine::new(cfg, specs);
+        loop {
+            let call = match m.advance().expect("no deadlock") {
+                Some(c) => c,
+                None => return m,
+            };
+            match call {
+                faas_kernel::PolicyCall::TaskNew(t) => policy.on_task_new(&mut m, t),
+                faas_kernel::PolicyCall::TaskFinished(t, c) => {
+                    policy.on_task_finished(&mut m, t, c)
+                }
+                faas_kernel::PolicyCall::SliceExpired(t, c) => {
+                    policy.on_slice_expired(&mut m, t, c)
+                }
+                faas_kernel::PolicyCall::InterferencePreempt(t, c) => {
+                    policy.on_interference_preempt(&mut m, t, c)
+                }
+                faas_kernel::PolicyCall::Tick => policy.on_tick(&mut m),
+                faas_kernel::PolicyCall::Internal => {}
+            }
+            for i in 0..m.num_cores() {
+                let core = CoreId::from_index(i);
+                if m.core_state(core) == CoreState::Idle {
+                    policy.on_core_idle(&mut m, core);
+                }
+            }
+        }
+    }
+
+    check::run("batched_sweep_equals_brute_force_driver", 48, |g| {
+        let specs = arb_specs(g);
+        let cores = g.usize_in(1, 5);
+        let seed = g.u64_in(0, u64::MAX);
+        let preempt_bias = g.boolean();
+        let with_interference = g.boolean();
+        let make_cfg = || {
+            let mut cfg = MachineConfig::new(cores)
+                .with_cost(CostModel::from_micros(3, 50))
+                .with_message_log();
+            if with_interference {
+                cfg = cfg
+                    .with_interference(InterferenceConfig {
+                        mean_interval: SimDuration::from_millis(60),
+                        duration: SimDuration::from_millis(8),
+                    })
+                    .with_seed(seed ^ 0x1234);
+            }
+            cfg
+        };
+        // Chaos is deterministic given its seed, so both drivers see the
+        // same policy; any divergence comes from the sweep batching.
+        let batched = Simulation::new(make_cfg(), specs.clone(), Chaos::new(seed, preempt_bias))
+            .run()
+            .expect("batched driver completes");
+        let brute = run_brute_force(make_cfg(), specs, Chaos::new(seed, preempt_bias));
+        assert_eq!(
+            batched.machine.messages(),
+            brute.messages(),
+            "kernel message streams diverged"
+        );
+        assert_eq!(batched.machine.now(), brute.now());
+        for i in 0..brute.num_tasks() {
+            let id = TaskId::from_index(i);
+            let (a, b) = (batched.machine.task(id), brute.task(id));
+            assert_eq!(a.completion(), b.completion(), "task {id} completion");
+            assert_eq!(a.cpu_time(), b.cpu_time(), "task {id} cpu time");
+            assert_eq!(a.preemptions(), b.preemptions(), "task {id} preemptions");
+        }
+    });
+}
+
 /// Interference storms never corrupt accounting or strand tasks.
 #[test]
 fn interference_storm_is_survivable() {
