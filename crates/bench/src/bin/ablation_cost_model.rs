@@ -1,39 +1,4 @@
-//! Ablation (DESIGN.md): what actually drives the CFS cost blow-up —
-//! direct context-switch cost, cache-restore penalty, or the purely
-//! structural effect of time-slicing (wall-clock stretching)?
-//!
-//! Runs FIFO and CFS on W2 under four cost models and prints the cost
-//! ratio. The punchline: even with *free* context switches CFS costs an
-//! order of magnitude more, because billed wall-clock time stretches with
-//! the number of co-running tasks.
-
-use faas_bench::{run_policy, w2_trace, PAPER_CORES};
-use faas_kernel::{CostModel, MachineConfig};
-use faas_policies::{Cfs, Fifo};
-use lambda_pricing::{cost_ratio, PriceModel};
-
-fn main() {
-    let trace = w2_trace();
-    let model = PriceModel::duration_only();
-    println!("# Ablation | context-switch cost model vs CFS/FIFO cost ratio");
-    println!("cost_model\tfifo_usd\tcfs_usd\tratio");
-    let variants = [
-        ("free (structural only)", CostModel::free()),
-        ("switch only (5us)", CostModel::from_micros(5, 0)),
-        ("penalty only (200us)", CostModel::from_micros(0, 200)),
-        ("paper default (5us+200us)", CostModel::default()),
-        ("heavy (20us+1000us)", CostModel::from_micros(20, 1_000)),
-    ];
-    for (name, cost) in variants {
-        let machine = || MachineConfig::new(PAPER_CORES).with_cost(cost);
-        let (_, fifo) = run_policy(machine(), trace.to_task_specs(), Fifo::new());
-        let (_, cfs) = run_policy(
-            machine(),
-            trace.to_task_specs(),
-            Cfs::with_cores(PAPER_CORES),
-        );
-        let f = model.workload_cost(&fifo);
-        let c = model.workload_cost(&cfs);
-        println!("{name}\t{f:.4}\t{c:.4}\t{:.1}x", cost_ratio(c, f));
-    }
+//! Legacy shim for the `ablation-cost` scenario — run `faas-eval --id ablation-cost` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("ablation-cost")
 }

@@ -1,96 +1,4 @@
-//! Compare all schedulers on a workload file — the downstream-user CLI.
-//!
-//! ```sh
-//! cargo run --release -p faas-bench --bin make_workload workloads
-//! cargo run --release -p faas-bench --bin compare workloads/w2.csv 50
-//! ```
-//!
-//! Reads a CSV in the `azure-trace` workload format, replays it under
-//! every scheduler in the repository on the given core count, and prints
-//! a Table-I style comparison plus an execution-time CDF chart.
-
-use azure_trace::AzureTrace;
-use faas_bench::{print_cdf_chart, print_summary_row, run_policy};
-use faas_kernel::MachineConfig;
-use faas_metrics::{Metric, TaskRecord};
-use faas_policies::{Cfs, Edf, Fifo, FifoWithLimit, Mlfq, MlfqParams, RoundRobin, Sfs, Shinjuku};
-use faas_simcore::SimDuration;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-use lambda_pricing::PriceModel;
-use std::process::ExitCode;
-
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: compare <workload.csv> [cores=50]");
-        return ExitCode::FAILURE;
-    };
-    let cores: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
-    let file = match std::fs::File::open(&path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot open {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let trace = match AzureTrace::read_csv(std::io::BufReader::new(file)) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot parse {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if trace.is_empty() || cores == 0 {
-        eprintln!("empty workload or zero cores");
-        return ExitCode::FAILURE;
-    }
-    println!("# {}", azure_trace::TraceStats::compute(&trace, cores));
-
-    let machine = || MachineConfig::new(cores);
-    let specs = || trace.to_task_specs();
-    let model = PriceModel::duration_only();
-    let mut results: Vec<(&str, Vec<TaskRecord>)> = Vec::new();
-    let half = (cores / 2).max(1);
-    let hybrid_cfg = HybridConfig::split((cores - half).max(1), half);
-    let (_, r) = run_policy(machine(), specs(), HybridScheduler::new(hybrid_cfg));
-    results.push(("hybrid", r));
-    let (_, r) = run_policy(machine(), specs(), Fifo::new());
-    results.push(("fifo", r));
-    let (_, r) = run_policy(machine(), specs(), Cfs::with_cores(cores));
-    results.push(("cfs", r));
-    let (_, r) = run_policy(
-        machine(),
-        specs(),
-        FifoWithLimit::new(SimDuration::from_millis(100)),
-    );
-    results.push(("fifo+100ms", r));
-    let (_, r) = run_policy(
-        machine(),
-        specs(),
-        RoundRobin::new(SimDuration::from_millis(10)),
-    );
-    results.push(("round-robin", r));
-    let (_, r) = run_policy(machine(), specs(), Edf::new());
-    results.push(("edf", r));
-    let (_, r) = run_policy(
-        machine(),
-        specs(),
-        Shinjuku::new(SimDuration::from_millis(1)),
-    );
-    results.push(("shinjuku", r));
-    let (_, r) = run_policy(machine(), specs(), Sfs::new(SimDuration::from_millis(50)));
-    results.push(("sfs", r));
-    let (_, r) = run_policy(machine(), specs(), Mlfq::new(MlfqParams::default()));
-    results.push(("mlfq", r));
-
-    for (name, records) in &results {
-        print_summary_row(name, records, model.workload_cost(records));
-    }
-    let curves: Vec<(&str, &[TaskRecord])> = results
-        .iter()
-        .take(3)
-        .map(|(n, r)| (*n, r.as_slice()))
-        .collect();
-    print_cdf_chart("compare", Metric::Execution, &curves);
-    ExitCode::SUCCESS
+//! Legacy shim for the `compare` scenario — run `faas-eval --id compare` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("compare")
 }

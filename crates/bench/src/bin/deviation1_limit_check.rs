@@ -1,25 +1,4 @@
-//! Supporting run for EXPERIMENTS.md "deviation 1": with a 500 ms FIFO
-//! limit the hybrid's p99 response beats plain FIFO (44 s vs 90 s),
-//! showing the paper's Fig. 6 ordering is an operating-point property of
-//! the workload's tail weight, not a missing mechanism.
-
-use faas_bench::{paper_machine, print_summary_row, run_policy, w2_trace};
-use faas_simcore::SimDuration;
-use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
-use lambda_pricing::PriceModel;
-
-fn main() {
-    let trace = w2_trace();
-    let cfg = HybridConfig::paper_25_25()
-        .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(500)));
-    let (_, r) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(cfg),
-    );
-    print_summary_row(
-        "hybrid-500ms",
-        &r,
-        PriceModel::duration_only().workload_cost(&r),
-    );
+//! Legacy shim for the `deviation1` scenario — run `faas-eval --id deviation1` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("deviation1")
 }

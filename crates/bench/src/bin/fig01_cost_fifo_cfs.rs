@@ -1,25 +1,4 @@
-//! Fig. 1: cost of FIFO vs CFS by function memory size, AWS Lambda
-//! pricing, first 12,442 Azure-trace invocations. Headline: CFS costs
-//! >10x more than FIFO (Obs. 5).
-
-use faas_bench::{paper_machine, print_summary_row, run_policy, w2_trace};
-use faas_policies::{Cfs, Fifo};
-use lambda_pricing::{cost_ratio, PriceModel};
-
-fn main() {
-    let trace = w2_trace();
-    println!("# Fig. 1 | workload=W2 ({} invocations)", trace.len());
-    let (_, fifo) = run_policy(paper_machine(), trace.to_task_specs(), Fifo::new());
-    let (_, cfs) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
-    let model = PriceModel::duration_only();
-    println!("mem_mib\tfifo_usd\tcfs_usd\tratio");
-    let fifo_sweep = model.memory_sweep(&fifo);
-    let cfs_sweep = model.memory_sweep(&cfs);
-    for ((mem, f), (_, c)) in fifo_sweep.iter().zip(&cfs_sweep) {
-        println!("{mem}\t{f:.4}\t{c:.4}\t{:.1}x", cost_ratio(*c, *f));
-    }
-    print_summary_row("fifo", &fifo, model.workload_cost(&fifo));
-    print_summary_row("cfs", &cfs, model.workload_cost(&cfs));
-    let ratio = cost_ratio(model.workload_cost(&cfs), model.workload_cost(&fifo));
-    println!("# overall CFS/FIFO cost ratio = {ratio:.1}x (paper: >10x)");
+//! Legacy shim for the `fig01` scenario — run `faas-eval --id fig01` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig01")
 }

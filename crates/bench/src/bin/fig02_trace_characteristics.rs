@@ -1,25 +1,4 @@
-//! Fig. 2: (left) the duration CDF of the Azure-like workload; (right)
-//! the bursty per-minute arrival pattern of one day (downscaled to one
-//! hour of synthetic trace for tractability).
-
-use azure_trace::{burstiness_cv, per_minute_counts, ArrivalConfig, DurationDistribution};
-use faas_simcore::SimRng;
-
-fn main() {
-    println!("# Fig. 2 (left) | duration CDF");
-    println!("duration_s\tcumulative");
-    for (d, p) in DurationDistribution::azure_like().cdf_points() {
-        println!("{:.3}\t{p:.3}", d.as_secs_f64());
-    }
-    println!("# Fig. 2 (right) | per-minute arrivals (60 synthetic minutes)");
-    let mut rng = SimRng::seed_from(0xDA7);
-    let counts = per_minute_counts(60, 60 * 6_221, &ArrivalConfig::default(), &mut rng);
-    println!("minute\tinvocations");
-    for (m, c) in counts.iter().enumerate() {
-        println!("{m}\t{c}");
-    }
-    println!(
-        "# burstiness (coefficient of variation) = {:.2}",
-        burstiness_cv(&counts)
-    );
+//! Legacy shim for the `fig02` scenario — run `faas-eval --id fig02` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig02")
 }

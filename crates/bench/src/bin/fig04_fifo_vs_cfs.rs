@@ -1,16 +1,4 @@
-//! Fig. 4: execution/response/turnaround CDFs, FIFO vs CFS on W2.
-//! Shape: FIFO far better execution, far worse response (Obs. 2).
-
-use faas_bench::{paper_machine, print_cdf, run_policy, w2_trace};
-use faas_metrics::Metric;
-use faas_policies::{Cfs, Fifo};
-
-fn main() {
-    let trace = w2_trace();
-    let (_, fifo) = run_policy(paper_machine(), trace.to_task_specs(), Fifo::new());
-    let (_, cfs) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
-    for metric in Metric::ALL {
-        print_cdf("Fig. 4", "fifo", metric, &fifo);
-        print_cdf("Fig. 4", "cfs", metric, &cfs);
-    }
+//! Legacy shim for the `fig04` scenario — run `faas-eval --id fig04` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig04")
 }

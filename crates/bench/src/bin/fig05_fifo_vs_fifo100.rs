@@ -1,22 +1,4 @@
-//! Fig. 5: FIFO vs FIFO with 100 ms preemption on W2. Shape: preemption
-//! trades execution time for much better response and a turnaround win
-//! (Obs. 3).
-
-use faas_bench::{paper_machine, print_cdf, run_policy, w2_trace};
-use faas_metrics::Metric;
-use faas_policies::{Fifo, FifoWithLimit};
-use faas_simcore::SimDuration;
-
-fn main() {
-    let trace = w2_trace();
-    let (_, fifo) = run_policy(paper_machine(), trace.to_task_specs(), Fifo::new());
-    let (_, limited) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        FifoWithLimit::new(SimDuration::from_millis(100)),
-    );
-    for metric in Metric::ALL {
-        print_cdf("Fig. 5", "fifo", metric, &fifo);
-        print_cdf("Fig. 5", "fifo_100ms", metric, &limited);
-    }
+//! Legacy shim for the `fig05` scenario — run `faas-eval --id fig05` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig05")
 }

@@ -1,21 +1,4 @@
-//! Fig. 6: FIFO vs the hybrid FIFO+CFS split (25/25 cores, 1,633 ms
-//! limit) on W2 (Obs. 4).
-
-use faas_bench::{paper_machine, print_cdf, run_policy, w2_trace};
-use faas_metrics::Metric;
-use faas_policies::Fifo;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-
-fn main() {
-    let trace = w2_trace();
-    let (_, fifo) = run_policy(paper_machine(), trace.to_task_specs(), Fifo::new());
-    let (_, hybrid) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    );
-    for metric in Metric::ALL {
-        print_cdf("Fig. 6", "fifo", metric, &fifo);
-        print_cdf("Fig. 6", "fifo+cfs", metric, &hybrid);
-    }
+//! Legacy shim for the `fig06` scenario — run `faas-eval --id fig06` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig06")
 }

@@ -1,33 +1,4 @@
-//! Fig. 10: two weeks of trace vs the 2-minute sample — the duration CDFs
-//! should nearly overlap. We quantify the overlap with the two-sample
-//! Kolmogorov-Smirnov statistic.
-
-use azure_trace::{ks_statistic, AzureTrace, EmpiricalCdf, TraceConfig};
-
-fn durations_of(trace: &AzureTrace) -> Vec<f64> {
-    trace
-        .invocations()
-        .iter()
-        .map(|i| i.duration.as_secs_f64())
-        .collect()
-}
-
-fn main() {
-    // "Two weeks" at full Azure scale is out of reach; what matters is
-    // sample-size asymmetry, so compare a 100x-larger long trace.
-    let long = AzureTrace::generate(&TraceConfig {
-        minutes: 200,
-        total_invocations: 1_244_200 / 4,
-        ..TraceConfig::w2()
-    });
-    let sample = AzureTrace::generate(&TraceConfig::w2());
-    let a = EmpiricalCdf::from_samples(durations_of(&long));
-    let b = EmpiricalCdf::from_samples(durations_of(&sample));
-    println!("# Fig. 10 | duration CDFs, long trace vs 2-minute sample");
-    println!("percentile\tlong_s\tsample_s");
-    for p in [0.1, 0.25, 0.5, 0.75, 0.8, 0.9, 0.95, 0.99, 1.0] {
-        println!("{p:.2}\t{:.3}\t{:.3}", a.percentile(p), b.percentile(p));
-    }
-    let ks = ks_statistic(&a, &b);
-    println!("# KS statistic = {ks:.4} (curves overlap when close to 0)");
+//! Legacy shim for the `fig10` scenario — run `faas-eval --id fig10` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig10")
 }

@@ -1,48 +1,4 @@
-//! Fig. 11: execution-time CDF across FIFO/CFS core splits (limit
-//! 1,633 ms) vs plain CFS. Shape: 25/25 best; 40/10 shows a long tail.
-//!
-//! The six runs are independent simulations, fanned out over
-//! `BENCH_THREADS` workers; output order (and bytes) is identical at any
-//! thread count.
-
-use faas_bench::{paper_machine, par, print_cdf, run_policy, w2_trace};
-use faas_metrics::{Metric, MetricSummary, TaskRecord};
-use faas_policies::Cfs;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-
-type Job = Box<dyn FnOnce() -> (String, Vec<TaskRecord>) + Send>;
-
-fn main() {
-    let trace = w2_trace();
-    println!("# Fig. 11 | execution-time CDF per core split (FIFO/CFS)");
-    let splits = [(10, 40), (20, 30), (25, 25), (30, 20), (40, 10)];
-    let mut jobs: Vec<Job> = splits
-        .iter()
-        .map(|&(fifo, cfs)| {
-            let specs = trace.to_task_specs();
-            Box::new(move || {
-                let cfg = HybridConfig::split(fifo, cfs);
-                let (_, records) = run_policy(paper_machine(), specs, HybridScheduler::new(cfg));
-                (format!("hybrid({fifo},{cfs})"), records)
-            }) as Job
-        })
-        .collect();
-    let cfs_specs = trace.to_task_specs();
-    jobs.push(Box::new(move || {
-        let (_, records) = run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50));
-        ("cfs(50)".to_string(), records)
-    }));
-    let mut means = Vec::new();
-    for (label, records) in par::run_all(jobs) {
-        print_cdf("Fig. 11", &label, Metric::Execution, &records);
-        means.push((label, MetricSummary::compute(&records, Metric::Execution)));
-    }
-    println!("# split\tmean_exec_s\tp99_exec_s");
-    for (label, s) in means {
-        println!(
-            "{label}\t{:.3}\t{:.3}",
-            s.mean.as_secs_f64(),
-            s.p99.as_secs_f64()
-        );
-    }
+//! Legacy shim for the `fig11` scenario — run `faas-eval --id fig11` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig11")
 }

@@ -1,28 +1,4 @@
-//! Fig. 12: hybrid(25/25) vs CFS on all three metrics. Shape: hybrid wins
-//! execution + turnaround, loses response.
-
-use faas_bench::{paper_machine, print_cdf, print_cdf_chart, run_policy, w2_trace};
-use faas_metrics::Metric;
-use faas_policies::Cfs;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-
-fn main() {
-    let trace = w2_trace();
-    let (_, hybrid) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    );
-    let (_, cfs) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
-    for metric in Metric::ALL {
-        print_cdf("Fig. 12", "fifo+cfs(25,25)", metric, &hybrid);
-        print_cdf("Fig. 12", "cfs(50)", metric, &cfs);
-    }
-    for metric in Metric::ALL {
-        print_cdf_chart(
-            "Fig. 12",
-            metric,
-            &[("fifo+cfs(25,25)", &hybrid), ("cfs(50)", &cfs)],
-        );
-    }
+//! Legacy shim for the `fig12` scenario — run `faas-eval --id fig12` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig12")
 }

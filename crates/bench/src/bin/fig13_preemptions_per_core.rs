@@ -1,46 +1,4 @@
-//! Fig. 13: preemption count per core, hybrid(25/25) vs CFS(50). Shape:
-//! FIFO-group cores suffer orders of magnitude fewer preemptions (note
-//! the paper's log-scale y-axis).
-//!
-//! The two runs are independent; they fan out over `BENCH_THREADS`.
-
-use faas_bench::{paper_machine, par, run_policy, w2_trace};
-use faas_kernel::SimReport;
-use faas_policies::Cfs;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-
-fn main() {
-    let trace = w2_trace();
-    let hyb_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
-    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = vec![
-        Box::new(move || {
-            run_policy(
-                paper_machine(),
-                hyb_specs,
-                HybridScheduler::new(HybridConfig::paper_25_25()),
-            )
-            .0
-        }),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).0),
-    ];
-    let mut reports = par::run_all(jobs).into_iter();
-    let (hyb_report, cfs_report) = (reports.next().unwrap(), reports.next().unwrap());
-    println!("# Fig. 13 | per-core preemption counts (cores 0-24 = FIFO group)");
-    println!("core\thybrid\tcfs");
-    for i in 0..50 {
-        println!(
-            "{i}\t{}\t{}",
-            hyb_report.core_stats[i].preemptions, cfs_report.core_stats[i].preemptions
-        );
-    }
-    let fifo_group: u64 = hyb_report.core_stats[..25]
-        .iter()
-        .map(|s| s.preemptions)
-        .sum();
-    let cfs_group: u64 = hyb_report.core_stats[25..]
-        .iter()
-        .map(|s| s.preemptions)
-        .sum();
-    println!("# hybrid FIFO-group total={fifo_group} CFS-group total={cfs_group}");
+//! Legacy shim for the `fig13` scenario — run `faas-eval --id fig13` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig13")
 }

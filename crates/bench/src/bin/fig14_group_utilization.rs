@@ -1,48 +1,4 @@
-//! Fig. 14: average CPU utilization of the FIFO group vs the CFS group
-//! over time (hybrid 25/25, W2). Shape: both stay high (~100%).
-//!
-//! A single simulation feeds the figure, so there is nothing for the
-//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
-//! output is trivially identical at any thread count.
-
-use faas_bench::{paper_machine, run_policy, w2_trace};
-use faas_kernel::CoreId;
-use faas_metrics::{group_utilization_series, mean_utilization};
-
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-
-fn main() {
-    let trace = w2_trace();
-    let (report, _) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    );
-    let fifo_cores: Vec<CoreId> = (0..25).map(CoreId::from_index).collect();
-    let cfs_cores: Vec<CoreId> = (25..50).map(CoreId::from_index).collect();
-    let fifo = group_utilization_series(report.machine.utilization(), &fifo_cores);
-    let cfs = group_utilization_series(report.machine.utilization(), &cfs_cores);
-    println!("# Fig. 14 | group utilization over time");
-    println!("t_s\tfifo_util\tcfs_util");
-    for ((t, f), (_, c)) in fifo.iter().zip(&cfs) {
-        println!("{:.0}\t{f:.3}\t{c:.3}", t.as_secs_f64());
-    }
-    println!(
-        "# mean over whole run: fifo={:.3} cfs={:.3}",
-        mean_utilization(&fifo),
-        mean_utilization(&cfs)
-    );
-    let during = |s: &[(faas_simcore::SimTime, f64)]| {
-        let w: Vec<_> = s
-            .iter()
-            .filter(|(t, _)| *t <= faas_simcore::SimTime::from_secs(120))
-            .copied()
-            .collect();
-        mean_utilization(&w)
-    };
-    println!(
-        "# mean during arrivals: fifo={:.3} cfs={:.3}",
-        during(&fifo),
-        during(&cfs)
-    );
+//! Legacy shim for the `fig14` scenario — run `faas-eval --id fig14` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig14")
 }

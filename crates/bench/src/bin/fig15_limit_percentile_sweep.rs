@@ -1,41 +1,4 @@
-//! Fig. 15: execution time under adaptive limits tracking the p25..p95 of
-//! the last 100 task durations (25/25 cores). Shape: p95 achieves the
-//! best execution time.
-//!
-//! One independent simulation per percentile, fanned out over
-//! `BENCH_THREADS` workers with byte-identical output at any thread count.
-
-use faas_bench::{paper_machine, par, print_cdf, run_policy, w2_trace};
-use faas_metrics::{Metric, MetricSummary};
-use faas_simcore::SimDuration;
-use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
-
-fn main() {
-    let trace = w2_trace();
-    println!("# Fig. 15 | execution time vs FIFO limit percentile (ts = pN)");
-    let cases: Vec<(f64, _)> = [0.25, 0.50, 0.75, 0.90, 0.95]
-        .into_iter()
-        .map(|pct| (pct, trace.to_task_specs()))
-        .collect();
-    let results = par::par_map(cases, |_, (pct, specs)| {
-        let cfg = HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
-            percentile: pct,
-            initial: SimDuration::from_millis(1_633),
-        });
-        let (_, records) = run_policy(paper_machine(), specs, HybridScheduler::new(cfg));
-        (format!("ts=p{:.0}", pct * 100.0), records)
-    });
-    let mut rows = Vec::new();
-    for (label, records) in results {
-        print_cdf("Fig. 15", &label, Metric::Execution, &records);
-        rows.push((label, MetricSummary::compute(&records, Metric::Execution)));
-    }
-    println!("# limit\tmean_exec_s\tp99_exec_s");
-    for (label, s) in rows {
-        println!(
-            "{label}\t{:.3}\t{:.3}",
-            s.mean.as_secs_f64(),
-            s.p99.as_secs_f64()
-        );
-    }
+//! Legacy shim for the `fig15` scenario — run `faas-eval --id fig15` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig15")
 }

@@ -1,71 +1,4 @@
-//! Fig. 16: utilization of both groups + the adaptive limit over time,
-//! limit = p75 of the last 100 durations, 10-minute workload. Shape: the
-//! limit drops to ~0.5 s and FIFO-group utilization hovers around 90%.
-//!
-//! A single simulation feeds the figure, so there is nothing for the
-//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
-//! output is trivially identical at any thread count.
-
-use faas_bench::{paper_machine, w10_trace};
-use faas_kernel::{CoreId, Simulation};
-use faas_metrics::{group_utilization_series, step_series};
-use faas_simcore::{SimDuration, SimTime};
-use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
-
-fn run_timeline(percentile: f64, figure: &str) {
-    let trace = w10_trace();
-    let cfg = HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
-        percentile,
-        initial: SimDuration::from_millis(1_633),
-    });
-    let mut sim = Simulation::new(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(cfg),
-    );
-    while sim.step().expect("simulation completes") {}
-    let end = sim.machine().now();
-    let arrivals_end =
-        trace.invocations().last().expect("non-empty trace").arrival + SimDuration::from_secs(30);
-    let fifo_cores: Vec<CoreId> = (0..25).map(CoreId::from_index).collect();
-    let cfs_cores: Vec<CoreId> = (25..50).map(CoreId::from_index).collect();
-    let fifo = group_utilization_series(sim.machine().utilization(), &fifo_cores);
-    let cfs = group_utilization_series(sim.machine().utilization(), &cfs_cores);
-    let limit = step_series(sim.policy().limit_history(), end, SimDuration::from_secs(1));
-    println!(
-        "# {figure} | adaptive limit = p{:.0} of last 100 durations",
-        percentile * 100.0
-    );
-    println!("t_s\tfifo_util\tcfs_util\tlimit_ms");
-    let horizon = (end.min(arrivals_end).as_secs_f64().ceil() as usize).min(fifo.len());
-    for i in 0..horizon {
-        let t = SimTime::from_secs(i as u64);
-        let f = fifo.get(i).map(|(_, u)| *u).unwrap_or(0.0);
-        let c = cfs.get(i).map(|(_, u)| *u).unwrap_or(0.0);
-        let l = limit.get(i).map(|(_, v)| *v).unwrap_or(SimDuration::ZERO);
-        println!(
-            "{:.0}\t{f:.3}\t{c:.3}\t{:.0}",
-            t.as_secs_f64(),
-            l.as_millis_f64()
-        );
-    }
-    // The limit as the arrival window closes (after it, only the long
-    // backlog completes, which skews the window toward the tail).
-    let at_horizon = sim
-        .policy()
-        .limit_history()
-        .iter()
-        .take_while(|(t, _)| *t <= arrivals_end)
-        .last()
-        .map(|(_, l)| *l)
-        .unwrap_or(SimDuration::ZERO);
-    println!(
-        "# limit at end of arrivals = {:.0} ms | limit changes = {}",
-        at_horizon.as_millis_f64(),
-        sim.policy().limit_history().len()
-    );
-}
-
-fn main() {
-    run_timeline(0.75, "Fig. 16");
+//! Legacy shim for the `fig16` scenario — run `faas-eval --id fig16` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig16")
 }

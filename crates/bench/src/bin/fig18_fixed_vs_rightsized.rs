@@ -1,35 +1,4 @@
-//! Fig. 18: hybrid with fixed 25/25 groups vs dynamically rightsized
-//! groups on W2. Shape: rightsizing trades a little execution time for
-//! better response time.
-//!
-//! The two runs are independent; they fan out over `BENCH_THREADS`.
-
-use faas_bench::{paper_machine, par, print_cdf, run_policy, w2_trace};
-use faas_metrics::{Metric, TaskRecord};
-use hybrid_scheduler::{HybridConfig, HybridScheduler, RightsizingConfig};
-
-fn main() {
-    let trace = w2_trace();
-    let fixed_specs = trace.to_task_specs();
-    let rs_specs = trace.to_task_specs();
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<TaskRecord> + Send>> = vec![
-        Box::new(move || {
-            run_policy(
-                paper_machine(),
-                fixed_specs,
-                HybridScheduler::new(HybridConfig::paper_25_25()),
-            )
-            .1
-        }),
-        Box::new(move || {
-            let rcfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
-            run_policy(paper_machine(), rs_specs, HybridScheduler::new(rcfg)).1
-        }),
-    ];
-    let mut results = par::run_all(jobs).into_iter();
-    let (fixed, rightsized) = (results.next().unwrap(), results.next().unwrap());
-    for metric in Metric::ALL {
-        print_cdf("Fig. 18", "fixed(25,25)", metric, &fixed);
-        print_cdf("Fig. 18", "rightsized", metric, &rightsized);
-    }
+//! Legacy shim for the `fig18` scenario — run `faas-eval --id fig18` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig18")
 }

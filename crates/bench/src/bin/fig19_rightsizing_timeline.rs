@@ -1,70 +1,4 @@
-//! Fig. 19: utilization of both groups + the number of FIFO cores over
-//! time with rightsizing on the 10-minute workload. Shape: utilization of
-//! both groups stays high; the FIFO core count adapts.
-//!
-//! A single simulation feeds the figure, so there is nothing for the
-//! `BENCH_THREADS` fan-out to parallelize; the run is direct and its
-//! output is trivially identical at any thread count.
-
-use faas_bench::{paper_machine, w10_trace};
-use faas_kernel::Simulation;
-use faas_metrics::{mean_utilization, step_series};
-use faas_simcore::{SimDuration, SimTime};
-use hybrid_scheduler::{Group, HybridConfig, HybridScheduler, RightsizingConfig};
-
-fn main() {
-    let trace = w10_trace();
-    let cfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
-    let mut sim = Simulation::new(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(cfg),
-    );
-    while sim.step().expect("simulation completes") {}
-    let end = sim.machine().now();
-    let arrivals_end =
-        trace.invocations().last().expect("non-empty trace").arrival + SimDuration::from_secs(30);
-    let fifo_counts = step_series(
-        sim.policy().fifo_size_history(),
-        end,
-        SimDuration::from_secs(1),
-    );
-    // Group membership changes over time, so compute per-bucket utilization
-    // against the *final* membership for a stable series, plus per-group
-    // means from the ledger.
-    let util = sim.machine().utilization();
-    println!("# Fig. 19 | rightsizing timeline");
-    println!("t_s\tall_util\tfifo_cores");
-    let horizon = (end.min(arrivals_end).as_secs_f64().ceil() as usize).min(util.bucket_count());
-    let all: Vec<usize> = (0..50).collect();
-    let mut series = Vec::new();
-    for i in 0..horizon {
-        let u = util.group_bucket_utilization(&all, i);
-        let n = fifo_counts.get(i).map(|(_, v)| *v).unwrap_or(25);
-        println!("{i}\t{u:.3}\t{n}");
-        series.push((SimTime::from_secs(i as u64), u));
-    }
-    println!(
-        "# migrations = {} | mean machine utilization = {:.3}",
-        sim.policy().migrations().len(),
-        mean_utilization(&series)
-    );
-    for m in sim.policy().migrations().iter().take(10) {
-        let dir = match m.direction {
-            hybrid_scheduler::MigrationDirection::CfsToFifo => "cfs->fifo",
-            hybrid_scheduler::MigrationDirection::FifoToCfs => "fifo->cfs",
-        };
-        println!(
-            "# migration at {:.1}s: core {} {dir}",
-            m.at.as_secs_f64(),
-            m.core.index()
-        );
-    }
-    let final_fifo = sim
-        .policy()
-        .fifo_cores()
-        .iter()
-        .filter(|c| sim.policy().group_of(**c) == Group::Fifo)
-        .count();
-    println!("# final fifo cores = {final_fifo}");
+//! Legacy shim for the `fig19` scenario — run `faas-eval --id fig19` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig19")
 }

@@ -1,27 +1,4 @@
-//! Fig. 20: cost by memory size for hybrid, FIFO and CFS on W2. Shape:
-//! hybrid < FIFO < CFS at every memory size.
-
-use faas_bench::{paper_machine, run_policy, w2_trace};
-use faas_policies::{Cfs, Fifo};
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-use lambda_pricing::PriceModel;
-
-fn main() {
-    let trace = w2_trace();
-    let (_, hybrid) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    );
-    let (_, fifo) = run_policy(paper_machine(), trace.to_task_specs(), Fifo::new());
-    let (_, cfs) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
-    let model = PriceModel::duration_only();
-    println!("# Fig. 20 | cost by memory size");
-    println!("mem_mib\thybrid_usd\tfifo_usd\tcfs_usd");
-    let h = model.memory_sweep(&hybrid);
-    let f = model.memory_sweep(&fifo);
-    let c = model.memory_sweep(&cfs);
-    for i in 0..h.len() {
-        println!("{}\t{:.4}\t{:.4}\t{:.4}", h[i].0, h[i].1, f[i].1, c[i].1);
-    }
+//! Legacy shim for the `fig20` scenario — run `faas-eval --id fig20` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig20")
 }

@@ -1,43 +1,4 @@
-//! Fig. 21: 2,952 Firecracker microVMs over the 10-minute trace, hybrid
-//! vs CFS, including launch failures (the "horizontal line"). Shape: the
-//! hybrid scheduler dominates CFS on all metrics.
-
-use faas_bench::{wfc_trace, PAPER_CORES};
-use faas_kernel::{InterferenceConfig, MachineConfig};
-use faas_metrics::{DurationCdf, Metric};
-use faas_policies::Cfs;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-use microvm_sim::{run_fleet, FirecrackerConfig};
-
-fn main() {
-    let trace = wfc_trace();
-    let fc = FirecrackerConfig::paper_fleet();
-    let machine =
-        || MachineConfig::new(PAPER_CORES).with_interference(InterferenceConfig::default());
-    let _ = machine; // run_fleet builds its own default machine
-    let hybrid = run_fleet(
-        &trace,
-        &fc,
-        PAPER_CORES,
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    )
-    .expect("hybrid fleet completes");
-    let cfs = run_fleet(&trace, &fc, PAPER_CORES, Cfs::with_cores(PAPER_CORES))
-        .expect("cfs fleet completes");
-    println!(
-        "# Fig. 21 | microVMs: attempts={} launched={} failed={} ({:.1}%)",
-        hybrid.plan.vms().len(),
-        hybrid.plan.launched(),
-        hybrid.plan.failed(),
-        hybrid.plan.failure_rate() * 100.0
-    );
-    for metric in Metric::ALL {
-        for (name, out) in [("fifo+cfs", &hybrid), ("cfs", &cfs)] {
-            let cdf = DurationCdf::of_metric(&out.vm_records, metric);
-            println!("# Fig. 21 | curve={name} | metric={}", metric.label());
-            for (d, p) in cdf.series(20) {
-                println!("{p:.3}\t{:.3}", d.as_secs_f64());
-            }
-        }
-    }
+//! Legacy shim for the `fig21` scenario — run `faas-eval --id fig21` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig21")
 }

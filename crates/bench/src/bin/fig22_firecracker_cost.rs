@@ -1,37 +1,4 @@
-//! Fig. 22: cost of the Firecracker workload under hybrid vs CFS. Shape:
-//! hybrid still cheaper, but by a smaller margin (~10%) than in the
-//! process experiments.
-
-use faas_bench::{wfc_trace, PAPER_CORES};
-use faas_policies::Cfs;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-use lambda_pricing::{cost_ratio, PriceModel};
-use microvm_sim::{run_fleet, FirecrackerConfig};
-
-fn main() {
-    let trace = wfc_trace();
-    let fc = FirecrackerConfig::paper_fleet();
-    let hybrid = run_fleet(
-        &trace,
-        &fc,
-        PAPER_CORES,
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    )
-    .expect("hybrid fleet completes");
-    let cfs = run_fleet(&trace, &fc, PAPER_CORES, Cfs::with_cores(PAPER_CORES))
-        .expect("cfs fleet completes");
-    let model = PriceModel::duration_only();
-    println!("# Fig. 22 | Firecracker cost by memory size");
-    println!("mem_mib\thybrid_usd\tcfs_usd");
-    let h = model.memory_sweep(&hybrid.vm_records);
-    let c = model.memory_sweep(&cfs.vm_records);
-    for i in 0..h.len() {
-        println!("{}\t{:.4}\t{:.4}", h[i].0, h[i].1, c[i].1);
-    }
-    let hc = model.workload_cost(&hybrid.vm_records);
-    let cc = model.workload_cost(&cfs.vm_records);
-    println!(
-        "# overall: hybrid=${hc:.4} cfs=${cc:.4} | cfs/hybrid = {:.2}x (paper: ~10% saving)",
-        cost_ratio(cc, hc)
-    );
+//! Legacy shim for the `fig22` scenario — run `faas-eval --id fig22` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig22")
 }

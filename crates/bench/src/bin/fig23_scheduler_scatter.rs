@@ -1,64 +1,4 @@
-//! Fig. 23: cost vs p99 response time for the scheduler zoo on W2. Shape:
-//! the hybrid scheduler sits near the Pareto frontier of the two
-//! dimensions.
-
-use faas_bench::{paper_machine, run_policy, w2_trace, PAPER_CORES};
-use faas_kernel::CostModel;
-use faas_metrics::{Metric, MetricSummary, TaskRecord};
-use faas_policies::{Cfs, Edf, Fifo, FifoWithLimit, Mlfq, MlfqParams, RoundRobin, Sfs, Shinjuku};
-use faas_simcore::SimDuration;
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-use lambda_pricing::PriceModel;
-
-fn row(name: &str, records: &[TaskRecord]) {
-    let cost = PriceModel::duration_only().workload_cost(records);
-    let p99 = MetricSummary::compute(records, Metric::Response).p99;
-    println!("{name}\t{cost:.4}\t{:.2}", p99.as_secs_f64());
-}
-
-fn main() {
-    let trace = w2_trace();
-    println!("# Fig. 23 | scheduler\tcost_usd\tp99_response_s");
-    let specs = || trace.to_task_specs();
-    let (_, r) = run_policy(
-        paper_machine(),
-        specs(),
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    );
-    row("hybrid", &r);
-    let (_, r) = run_policy(paper_machine(), specs(), Fifo::new());
-    row("fifo", &r);
-    let (_, r) = run_policy(paper_machine(), specs(), Cfs::with_cores(PAPER_CORES));
-    row("cfs", &r);
-    let (_, r) = run_policy(
-        paper_machine(),
-        specs(),
-        FifoWithLimit::new(SimDuration::from_millis(100)),
-    );
-    row("fifo_100ms", &r);
-    let (_, r) = run_policy(
-        paper_machine(),
-        specs(),
-        RoundRobin::new(SimDuration::from_millis(10)),
-    );
-    row("round_robin", &r);
-    let (_, r) = run_policy(paper_machine(), specs(), Edf::new());
-    row("edf", &r);
-    // Shinjuku's hardware-assisted preemption: same policy, cheaper
-    // context switches (5x lower restore penalty).
-    let shinjuku_machine = paper_machine().with_cost(CostModel::from_micros(1, 40));
-    let (_, r) = run_policy(
-        shinjuku_machine,
-        specs(),
-        Shinjuku::new(SimDuration::from_millis(1)),
-    );
-    row("shinjuku", &r);
-    let (_, r) = run_policy(
-        paper_machine(),
-        specs(),
-        Sfs::new(SimDuration::from_millis(50)),
-    );
-    row("sfs", &r);
-    let (_, r) = run_policy(paper_machine(), specs(), Mlfq::new(MlfqParams::default()));
-    row("mlfq", &r);
+//! Legacy shim for the `fig23` scenario — run `faas-eval --id fig23` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("fig23")
 }

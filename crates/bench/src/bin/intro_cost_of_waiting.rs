@@ -1,26 +1,4 @@
-//! The paper's §I motivating example, reproduced: "if a function is
-//! actively running on CPU for 1 millisecond and waiting 1 minute for an
-//! external database to return a query, AWS Lambda will bill for the
-//! whole 1 minute, not just the 1 millisecond CPU time."
-
-use faas_bench::run_policy;
-use faas_kernel::{MachineConfig, TaskSpec};
-use faas_policies::Fifo;
-use faas_simcore::{SimDuration, SimTime};
-use lambda_pricing::PriceModel;
-
-fn main() {
-    let spec = TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(1), 1_024)
-        .with_io_wait(SimDuration::from_secs(60));
-    let (_, records) = run_policy(MachineConfig::new(1), vec![spec], Fifo::new());
-    let r = records[0];
-    let model = PriceModel::duration_only();
-    let billed = model.cost_of(&r);
-    let cpu_only = model.cost_of_duration(r.cpu_time, r.mem_mib);
-    println!("# SI example | 1 ms CPU + 60 s database wait at 1 GiB");
-    println!("cpu_time            = {}", r.cpu_time);
-    println!("billed duration     = {}", r.execution_time());
-    println!("billed cost         = ${billed:.7}");
-    println!("cpu-only cost       = ${cpu_only:.9}");
-    println!("# waiting multiplies the bill {:.0}x", billed / cpu_only);
+//! Legacy shim for the `intro` scenario — run `faas-eval --id intro` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("intro")
 }

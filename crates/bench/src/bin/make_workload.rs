@@ -1,35 +1,4 @@
-//! Generates the paper's workload files (Fig. 9 step ①): CSV rows of
-//! `(inter-arrival time, fibonacci N, duration, memory)` for W2, W10 and
-//! the Firecracker prefix, ready for the simulator (`AzureTrace::read_csv`)
-//! or the live replayer (`faas_host::TraceRunner::from_workload_csv`).
-//!
-//! Usage: `make_workload [output_dir]` (default `./workloads`).
-
-use azure_trace::{AzureTrace, TraceConfig, TraceStats};
-use std::fs::File;
-use std::io::BufWriter;
-use std::path::PathBuf;
-
-fn main() -> std::io::Result<()> {
-    let dir = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| "workloads".into());
-    std::fs::create_dir_all(&dir)?;
-    let sets: Vec<(&str, AzureTrace)> = vec![
-        ("w2.csv", AzureTrace::generate(&TraceConfig::w2())),
-        ("w10.csv", AzureTrace::generate(&TraceConfig::w10())),
-        (
-            "firecracker.csv",
-            AzureTrace::generate(&TraceConfig::w10())
-                .truncated(2_952)
-                .stretched(3.0),
-        ),
-    ];
-    for (name, trace) in sets {
-        let path = dir.join(name);
-        trace.write_csv(BufWriter::new(File::create(&path)?))?;
-        println!("{}: {}", path.display(), TraceStats::compute(&trace, 50));
-    }
-    Ok(())
+//! Legacy shim for the `make-workload` scenario — run `faas-eval --id make-workload` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("make-workload")
 }

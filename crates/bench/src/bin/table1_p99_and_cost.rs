@@ -1,23 +1,4 @@
-//! Table I: p99 response/execution/turnaround and overall cost (memory-
-//! distribution weighted) for FIFO, CFS and the hybrid scheduler on W2.
-
-use faas_bench::{paper_machine, print_summary_row, run_policy, w2_trace};
-use faas_policies::{Cfs, Fifo};
-use hybrid_scheduler::{HybridConfig, HybridScheduler};
-use lambda_pricing::PriceModel;
-
-fn main() {
-    let trace = w2_trace();
-    let model = PriceModel::duration_only();
-    println!("# Table I | W2, 50 cores (costs use each function's own memory size)");
-    let (_, fifo) = run_policy(paper_machine(), trace.to_task_specs(), Fifo::new());
-    print_summary_row("fifo", &fifo, model.workload_cost(&fifo));
-    let (_, cfs) = run_policy(paper_machine(), trace.to_task_specs(), Cfs::with_cores(50));
-    print_summary_row("cfs", &cfs, model.workload_cost(&cfs));
-    let (_, ours) = run_policy(
-        paper_machine(),
-        trace.to_task_specs(),
-        HybridScheduler::new(HybridConfig::paper_25_25()),
-    );
-    print_summary_row("ours(hybrid)", &ours, model.workload_cost(&ours));
+//! Legacy shim for the `table1` scenario — run `faas-eval --id table1` instead.
+fn main() -> std::process::ExitCode {
+    faas_bench::scenario::shim_main("table1")
 }

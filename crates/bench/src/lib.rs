@@ -1,12 +1,15 @@
 //! # faas-bench
 //!
 //! The benchmark harness that regenerates **every table and figure** of
-//! the paper's evaluation. Each `src/bin/figNN_*.rs` binary prints the
-//! series the corresponding plot shows; `EXPERIMENTS.md` at the workspace
-//! root records paper-vs-measured for all of them.
+//! the paper's evaluation. Each experiment is a self-describing
+//! [`scenario::Scenario`] in a central registry; the `faas-eval` binary
+//! lists, filters and runs them (fanning independent scenarios and cases
+//! across [`par`]), and the legacy `src/bin/figNN_*.rs` binaries are
+//! two-line shims onto the same registry. `EXPERIMENTS.md` at the
+//! workspace root records paper-vs-measured for all of them.
 //!
 //! This library holds the shared experiment plumbing: the standard
-//! 50-core machine (§V-C), policy runners, and figure-style printers.
+//! 50-core machine (§V-C), policy runners, and figure-style writers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,9 +17,13 @@
 pub mod jsoncheck;
 pub mod par;
 mod plot;
+pub mod scenario;
+mod scenarios;
 pub mod timing;
 
 pub use plot::ascii_chart;
+
+use std::io::{self, Write};
 
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_kernel::{InterferenceConfig, MachineConfig, Scheduler, SimReport, Simulation, TaskSpec};
@@ -57,13 +64,16 @@ pub fn run_policy<P: Scheduler>(
 
 /// The W2 workload (12,442 invocations / 2 min), optionally downscaled via
 /// the `SCALE_DIV` environment variable (used by the criterion benches).
+///
+/// Synthesis is sharded across [`par::bench_threads`] workers; the trace
+/// bytes are identical at any shard count (`azure_trace::shard`).
 pub fn w2_trace() -> AzureTrace {
-    AzureTrace::generate(&scaled(TraceConfig::w2()))
+    AzureTrace::generate_sharded(&scaled(TraceConfig::w2()), par::bench_threads())
 }
 
-/// The W10 workload (10 min at W2's rate).
+/// The W10 workload (10 min at W2's rate), sharded like [`w2_trace`].
 pub fn w10_trace() -> AzureTrace {
-    AzureTrace::generate(&scaled(TraceConfig::w10()))
+    AzureTrace::generate_sharded(&scaled(TraceConfig::w10()), par::bench_threads())
 }
 
 /// The Firecracker workload: the first 2,952 invocations of the
@@ -81,7 +91,7 @@ pub fn wfc_trace() -> AzureTrace {
     // cannot start microVMs that fast: the jailer/API/boot path paces the
     // fleet (Firecracker launch overhead "hits the limit of our server
     // capacity much sooner"). Stretch arrivals accordingly.
-    AzureTrace::generate(&scaled(TraceConfig::w10()))
+    AzureTrace::generate_sharded(&scaled(TraceConfig::w10()), par::bench_threads())
         .truncated(keep)
         .stretched(3.0)
 }
@@ -96,19 +106,47 @@ fn scaled(cfg: TraceConfig) -> TraceConfig {
     }
 }
 
-/// Prints a CDF as `fraction<TAB>seconds` rows under a header — one curve
+/// Writes a CDF as `fraction<TAB>seconds` rows under a header — one curve
 /// of a paper figure.
-pub fn print_cdf(figure: &str, curve: &str, metric: Metric, records: &[TaskRecord]) {
+///
+/// Scenarios write into an abstract sink rather than printing, so the
+/// `faas-eval` runner can fan whole scenarios across threads and still
+/// emit their output in registry order, byte-identical to a direct run.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_cdf(
+    out: &mut dyn Write,
+    figure: &str,
+    curve: &str,
+    metric: Metric,
+    records: &[TaskRecord],
+) -> io::Result<()> {
     let cdf = DurationCdf::of_metric(records, metric);
-    println!("# {figure} | curve={curve} | metric={}", metric.label());
+    writeln!(
+        out,
+        "# {figure} | curve={curve} | metric={}",
+        metric.label()
+    )?;
     for (d, p) in cdf.series(20) {
-        println!("{p:.3}\t{:.3}", d.as_secs_f64());
+        writeln!(out, "{p:.3}\t{:.3}", d.as_secs_f64())?;
     }
+    Ok(())
 }
 
-/// Prints an ASCII chart comparing the named curves of one metric
+/// Writes an ASCII chart comparing the named curves of one metric
 /// (duration seconds on x, cumulative fraction on y).
-pub fn print_cdf_chart(title: &str, metric: Metric, curves: &[(&str, &[TaskRecord])]) {
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_cdf_chart(
+    out: &mut dyn Write,
+    title: &str,
+    metric: Metric,
+    curves: &[(&str, &[TaskRecord])],
+) -> io::Result<()> {
     let series: Vec<(String, Vec<(f64, f64)>)> = curves
         .iter()
         .map(|(name, records)| {
@@ -125,22 +163,33 @@ pub fn print_cdf_chart(title: &str, metric: Metric, curves: &[(&str, &[TaskRecor
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_slice()))
         .collect();
-    println!(
+    writeln!(
+        out,
         "# {title} | {} CDF (x = seconds, y = fraction)",
         metric.label()
-    );
-    print!("{}", ascii_chart(&borrowed, 64, 12));
+    )?;
+    write!(out, "{}", ascii_chart(&borrowed, 64, 12))
 }
 
-/// Prints a Table-I style row.
-pub fn print_summary_row(name: &str, records: &[TaskRecord], cost_usd: f64) {
+/// Writes a Table-I style row.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_summary_row(
+    out: &mut dyn Write,
+    name: &str,
+    records: &[TaskRecord],
+    cost_usd: f64,
+) -> io::Result<()> {
     let s = RunSummary::compute(records);
-    println!(
+    writeln!(
+        out,
         "{name:<16} p99_response_s={:>9.2} p99_execution_s={:>9.2} p99_turnaround_s={:>9.2} cost_usd={cost_usd:>8.4}",
         s.response.p99.as_secs_f64(),
         s.execution.p99.as_secs_f64(),
         s.turnaround.p99.as_secs_f64(),
-    );
+    )
 }
 
 #[cfg(test)]

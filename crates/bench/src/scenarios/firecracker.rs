@@ -1,0 +1,84 @@
+//! Firecracker fleet scenarios (Figs. 21/22): 2,952 microVMs over the
+//! 10-minute trace. The hybrid and CFS fleets are independent
+//! simulations, fanned over [`crate::par`].
+
+use faas_metrics::{DurationCdf, Metric};
+use faas_policies::Cfs;
+use hybrid_scheduler::{HybridConfig, HybridScheduler};
+use lambda_pricing::{cost_ratio, PriceModel};
+use microvm_sim::{run_fleet, FirecrackerConfig, FleetOutcome};
+
+use crate::scenario::{ScenarioCtx, ScenarioResult};
+use crate::{par, wfc_trace, PAPER_CORES};
+
+/// Runs the hybrid and CFS fleets in parallel, returning `(hybrid, cfs)`.
+fn both_fleets() -> (FleetOutcome, FleetOutcome) {
+    let trace = wfc_trace();
+    let fc = FirecrackerConfig::paper_fleet();
+    let (hyb_trace, hyb_fc) = (trace.clone(), fc);
+    let jobs: Vec<Box<dyn FnOnce() -> FleetOutcome + Send>> = vec![
+        Box::new(move || {
+            run_fleet(
+                &hyb_trace,
+                &hyb_fc,
+                PAPER_CORES,
+                HybridScheduler::new(HybridConfig::paper_25_25()),
+            )
+            .expect("hybrid fleet completes")
+        }),
+        Box::new(move || {
+            run_fleet(&trace, &fc, PAPER_CORES, Cfs::with_cores(PAPER_CORES))
+                .expect("cfs fleet completes")
+        }),
+    ];
+    let mut outcomes = par::run_all(jobs).into_iter();
+    (outcomes.next().unwrap(), outcomes.next().unwrap())
+}
+
+/// Fig. 21: fleet metrics including launch failures.
+pub(crate) fn fig21(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    let (hybrid, cfs) = both_fleets();
+    writeln!(
+        ctx.out,
+        "# Fig. 21 | microVMs: attempts={} launched={} failed={} ({:.1}%)",
+        hybrid.plan.vms().len(),
+        hybrid.plan.launched(),
+        hybrid.plan.failed(),
+        hybrid.plan.failure_rate() * 100.0
+    )?;
+    for metric in Metric::ALL {
+        for (name, out) in [("fifo+cfs", &hybrid), ("cfs", &cfs)] {
+            let cdf = DurationCdf::of_metric(&out.vm_records, metric);
+            writeln!(
+                ctx.out,
+                "# Fig. 21 | curve={name} | metric={}",
+                metric.label()
+            )?;
+            for (d, p) in cdf.series(20) {
+                writeln!(ctx.out, "{p:.3}\t{:.3}", d.as_secs_f64())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fig. 22: fleet cost by memory size, hybrid vs CFS.
+pub(crate) fn fig22(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    let (hybrid, cfs) = both_fleets();
+    let model = PriceModel::duration_only();
+    writeln!(ctx.out, "# Fig. 22 | Firecracker cost by memory size")?;
+    writeln!(ctx.out, "mem_mib\thybrid_usd\tcfs_usd")?;
+    let h = model.memory_sweep(&hybrid.vm_records);
+    let c = model.memory_sweep(&cfs.vm_records);
+    for i in 0..h.len() {
+        writeln!(ctx.out, "{}\t{:.4}\t{:.4}", h[i].0, h[i].1, c[i].1)?;
+    }
+    let hc = model.workload_cost(&hybrid.vm_records);
+    let cc = model.workload_cost(&cfs.vm_records);
+    writeln!(
+        ctx.out,
+        "# overall: hybrid=${hc:.4} cfs=${cc:.4} | cfs/hybrid = {:.2}x (paper: ~10% saving)",
+        cost_ratio(cc, hc)
+    )?;
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! The run functions behind every registered [`crate::scenario::Scenario`].
+//!
+//! Each function takes a [`crate::scenario::ScenarioCtx`] and writes the
+//! series/rows its figure or table shows. Scenarios whose cases are
+//! independent simulations fan them out over [`crate::par`] and write
+//! results in input order, so output bytes never depend on
+//! `BENCH_THREADS`.
+
+pub(crate) mod ablations;
+pub(crate) mod figures;
+pub(crate) mod firecracker;
+pub(crate) mod tables;
+pub(crate) mod timelines;
+pub(crate) mod tools;

@@ -1,0 +1,149 @@
+//! End-to-end tests of the unified `faas-eval` runner: the registry
+//! listing, byte-identity between `faas-eval --id <x>` and the legacy
+//! per-figure binary, and `BENCH_THREADS` invariance through the whole
+//! stack (sharded trace synthesis + parallel scenario cases).
+
+use std::process::{Command, Output};
+
+fn faas_eval() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_faas-eval"))
+}
+
+fn run(mut cmd: Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{cmd:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn list_enumerates_every_registered_scenario() {
+    let out = run({
+        let mut c = faas_eval();
+        c.arg("--list");
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).expect("utf8 listing");
+    assert!(
+        stdout.contains("# 26 scenarios"),
+        "missing count footer:\n{stdout}"
+    );
+    for scenario in faas_bench::scenario::all() {
+        assert!(
+            stdout
+                .lines()
+                .any(|l| l.split_whitespace().next() == Some(scenario.id)),
+            "scenario '{}' missing from --list:\n{stdout}",
+            scenario.id
+        );
+    }
+}
+
+#[test]
+fn eval_output_is_byte_identical_to_legacy_binary() {
+    // A quick, simulation-free scenario: full-scale, no env knobs.
+    let eval = run({
+        let mut c = faas_eval();
+        c.args(["--id", "fig02"]);
+        c
+    });
+    let legacy = run(Command::new(env!(
+        "CARGO_BIN_EXE_fig02_trace_characteristics"
+    )));
+    assert_eq!(eval.stdout, legacy.stdout, "fig02 bytes diverged");
+    assert!(!eval.stdout.is_empty());
+}
+
+#[test]
+fn eval_matches_legacy_across_thread_counts() {
+    // A simulation scenario with parallel cases (table1 fans three policy
+    // runs): the unified runner at 1 thread must match the legacy shim at
+    // 4 threads, downscaled to keep the debug-profile test fast.
+    let eval = run({
+        let mut c = faas_eval();
+        c.args(["--id", "table1"])
+            .env("SCALE_DIV", "200")
+            .env("BENCH_THREADS", "1");
+        c
+    });
+    let legacy = run({
+        let mut c = Command::new(env!("CARGO_BIN_EXE_table1_p99_and_cost"));
+        c.env("SCALE_DIV", "200").env("BENCH_THREADS", "4");
+        c
+    });
+    assert_eq!(
+        eval.stdout, legacy.stdout,
+        "table1 bytes depend on runner or thread count"
+    );
+    let text = String::from_utf8(eval.stdout).expect("utf8");
+    for row in ["fifo", "cfs", "ours(hybrid)"] {
+        assert!(text.contains(row), "missing row {row}:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_id_and_bad_args_fail_cleanly() {
+    let out = faas_eval()
+        .args(["--id", "no-such-scenario"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario id"));
+
+    let out = faas_eval().arg("--bogus").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // A scenario that requires arguments reports its usage line, exactly
+    // like the legacy binary did.
+    let out = faas_eval()
+        .args(["--id", "compare"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: compare"));
+}
+
+#[test]
+fn batch_mode_prefixes_each_scenario_with_a_banner() {
+    // `--tag` runs fan scenarios in parallel but print in registry order.
+    // The selection matches intro/fig02/fig10 (simulation-free) plus
+    // make-workload, which batch mode must *skip* (it writes files) with
+    // a stderr notice rather than touching the working tree.
+    let out = run({
+        let mut c = faas_eval();
+        c.args(["--tag", "example", "--tag", "trace"])
+            .env("BENCH_THREADS", "2")
+            .env("SCALE_DIV", "40");
+        c
+    });
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("skipping make-workload"),
+        "file-writing tool must be skipped in batch mode"
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let banners: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("#### faas-eval | scenario="))
+        .collect();
+    // Registry order: intro, fig02, fig10.
+    assert_eq!(
+        banners.len(),
+        3,
+        "expected exactly 3 scenario banners:\n{text}"
+    );
+    let order: Vec<usize> = banners
+        .iter()
+        .filter_map(|b| {
+            let id = b.split("scenario=").nth(1)?.split(' ').next()?;
+            let id = id.trim_end_matches(|c: char| c == '|' || c.is_whitespace());
+            faas_bench::scenario::all().iter().position(|s| s.id == id)
+        })
+        .collect();
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(order, sorted, "banners out of registry order:\n{text}");
+}

@@ -67,6 +67,58 @@ pub fn per_minute_counts(
     largest_remainder(&weights, total)
 }
 
+/// Stream salt separating per-minute spike-weight streams from the other
+/// streams derived from the same root seed (see `SimRng::stream_seed`).
+const MINUTE_WEIGHT_STREAM: u64 = 0x00A2_57A6;
+
+/// Per-minute invocation counts summing exactly to `total`, with one
+/// independent spike-weight stream per minute — the sharded path of trace
+/// synthesis.
+///
+/// Unlike [`per_minute_counts`], which consumes a single sequential RNG,
+/// minute `m`'s spike weight here comes from its own stream seeded with
+/// [`SimRng::stream_seed`] from `root` and `m`. The counts are therefore a
+/// pure function of `(minutes, total, cfg, root)` — independent of
+/// evaluation order or thread grouping — which is what lets
+/// `AzureTrace::generate_sharded` build minutes in parallel yet
+/// byte-identically at any shard count.
+///
+/// # Panics
+///
+/// Panics if `minutes == 0` or `total == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use azure_trace::{sharded_minute_counts, ArrivalConfig};
+///
+/// let counts = sharded_minute_counts(10, 2_952, &ArrivalConfig::default(), 0xA2_EE);
+/// assert_eq!(counts.len(), 10);
+/// assert_eq!(counts.iter().sum::<usize>(), 2_952);
+/// // Pure function of its inputs: no RNG state to thread through.
+/// assert_eq!(
+///     counts,
+///     sharded_minute_counts(10, 2_952, &ArrivalConfig::default(), 0xA2_EE)
+/// );
+/// ```
+pub fn sharded_minute_counts(
+    minutes: usize,
+    total: usize,
+    cfg: &ArrivalConfig,
+    root: u64,
+) -> Vec<usize> {
+    assert!(minutes > 0, "need at least one minute");
+    assert!(total > 0, "need at least one invocation");
+    let weights: Vec<f64> = (0..minutes)
+        .map(|minute| {
+            let mut rng = SimRng::stream(root ^ MINUTE_WEIGHT_STREAM, minute as u64);
+            let spike = rng.pareto(1.0, cfg.spike_alpha, cfg.spike_cap);
+            1.0 + cfg.burstiness * (spike - 1.0)
+        })
+        .collect();
+    largest_remainder(&weights, total)
+}
+
 /// Distributes `total` integer units proportionally to `weights` using the
 /// largest-remainder method, so the result sums exactly to `total`.
 ///
@@ -160,6 +212,25 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let counts = per_minute_counts(60, 60_000, &ArrivalConfig::default(), &mut rng);
         assert!(burstiness_cv(&counts) > 0.1, "expected visible burstiness");
+    }
+
+    #[test]
+    fn sharded_counts_sum_and_stay_bursty() {
+        for total in [1usize, 7, 100, 12_442] {
+            let counts = sharded_minute_counts(7, total, &ArrivalConfig::default(), 0xA2_EE);
+            assert_eq!(counts.iter().sum::<usize>(), total);
+        }
+        let counts = sharded_minute_counts(60, 60_000, &ArrivalConfig::default(), 0xA2_EE);
+        assert!(burstiness_cv(&counts) > 0.1, "expected visible burstiness");
+        // A flat config degenerates to an even split, like the serial path.
+        let flat = ArrivalConfig {
+            burstiness: 0.0,
+            ..ArrivalConfig::default()
+        };
+        assert_eq!(
+            sharded_minute_counts(4, 100, &flat, 1),
+            vec![25, 25, 25, 25]
+        );
     }
 
     #[test]

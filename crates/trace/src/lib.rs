@@ -13,7 +13,10 @@
 //!   with the paper's regular-spacing rule;
 //! * [`AzureTrace`] / [`TraceConfig`] — end-to-end workload synthesis
 //!   (`W2` = 12,442 invocations / 2 min, `W10`, `WFC` = 2,952 / 10 min)
-//!   plus the CSV workload-file round-trip of Fig. 9;
+//!   plus the CSV workload-file round-trip of Fig. 9. Synthesis is
+//!   sharded and deterministic: per-minute/per-block RNG streams (see
+//!   [`shard`]) make [`AzureTrace::generate_sharded`] byte-identical at
+//!   any shard count;
 //! * [`EmpiricalCdf`] / [`ks_statistic`] — the Fig. 10 representativeness
 //!   check, made quantitative.
 //!
@@ -33,14 +36,16 @@ mod arrivals;
 mod calibration;
 mod compare;
 mod durations;
+pub mod shard;
 mod stats;
 mod workload;
 
 pub use arrivals::{
-    arrivals_within_minute, burstiness_cv, largest_remainder, per_minute_counts, ArrivalConfig,
+    arrivals_within_minute, burstiness_cv, largest_remainder, per_minute_counts,
+    sharded_minute_counts, ArrivalConfig,
 };
 pub use calibration::{fib_value, FibCalibration, ANCHOR_MS, ANCHOR_N, FIB_MAX_N, FIB_MIN_N};
 pub use compare::{ks_statistic, EmpiricalCdf};
 pub use durations::{DurationDistribution, MemoryDistribution, DEFAULT_WEIGHTS};
 pub use stats::TraceStats;
-pub use workload::{AzureTrace, Invocation, TraceConfig};
+pub use workload::{AzureTrace, Invocation, TraceConfig, SPEC_BLOCK};

@@ -6,15 +6,36 @@
 //! invocation list; [`AzureTrace::to_task_specs`] turns it into kernel
 //! tasks; and the CSV round-trip mirrors the paper's workload file of
 //! `(inter-arrival time, fibonacci N)` rows.
+//!
+//! Synthesis is **sharded**: every trace minute (and every [`SPEC_BLOCK`]
+//! of task specs) draws from its own RNG stream seeded by
+//! [`SimRng::stream_seed`] from the config's root seed and the unit
+//! index, so [`AzureTrace::generate_sharded`] can fan units across
+//! threads (see [`crate::shard`]) while producing byte-identical output
+//! at any shard count — shard count 1 *is* the serial reference path.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
 use faas_kernel::TaskSpec;
 use faas_simcore::{SimDuration, SimRng, SimTime};
 
-use crate::arrivals::{arrivals_within_minute, per_minute_counts, ArrivalConfig};
+use crate::arrivals::{arrivals_within_minute, sharded_minute_counts, ArrivalConfig};
 use crate::calibration::FIB_MIN_N;
 use crate::durations::{spec_from_sample, DurationDistribution, MemoryDistribution};
+use crate::shard;
+
+/// Invocations per task-spec jitter block — the logical sharding unit of
+/// [`AzureTrace::to_task_specs_sharded`]. Fixed (never derived from the
+/// shard count), so block boundaries — and therefore every jittered
+/// sample — are identical no matter how the blocks are grouped onto
+/// threads.
+pub const SPEC_BLOCK: usize = 1024;
+
+/// Stream salt for per-minute invocation bodies (memory sampling).
+const MINUTE_BODY_STREAM: u64 = 0x00B0_D1E5;
+
+/// Stream salt for per-block work jitter in task specs.
+const SPEC_JITTER_STREAM: u64 = 0x5EED_F00D;
 
 /// Configuration of one synthetic trace.
 #[derive(Debug, Clone)]
@@ -114,32 +135,56 @@ pub struct AzureTrace {
 impl AzureTrace {
     /// Synthesizes a trace from `cfg` (deterministic in `cfg.seed`).
     ///
-    /// Pipeline (mirrors §V-B): per-minute totals (bursty) → per-minute
-    /// per-bucket counts (largest remainder over duration weights) →
-    /// regular spacing within the minute → merge and sort.
+    /// Equivalent to [`AzureTrace::generate_sharded`] with one shard —
+    /// the serial reference path the sharded builds are pinned against.
     pub fn generate(cfg: &TraceConfig) -> Self {
+        Self::generate_sharded(cfg, 1)
+    }
+
+    /// Synthesizes a trace from `cfg`, fanning the per-minute work across
+    /// up to `shards` worker threads.
+    ///
+    /// Pipeline (mirrors §V-B): per-minute totals (bursty, one
+    /// spike-weight stream per minute) → per-minute per-bucket counts
+    /// (largest remainder over duration weights) → regular spacing within
+    /// the minute → concatenate (minutes are disjoint time ranges, so the
+    /// result is sorted by construction).
+    ///
+    /// Every minute's randomness comes from its own stream seeded by
+    /// [`SimRng::stream_seed`]`(cfg.seed ^ salt, minute)`, so the output
+    /// is **byte-identical at any `shards` value** — sharding changes
+    /// wall-clock time, never bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use azure_trace::{AzureTrace, TraceConfig};
+    ///
+    /// let cfg = TraceConfig::tiny();
+    /// let serial = AzureTrace::generate(&cfg);
+    /// let fanned = AzureTrace::generate_sharded(&cfg, 4);
+    /// assert_eq!(serial.invocations(), fanned.invocations());
+    /// ```
+    pub fn generate_sharded(cfg: &TraceConfig, shards: usize) -> Self {
         let durations = DurationDistribution::azure_like();
         let memory = MemoryDistribution::azure_like();
-        let mut rng = SimRng::seed_from(cfg.seed);
         let minute_totals =
-            per_minute_counts(cfg.minutes, cfg.total_invocations, &cfg.arrivals, &mut rng);
-        let mut invocations = Vec::with_capacity(cfg.total_invocations);
-        for (minute, &count) in minute_totals.iter().enumerate() {
-            if count == 0 {
-                continue;
+            sharded_minute_counts(cfg.minutes, cfg.total_invocations, &cfg.arrivals, cfg.seed);
+        let invocations = shard::run_sharded(cfg.minutes, shards, |minutes| {
+            let mut out = Vec::new();
+            for minute in minutes {
+                synth_minute(
+                    &durations,
+                    &memory,
+                    cfg.seed,
+                    minute,
+                    minute_totals[minute],
+                    &mut out,
+                );
             }
-            let class_counts = crate::arrivals::largest_remainder(durations.weights(), count);
-            for (arrival, class) in arrivals_within_minute(minute, &class_counts) {
-                let fib_n = FIB_MIN_N + class as u32;
-                invocations.push(Invocation {
-                    arrival,
-                    fib_n,
-                    duration: durations.calibration().duration(fib_n),
-                    mem_mib: memory.sample(&mut rng),
-                });
-            }
-        }
-        invocations.sort_by_key(|i| i.arrival);
+            out
+        });
+        debug_assert!(invocations.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         AzureTrace {
             invocations,
             durations,
@@ -211,20 +256,41 @@ impl AzureTrace {
 
     /// Kernel task specs (work jittered deterministically, `expected` set
     /// to the nominal bucket duration for deadline policies).
+    ///
+    /// Equivalent to [`AzureTrace::to_task_specs_sharded`] with one shard.
     pub fn to_task_specs(&self) -> Vec<TaskSpec> {
-        let mut rng = SimRng::seed_from(self.seed ^ 0x5EED_F00D);
-        self.invocations
-            .iter()
-            .map(|inv| {
-                spec_from_sample(
-                    inv.arrival,
-                    inv.duration,
-                    inv.mem_mib,
-                    self.jitter,
-                    &mut rng,
-                )
-            })
-            .collect()
+        self.to_task_specs_sharded(1)
+    }
+
+    /// Kernel task specs, with the jitter sampling fanned across up to
+    /// `shards` worker threads.
+    ///
+    /// Invocations are cut into fixed [`SPEC_BLOCK`]-sized blocks and
+    /// block `b` jitters its specs from the stream
+    /// [`SimRng::stream_seed`]`(seed ^ salt, b)`. Block boundaries never
+    /// depend on the shard count, so the specs are **byte-identical at
+    /// any `shards` value** — and a [`AzureTrace::truncated`] prefix
+    /// keeps the exact jitter of the original trace's first invocations.
+    pub fn to_task_specs_sharded(&self, shards: usize) -> Vec<TaskSpec> {
+        let blocks = self.invocations.len().div_ceil(SPEC_BLOCK);
+        shard::run_sharded(blocks, shards, |range| {
+            let mut out = Vec::with_capacity(range.len() * SPEC_BLOCK);
+            for block in range {
+                let mut rng = SimRng::stream(self.seed ^ SPEC_JITTER_STREAM, block as u64);
+                let start = block * SPEC_BLOCK;
+                let end = (start + SPEC_BLOCK).min(self.invocations.len());
+                for inv in &self.invocations[start..end] {
+                    out.push(spec_from_sample(
+                        inv.arrival,
+                        inv.duration,
+                        inv.mem_mib,
+                        self.jitter,
+                        &mut rng,
+                    ));
+                }
+            }
+            out
+        })
     }
 
     /// Inter-arrival times between consecutive invocations (the workload
@@ -311,6 +377,35 @@ impl AzureTrace {
     }
 }
 
+/// Synthesizes one minute's invocations into `out` — the per-unit body of
+/// [`AzureTrace::generate_sharded`]. All randomness comes from the
+/// minute's own stream, so the result depends only on
+/// `(seed, minute, count)`.
+fn synth_minute(
+    durations: &DurationDistribution,
+    memory: &MemoryDistribution,
+    seed: u64,
+    minute: usize,
+    count: usize,
+    out: &mut Vec<Invocation>,
+) {
+    if count == 0 {
+        return;
+    }
+    let mut rng = SimRng::stream(seed ^ MINUTE_BODY_STREAM, minute as u64);
+    let class_counts = crate::arrivals::largest_remainder(durations.weights(), count);
+    out.reserve(count);
+    for (arrival, class) in arrivals_within_minute(minute, &class_counts) {
+        let fib_n = FIB_MIN_N + class as u32;
+        out.push(Invocation {
+            arrival,
+            fib_n,
+            duration: durations.calibration().duration(fib_n),
+            mem_mib: memory.sample(&mut rng),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +488,42 @@ mod tests {
             t += *iat;
             assert_eq!(t, inv.arrival);
         }
+    }
+
+    #[test]
+    fn sharded_generation_matches_single_stream() {
+        // The differential pin: N-shard output == the 1-shard reference
+        // path, for random seeds, shapes and shard counts.
+        faas_simcore::check::run("sharded trace == single-stream", 24, |g| {
+            let cfg = TraceConfig {
+                minutes: g.usize_in(1, 6),
+                total_invocations: g.usize_in(1, 4_000),
+                seed: g.u64_in(0, u64::MAX),
+                jitter: g.f64_in(0.0, 0.2),
+                arrivals: ArrivalConfig::default(),
+            };
+            let shards = g.usize_in(2, 9);
+            let reference = AzureTrace::generate(&cfg);
+            let fanned = AzureTrace::generate_sharded(&cfg, shards);
+            assert_eq!(reference.invocations(), fanned.invocations());
+            assert_eq!(
+                reference.to_task_specs(),
+                fanned.to_task_specs_sharded(shards)
+            );
+        });
+    }
+
+    #[test]
+    fn truncated_prefix_keeps_original_jitter() {
+        // Block-based jitter streams make a truncated trace's specs a
+        // strict prefix of the full trace's specs, even across the
+        // SPEC_BLOCK boundary.
+        let trace = AzureTrace::generate(&TraceConfig::w2().downscaled(4));
+        assert!(trace.len() > SPEC_BLOCK, "test must span multiple blocks");
+        let full = trace.to_task_specs();
+        let keep = SPEC_BLOCK + 37;
+        let prefix = trace.truncated(keep).to_task_specs();
+        assert_eq!(&full[..keep], &prefix[..]);
     }
 
     #[test]
