@@ -1,147 +1,83 @@
-//! End-to-end benches exercising every figure's code path on downscaled
-//! workloads (1/40 of the paper's scale), so `cargo bench` regenerates a
-//! miniature of the entire evaluation. Run the `src/bin/figNN_*` binaries
-//! for the full-scale series.
+//! Serially-timed wall-clock sections for every registered evaluation
+//! scenario (the ROADMAP's `table_figures` bench).
+//!
+//! Each scenario from [`faas_bench::scenario`] gets its own timed section
+//! on a downscaled workload (`SCALE_DIV=40` unless overridden), so
+//! `cargo bench -p faas-bench --bench table_figures` regenerates a
+//! miniature of the entire evaluation with per-figure timings. Results
+//! are written as a `faas-bench/v1` JSON baseline (`BENCH_figures.json`
+//! at the workspace root; quick-mode runs land in the gitignored
+//! `BENCH_figures.quick.json`), alongside `sched_hot_paths`'s
+//! `BENCH_sched.json`.
+//!
+//! Timing is forced **single-threaded** (`BENCH_THREADS=1`): the sweep
+//! scenarios otherwise fan their cases across workers, which adds
+//! scheduling noise to wall-clock samples and makes timings depend on the
+//! host's core count. Scenario *output* is byte-identical at any thread
+//! count (pinned by `tests/determinism.rs`); only the timing differs.
 
+use faas_bench::scenario;
 use faas_bench::timing::{black_box, Bench};
 
-use azure_trace::{AzureTrace, TraceConfig};
-use faas_kernel::{InterferenceConfig, MachineConfig, Scheduler, Simulation};
-use faas_metrics::records_from_tasks;
-use faas_policies::{Cfs, Edf, Fifo, FifoWithLimit, RoundRobin, Shinjuku};
-use faas_simcore::SimDuration;
-use hybrid_scheduler::{HybridConfig, HybridScheduler, RightsizingConfig, TimeLimitPolicy};
-use lambda_pricing::PriceModel;
-use microvm_sim::{run_fleet, FirecrackerConfig};
+/// Where the committed baseline lands (the workspace root).
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json");
 
-const CORES: usize = 50;
+/// Quick-mode (`BENCH_QUICK`) output path; gitignored so a smoke run can
+/// never clobber the committed baseline.
+const QUICK_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_figures.quick.json"
+);
 
-fn w2_small() -> AzureTrace {
-    AzureTrace::generate(&TraceConfig::w2().downscaled(40))
-}
+fn main() {
+    // Serial timing: see the module docs. Set before any scenario runs —
+    // `faas_bench::par` reads the variable per fan-out.
+    std::env::set_var("BENCH_THREADS", "1");
+    // Downscale every workload to 1/40 scale (the CI smoke scale) unless
+    // the caller explicitly chose another divisor.
+    if std::env::var_os("SCALE_DIV").is_none() {
+        std::env::set_var("SCALE_DIV", "40");
+    }
 
-fn machine() -> MachineConfig {
-    MachineConfig::new(CORES).with_interference(InterferenceConfig::default())
-}
-
-fn cost_of<P: Scheduler>(trace: &AzureTrace, policy: P) -> f64 {
-    let report = Simulation::new(machine(), trace.to_task_specs(), policy)
-        .run()
-        .unwrap();
-    PriceModel::duration_only().workload_cost(&records_from_tasks(&report.tasks))
-}
-
-fn bench_process_figures(c: &mut Bench) {
-    let trace = w2_small();
-    let mut g = c.benchmark_group("figures_w2_div40");
-    g.sample_size(10);
-    // Figs. 1/4 + Table I baselines.
-    g.bench_function("fig01_fig04_fifo", |b| {
-        b.iter(|| black_box(cost_of(&trace, Fifo::new())))
-    });
-    g.bench_function("fig01_fig04_cfs", |b| {
-        b.iter(|| black_box(cost_of(&trace, Cfs::with_cores(CORES))))
-    });
-    // Fig. 5.
-    g.bench_function("fig05_fifo_100ms", |b| {
-        b.iter(|| {
-            black_box(cost_of(
-                &trace,
-                FifoWithLimit::new(SimDuration::from_millis(100)),
-            ))
-        })
-    });
-    // Figs. 6/11/12/13/14/20 + Table I: the hybrid at the paper split.
-    g.bench_function("fig06_hybrid_25_25", |b| {
-        b.iter(|| {
-            black_box(cost_of(
-                &trace,
-                HybridScheduler::new(HybridConfig::paper_25_25()),
-            ))
-        })
-    });
-    // Fig. 11: the worst split, exercising the long-tail path.
-    g.bench_function("fig11_hybrid_40_10", |b| {
-        b.iter(|| {
-            black_box(cost_of(
-                &trace,
-                HybridScheduler::new(HybridConfig::split(40, 10)),
-            ))
-        })
-    });
-    // Figs. 15/16/17: adaptive limits.
-    for pct in [75u32, 95u32] {
-        g.bench_function(format!("fig15_17_adaptive_p{pct}"), |b| {
+    let mut c = Bench::from_env();
+    let mut g = c.benchmark_group("table_figures_serial");
+    g.sample_size(5);
+    let mut skipped = Vec::new();
+    for s in scenario::all() {
+        if s.usage.is_some() {
+            // Scenarios that need arguments or write files (tools) are
+            // not representative timed sections; list them at the end.
+            skipped.push(s.id);
+            continue;
+        }
+        g.bench_function(s.id, |b| {
             b.iter(|| {
-                let cfg = HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
-                    percentile: pct as f64 / 100.0,
-                    initial: SimDuration::from_millis(1_633),
-                });
-                black_box(cost_of(&trace, HybridScheduler::new(cfg)))
+                let mut sink = Vec::new();
+                s.run_to(&mut sink, &[])
+                    .unwrap_or_else(|e| panic!("scenario {} failed: {e}", s.id));
+                black_box(sink.len())
             })
         });
     }
-    // Figs. 18/19: rightsizing.
-    g.bench_function("fig18_19_rightsizing", |b| {
-        b.iter(|| {
-            let cfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
-            black_box(cost_of(&trace, HybridScheduler::new(cfg)))
-        })
-    });
-    // Fig. 23 extras.
-    g.bench_function("fig23_round_robin", |b| {
-        b.iter(|| {
-            black_box(cost_of(
-                &trace,
-                RoundRobin::new(SimDuration::from_millis(10)),
-            ))
-        })
-    });
-    g.bench_function("fig23_edf", |b| {
-        b.iter(|| black_box(cost_of(&trace, Edf::new())))
-    });
-    g.bench_function("fig23_shinjuku", |b| {
-        b.iter(|| black_box(cost_of(&trace, Shinjuku::new(SimDuration::from_millis(1)))))
-    });
     g.finish();
-}
+    if !skipped.is_empty() {
+        println!(
+            "skipped (take arguments / write files): {}",
+            skipped.join(", ")
+        );
+    }
 
-fn bench_firecracker_figures(c: &mut Bench) {
-    // Figs. 21/22: the microVM fleet (1/40 of the 2,952 VMs).
-    let trace = AzureTrace::generate(&TraceConfig::w10().downscaled(40))
-        .truncated(74)
-        .stretched(3.0);
-    let mut g = c.benchmark_group("figures_firecracker_div40");
-    g.sample_size(10);
-    g.bench_function("fig21_22_hybrid_fleet", |b| {
-        b.iter(|| {
-            let out = run_fleet(
-                &trace,
-                &FirecrackerConfig::paper_fleet(),
-                CORES,
-                HybridScheduler::new(HybridConfig::paper_25_25()),
-            )
-            .unwrap();
-            black_box(out.vm_records.len())
-        })
-    });
-    g.bench_function("fig21_22_cfs_fleet", |b| {
-        b.iter(|| {
-            let out = run_fleet(
-                &trace,
-                &FirecrackerConfig::paper_fleet(),
-                CORES,
-                Cfs::with_cores(CORES),
-            )
-            .unwrap();
-            black_box(out.vm_records.len())
-        })
-    });
-    g.finish();
-}
-
-fn main() {
-    let mut c = Bench::from_env();
-    bench_process_figures(&mut c);
-    bench_firecracker_figures(&mut c);
+    if c.filtered() {
+        println!("name filters active: not overwriting BENCH_figures.json");
+        return;
+    }
+    let (path, label) = if c.quick() {
+        (QUICK_PATH, "BENCH_figures.quick.json (quick mode)")
+    } else {
+        (BASELINE_PATH, "BENCH_figures.json")
+    };
+    match c.write_json(path) {
+        Ok(()) => println!("baseline written: {label}"),
+        Err(e) => eprintln!("warning: could not write {label}: {e}"),
+    }
 }

@@ -1,0 +1,215 @@
+//! Throughput regression guard over `faas-bench/v1` JSON baselines.
+//!
+//! CI regenerates the hot-path benches in quick mode on every push; this
+//! module compares that fresh output against the committed
+//! `BENCH_sched.json` and reports every benchmark whose `events_per_sec`
+//! dropped by more than a threshold. The check is **advisory** — quick
+//! mode is 3 samples on shared CI hardware, so the `bench-guard` binary
+//! prints warnings instead of failing the build; a malformed or
+//! schema-less input, however, is a hard error (that's a broken harness,
+//! not a slow one).
+
+use crate::jsoncheck::{self, Json};
+
+/// Relative `events_per_sec` drop beyond which a row is flagged (0.2 =
+/// a >20% regression).
+pub const DEFAULT_THRESHOLD: f64 = 0.2;
+
+/// One benchmark's throughput comparison between two baseline files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Group the benchmark belongs to (empty for top-level ones).
+    pub group: String,
+    /// Benchmark name.
+    pub name: String,
+    /// `events_per_sec` in the reference (committed) baseline.
+    pub baseline: f64,
+    /// `events_per_sec` in the fresh run.
+    pub fresh: f64,
+}
+
+impl Comparison {
+    /// Fractional change, negative for regressions (−0.25 = 25% slower).
+    pub fn delta(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.fresh / self.baseline - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` if this row regressed beyond `threshold`.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.delta() < -threshold
+    }
+}
+
+/// Extracts `(group, name) → events_per_sec` rows from a `faas-bench/v1`
+/// document.
+///
+/// # Errors
+///
+/// Rejects malformed JSON, a missing/mismatched `schema` marker, or a
+/// missing `results` array.
+fn throughput_rows(text: &str, label: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let doc = jsoncheck::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("faas-bench/v1") => {}
+        other => return Err(format!("{label}: unsupported schema {other:?}")),
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label}: missing results array"))?;
+    let mut rows = Vec::new();
+    for r in results {
+        let (Some(group), Some(name)) = (
+            r.get("group").and_then(Json::as_str),
+            r.get("name").and_then(Json::as_str),
+        ) else {
+            return Err(format!("{label}: result row without group/name"));
+        };
+        // Rows without a throughput declaration (pure wall-clock benches)
+        // are skipped: their absolute time depends on workload scale.
+        if let Some(eps) = r.get("events_per_sec").and_then(Json::as_f64) {
+            rows.push((group.to_string(), name.to_string(), eps));
+        }
+    }
+    Ok(rows)
+}
+
+/// Compares two `faas-bench/v1` documents row-by-row on `events_per_sec`.
+/// Rows present in only one file are ignored (benchmarks come and go);
+/// the comparison is keyed by (group, name).
+///
+/// # Errors
+///
+/// Propagates parse/schema errors from either document.
+///
+/// # Examples
+///
+/// ```
+/// use faas_bench::guard;
+///
+/// let committed = r#"{"schema": "faas-bench/v1", "quick": false, "results": [
+///   {"group": "g", "name": "cfs", "events_per_sec": 1000.0}]}"#;
+/// let fresh = r#"{"schema": "faas-bench/v1", "quick": true, "results": [
+///   {"group": "g", "name": "cfs", "events_per_sec": 700.0}]}"#;
+/// let cmp = guard::compare(committed, fresh).unwrap();
+/// assert_eq!(cmp.len(), 1);
+/// assert!(cmp[0].regressed(guard::DEFAULT_THRESHOLD));
+/// assert!((cmp[0].delta() + 0.3).abs() < 1e-12);
+/// ```
+pub fn compare(baseline: &str, fresh: &str) -> Result<Vec<Comparison>, String> {
+    let base_rows = throughput_rows(baseline, "baseline")?;
+    let fresh_rows = throughput_rows(fresh, "fresh")?;
+    let mut out = Vec::new();
+    for (group, name, base_eps) in base_rows {
+        if let Some((_, _, fresh_eps)) = fresh_rows
+            .iter()
+            .find(|(g, n, _)| *g == group && *n == name)
+        {
+            out.push(Comparison {
+                group,
+                name,
+                baseline: base_eps,
+                fresh: *fresh_eps,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the guard report for `compare`'s output; returns the number of
+/// regressions beyond `threshold`.
+pub fn report(rows: &[Comparison], threshold: f64, out: &mut dyn std::io::Write) -> usize {
+    let mut regressions = 0;
+    for row in rows {
+        let delta_pct = row.delta() * 100.0;
+        let flag = if row.regressed(threshold) {
+            regressions += 1;
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {:<45} {:>12.0} -> {:>12.0} events/s  ({:+6.1}%){flag}",
+            format!("{}/{}", row.group, row.name),
+            row.baseline,
+            row.fresh,
+            delta_pct,
+        );
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, &str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(g, n, e)| format!(r#"{{"group": "{g}", "name": "{n}", "events_per_sec": {e}}}"#))
+            .collect();
+        format!(
+            r#"{{"schema": "faas-bench/v1", "quick": false, "results": [{}]}}"#,
+            body.join(", ")
+        )
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_threshold() {
+        let base = doc(&[("g", "a", 1000.0), ("g", "b", 1000.0), ("g", "c", 1000.0)]);
+        let fresh = doc(&[("g", "a", 790.0), ("g", "b", 810.0), ("g", "c", 1500.0)]);
+        let cmp = compare(&base, &fresh).unwrap();
+        let flagged: Vec<&str> = cmp
+            .iter()
+            .filter(|c| c.regressed(DEFAULT_THRESHOLD))
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(flagged, vec!["a"], "only the >20% drop is flagged");
+    }
+
+    #[test]
+    fn unmatched_rows_are_ignored() {
+        let base = doc(&[("g", "gone", 1000.0), ("g", "kept", 500.0)]);
+        let fresh = doc(&[("g", "kept", 500.0), ("g", "new", 9.0)]);
+        let cmp = compare(&base, &fresh).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].name, "kept");
+        assert!(!cmp[0].regressed(DEFAULT_THRESHOLD));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let bad = r#"{"schema": "other/v9", "results": []}"#;
+        let good = doc(&[]);
+        assert!(compare(bad, &good).is_err());
+        assert!(compare(&good, bad).is_err());
+        assert!(compare("{nope", &good).is_err());
+    }
+
+    #[test]
+    fn report_counts_and_renders() {
+        let base = doc(&[("", "x", 100.0)]);
+        let fresh = doc(&[("", "x", 10.0)]);
+        let cmp = compare(&base, &fresh).unwrap();
+        let mut buf = Vec::new();
+        let n = report(&cmp, DEFAULT_THRESHOLD, &mut buf);
+        assert_eq!(n, 1);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("REGRESSION"), "got: {text}");
+        assert!(text.contains("-90.0%"), "got: {text}");
+    }
+
+    #[test]
+    fn committed_baseline_parses_through_the_guard() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+        let text = std::fs::read_to_string(path).expect("committed baseline exists");
+        let cmp = compare(&text, &text).expect("baseline is guard-readable");
+        assert!(!cmp.is_empty(), "baseline has throughput rows");
+        assert!(cmp.iter().all(|c| !c.regressed(DEFAULT_THRESHOLD)));
+    }
+}

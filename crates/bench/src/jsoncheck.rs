@@ -1,9 +1,91 @@
-//! A minimal JSON well-formedness checker (no external crates).
+//! A minimal JSON checker **and** value parser (no external crates).
 //!
-//! The bench harness emits `BENCH_sched.json` baselines; CI must fail if
-//! a change corrupts that output. A full parser is overkill — this module
-//! validates syntax per RFC 8259 and lets callers assert on the raw text
-//! for content checks.
+//! The bench harness emits `BENCH_sched.json` / `BENCH_figures.json`
+//! baselines; CI must fail if a change corrupts that output, and the
+//! `bench-guard` tool must read the numbers back to compare runs. A full
+//! serde stack is overkill — this module parses one JSON value per
+//! RFC 8259 into a small [`Json`] tree ([`parse`]) and offers a
+//! validation-only wrapper ([`validate`]).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys kept as-is).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+///
+/// # Examples
+///
+/// ```
+/// use faas_bench::jsoncheck::parse;
+///
+/// let doc = parse(r#"{"results": [{"name": "cfs", "events_per_sec": 1.5e7}]}"#).unwrap();
+/// let row = &doc.get("results").unwrap().as_array().unwrap()[0];
+/// assert_eq!(row.get("name").unwrap().as_str(), Some("cfs"));
+/// assert_eq!(row.get("events_per_sec").unwrap().as_f64(), Some(1.5e7));
+/// ```
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
 
 /// Validates that `text` is one well-formed JSON value.
 ///
@@ -12,15 +94,7 @@
 /// Returns a human-readable description of the first syntax error, with
 /// its byte offset.
 pub fn validate(text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0;
-    skip_ws(bytes, &mut pos);
-    value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(())
+    parse(text).map(|_| ())
 }
 
 fn err(what: &str, pos: usize) -> String {
@@ -33,103 +107,138 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     match b.get(*pos) {
         Some(b'{') => object(b, pos),
         Some(b'[') => array(b, pos),
-        Some(b'"') => string(b, pos),
-        Some(b't') => literal(b, pos, b"true"),
-        Some(b'f') => literal(b, pos, b"false"),
-        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'"') => string(b, pos).map(Json::Str),
+        Some(b't') => literal(b, pos, b"true").map(|_| Json::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|_| Json::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|_| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
         Some(_) => Err(err("unexpected character", *pos)),
         None => Err(err("unexpected end of input", *pos)),
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     *pos += 1; // consume '{'
     skip_ws(b, pos);
+    let mut members = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Obj(members));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(err("expected object key string", *pos));
         }
-        string(b, pos)?;
+        let key = string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(err("expected ':'", *pos));
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        let v = value(b, pos)?;
+        members.push((key, v));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Obj(members));
             }
             _ => return Err(err("expected ',' or '}'", *pos)),
         }
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     *pos += 1; // consume '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Arr(items));
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        items.push(value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Arr(items));
             }
             _ => return Err(err("expected ',' or ']'", *pos)),
         }
     }
 }
 
-fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
     *pos += 1; // consume '"'
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        *pos += 1;
+                        let mut code = 0u32;
                         for _ in 0..4 {
-                            match b.get(*pos) {
-                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
-                                _ => return Err(err("bad \\u escape", *pos)),
+                            *pos += 1;
+                            match b.get(*pos).and_then(|h| (*h as char).to_digit(16)) {
+                                Some(d) => code = code * 16 + d,
+                                None => return Err(err("bad \\u escape", *pos)),
                             }
                         }
+                        // Surrogates degrade to U+FFFD; the bench baselines
+                        // never emit them, this just keeps parse total.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
                     _ => return Err(err("bad escape", *pos)),
                 }
+                *pos += 1;
             }
             0x00..=0x1f => return Err(err("raw control character in string", *pos)),
-            _ => *pos += 1,
+            _ => {
+                // Copy the whole UTF-8 scalar (input is a &str, so byte
+                // boundaries are valid).
+                let s = &b[*pos..];
+                let ch_len = utf8_len(c);
+                let ch = std::str::from_utf8(&s[..ch_len.min(s.len())])
+                    .map_err(|_| err("invalid UTF-8", *pos))?;
+                out.push_str(ch);
+                *pos += ch_len;
+            }
         }
     }
-    Err(err("unterminated string", *pos))
+    Err(err("unterminated string", start))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
 }
 
 fn literal(b: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), String> {
@@ -141,7 +250,7 @@ fn literal(b: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), String> {
     }
 }
 
-fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -177,7 +286,10 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             *pos += 1;
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("number bytes are ASCII");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err("unrepresentable number", start))
 }
 
 #[cfg(test)]
@@ -224,5 +336,25 @@ mod tests {
     fn errors_carry_positions() {
         let e = validate("[1, oops]").unwrap_err();
         assert!(e.contains("byte 4"), "got: {e}");
+    }
+
+    #[test]
+    fn parses_values_and_navigates() {
+        let doc = parse(r#"{"s": "a\"b", "n": -2.5e2, "l": [true, null], "s2": "é"}"#).unwrap();
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(-250.0));
+        assert_eq!(
+            doc.get("l").unwrap().as_array(),
+            Some(&[Json::Bool(true), Json::Null][..])
+        );
+        assert_eq!(doc.get("s2").unwrap().as_str(), Some("é"));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let doc = parse(r#""\u0041\u00e9""#).unwrap();
+        assert_eq!(doc.as_str(), Some("Aé"));
     }
 }

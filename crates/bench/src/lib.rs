@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod guard;
 pub mod jsoncheck;
 pub mod par;
 mod plot;

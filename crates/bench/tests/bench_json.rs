@@ -37,6 +37,32 @@ fn quick_output_if_present_is_well_formed() {
     }
 }
 
+/// The `table_figures` bench commits its own baseline with per-scenario
+/// wall-clock sections; it must stay well-formed and carry the registry's
+/// headline scenarios.
+#[test]
+fn figures_baseline_is_well_formed_with_scenario_rows() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_figures.json must be committed at the workspace root \
+             (regenerate with `cargo bench -p faas-bench --bench table_figures`): {e}"
+        )
+    });
+    jsoncheck::validate(&text).expect("BENCH_figures.json is malformed");
+    assert!(
+        text.contains("\"schema\": \"faas-bench/v1\""),
+        "schema marker missing"
+    );
+    for name in [
+        "\"name\": \"fig11\"",
+        "\"name\": \"fig12\"",
+        "\"name\": \"table1\"",
+    ] {
+        assert!(text.contains(name), "figures baseline missing row: {name}");
+    }
+}
+
 #[test]
 fn baseline_has_schema_and_expected_rows() {
     let text = baseline();

@@ -7,14 +7,16 @@
 //! because membership churn requires queue hand-off primitives a fixed-set
 //! policy does not need.
 
-use std::collections::{BTreeSet, HashMap};
-
 use faas_kernel::{Machine, TaskId};
-use faas_simcore::SimDuration;
+use faas_simcore::{MinHeap4, SimDuration};
 
 #[derive(Debug, Default)]
 struct Rq {
-    queue: BTreeSet<(i64, TaskId)>,
+    /// Runnable tasks keyed by (vruntime, id) in a dense 4-ary heap —
+    /// keys are unique, so `pop_min`/`take_max` reproduce the old
+    /// `BTreeSet` iteration-order picks exactly, without per-insert node
+    /// allocation.
+    queue: MinHeap4<(i64, TaskId)>,
     min_vruntime: i64,
 }
 
@@ -29,10 +31,16 @@ struct Rq {
 pub(crate) struct CfsSide {
     rqs: Vec<Option<Rq>>,
     /// vruntime offset per task: effective vr = offset + cpu_time.
-    /// Only keyed lookups, never iterated, so hashing is safe here.
-    offsets: HashMap<TaskId, i64>,
+    /// Dense, indexed by `TaskId::index()` (task ids are assigned densely
+    /// by the kernel); absent entries read as 0, matching the old
+    /// `HashMap::get(..).unwrap_or(0)` behavior without hashing on the
+    /// enqueue/requeue hot path.
+    offsets: Vec<i64>,
     sched_latency: SimDuration,
     min_granularity: SimDuration,
+    /// Smallest runnable count at which the slice formula bottoms out at
+    /// `min_granularity` (skips the division on the dispatch hot path).
+    slice_floor_nr: u64,
 }
 
 impl CfsSide {
@@ -43,9 +51,12 @@ impl CfsSide {
         );
         CfsSide {
             rqs: Vec::new(),
-            offsets: HashMap::new(),
+            offsets: Vec::new(),
             sched_latency,
             min_granularity,
+            slice_floor_nr: sched_latency
+                .as_micros()
+                .div_ceil(min_granularity.as_micros()),
         }
     }
 
@@ -61,7 +72,12 @@ impl CfsSide {
     /// Removes a core, returning its queued tasks in vruntime order.
     pub(crate) fn remove_core(&mut self, core: usize) -> Vec<TaskId> {
         match self.rqs.get_mut(core).and_then(Option::take) {
-            Some(rq) => rq.queue.into_iter().map(|(_, t)| t).collect(),
+            Some(rq) => rq
+                .queue
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -95,7 +111,8 @@ impl CfsSide {
     }
 
     fn effective_vr(&self, m: &Machine, task: TaskId) -> i64 {
-        self.offsets.get(&task).copied().unwrap_or(0) + m.task(task).cpu_time().as_micros() as i64
+        self.offsets.get(task.index()).copied().unwrap_or(0)
+            + m.task(task).cpu_time().as_micros() as i64
     }
 
     /// Enqueues a task entering this core fresh: placed at the core's
@@ -108,8 +125,11 @@ impl CfsSide {
             .and_then(Option::as_mut)
             .expect("enqueue on member core");
         let offset = rq.min_vruntime - cpu;
-        rq.queue.insert((offset + cpu, task));
-        self.offsets.insert(task, offset);
+        rq.queue.push((offset + cpu, task));
+        if self.offsets.len() <= task.index() {
+            self.offsets.resize(task.index() + 1, 0);
+        }
+        self.offsets[task.index()] = offset;
     }
 
     /// Re-enqueues a task that already belongs to this core (slice expiry);
@@ -117,18 +137,23 @@ impl CfsSide {
     pub(crate) fn requeue(&mut self, m: &Machine, core: usize, task: TaskId) {
         let vr = self.effective_vr(m, task);
         let rq = self.rq_mut(core).expect("requeue on member core");
-        rq.queue.insert((vr, task));
+        rq.queue.push((vr, task));
     }
 
     /// Pops the smallest-vruntime task of `core` together with its slice.
     pub(crate) fn pop(&mut self, core: usize) -> Option<(TaskId, SimDuration)> {
         let (sched_latency, min_granularity) = (self.sched_latency, self.min_granularity);
         let rq = self.rq_mut(core)?;
-        let key = *rq.queue.iter().next()?;
-        rq.queue.remove(&key);
+        let key = rq.queue.pop_min()?;
         rq.min_vruntime = rq.min_vruntime.max(key.0);
         let nr = rq.queue.len() as u64 + 1;
-        let slice = (sched_latency / nr).max(min_granularity);
+        let slice = if nr >= self.slice_floor_nr {
+            // The quotient cannot exceed min_granularity here; skip the
+            // division on the loaded-queue hot path.
+            min_granularity
+        } else {
+            (sched_latency / nr).max(min_granularity)
+        };
         Some((key.1, slice))
     }
 
@@ -143,14 +168,12 @@ impl CfsSide {
             .map(|(c, rq)| (c, rq.queue.len()));
         match victim {
             Some((v, len)) if len > 1 => {
-                let key = *self
+                let key = self
                     .rq_mut(v)
                     .expect("victim exists")
                     .queue
-                    .iter()
-                    .next_back()
+                    .take_max()
                     .expect("non-empty");
-                self.rq_mut(v).expect("victim exists").queue.remove(&key);
                 self.enqueue_new(m, core, key.1);
                 true
             }
@@ -175,14 +198,12 @@ impl CfsSide {
             if max_len <= min_len + 1 {
                 return moved;
             }
-            let key = *self
+            let key = self
                 .rq_mut(max_c)
                 .expect("max exists")
                 .queue
-                .iter()
-                .next_back()
+                .take_max()
                 .expect("non-empty");
-            self.rq_mut(max_c).expect("max exists").queue.remove(&key);
             self.enqueue_new(m, min_c, key.1);
             moved += 1;
         }

@@ -94,6 +94,14 @@ impl IdleSet {
         self.count -= 1;
     }
 
+    /// The lowest-numbered idle core, if any. One bit scan for machines
+    /// up to 64 cores — the driver's fast path when exactly one core is
+    /// idle (the common state of a loaded simulation).
+    #[inline]
+    pub(crate) fn first(&self) -> Option<CoreId> {
+        self.iter().next()
+    }
+
     /// Iterates the idle cores in ascending id order without allocating.
     #[inline]
     pub(crate) fn iter(&self) -> IdleIter<'_> {

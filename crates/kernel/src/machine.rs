@@ -187,6 +187,11 @@ pub enum PolicyCall {
     Internal,
 }
 
+/// A dynamic kernel event. Task arrivals are *not* heap events: they are
+/// statically known at construction, so they live in a pre-sorted calendar
+/// (`Machine::arrivals`) consumed by a cursor — the hot event heap then
+/// only ever holds the handful of in-flight per-core timers (completions,
+/// slice expiries, interference, ticks), keeping its depth tiny.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival(TaskId),
@@ -205,6 +210,17 @@ pub struct Machine {
     cores: Vec<Core>,
     tasks: Vec<Task>,
     events: EventQueue<Event>,
+    /// Task arrivals sorted by (time, spec order) — the static half of the
+    /// future-event list, consumed by `next_arrival`. At equal instants an
+    /// arrival fires before any dynamic event, which reproduces the
+    /// insertion-sequence tie-break of the old all-in-one heap exactly
+    /// (arrivals were always scheduled first).
+    arrivals: Vec<(SimTime, TaskId)>,
+    /// Cursor into `arrivals`.
+    next_arrival: usize,
+    /// `arrivals[next_arrival].0` memoized (`SimTime::MAX` once
+    /// exhausted), so the per-event merge check is one register compare.
+    next_arrival_at: SimTime,
     util: UtilizationLedger,
     rng: SimRng,
     messages: Vec<(SimTime, KernelMessage)>,
@@ -246,15 +262,20 @@ impl Machine {
         assert!(cfg.cores > 0, "machine needs at least one core");
         let mut events = EventQueue::new();
         let tasks: Vec<Task> = specs.into_iter().map(Task::new).collect();
-        for (i, t) in tasks.iter().enumerate() {
-            events.schedule(t.spec().arrival, Event::Arrival(TaskId(i as u32)));
-        }
+        let mut arrivals: Vec<(SimTime, TaskId)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.spec().arrival, TaskId(i as u32)))
+            .collect();
+        // Stable by time: equal instants keep spec order, the old
+        // insertion-sequence tie-break.
+        arrivals.sort_by_key(|&(at, _)| at);
         let mut rng = SimRng::seed_from(cfg.seed);
         if let Some(icfg) = cfg.interference {
             for c in 0..cfg.cores {
                 let at = SimTime::ZERO
                     + SimDuration::from_secs_f64(rng.exponential(icfg.mean_interval.as_secs_f64()));
-                events.schedule(at, Event::InterferenceStart(CoreId(c as u16)));
+                events.schedule_untracked(at, Event::InterferenceStart(CoreId(c as u16)));
             }
         }
         let util = UtilizationLedger::new(cfg.cores, cfg.util_bucket);
@@ -262,6 +283,9 @@ impl Machine {
             cores: (0..cfg.cores).map(|_| Core::new()).collect(),
             tasks,
             events,
+            next_arrival_at: arrivals.first().map_or(SimTime::MAX, |&(at, _)| at),
+            arrivals,
+            next_arrival: 0,
             util,
             rng,
             messages: Vec::new(),
@@ -280,7 +304,8 @@ impl Machine {
     pub(crate) fn arm_tick(&mut self, every: SimDuration) {
         assert!(!every.is_zero(), "tick interval must be positive");
         self.tick_every = Some(every);
-        self.events.schedule(self.now + every, Event::Tick);
+        self.events
+            .schedule_untracked(self.now + every, Event::Tick);
     }
 
     // ---- queries -----------------------------------------------------
@@ -334,6 +359,13 @@ impl Machine {
     /// Number of currently idle cores (O(1)).
     pub fn num_idle_cores(&self) -> usize {
         self.idle.len()
+    }
+
+    /// The lowest-numbered idle core, if any (one bit scan). The driver's
+    /// allocation- and buffer-free path for the common "exactly one core
+    /// just went idle" sweep.
+    pub fn first_idle_core(&self) -> Option<CoreId> {
+        self.idle.first()
     }
 
     /// Appends the idle cores to `buf` in ascending id order without
@@ -485,11 +517,13 @@ impl Machine {
         match slice {
             Some(s) if s < remaining => {
                 self.events
-                    .schedule(work_start + s, Event::SliceExpire { core, generation });
+                    .schedule_untracked(work_start + s, Event::SliceExpire { core, generation });
             }
             _ => {
-                self.events
-                    .schedule(work_start + remaining, Event::Complete { core, generation });
+                self.events.schedule_untracked(
+                    work_start + remaining,
+                    Event::Complete { core, generation },
+                );
             }
         }
         self.log(KernelMessage::Dispatch { task, core, slice });
@@ -538,13 +572,25 @@ impl Machine {
         if self.finished == self.tasks.len() {
             return Ok(None);
         }
-        let (at, ev) = match self.events.pop() {
-            Some(x) => x,
-            None => {
-                return Err(SimError::Deadlock {
-                    unfinished: self.tasks.len() - self.finished,
-                })
-            }
+        // Merge the static arrival calendar with the dynamic event heap;
+        // at equal instants the arrival fires first (it would have held
+        // the smaller insertion sequence in a unified heap).
+        let heap_t = self.events.peek_time().unwrap_or(SimTime::MAX);
+        let (at, ev) = if self.next_arrival < self.arrivals.len() && self.next_arrival_at <= heap_t
+        {
+            let (at, task) = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            self.next_arrival_at = self
+                .arrivals
+                .get(self.next_arrival)
+                .map_or(SimTime::MAX, |&(t, _)| t);
+            (at, Event::Arrival(task))
+        } else if let Some(popped) = self.events.pop() {
+            popped
+        } else {
+            return Err(SimError::Deadlock {
+                unfinished: self.tasks.len() - self.finished,
+            });
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
@@ -579,7 +625,7 @@ impl Machine {
                         // until the wait returns.
                         self.release_to_io(core, task);
                         self.events
-                            .schedule(self.now + io_wait, Event::IoComplete(task));
+                            .schedule_untracked(self.now + io_wait, Event::IoComplete(task));
                         PolicyCall::Internal
                     }
                 }
@@ -637,8 +683,10 @@ impl Machine {
                     c.last_task = None; // the intruder pollutes the cache
                     let generation = c.generation;
                     let dur = self.rng.jitter(icfg.duration, 0.5);
-                    self.events
-                        .schedule(self.now + dur, Event::InterferenceEnd { core, generation });
+                    self.events.schedule_untracked(
+                        self.now + dur,
+                        Event::InterferenceEnd { core, generation },
+                    );
                     self.log(KernelMessage::InterferenceStart { core });
                 }
                 match preempted {
@@ -666,12 +714,13 @@ impl Machine {
                     self.rng.exponential(icfg.mean_interval.as_secs_f64()),
                 );
                 self.events
-                    .schedule(self.now + gap, Event::InterferenceStart(core));
+                    .schedule_untracked(self.now + gap, Event::InterferenceStart(core));
                 PolicyCall::Internal
             }
             Event::Tick => {
                 let every = self.tick_every.expect("tick event without interval");
-                self.events.schedule(self.now + every, Event::Tick);
+                self.events
+                    .schedule_untracked(self.now + every, Event::Tick);
                 PolicyCall::Tick
             }
         };
@@ -769,10 +818,19 @@ impl Machine {
         self.idle_transitions
     }
 
+    /// Appends to the kernel message log when enabled. Inlined so the
+    /// flag check sinks the message construction off the hot path; the
+    /// push itself is the cold side (logging is a test/debug feature).
+    #[inline]
     fn log(&mut self, msg: KernelMessage) {
         if self.cfg.log_messages {
-            self.messages.push((self.now, msg));
+            self.log_push(msg);
         }
+    }
+
+    #[cold]
+    fn log_push(&mut self, msg: KernelMessage) {
+        self.messages.push((self.now, msg));
     }
 }
 

@@ -214,19 +214,35 @@ impl<P: Scheduler> Simulation<P> {
             || self.last_sweep_offered
         {
             let mut offered = false;
-            while self.machine.num_idle_cores() > 0 {
+            loop {
+                let idle_now = self.machine.num_idle_cores();
+                if idle_now == 0 {
+                    break;
+                }
                 let pass_transitions = self.machine.idle_transitions();
-                self.sweep_buf.clear();
-                self.machine.fill_idle_cores(&mut self.sweep_buf);
                 let mut pass_offered = false;
-                for i in 0..self.sweep_buf.len() {
-                    let core = self.sweep_buf[i];
-                    if self.machine.core_state(core) == CoreState::Idle
-                        && self.swept_at[core.index()] != self.step
-                    {
+                if idle_now == 1 {
+                    // Fast path for the loaded steady state: exactly one
+                    // core just went idle — offer it straight off the
+                    // bitset, no snapshot buffer walk.
+                    let core = self.machine.first_idle_core().expect("one idle core");
+                    if self.swept_at[core.index()] != self.step {
                         self.swept_at[core.index()] = self.step;
                         pass_offered = true;
                         self.policy.on_core_idle(&mut self.machine, core);
+                    }
+                } else {
+                    self.sweep_buf.clear();
+                    self.machine.fill_idle_cores(&mut self.sweep_buf);
+                    for i in 0..self.sweep_buf.len() {
+                        let core = self.sweep_buf[i];
+                        if self.machine.core_state(core) == CoreState::Idle
+                            && self.swept_at[core.index()] != self.step
+                        {
+                            self.swept_at[core.index()] = self.step;
+                            pass_offered = true;
+                            self.policy.on_core_idle(&mut self.machine, core);
+                        }
                     }
                 }
                 offered |= pass_offered;

@@ -27,6 +27,12 @@ pub struct UtilizationLedger {
     bucket: SimDuration,
     /// `busy[core][bucket]` = busy microseconds of `core` in `bucket`.
     busy: Vec<Vec<u64>>,
+    /// Per-core memo of the last bucket written: `(start_us, end_us,
+    /// index)` of that bucket. Busy intervals arrive in non-decreasing
+    /// time order and are usually much shorter than a bucket, so the
+    /// common case re-hits the memoized bucket and skips the `u64`
+    /// division on the event hot path.
+    hint: Vec<(u64, u64, usize)>,
 }
 
 impl UtilizationLedger {
@@ -40,6 +46,7 @@ impl UtilizationLedger {
         UtilizationLedger {
             bucket,
             busy: vec![Vec::new(); cores],
+            hint: vec![(0, 0, 0); cores],
         }
     }
 
@@ -65,6 +72,14 @@ impl UtilizationLedger {
         let lane = &mut self.busy[core];
         let mut cur = from.as_micros();
         let end = to.as_micros();
+        // Fast path: the whole interval falls inside the bucket this core
+        // last wrote (run segments are typically milliseconds against
+        // 1-second buckets) — one add, no division.
+        let (hint_start, hint_end, hint_idx) = self.hint[core];
+        if cur >= hint_start && end <= hint_end && cur < end {
+            lane[hint_idx] += end - cur;
+            return;
+        }
         while cur < end {
             let idx = (cur / width) as usize;
             let bucket_end = (idx as u64 + 1) * width;
@@ -74,6 +89,7 @@ impl UtilizationLedger {
             }
             lane[idx] += chunk;
             cur += chunk;
+            self.hint[core] = (bucket_end - width, bucket_end, idx);
         }
     }
 

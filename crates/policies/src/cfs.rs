@@ -12,10 +12,8 @@
 //! we derive the effective vruntime as `offset + cpu_time`, where the
 //! offset is fixed at enqueue time (placement at `min_vruntime`).
 
-use std::collections::BTreeSet;
-
 use faas_kernel::{CoreId, CoreState, Machine, Scheduler, TaskId};
-use faas_simcore::SimDuration;
+use faas_simcore::{MinHeap4, SimDuration};
 
 /// Tunables of the simulated CFS (Linux-like defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +46,11 @@ impl Default for CfsParams {
 #[derive(Debug, Default)]
 struct CoreRq {
     /// Runnable tasks keyed by effective vruntime (µs) with id tie-break.
-    queue: BTreeSet<(i64, TaskId)>,
+    /// A dense 4-ary heap: picking the next task is a cache-local
+    /// `pop_min` with no node allocation or pointer chasing, and the
+    /// (vruntime, id) keys are unique, so min/max picks match the old
+    /// `BTreeSet` ordering exactly.
+    queue: MinHeap4<(i64, TaskId)>,
     /// Monotone floor for new placements.
     min_vruntime: i64,
 }
@@ -78,6 +80,10 @@ pub struct Cfs {
     rqs: Vec<CoreRq>,
     /// vruntime offset per task: effective vr = offset + cpu_time.
     offsets: Vec<i64>,
+    /// Smallest runnable count at which the slice formula bottoms out at
+    /// `min_granularity`; at or beyond it the per-dispatch hot path skips
+    /// the division (loaded queues hit this constantly).
+    slice_floor_nr: u64,
 }
 
 impl Cfs {
@@ -101,6 +107,10 @@ impl Cfs {
             params,
             rqs: (0..cores).map(|_| CoreRq::default()).collect(),
             offsets: Vec::new(),
+            slice_floor_nr: params
+                .sched_latency
+                .as_micros()
+                .div_ceil(params.min_granularity.as_micros()),
         }
     }
 
@@ -141,7 +151,7 @@ impl Cfs {
             self.offsets[task.index()] = self.rqs[core].min_vruntime - bonus_us - cpu;
         }
         let key = (self.effective_vr(m, task), task);
-        self.rqs[core].queue.insert(key);
+        self.rqs[core].queue.push(key);
     }
 
     fn least_loaded_core(&self, m: &Machine) -> usize {
@@ -156,6 +166,12 @@ impl Cfs {
 
     fn slice_for(&self, queued_after_pick: usize) -> SimDuration {
         let nr = queued_after_pick as u64 + 1;
+        if nr >= self.slice_floor_nr {
+            // nr * min_granularity >= sched_latency, so the quotient can
+            // only be <= min_granularity: the max() below would pick the
+            // floor anyway. Skip the division.
+            return self.params.min_granularity;
+        }
         (self.params.sched_latency / nr).max(self.params.min_granularity)
     }
 }
@@ -202,15 +218,13 @@ impl Scheduler for Cfs {
                 .max_by_key(|&i| self.rqs[i].queue.len());
             match victim {
                 Some(v) if self.rqs[v].queue.len() > 1 => {
-                    let key = *self.rqs[v].queue.iter().next_back().expect("non-empty");
-                    self.rqs[v].queue.remove(&key);
+                    let key = self.rqs[v].queue.take_max().expect("non-empty");
                     self.enqueue_at(m, idx, key.1, true);
                 }
                 _ => return, // nothing to steal; stay idle
             }
         }
-        let key = *self.rqs[idx].queue.iter().next().expect("non-empty queue");
-        self.rqs[idx].queue.remove(&key);
+        let key = self.rqs[idx].queue.pop_min().expect("non-empty queue");
         let rq = &mut self.rqs[idx];
         rq.min_vruntime = rq.min_vruntime.max(key.0);
         let slice = self.slice_for(self.rqs[idx].queue.len());

@@ -17,6 +17,14 @@ use faas_simcore::SimDuration;
 
 /// Centralized single-queue scheduler with conditional quantum preemption.
 ///
+/// The central queue is a `VecDeque<TaskId>` — already a dense ring
+/// buffer with O(1) rotation, so unlike the CFS-side vruntime queues it
+/// needed no structural replacement in the PR-4 hot-path pass. Shinjuku
+/// simulations are dominated by kernel slice-expiry traffic (one event
+/// per task per quantum), which is exactly the path served by the
+/// indexed event queue and the static arrival calendar in
+/// `faas_simcore::EventQueue` / `faas_kernel::Machine`.
+///
 /// # Examples
 ///
 /// ```

@@ -8,7 +8,9 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock;
 //! * [`EventQueue`] — a future-event list with deterministic tie-breaking
-//!   and cancellation;
+//!   and in-place cancellation (an index-aware 4-ary heap);
+//! * [`MinHeap4`] — the dense 4-ary min-heap backing the scheduler
+//!   runqueues;
 //! * [`SimRng`] — a seeded random generator with the samplers used by the
 //!   Azure-like trace synthesizer;
 //! * [`check`] — a miniature property-test harness (the workspace's
@@ -43,9 +45,11 @@
 
 pub mod check;
 mod events;
+mod heap;
 mod rng;
 mod time;
 
 pub use events::{EventId, EventQueue};
+pub use heap::MinHeap4;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

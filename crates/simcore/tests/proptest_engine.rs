@@ -1,6 +1,6 @@
 //! Property-based tests for the discrete-event engine.
 
-use faas_simcore::{check, EventQueue, SimDuration, SimTime};
+use faas_simcore::{check, EventQueue, MinHeap4, SimDuration, SimTime};
 
 /// Popped timestamps are non-decreasing for arbitrary schedules.
 #[test]
@@ -58,6 +58,135 @@ fn fifo_within_instant() {
         }
         let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(got, (0..n).collect::<Vec<_>>());
+    });
+}
+
+/// Differential model check of the indexed-heap queue: under chaotic
+/// schedule/cancel/pop/peek interleavings, the queue must agree with a
+/// brute-force reference model of the documented contract — pops ordered
+/// by (time, insertion sequence), cancel true exactly when the event is
+/// still pending, `len`/`peek_time` consistent throughout.
+#[test]
+fn event_queue_matches_reference_model() {
+    check::run("event_queue_matches_reference_model", 192, |g| {
+        let steps = g.usize_in(1, 120);
+        let mut q = EventQueue::new();
+        // The model: per scheduled event, its (time, seq) key while still
+        // pending (`None` once popped or cancelled), indexed by schedule
+        // order. Payloads are the schedule indices.
+        let mut pending: Vec<Option<(SimTime, u64)>> = Vec::new();
+        let mut ids = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..steps {
+            match g.usize_in(0, 4) {
+                // Schedule (twice as likely, so queues actually grow).
+                0 | 1 => {
+                    let at = SimTime::from_micros(g.u64_in(0, 1_000));
+                    ids.push(q.schedule(at, pending.len()));
+                    pending.push(Some((at, seq)));
+                    seq += 1;
+                }
+                // Cancel a random already-issued id (possibly dead).
+                2 if !ids.is_empty() => {
+                    let i = g.usize_in(0, ids.len());
+                    let expect = pending[i].take().is_some();
+                    assert_eq!(q.cancel(ids[i]), expect, "cancel({i})");
+                }
+                // Pop must deliver the model's (time, seq)-minimum.
+                _ => {
+                    let min = pending
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, k)| k.map(|key| (key, i)))
+                        .min();
+                    match min {
+                        Some(((at, _), i)) => {
+                            assert_eq!(q.pop(), Some((at, i)), "pop");
+                            pending[i] = None;
+                        }
+                        None => assert_eq!(q.pop(), None, "pop on empty"),
+                    }
+                }
+            }
+            let live = pending.iter().flatten().count();
+            assert_eq!(q.len(), live, "len diverged");
+            let min_t = pending.iter().flatten().map(|&(at, _)| at).min();
+            assert_eq!(q.peek_time(), min_t, "peek_time diverged");
+        }
+    });
+}
+
+/// Differential model check of the runqueue heap: `push`/`pop_min`/
+/// `take_max` over unique keys must mirror a `BTreeSet`'s
+/// `iter().next()` / `iter().next_back()` picks exactly (the old
+/// runqueue implementation).
+#[test]
+fn min_heap4_matches_btreeset_model() {
+    use std::collections::BTreeSet;
+    check::run("min_heap4_matches_btreeset_model", 192, |g| {
+        let steps = g.usize_in(1, 150);
+        let mut h: MinHeap4<(u64, u64)> = MinHeap4::new();
+        let mut model: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut uniq = 0u64;
+        for _ in 0..steps {
+            match g.usize_in(0, 4) {
+                0 | 1 => {
+                    // Unique keys, as the runqueues guarantee via the
+                    // task-id tie-break.
+                    let key = (g.u64_in(0, 50), uniq);
+                    uniq += 1;
+                    h.push(key);
+                    model.insert(key);
+                }
+                2 => {
+                    let expect = model.iter().next().copied();
+                    if let Some(k) = expect {
+                        model.remove(&k);
+                    }
+                    assert_eq!(h.pop_min(), expect, "pop_min diverged");
+                }
+                _ => {
+                    let expect = model.iter().next_back().copied();
+                    if let Some(k) = expect {
+                        model.remove(&k);
+                    }
+                    assert_eq!(h.take_max(), expect, "take_max diverged");
+                }
+            }
+            assert_eq!(h.len(), model.len(), "len diverged");
+            assert_eq!(h.peek_min(), model.iter().next(), "peek diverged");
+        }
+        let sorted: Vec<_> = model.iter().copied().collect();
+        assert_eq!(h.into_sorted_vec(), sorted, "final drain diverged");
+    });
+}
+
+/// Untracked and tracked scheduling share one deterministic order, and
+/// `clear` starts a fresh FIFO epoch without leaking stale entries.
+#[test]
+fn untracked_and_clear_preserve_order() {
+    check::run("untracked_and_clear_preserve_order", 128, |g| {
+        let mut q = EventQueue::new();
+        // A throwaway epoch that `clear` must fully erase.
+        for i in 0..g.usize_in(0, 20) {
+            q.schedule(SimTime::from_micros(g.u64_in(0, 100)), i);
+        }
+        q.clear();
+        let n = g.usize_in(1, 60);
+        let mut expected: Vec<(SimTime, u64, usize)> = Vec::new();
+        for i in 0..n {
+            let at = SimTime::from_micros(g.u64_in(0, 50));
+            if g.boolean() {
+                q.schedule_untracked(at, i);
+            } else {
+                q.schedule(at, i);
+            }
+            expected.push((at, i as u64, i));
+        }
+        expected.sort();
+        let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<usize> = expected.into_iter().map(|(_, _, i)| i).collect();
+        assert_eq!(got, want);
     });
 }
 
