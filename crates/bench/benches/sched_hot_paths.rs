@@ -11,6 +11,8 @@
 use faas_bench::timing::{black_box, Bench};
 
 use azure_trace::{AzureTrace, TraceConfig};
+use faas_cluster::dispatch::{KeepAliveDispatch, LeastOutstanding};
+use faas_cluster::{Cluster, ClusterConfig, ClusterTask, ColdStartConfig, Dispatch};
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
 use hybrid_scheduler::{HybridConfig, HybridScheduler, SlidingWindow, TimeLimitPolicy};
@@ -73,6 +75,58 @@ fn bench_policies(c: &mut Bench) {
             HybridConfig::split(2, 2)
                 .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(100)))
         )
+    );
+    g.finish();
+}
+
+/// The cluster layer's whole-pipeline cost: front-end dispatch pass plus
+/// M machine event loops. The machine fan is pinned to one thread
+/// (`Cluster::run(.., 1)`) so the wall-clock sample measures per-event
+/// work, not the host's core count; events/sec counts every machine's
+/// kernel events.
+fn bench_cluster(c: &mut Bench) {
+    let mut g = c.benchmark_group("cluster_4x4cores_2k_tasks");
+    g.sample_size(10);
+    let tasks: Vec<ClusterTask> = specs(2_000)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| ClusterTask {
+            spec,
+            function: (i % 11) as u64,
+        })
+        .collect();
+    let run_cluster = |dispatch: Box<dyn Dispatch>, cold: Option<ColdStartConfig>| {
+        let mut cfg = ClusterConfig::new(4, MachineConfig::new(4).with_cost(CostModel::default()));
+        if let Some(cold) = cold {
+            cfg = cfg.with_cold_start(cold);
+        }
+        let report = Cluster::new(cfg, dispatch, |_| faas_policies::Fifo::new())
+            .run(&tasks, 1)
+            .unwrap();
+        black_box(report.finished_at());
+        report
+            .machines
+            .iter()
+            .map(|m| m.events_processed)
+            .sum::<u64>()
+    };
+    macro_rules! cluster_bench {
+        ($name:literal, $dispatch:expr, $cold:expr) => {
+            // One untimed run determines the deterministic kernel-event
+            // count across all machines, so the harness reports the same
+            // events/sec unit as the single-machine policy benches.
+            let events = run_cluster(Box::new($dispatch), $cold);
+            g.throughput(events);
+            g.bench_function($name, |b| {
+                b.iter(|| run_cluster(Box::new($dispatch), $cold))
+            });
+        };
+    }
+    cluster_bench!("least_outstanding", LeastOutstanding, None);
+    cluster_bench!(
+        "keep_alive_cold_starts",
+        KeepAliveDispatch,
+        Some(ColdStartConfig::firecracker())
     );
     g.finish();
 }
@@ -157,6 +211,7 @@ fn bench_primitives(c: &mut Bench) {
 fn main() {
     let mut c = Bench::from_env();
     bench_policies(&mut c);
+    bench_cluster(&mut c);
     bench_primitives(&mut c);
     if c.filtered() {
         println!("name filters active: not overwriting BENCH_sched.json");

@@ -43,8 +43,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rows = match guard::compare(&baseline, &fresh) {
-        Ok(rows) => rows,
+    let diff = match guard::compare_full(&baseline, &fresh) {
+        Ok(diff) => diff,
         Err(e) => {
             eprintln!("bench-guard: {e}");
             return ExitCode::from(2);
@@ -56,7 +56,18 @@ fn main() -> ExitCode {
         fresh_path,
         threshold * 100.0
     );
-    let regressions = guard::report(&rows, threshold, &mut std::io::stdout());
+    // Sections that exist on only one side are advisory notes, never
+    // errors: a freshly added bench group simply has no committed
+    // baseline entry until the next full regeneration.
+    for (group, name) in &diff.fresh_only {
+        println!("  note: no baseline entry for {group}/{name} (new benchmark; regenerate {baseline_path})");
+    }
+    for (group, name) in &diff.baseline_only {
+        println!(
+            "  note: baseline entry {group}/{name} missing from the fresh run (removed benchmark?)"
+        );
+    }
+    let regressions = guard::report(&diff.comparisons, threshold, &mut std::io::stdout());
     if regressions > 0 {
         println!(
             "bench-guard: WARNING — {regressions} benchmark(s) regressed >{:.0}% \

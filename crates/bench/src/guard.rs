@@ -78,9 +78,63 @@ fn throughput_rows(text: &str, label: &str) -> Result<Vec<(String, String, f64)>
     Ok(rows)
 }
 
+/// The full two-document diff: matched rows plus the rows only one side
+/// has. New benchmarks (a freshly added bench section with no committed
+/// baseline entry yet) and retired ones are **advisory notes**, never
+/// errors — baselines trail the code by exactly one regeneration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardDiff {
+    /// Rows present in both documents, in baseline order.
+    pub comparisons: Vec<Comparison>,
+    /// `(group, name)` rows only the fresh run has (newly added
+    /// benchmarks awaiting a baseline regeneration).
+    pub fresh_only: Vec<(String, String)>,
+    /// `(group, name)` rows only the baseline has (benchmarks that were
+    /// removed or renamed).
+    pub baseline_only: Vec<(String, String)>,
+}
+
+/// Compares two `faas-bench/v1` documents row-by-row on `events_per_sec`,
+/// keyed by `(group, name)`, and reports unmatched rows on either side.
+///
+/// # Errors
+///
+/// Propagates parse/schema errors from either document.
+pub fn compare_full(baseline: &str, fresh: &str) -> Result<GuardDiff, String> {
+    let base_rows = throughput_rows(baseline, "baseline")?;
+    let fresh_rows = throughput_rows(fresh, "fresh")?;
+    let mut comparisons = Vec::new();
+    let mut baseline_only = Vec::new();
+    for (group, name, base_eps) in base_rows {
+        match fresh_rows
+            .iter()
+            .find(|(g, n, _)| *g == group && *n == name)
+        {
+            Some((_, _, fresh_eps)) => comparisons.push(Comparison {
+                group,
+                name,
+                baseline: base_eps,
+                fresh: *fresh_eps,
+            }),
+            None => baseline_only.push((group, name)),
+        }
+    }
+    let fresh_only = fresh_rows
+        .into_iter()
+        .filter(|(g, n, _)| !comparisons.iter().any(|c| c.group == *g && c.name == *n))
+        .map(|(g, n, _)| (g, n))
+        .collect();
+    Ok(GuardDiff {
+        comparisons,
+        fresh_only,
+        baseline_only,
+    })
+}
+
 /// Compares two `faas-bench/v1` documents row-by-row on `events_per_sec`.
-/// Rows present in only one file are ignored (benchmarks come and go);
-/// the comparison is keyed by (group, name).
+/// Rows present in only one file are dropped here (see [`compare_full`]
+/// for the variant that reports them); the comparison is keyed by
+/// (group, name).
 ///
 /// # Errors
 ///
@@ -101,23 +155,7 @@ fn throughput_rows(text: &str, label: &str) -> Result<Vec<(String, String, f64)>
 /// assert!((cmp[0].delta() + 0.3).abs() < 1e-12);
 /// ```
 pub fn compare(baseline: &str, fresh: &str) -> Result<Vec<Comparison>, String> {
-    let base_rows = throughput_rows(baseline, "baseline")?;
-    let fresh_rows = throughput_rows(fresh, "fresh")?;
-    let mut out = Vec::new();
-    for (group, name, base_eps) in base_rows {
-        if let Some((_, _, fresh_eps)) = fresh_rows
-            .iter()
-            .find(|(g, n, _)| *g == group && *n == name)
-        {
-            out.push(Comparison {
-                group,
-                name,
-                baseline: base_eps,
-                fresh: *fresh_eps,
-            });
-        }
-    }
-    Ok(out)
+    Ok(compare_full(baseline, fresh)?.comparisons)
 }
 
 /// Renders the guard report for `compare`'s output; returns the number of
@@ -173,13 +211,20 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_rows_are_ignored() {
+    fn unmatched_rows_are_reported_not_errored() {
         let base = doc(&[("g", "gone", 1000.0), ("g", "kept", 500.0)]);
         let fresh = doc(&[("g", "kept", 500.0), ("g", "new", 9.0)]);
-        let cmp = compare(&base, &fresh).unwrap();
-        assert_eq!(cmp.len(), 1);
-        assert_eq!(cmp[0].name, "kept");
-        assert!(!cmp[0].regressed(DEFAULT_THRESHOLD));
+        let diff = compare_full(&base, &fresh).unwrap();
+        assert_eq!(diff.comparisons.len(), 1);
+        assert_eq!(diff.comparisons[0].name, "kept");
+        assert!(!diff.comparisons[0].regressed(DEFAULT_THRESHOLD));
+        assert_eq!(diff.fresh_only, vec![("g".to_string(), "new".to_string())]);
+        assert_eq!(
+            diff.baseline_only,
+            vec![("g".to_string(), "gone".to_string())]
+        );
+        // The narrow API drops them silently.
+        assert_eq!(compare(&base, &fresh).unwrap(), diff.comparisons);
     }
 
     #[test]

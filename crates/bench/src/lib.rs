@@ -16,7 +16,10 @@
 
 pub mod guard;
 pub mod jsoncheck;
-pub mod par;
+/// The parallel job fan (moved to [`faas_simcore::par`] so the cluster
+/// layer can fan machines without depending on this crate; re-exported
+/// here because every scenario and sweep reaches it as `faas_bench::par`).
+pub use faas_simcore::par;
 mod plot;
 pub mod scenario;
 mod scenarios;
@@ -27,7 +30,9 @@ pub use plot::ascii_chart;
 use std::io::{self, Write};
 
 use azure_trace::{AzureTrace, TraceConfig};
-use faas_kernel::{InterferenceConfig, MachineConfig, Scheduler, SimReport, Simulation, TaskSpec};
+use faas_kernel::{
+    InterferenceConfig, MachineConfig, Scheduler, SimReport, Simulation, SlimReport, TaskSpec,
+};
 use faas_metrics::{records_from_tasks, DurationCdf, Metric, RunSummary, TaskRecord};
 
 /// The paper's enclave size: 50 cores of the Xeon testbed (§V-C).
@@ -48,16 +53,41 @@ pub fn quiet_machine() -> MachineConfig {
 /// Runs `policy` over `specs` on `machine`, returning the report and the
 /// per-task records.
 ///
+/// `specs` is an owned `Vec<TaskSpec>` (moved) or a borrowed
+/// `&[TaskSpec]`, so multi-policy sweeps synthesize the trace once and
+/// hand each run a borrow.
+///
 /// # Panics
 ///
 /// Panics if the simulation deadlocks (a policy bug).
-pub fn run_policy<P: Scheduler>(
+pub fn run_policy<'s, P: Scheduler>(
     machine: MachineConfig,
-    specs: Vec<TaskSpec>,
+    specs: impl Into<std::borrow::Cow<'s, [TaskSpec]>>,
     policy: P,
 ) -> (SimReport, Vec<TaskRecord>) {
     let report = Simulation::new(machine, specs, policy)
         .run()
+        .expect("simulation completes");
+    let records = records_from_tasks(&report.tasks);
+    (report, records)
+}
+
+/// [`run_policy`] through the memory-lean [`SlimReport`] path: the
+/// machine (event arena, arrival calendar, utilization ledger) is dropped
+/// at the end of the run instead of riding along — what the big fans use
+/// so peak memory is one trace plus per-task records, not one machine per
+/// in-flight job.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks (a policy bug).
+pub fn run_policy_slim<'s, P: Scheduler>(
+    machine: MachineConfig,
+    specs: impl Into<std::borrow::Cow<'s, [TaskSpec]>>,
+    policy: P,
+) -> (SlimReport, Vec<TaskRecord>) {
+    let report = Simulation::new(machine, specs, policy)
+        .run_slim()
         .expect("simulation completes");
     let records = records_from_tasks(&report.tasks);
     (report, records)
@@ -75,6 +105,17 @@ pub fn w2_trace() -> AzureTrace {
 /// The W10 workload (10 min at W2's rate), sharded like [`w2_trace`].
 pub fn w10_trace() -> AzureTrace {
     AzureTrace::generate_sharded(&scaled(TraceConfig::w10()), par::bench_threads())
+}
+
+/// The cluster workload: W2's two minutes at `rps_multiplier`× the
+/// request rate (an M-machine fleet behind a front end sees M enclaves'
+/// worth of traffic). Honors `SCALE_DIV` and shards synthesis like
+/// [`w2_trace`].
+pub fn w2_cluster_trace(rps_multiplier: usize) -> AzureTrace {
+    AzureTrace::generate_sharded(
+        &scaled(TraceConfig::w2().rps_scaled(rps_multiplier)),
+        par::bench_threads(),
+    )
 }
 
 /// The Firecracker workload: the first 2,952 invocations of the

@@ -19,8 +19,9 @@
 //! ```
 //! use faas_bench::scenario;
 //!
-//! // Every paper figure/table/ablation/tool is registered.
-//! assert_eq!(scenario::all().len(), 26);
+//! // Every paper figure/table/ablation/tool — plus the cluster
+//! // scenarios — is registered.
+//! assert_eq!(scenario::all().len(), 29);
 //!
 //! // Lookup by id, filter by tag (runtime classes double as tags).
 //! let table1 = scenario::find("table1").expect("registered");
@@ -356,6 +357,33 @@ static SCENARIOS: &[Scenario] = &[
         run: scenarios::ablations::ablation_design,
     },
     Scenario {
+        id: "cluster01",
+        title: "dispatch policies on a 4-machine fleet (hybrid and fifo nodes)",
+        paper_ref: "DESIGN.md cluster",
+        tags: &["cluster", "sweep", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::cluster::cluster01,
+    },
+    Scenario {
+        id: "cluster02",
+        title: "dispatch policies on a 16-machine fleet (hybrid nodes)",
+        paper_ref: "DESIGN.md cluster",
+        tags: &["cluster", "sweep", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::cluster::cluster02,
+    },
+    Scenario {
+        id: "cluster03",
+        title: "dispatch policies on a 64-machine fleet (hybrid nodes)",
+        paper_ref: "DESIGN.md cluster",
+        tags: &["cluster", "sweep", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::cluster::cluster03,
+    },
+    Scenario {
         id: "make-workload",
         title: "write the W2/W10/Firecracker workload CSVs (Fig. 9 ①)",
         paper_ref: "Fig. 9",
@@ -427,7 +455,7 @@ mod tests {
     fn registry_ids_are_unique_and_kebab() {
         let mut ids: Vec<&str> = all().iter().map(|s| s.id).collect();
         let n = ids.len();
-        assert_eq!(n, 26, "one scenario per legacy binary");
+        assert_eq!(n, 29, "26 legacy scenarios + 3 cluster scenarios");
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicate scenario id");
@@ -457,12 +485,14 @@ mod tests {
         let tables = with_tag("table").len();
         let ablations = with_tag("ablation").len();
         let tools = with_tag("tool").len();
+        let clusters = with_tag("cluster").len();
         assert_eq!(figures, 19);
         assert_eq!(tables, 1);
         assert_eq!(ablations, 2);
         assert_eq!(tools, 2);
+        assert_eq!(clusters, 3);
         // quick + full covers everything.
-        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 26);
+        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 29);
     }
 
     #[test]

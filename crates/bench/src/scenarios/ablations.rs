@@ -11,7 +11,7 @@ use lambda_pricing::{cost_ratio, PriceModel};
 use microvm_sim::{run_fleet, BootKind, FirecrackerConfig};
 
 use crate::scenario::{ScenarioCtx, ScenarioResult};
-use crate::{paper_machine, par, run_policy, w2_trace, wfc_trace, PAPER_CORES};
+use crate::{paper_machine, par, run_policy_slim, w2_trace, wfc_trace, PAPER_CORES};
 
 use faas_policies::{Cfs, Fifo};
 
@@ -37,19 +37,19 @@ pub(crate) fn ablation_cost(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
         ("paper default (5us+200us)", CostModel::default()),
         ("heavy (20us+1000us)", CostModel::from_micros(20, 1_000)),
     ];
-    type Job = Box<dyn FnOnce() -> f64 + Send>;
+    type Job<'a> = Box<dyn FnOnce() -> f64 + Send + 'a>;
+    let specs = trace.to_task_specs();
+    let specs = &specs;
     let mut jobs: Vec<Job> = Vec::with_capacity(2 * variants.len());
     for (_, cost) in variants {
-        let fifo_specs = trace.to_task_specs();
-        let cfs_specs = trace.to_task_specs();
         jobs.push(Box::new(move || {
             let machine = MachineConfig::new(PAPER_CORES).with_cost(cost);
-            let (_, fifo) = run_policy(machine, fifo_specs, Fifo::new());
+            let (_, fifo) = run_policy_slim(machine, specs, Fifo::new());
             model.workload_cost(&fifo)
         }));
         jobs.push(Box::new(move || {
             let machine = MachineConfig::new(PAPER_CORES).with_cost(cost);
-            let (_, cfs) = run_policy(machine, cfs_specs, Cfs::with_cores(PAPER_CORES));
+            let (_, cfs) = run_policy_slim(machine, specs, Cfs::with_cores(PAPER_CORES));
             model.workload_cost(&cfs)
         }));
     }
@@ -61,17 +61,17 @@ pub(crate) fn ablation_cost(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     Ok(())
 }
 
-type Job = Box<dyn FnOnce() -> String + Send>;
+type Job<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
 
 /// The job list plus the `(header, column_row, start_index)` of each
 /// section, recorded as jobs are pushed so the printed grouping can
 /// never drift from the loops that build the cases.
-struct Sections {
-    jobs: Vec<Job>,
+struct Sections<'a> {
+    jobs: Vec<Job<'a>>,
     sections: Vec<(&'static str, &'static str, usize)>,
 }
 
-impl Sections {
+impl<'a> Sections<'a> {
     fn start(&mut self, header: &'static str, columns: &'static str) {
         self.sections.push((header, columns, self.jobs.len()));
     }
@@ -110,6 +110,10 @@ impl Sections {
 pub(crate) fn ablation_design(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
     let fleet_trace = wfc_trace();
+    // One W2 spec build shared by sections 1-3 (the fleet sections build
+    // their own per-VM thread specs from the plan).
+    let specs = trace.to_task_specs();
+    let specs = &specs;
     let mut all = Sections {
         jobs: Vec::new(),
         sections: Vec::new(),
@@ -125,10 +129,9 @@ pub(crate) fn ablation_design(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
         ("round_robin(paper)", CfsPlacement::RoundRobin),
         ("least_loaded", CfsPlacement::LeastLoaded),
     ] {
-        let specs = trace.to_task_specs();
         jobs.push(Box::new(move || {
             let cfg = HybridConfig::paper_25_25().with_cfs_placement(placement);
-            let (_, records) = run_policy(paper_machine(), specs, HybridScheduler::new(cfg));
+            let (_, records) = run_policy_slim(paper_machine(), specs, HybridScheduler::new(cfg));
             let s = MetricSummary::compute(&records, Metric::Execution);
             format!(
                 "{name}\t{:.3}\t{:.3}\t{:.4}",
@@ -146,7 +149,6 @@ pub(crate) fn ablation_design(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     );
     let jobs = &mut all.jobs;
     for window_size in [25usize, 50, 100, 200, 400] {
-        let specs = trace.to_task_specs();
         jobs.push(Box::new(move || {
             let cfg = HybridConfig {
                 window_size,
@@ -155,7 +157,7 @@ pub(crate) fn ablation_design(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
                     initial: SimDuration::from_millis(1_633),
                 })
             };
-            let (_, records) = run_policy(paper_machine(), specs, HybridScheduler::new(cfg));
+            let (_, records) = run_policy_slim(paper_machine(), specs, HybridScheduler::new(cfg));
             let s = MetricSummary::compute(&records, Metric::Execution);
             format!(
                 "{window_size}\t{:.3}\t{:.4}",
@@ -172,7 +174,6 @@ pub(crate) fn ablation_design(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     );
     let jobs = &mut all.jobs;
     for threshold in [0.05, 0.15, 0.30, 0.60] {
-        let specs = trace.to_task_specs();
         jobs.push(Box::new(move || {
             let cfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig {
                 threshold,

@@ -1,0 +1,120 @@
+//! Cluster scenarios: dispatch-policy comparisons on multi-machine
+//! fleets (the scale-out axis the paper leaves open — its cost argument
+//! is measured on one 50-core enclave, while providers run fleets of
+//! them behind a routing tier).
+//!
+//! Each scenario drives one fleet size at `machines`× W2's request rate
+//! through every stock front-end dispatch policy, with the Firecracker
+//! cold-start model active (one concurrent invocation per instance, so
+//! bursts boot regardless of routing and locality recovers the
+//! between-burst revisits). The per-machine simulations of one cluster
+//! run fan over `BENCH_THREADS` workers and merge in machine order, so
+//! stdout is byte-identical at any thread count.
+
+use faas_cluster::dispatch::{
+    Dispatch, KeepAliveDispatch, LeastOutstanding, RandomDispatch, RoundRobinDispatch,
+};
+use faas_cluster::{workload_from_trace, Cluster, ClusterConfig, ClusterTask, ColdStartConfig};
+use faas_kernel::Scheduler;
+use faas_metrics::RunSummary;
+use faas_policies::Fifo;
+use hybrid_scheduler::{HybridConfig, HybridScheduler};
+use lambda_pricing::PriceModel;
+
+use crate::scenario::{ScenarioCtx, ScenarioResult};
+use crate::{paper_machine, par, w2_cluster_trace};
+
+/// Root seed of the random dispatch policy's choice stream (independent
+/// of the machine seeds, which derive from the machine template).
+const DISPATCH_SEED: u64 = 0xC105;
+
+/// The four stock front-end policies, in presentation order.
+fn dispatch_zoo() -> Vec<Box<dyn Dispatch>> {
+    vec![
+        Box::new(RandomDispatch::new(DISPATCH_SEED)),
+        Box::new(RoundRobinDispatch::new()),
+        Box::new(LeastOutstanding),
+        Box::new(KeepAliveDispatch),
+    ]
+}
+
+fn fleet_config(machines: usize) -> ClusterConfig {
+    ClusterConfig::new(machines, paper_machine()).with_cold_start(ColdStartConfig::firecracker())
+}
+
+/// Runs one `(dispatch, per-machine scheduler)` cell and writes its row:
+/// merged p99 response/execution, fleet dollar cost, cold starts, and the
+/// per-machine p99-response spread (the imbalance tell).
+fn write_comparison<P: Scheduler + Send>(
+    ctx: &mut ScenarioCtx<'_>,
+    machines: usize,
+    tasks: &[ClusterTask],
+    make_policy: impl Fn(usize) -> P + Sync + Copy,
+) -> ScenarioResult {
+    writeln!(
+        ctx.out,
+        "dispatch\tp99_response_s\tp99_execution_s\tcost_usd\tcold_starts\tmachine_p99_resp_spread_s"
+    )?;
+    for dispatch in dispatch_zoo() {
+        let report = Cluster::new(fleet_config(machines), dispatch, make_policy)
+            .run(tasks, par::bench_threads())
+            .expect("cluster completes");
+        let merged = report.merged_records();
+        let s = RunSummary::compute(&merged);
+        let cost = PriceModel::duration_only().cluster_workload_cost(&report.records);
+        let (lo, hi) = report.summary().response_p99_spread();
+        writeln!(
+            ctx.out,
+            "{}\t{:.2}\t{:.2}\t{cost:.4}\t{}\t{:.2}-{:.2}",
+            report.dispatch,
+            s.response.p99.as_secs_f64(),
+            s.execution.p99.as_secs_f64(),
+            report.cold_starts,
+            lo.as_secs_f64(),
+            hi.as_secs_f64(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Shared scenario body: one fleet size, W2 × machines RPS.
+fn cluster_comparison(
+    ctx: &mut ScenarioCtx<'_>,
+    id: &str,
+    machines: usize,
+    include_fifo_nodes: bool,
+) -> ScenarioResult {
+    let trace = w2_cluster_trace(machines);
+    let tasks = workload_from_trace(&trace, par::bench_threads());
+    writeln!(
+        ctx.out,
+        "# {id} | {machines} machines x 50 cores, W2 x{machines} RPS ({} invocations), firecracker cold starts",
+        tasks.len()
+    )?;
+    writeln!(ctx.out, "## per-machine scheduler = hybrid(25,25)")?;
+    write_comparison(ctx, machines, &tasks, |_| {
+        HybridScheduler::new(HybridConfig::paper_25_25())
+    })?;
+    if include_fifo_nodes {
+        writeln!(ctx.out, "## per-machine scheduler = fifo")?;
+        write_comparison(ctx, machines, &tasks, |_| Fifo::new())?;
+    }
+    Ok(())
+}
+
+/// cluster01: 4 machines; also crosses the per-machine scheduler axis
+/// (hybrid nodes vs plain-FIFO nodes) at this small size.
+pub(crate) fn cluster01(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    cluster_comparison(ctx, "cluster01", 4, true)
+}
+
+/// cluster02: 16 machines, hybrid nodes.
+pub(crate) fn cluster02(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    cluster_comparison(ctx, "cluster02", 16, false)
+}
+
+/// cluster03: 64 machines, hybrid nodes — the heaviest scenario in the
+/// registry (256 W2-scale machine simulations at full scale).
+pub(crate) fn cluster03(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    cluster_comparison(ctx, "cluster03", 64, false)
+}

@@ -8,7 +8,7 @@ use azure_trace::{
     burstiness_cv, ks_statistic, per_minute_counts, ArrivalConfig, AzureTrace,
     DurationDistribution, EmpiricalCdf, TraceConfig,
 };
-use faas_kernel::{CostModel, MachineConfig, SimReport, TaskSpec};
+use faas_kernel::{CostModel, MachineConfig, SlimReport, TaskSpec};
 use faas_metrics::{Metric, MetricSummary, TaskRecord};
 use faas_policies::{Cfs, Edf, Fifo, FifoWithLimit, Mlfq, MlfqParams, RoundRobin, Sfs, Shinjuku};
 use faas_simcore::{SimDuration, SimRng, SimTime};
@@ -17,15 +17,17 @@ use lambda_pricing::{cost_ratio, PriceModel};
 
 use crate::scenario::{ScenarioCtx, ScenarioResult};
 use crate::{
-    paper_machine, par, run_policy, w2_trace, write_cdf, write_cdf_chart, write_summary_row,
+    paper_machine, par, run_policy_slim, w2_trace, write_cdf, write_cdf_chart, write_summary_row,
     PAPER_CORES,
 };
 
-type RecJob = Box<dyn FnOnce() -> Vec<TaskRecord> + Send>;
+/// A fan job producing one run's records. The lifetime lets jobs borrow
+/// a shared spec vector instead of cloning the trace per policy run.
+type RecJob<'a> = Box<dyn FnOnce() -> Vec<TaskRecord> + Send + 'a>;
 
 /// Fans one job per independent simulation, returning records in input
 /// order.
-fn fan_records(jobs: Vec<RecJob>) -> Vec<Vec<TaskRecord>> {
+fn fan_records(jobs: Vec<RecJob<'_>>) -> Vec<Vec<TaskRecord>> {
     par::run_all(jobs)
 }
 
@@ -34,7 +36,7 @@ fn fan_records(jobs: Vec<RecJob>) -> Vec<Vec<TaskRecord>> {
 pub(crate) fn intro(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let spec = TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(1), 1_024)
         .with_io_wait(SimDuration::from_secs(60));
-    let (_, records) = run_policy(MachineConfig::new(1), vec![spec], Fifo::new());
+    let (_, records) = run_policy_slim(MachineConfig::new(1), vec![spec], Fifo::new());
     let r = records[0];
     let model = PriceModel::duration_only();
     let billed = model.cost_of(&r);
@@ -63,11 +65,10 @@ pub(crate) fn fig01(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
         "# Fig. 1 | workload=W2 ({} invocations)",
         trace.len()
     )?;
-    let fifo_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || run_policy(paper_machine(), fifo_specs, Fifo::new()).1),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Fifo::new()).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Cfs::with_cores(50)).1),
     ];
     let mut results = fan_records(jobs).into_iter();
     let (fifo, cfs) = (results.next().unwrap(), results.next().unwrap());
@@ -116,11 +117,10 @@ pub(crate) fn fig02(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 4: execution/response/turnaround CDFs, FIFO vs CFS (Obs. 2).
 pub(crate) fn fig04(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let fifo_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || run_policy(paper_machine(), fifo_specs, Fifo::new()).1),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Fifo::new()).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Cfs::with_cores(50)).1),
     ];
     let mut results = fan_records(jobs).into_iter();
     let (fifo, cfs) = (results.next().unwrap(), results.next().unwrap());
@@ -134,14 +134,13 @@ pub(crate) fn fig04(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 5: FIFO vs FIFO with a 100 ms preemption limit (Obs. 3).
 pub(crate) fn fig05(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let fifo_specs = trace.to_task_specs();
-    let lim_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || run_policy(paper_machine(), fifo_specs, Fifo::new()).1),
-        Box::new(move || {
-            run_policy(
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Fifo::new()).1),
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                lim_specs,
+                &specs,
                 FifoWithLimit::new(SimDuration::from_millis(100)),
             )
             .1
@@ -159,14 +158,13 @@ pub(crate) fn fig05(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 6: FIFO vs the hybrid FIFO+CFS 25/25 split (Obs. 4).
 pub(crate) fn fig06(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let fifo_specs = trace.to_task_specs();
-    let hyb_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || run_policy(paper_machine(), fifo_specs, Fifo::new()).1),
-        Box::new(move || {
-            run_policy(
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Fifo::new()).1),
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                hyb_specs,
+                &specs,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
             )
             .1
@@ -234,27 +232,28 @@ pub(crate) fn fig10(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 
 /// Fig. 11: execution-time CDF across FIFO/CFS core splits vs plain CFS.
 pub(crate) fn fig11(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
-    type Job = Box<dyn FnOnce() -> (String, Vec<TaskRecord>) + Send>;
+    type Job<'a> = Box<dyn FnOnce() -> (String, Vec<TaskRecord>) + Send + 'a>;
     let trace = w2_trace();
     writeln!(
         ctx.out,
         "# Fig. 11 | execution-time CDF per core split (FIFO/CFS)"
     )?;
+    let specs = trace.to_task_specs();
+    let specs = &specs;
     let splits = [(10, 40), (20, 30), (25, 25), (30, 20), (40, 10)];
     let mut jobs: Vec<Job> = splits
         .iter()
         .map(|&(fifo, cfs)| {
-            let specs = trace.to_task_specs();
             Box::new(move || {
                 let cfg = HybridConfig::split(fifo, cfs);
-                let (_, records) = run_policy(paper_machine(), specs, HybridScheduler::new(cfg));
+                let (_, records) =
+                    run_policy_slim(paper_machine(), specs, HybridScheduler::new(cfg));
                 (format!("hybrid({fifo},{cfs})"), records)
             }) as Job
         })
         .collect();
-    let cfs_specs = trace.to_task_specs();
     jobs.push(Box::new(move || {
-        let (_, records) = run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50));
+        let (_, records) = run_policy_slim(paper_machine(), specs, Cfs::with_cores(50));
         ("cfs(50)".to_string(), records)
     }));
     let mut means = Vec::new();
@@ -277,18 +276,17 @@ pub(crate) fn fig11(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 12: hybrid(25/25) vs CFS on all three metrics.
 pub(crate) fn fig12(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let hyb_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || {
-            run_policy(
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                hyb_specs,
+                &specs,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
             )
             .1
         }),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Cfs::with_cores(50)).1),
     ];
     let mut results = fan_records(jobs).into_iter();
     let (hybrid, cfs) = (results.next().unwrap(), results.next().unwrap());
@@ -310,18 +308,17 @@ pub(crate) fn fig12(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 13: preemption count per core, hybrid(25/25) vs CFS(50).
 pub(crate) fn fig13(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let hyb_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
-    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = vec![
-        Box::new(move || {
-            run_policy(
+    let specs = trace.to_task_specs();
+    let jobs: Vec<Box<dyn FnOnce() -> SlimReport + Send + '_>> = vec![
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                hyb_specs,
+                &specs,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
             )
             .0
         }),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).0),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Cfs::with_cores(50)).0),
     ];
     let mut reports = par::run_all(jobs).into_iter();
     let (hyb_report, cfs_report) = (reports.next().unwrap(), reports.next().unwrap());
@@ -359,16 +356,14 @@ pub(crate) fn fig15(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
         ctx.out,
         "# Fig. 15 | execution time vs FIFO limit percentile (ts = pN)"
     )?;
-    let cases: Vec<(f64, _)> = [0.25, 0.50, 0.75, 0.90, 0.95]
-        .into_iter()
-        .map(|pct| (pct, trace.to_task_specs()))
-        .collect();
-    let results = par::par_map(cases, |_, (pct, specs)| {
+    let specs = trace.to_task_specs();
+    let cases: Vec<f64> = vec![0.25, 0.50, 0.75, 0.90, 0.95];
+    let results = par::par_map(cases, |_, pct| {
         let cfg = HybridConfig::paper_25_25().with_time_limit(TimeLimitPolicy::Adaptive {
             percentile: pct,
             initial: SimDuration::from_millis(1_633),
         });
-        let (_, records) = run_policy(paper_machine(), specs, HybridScheduler::new(cfg));
+        let (_, records) = run_policy_slim(paper_machine(), &specs, HybridScheduler::new(cfg));
         (format!("ts=p{:.0}", pct * 100.0), records)
     });
     let mut rows = Vec::new();
@@ -391,20 +386,19 @@ pub(crate) fn fig15(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 18: fixed 25/25 groups vs dynamically rightsized groups.
 pub(crate) fn fig18(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let fixed_specs = trace.to_task_specs();
-    let rs_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || {
-            run_policy(
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                fixed_specs,
+                &specs,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
             )
             .1
         }),
-        Box::new(move || {
+        Box::new(|| {
             let rcfg = HybridConfig::paper_25_25().with_rightsizing(RightsizingConfig::default());
-            run_policy(paper_machine(), rs_specs, HybridScheduler::new(rcfg)).1
+            run_policy_slim(paper_machine(), &specs, HybridScheduler::new(rcfg)).1
         }),
     ];
     let mut results = fan_records(jobs).into_iter();
@@ -419,20 +413,18 @@ pub(crate) fn fig18(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// Fig. 20: cost by memory size for hybrid, FIFO and CFS.
 pub(crate) fn fig20(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
-    let hyb_specs = trace.to_task_specs();
-    let fifo_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
+    let specs = trace.to_task_specs();
     let jobs: Vec<RecJob> = vec![
-        Box::new(move || {
-            run_policy(
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                hyb_specs,
+                &specs,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
             )
             .1
         }),
-        Box::new(move || run_policy(paper_machine(), fifo_specs, Fifo::new()).1),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Fifo::new()).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Cfs::with_cores(50)).1),
     ];
     let mut results = fan_records(jobs).into_iter();
     let (hybrid, fifo, cfs) = (
@@ -460,17 +452,18 @@ pub(crate) fn fig20(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 pub(crate) fn fig23(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
     writeln!(ctx.out, "# Fig. 23 | scheduler\tcost_usd\tp99_response_s")?;
-    let specs = || trace.to_task_specs();
+    // One trace build; every scheduler run borrows the same spec vector.
+    let specs = trace.to_task_specs();
+    let s = &specs;
     // Shinjuku's hardware-assisted preemption: same policy, cheaper
     // context switches (5x lower restore penalty).
     let shinjuku_machine = paper_machine().with_cost(CostModel::from_micros(1, 40));
-    type Job = Box<dyn FnOnce() -> Vec<TaskRecord> + Send>;
+    type Job<'a> = Box<dyn FnOnce() -> Vec<TaskRecord> + Send + 'a>;
     let mut jobs: Vec<(&str, Job)> = Vec::new();
-    let s = specs();
     jobs.push((
         "hybrid",
         Box::new(move || {
-            run_policy(
+            run_policy_slim(
                 paper_machine(),
                 s,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
@@ -478,21 +471,18 @@ pub(crate) fn fig23(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
             .1
         }),
     ));
-    let s = specs();
     jobs.push((
         "fifo",
-        Box::new(move || run_policy(paper_machine(), s, Fifo::new()).1),
+        Box::new(move || run_policy_slim(paper_machine(), s, Fifo::new()).1),
     ));
-    let s = specs();
     jobs.push((
         "cfs",
-        Box::new(move || run_policy(paper_machine(), s, Cfs::with_cores(PAPER_CORES)).1),
+        Box::new(move || run_policy_slim(paper_machine(), s, Cfs::with_cores(PAPER_CORES)).1),
     ));
-    let s = specs();
     jobs.push((
         "fifo_100ms",
         Box::new(move || {
-            run_policy(
+            run_policy_slim(
                 paper_machine(),
                 s,
                 FifoWithLimit::new(SimDuration::from_millis(100)),
@@ -500,11 +490,10 @@ pub(crate) fn fig23(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
             .1
         }),
     ));
-    let s = specs();
     jobs.push((
         "round_robin",
         Box::new(move || {
-            run_policy(
+            run_policy_slim(
                 paper_machine(),
                 s,
                 RoundRobin::new(SimDuration::from_millis(10)),
@@ -512,16 +501,14 @@ pub(crate) fn fig23(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
             .1
         }),
     ));
-    let s = specs();
     jobs.push((
         "edf",
-        Box::new(move || run_policy(paper_machine(), s, Edf::new()).1),
+        Box::new(move || run_policy_slim(paper_machine(), s, Edf::new()).1),
     ));
-    let s = specs();
     jobs.push((
         "shinjuku",
         Box::new(move || {
-            run_policy(
+            run_policy_slim(
                 shinjuku_machine,
                 s,
                 Shinjuku::new(SimDuration::from_millis(1)),
@@ -529,15 +516,15 @@ pub(crate) fn fig23(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
             .1
         }),
     ));
-    let s = specs();
     jobs.push((
         "sfs",
-        Box::new(move || run_policy(paper_machine(), s, Sfs::new(SimDuration::from_millis(50))).1),
+        Box::new(move || {
+            run_policy_slim(paper_machine(), s, Sfs::new(SimDuration::from_millis(50))).1
+        }),
     ));
-    let s = specs();
     jobs.push((
         "mlfq",
-        Box::new(move || run_policy(paper_machine(), s, Mlfq::new(MlfqParams::default())).1),
+        Box::new(move || run_policy_slim(paper_machine(), s, Mlfq::new(MlfqParams::default())).1),
     ));
     let (names, runs): (Vec<&str>, Vec<Job>) = jobs.into_iter().unzip();
     for (name, records) in names.into_iter().zip(par::run_all(runs)) {

@@ -7,14 +7,16 @@ use hybrid_scheduler::{HybridConfig, HybridScheduler, TimeLimitPolicy};
 use lambda_pricing::PriceModel;
 
 use crate::scenario::{ScenarioCtx, ScenarioResult};
-use crate::{paper_machine, par, run_policy, w2_trace, write_summary_row};
+use crate::{paper_machine, par, run_policy_slim, w2_trace, write_summary_row};
 
 /// Table I: p99 response/execution/turnaround and overall cost for FIFO,
 /// CFS and the hybrid scheduler on W2.
 ///
 /// The three policy runs are independent simulations, fanned over
 /// `BENCH_THREADS`; rows are written in table order regardless of which
-/// run finishes first.
+/// run finishes first. The trace is synthesized **once** and every run
+/// borrows it (the shared-spec path), and each job returns through the
+/// slim-report path, so peak memory is one trace plus per-task records.
 pub(crate) fn table1(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
     let model = PriceModel::duration_only();
@@ -22,16 +24,14 @@ pub(crate) fn table1(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
         ctx.out,
         "# Table I | W2, 50 cores (costs use each function's own memory size)"
     )?;
-    let fifo_specs = trace.to_task_specs();
-    let cfs_specs = trace.to_task_specs();
-    let hyb_specs = trace.to_task_specs();
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<TaskRecord> + Send>> = vec![
-        Box::new(move || run_policy(paper_machine(), fifo_specs, Fifo::new()).1),
-        Box::new(move || run_policy(paper_machine(), cfs_specs, Cfs::with_cores(50)).1),
-        Box::new(move || {
-            run_policy(
+    let specs = trace.to_task_specs();
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<TaskRecord> + Send + '_>> = vec![
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Fifo::new()).1),
+        Box::new(|| run_policy_slim(paper_machine(), &specs, Cfs::with_cores(50)).1),
+        Box::new(|| {
+            run_policy_slim(
                 paper_machine(),
-                hyb_specs,
+                &specs,
                 HybridScheduler::new(HybridConfig::paper_25_25()),
             )
             .1
@@ -52,7 +52,7 @@ pub(crate) fn deviation1(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let trace = w2_trace();
     let cfg = HybridConfig::paper_25_25()
         .with_time_limit(TimeLimitPolicy::Fixed(SimDuration::from_millis(500)));
-    let (_, r) = run_policy(
+    let (_, r) = run_policy_slim(
         paper_machine(),
         trace.to_task_specs(),
         HybridScheduler::new(cfg),

@@ -14,7 +14,7 @@ use hybrid_scheduler::{HybridConfig, HybridScheduler};
 use lambda_pricing::PriceModel;
 
 use crate::scenario::{ScenarioCtx, ScenarioError, ScenarioResult};
-use crate::{par, run_policy, write_cdf_chart, write_summary_row};
+use crate::{par, run_policy_slim, write_cdf_chart, write_summary_row};
 
 /// Generates the paper's workload files (Fig. 9 step ①): CSV rows of
 /// `(inter-arrival time, fibonacci N, duration, memory)` for W2, W10 and
@@ -77,28 +77,27 @@ pub(crate) fn compare(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     let model = PriceModel::duration_only();
     let half = (cores / 2).max(1);
     let hybrid_cfg = HybridConfig::split((cores - half).max(1), half);
-    type Job = Box<dyn FnOnce() -> Vec<TaskRecord> + Send>;
+    type Job<'a> = Box<dyn FnOnce() -> Vec<TaskRecord> + Send + 'a>;
+    // One spec build; all nine scheduler runs borrow it.
+    let specs = trace.to_task_specs();
+    let s = &specs;
     let mut jobs: Vec<(&str, Job)> = Vec::new();
-    let s = trace.to_task_specs();
     jobs.push((
         "hybrid",
-        Box::new(move || run_policy(machine(), s, HybridScheduler::new(hybrid_cfg)).1),
+        Box::new(move || run_policy_slim(machine(), s, HybridScheduler::new(hybrid_cfg)).1),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "fifo",
-        Box::new(move || run_policy(machine(), s, Fifo::new()).1),
+        Box::new(move || run_policy_slim(machine(), s, Fifo::new()).1),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "cfs",
-        Box::new(move || run_policy(machine(), s, Cfs::with_cores(cores)).1),
+        Box::new(move || run_policy_slim(machine(), s, Cfs::with_cores(cores)).1),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "fifo+100ms",
         Box::new(move || {
-            run_policy(
+            run_policy_slim(
                 machine(),
                 s,
                 FifoWithLimit::new(SimDuration::from_millis(100)),
@@ -106,30 +105,29 @@ pub(crate) fn compare(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
             .1
         }),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "round-robin",
-        Box::new(move || run_policy(machine(), s, RoundRobin::new(SimDuration::from_millis(10))).1),
+        Box::new(move || {
+            run_policy_slim(machine(), s, RoundRobin::new(SimDuration::from_millis(10))).1
+        }),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "edf",
-        Box::new(move || run_policy(machine(), s, Edf::new()).1),
+        Box::new(move || run_policy_slim(machine(), s, Edf::new()).1),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "shinjuku",
-        Box::new(move || run_policy(machine(), s, Shinjuku::new(SimDuration::from_millis(1))).1),
+        Box::new(move || {
+            run_policy_slim(machine(), s, Shinjuku::new(SimDuration::from_millis(1))).1
+        }),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "sfs",
-        Box::new(move || run_policy(machine(), s, Sfs::new(SimDuration::from_millis(50))).1),
+        Box::new(move || run_policy_slim(machine(), s, Sfs::new(SimDuration::from_millis(50))).1),
     ));
-    let s = trace.to_task_specs();
     jobs.push((
         "mlfq",
-        Box::new(move || run_policy(machine(), s, Mlfq::new(MlfqParams::default())).1),
+        Box::new(move || run_policy_slim(machine(), s, Mlfq::new(MlfqParams::default())).1),
     ));
     let (names, runs): (Vec<&str>, Vec<Job>) = jobs.into_iter().unzip();
     let results: Vec<(&str, Vec<TaskRecord>)> = names.into_iter().zip(par::run_all(runs)).collect();

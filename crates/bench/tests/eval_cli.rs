@@ -28,7 +28,7 @@ fn list_enumerates_every_registered_scenario() {
     });
     let stdout = String::from_utf8(out.stdout).expect("utf8 listing");
     assert!(
-        stdout.contains("# 26 scenarios"),
+        stdout.contains("# 29 scenarios"),
         "missing count footer:\n{stdout}"
     );
     for scenario in faas_bench::scenario::all() {
@@ -81,6 +81,51 @@ fn eval_matches_legacy_across_thread_counts() {
     let text = String::from_utf8(eval.stdout).expect("utf8");
     for row in ["fifo", "cfs", "ours(hybrid)"] {
         assert!(text.contains(row), "missing row {row}:\n{text}");
+    }
+}
+
+#[test]
+fn cluster_scenario_listing_and_thread_invariance() {
+    // `--tag cluster` must surface the three fleet scenarios...
+    let out = run({
+        let mut c = faas_eval();
+        c.args(["--list", "--tag", "cluster"]);
+        c
+    });
+    let listing = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["cluster01", "cluster02", "cluster03"] {
+        assert!(
+            listing.contains(id),
+            "{id} missing from listing:\n{listing}"
+        );
+    }
+    assert!(
+        listing.contains("# 3 scenarios"),
+        "count footer:\n{listing}"
+    );
+
+    // ...and a cluster run's stdout must be byte-identical at
+    // BENCH_THREADS ∈ {1, 2, 4}: the machine fan merges in machine
+    // order, never in completion order.
+    let at_threads = |threads: &str| {
+        run({
+            let mut c = faas_eval();
+            c.args(["--id", "cluster01"])
+                .env("SCALE_DIV", "200")
+                .env("BENCH_THREADS", threads);
+            c
+        })
+        .stdout
+    };
+    let t1 = at_threads("1");
+    let t2 = at_threads("2");
+    let t4 = at_threads("4");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2, "cluster01 bytes depend on BENCH_THREADS=2");
+    assert_eq!(t1, t4, "cluster01 bytes depend on BENCH_THREADS=4");
+    let text = String::from_utf8(t1).expect("utf8");
+    for dispatch in ["random", "round-robin", "least-outstanding", "keep-alive"] {
+        assert!(text.contains(dispatch), "missing {dispatch} row:\n{text}");
     }
 }
 

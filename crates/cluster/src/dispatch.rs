@@ -1,0 +1,258 @@
+//! Front-end dispatch policies: who gets the next invocation.
+//!
+//! A [`Dispatch`] policy sees only the front end's observable state
+//! ([`DispatchCtx`]) — outstanding counts, dispatch totals, per-function
+//! warmth — and returns a machine index. The four stock policies cover
+//! the classic trade-off square: oblivious ([`RandomDispatch`],
+//! [`RoundRobinDispatch`]), load-aware ([`LeastOutstanding`]) and
+//! locality-aware ([`KeepAliveDispatch`], which chases warm instances to
+//! dodge cold-start boots at the price of looser balancing).
+
+use faas_simcore::SimRng;
+
+pub use crate::frontend::DispatchCtx;
+
+/// Stream salt for [`RandomDispatch`]'s RNG (the workspace shard-seeding
+/// rule: child streams are `SimRng::stream_seed(root, salt)`).
+const RANDOM_DISPATCH_STREAM: u64 = 0xD15C_A7C4;
+
+/// A front-end routing policy.
+pub trait Dispatch {
+    /// Human-readable policy name (used in cluster reports and figures).
+    fn name(&self) -> &str;
+
+    /// Picks the machine for the invocation described by `ctx`.
+    ///
+    /// Must return an index below `ctx.machines()`.
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize;
+}
+
+impl<D: Dispatch + ?Sized> Dispatch for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        (**self).pick(ctx)
+    }
+}
+
+/// Sends every invocation to machine 0 — the degenerate policy that makes
+/// a 1-machine cluster *equal* the legacy single-machine [`Simulation`]
+/// path (pinned by the differential tests).
+///
+/// [`Simulation`]: faas_kernel::Simulation
+pub struct Passthrough;
+
+impl Dispatch for Passthrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn pick(&mut self, _ctx: &DispatchCtx<'_>) -> usize {
+        0
+    }
+}
+
+/// Uniform random routing, seeded deterministically from a root seed via
+/// [`SimRng::stream_seed`] so cluster runs are reproducible.
+pub struct RandomDispatch {
+    rng: SimRng,
+}
+
+impl RandomDispatch {
+    /// A random router whose choice stream derives from `root_seed`.
+    pub fn new(root_seed: u64) -> Self {
+        RandomDispatch {
+            rng: SimRng::stream(root_seed, RANDOM_DISPATCH_STREAM),
+        }
+    }
+}
+
+impl Dispatch for RandomDispatch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        self.rng.uniform_usize(ctx.machines())
+    }
+}
+
+/// Strict round-robin over machine indices.
+#[derive(Default)]
+pub struct RoundRobinDispatch {
+    next: usize,
+}
+
+impl RoundRobinDispatch {
+    /// A round-robin router starting at machine 0.
+    pub fn new() -> Self {
+        RoundRobinDispatch::default()
+    }
+}
+
+impl Dispatch for RoundRobinDispatch {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        let m = self.next % ctx.machines();
+        self.next = m + 1;
+        m
+    }
+}
+
+/// Join-the-shortest-queue on the front end's outstanding estimate
+/// (lowest machine index wins ties).
+pub struct LeastOutstanding;
+
+impl Dispatch for LeastOutstanding {
+    fn name(&self) -> &str {
+        "least-outstanding"
+    }
+
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        ctx.least_outstanding()
+    }
+}
+
+/// Keep-alive locality routing with a latency-budget spill rule: route
+/// to a warm machine while the extra queueing delay of doing so stays
+/// within the cold-start boot cost the warm hit avoids; past that
+/// break-even point (or on a warm miss), route to the least-delayed
+/// machine, paying one boot and seeding a new warm site there.
+///
+/// The comparison is in **time** units ([`DispatchCtx::est_wait`]), not
+/// outstanding counts: a skewed function mix concentrates few-but-heavy
+/// invocations on their warm machines, and a count-based bound never
+/// fires for them (we measured 40× execution-time blow-ups on 16+
+/// machine fleets before switching to the delay-vs-boot budget). The
+/// rule is self-tuning — heavy functions overflow onto warm-site sets
+/// sized by their work share, light functions stay put.
+pub struct KeepAliveDispatch;
+
+impl Dispatch for KeepAliveDispatch {
+    fn name(&self) -> &str {
+        "keep-alive"
+    }
+
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        let best = ctx.least_wait();
+        let budget = ctx.est_wait(best) + ctx.cold_boot_work();
+        let warm = (0..ctx.machines()).filter(|&m| ctx.is_warm(m) && ctx.est_wait(m) <= budget);
+        ctx.least_wait_of(warm).unwrap_or(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::FrontEnd;
+    use crate::{ClusterConfig, ClusterTask, ColdStartConfig};
+    use faas_kernel::{MachineConfig, TaskSpec};
+    use faas_simcore::{SimDuration, SimTime};
+
+    fn tasks(n: usize, function: impl Fn(usize) -> u64) -> Vec<ClusterTask> {
+        (0..n)
+            .map(|i| ClusterTask {
+                spec: TaskSpec::function(
+                    SimTime::from_millis(i as u64),
+                    SimDuration::from_millis(50),
+                    128,
+                ),
+                function: function(i),
+            })
+            .collect()
+    }
+
+    fn shares(cfg: &ClusterConfig, ts: &[ClusterTask], d: &mut dyn Dispatch) -> Vec<usize> {
+        let a = FrontEnd::new(cfg).dispatch_all(ts, d);
+        a.per_machine.iter().map(Vec::len).collect()
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_spread() {
+        let cfg = ClusterConfig::new(4, MachineConfig::new(2));
+        let ts = tasks(400, |_| 0);
+        let a = shares(&cfg, &ts, &mut RandomDispatch::new(7));
+        let b = shares(&cfg, &ts, &mut RandomDispatch::new(7));
+        assert_eq!(a, b, "same root seed, same routing");
+        let c = shares(&cfg, &ts, &mut RandomDispatch::new(8));
+        assert_ne!(a, c, "different seed, different routing");
+        assert!(a.iter().all(|&n| n > 50), "roughly uniform: {a:?}");
+    }
+
+    #[test]
+    fn keep_alive_clusters_functions_on_warm_machines() {
+        let cold = ColdStartConfig {
+            boot_work: SimDuration::from_millis(125),
+            keep_alive: SimDuration::from_secs(600),
+        };
+        let cfg = ClusterConfig::new(4, MachineConfig::new(4)).with_cold_start(cold);
+        // Two interleaved functions under light load (no spill pressure,
+        // no overlap: 130 ms of boot+work vs a 400 ms same-function
+        // period): keep-alive pays one boot per function, round-robin
+        // scatters both functions over all 4 machines and boots on each.
+        let ts: Vec<ClusterTask> = (0..80)
+            .map(|i| ClusterTask {
+                spec: TaskSpec::function(
+                    SimTime::from_millis(200 * i as u64),
+                    SimDuration::from_millis(5),
+                    128,
+                ),
+                function: (i % 2) as u64,
+            })
+            .collect();
+        let ka = FrontEnd::new(&cfg).dispatch_all(&ts, &mut KeepAliveDispatch);
+        let rr = FrontEnd::new(&cfg).dispatch_all(&ts, &mut RoundRobinDispatch::new());
+        assert!(
+            ka.cold_starts < rr.cold_starts,
+            "keep-alive ({}) must beat round-robin ({}) on cold starts",
+            ka.cold_starts,
+            rr.cold_starts
+        );
+        assert_eq!(ka.cold_starts, 2, "one boot per function");
+    }
+
+    #[test]
+    fn keep_alive_spills_when_warm_machines_saturate() {
+        let cold = ColdStartConfig {
+            boot_work: SimDuration::from_millis(125),
+            keep_alive: SimDuration::from_secs(600),
+        };
+        // One function, heavy overload (50 ms of work every 1 ms against
+        // 16 cores): strict warm-first routing would pin every invocation
+        // to machine 0; the spill bound must spread the flood.
+        let cfg = ClusterConfig::new(4, MachineConfig::new(4)).with_cold_start(cold);
+        let ts = tasks(400, |_| 0);
+        let a = FrontEnd::new(&cfg).dispatch_all(&ts, &mut KeepAliveDispatch);
+        let shares: Vec<usize> = a.per_machine.iter().map(Vec::len).collect();
+        assert!(
+            shares.iter().all(|&n| n > 0),
+            "overload must spill to every machine: {shares:?}"
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names = [
+            Passthrough.name().to_string(),
+            RandomDispatch::new(1).name().to_string(),
+            RoundRobinDispatch::new().name().to_string(),
+            LeastOutstanding.name().to_string(),
+            KeepAliveDispatch.name().to_string(),
+        ];
+        assert_eq!(
+            names,
+            [
+                "passthrough",
+                "random",
+                "round-robin",
+                "least-outstanding",
+                "keep-alive"
+            ]
+        );
+    }
+}

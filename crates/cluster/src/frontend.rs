@@ -1,0 +1,419 @@
+//! The front-end load tracker and the dispatch assignment pass.
+//!
+//! A real FaaS front end does not see inside each node's OS scheduler; it
+//! tracks what it dispatched and estimates what has drained. [`FrontEnd`]
+//! models exactly that observable state: per machine, a work-conserving
+//! FCFS estimate of when each dispatched invocation completes (the same
+//! estimator family as `microvm-sim`'s memory-admission backlog model).
+//! Dispatch policies read this state through [`DispatchCtx`]; they never
+//! see ground truth from the per-machine kernels, which keeps phase 1
+//! (dispatch) independent of phase 2 (machine simulation) — and therefore
+//! lets the M machine runs fan across threads with byte-identical output
+//! at any fan width.
+
+use std::collections::HashMap;
+
+use faas_kernel::TaskSpec;
+use faas_simcore::{MinHeap4, SimDuration, SimTime};
+
+use crate::dispatch::Dispatch;
+use crate::{ClusterConfig, ClusterTask};
+
+/// Front-end-visible load state of one machine.
+struct MachineLoad {
+    /// Estimated instant (µs) each core frees under FCFS draining; always
+    /// exactly `cores` entries.
+    free_cores: MinHeap4<u64>,
+    /// Estimated completion instants (µs) of dispatched-but-unfinished
+    /// invocations; its length is the outstanding count.
+    in_flight: MinHeap4<u64>,
+    /// Total invocations dispatched to this machine so far.
+    dispatched: u64,
+}
+
+impl MachineLoad {
+    fn new(cores: usize) -> Self {
+        let mut free_cores = MinHeap4::new();
+        for _ in 0..cores {
+            free_cores.push(0);
+        }
+        MachineLoad {
+            free_cores,
+            in_flight: MinHeap4::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Drops estimated completions at or before `now_us`.
+    fn drain_until(&mut self, now_us: u64) {
+        while self.in_flight.peek_min().is_some_and(|&t| t <= now_us) {
+            self.in_flight.pop_min();
+        }
+    }
+
+    /// Accounts one dispatched invocation of `work_us` CPU work (plus
+    /// `io_us` off-CPU tail) arriving at `now_us`; returns the estimated
+    /// completion instant.
+    fn push_work(&mut self, now_us: u64, work_us: u64, io_us: u64) -> u64 {
+        let free = self.free_cores.pop_min().expect("machine has cores");
+        let start = free.max(now_us);
+        let cpu_done = start + work_us;
+        self.free_cores.push(cpu_done);
+        let completion = cpu_done + io_us;
+        self.in_flight.push(completion);
+        self.dispatched += 1;
+        completion
+    }
+}
+
+/// Read-only view of the front end handed to a [`Dispatch`] policy for
+/// one placement decision.
+pub struct DispatchCtx<'a> {
+    /// Arrival instant of the invocation being placed.
+    pub now: SimTime,
+    /// Function identity of the invocation (drives warmth/locality).
+    pub function: u64,
+    front: &'a FrontEnd,
+}
+
+impl DispatchCtx<'_> {
+    /// Number of machines in the fleet.
+    pub fn machines(&self) -> usize {
+        self.front.loads.len()
+    }
+
+    /// Dispatched-but-not-yet-drained invocation count on `machine`
+    /// (front-end estimate, see module docs).
+    pub fn outstanding(&self, machine: usize) -> usize {
+        self.front.loads[machine].in_flight.len()
+    }
+
+    /// Cores per machine — the natural unit for "how overloaded is a
+    /// machine" thresholds (e.g. keep-alive spill margins).
+    pub fn cores(&self) -> usize {
+        self.front.cores
+    }
+
+    /// Estimated queueing delay a task dispatched to `machine` right now
+    /// would see before starting (0 while the machine has a free core in
+    /// the FCFS drain estimate). Unlike [`DispatchCtx::outstanding`],
+    /// this is in *time* units, so a few heavy invocations and many light
+    /// ones compare correctly.
+    pub fn est_wait(&self, machine: usize) -> SimDuration {
+        let free = *self.front.loads[machine]
+            .free_cores
+            .peek_min()
+            .expect("machine has cores");
+        SimDuration::from_micros(free.saturating_sub(self.now.as_micros()))
+    }
+
+    /// The boot cost a cold dispatch would pay under the cluster's
+    /// cold-start model (zero when the model is disabled) — the budget a
+    /// locality policy weighs queueing delay against.
+    pub fn cold_boot_work(&self) -> SimDuration {
+        self.front.cold.map_or(SimDuration::ZERO, |c| c.boot_work)
+    }
+
+    /// The machine with the smallest [`DispatchCtx::est_wait`] (lowest
+    /// index on ties).
+    pub fn least_wait(&self) -> usize {
+        self.least_wait_of(0..self.machines())
+            .expect("cluster has machines")
+    }
+
+    /// [`DispatchCtx::least_wait`] restricted to `candidates` (first-seen
+    /// index wins ties); `None` if `candidates` is empty.
+    pub fn least_wait_of(&self, candidates: impl IntoIterator<Item = usize>) -> Option<usize> {
+        let mut best: Option<(usize, SimDuration)> = None;
+        for m in candidates {
+            let wait = self.est_wait(m);
+            if best.is_none_or(|(_, b)| wait < b) {
+                best = Some((m, wait));
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+
+    /// Total invocations dispatched to `machine` so far.
+    pub fn dispatched(&self, machine: usize) -> u64 {
+        self.front.loads[machine].dispatched
+    }
+
+    /// `true` if `machine` holds a warm instance of this invocation's
+    /// function (a prior invocation whose keep-alive window covers `now`).
+    /// Always `false` when the cluster runs without a cold-start model.
+    pub fn is_warm(&self, machine: usize) -> bool {
+        self.front.is_warm(machine, self.function, self.now)
+    }
+
+    /// The machine with the fewest outstanding invocations (lowest index
+    /// on ties) — the shared building block of the load-aware policies.
+    pub fn least_outstanding(&self) -> usize {
+        self.least_outstanding_of(0..self.machines())
+            .expect("cluster has machines")
+    }
+
+    /// [`DispatchCtx::least_outstanding`] restricted to `candidates`
+    /// (first-seen index wins ties); `None` if `candidates` is empty.
+    pub fn least_outstanding_of(
+        &self,
+        candidates: impl IntoIterator<Item = usize>,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for m in candidates {
+            let load = self.outstanding(m);
+            if best.is_none_or(|(_, b)| load < b) {
+                best = Some((m, load));
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+}
+
+/// The serial dispatch pass: walks the arrival stream in timestamp order,
+/// asks the policy for a machine per invocation, applies the cold-start
+/// model and maintains the load estimates.
+pub struct FrontEnd {
+    loads: Vec<MachineLoad>,
+    /// Cores per machine (exposed via [`DispatchCtx::cores`]).
+    cores: usize,
+    /// `(machine, function) → pool of instance busy-until instants (µs)`.
+    /// One entry per live function instance: an instance serves **one**
+    /// invocation at a time, is reusable while idle
+    /// (`busy_until ≤ now`), and expires `keep_alive` after it last went
+    /// idle. Concurrent same-function invocations therefore each need
+    /// their own instance — a burst of N overlapping calls pays up to N
+    /// boots, like a real per-request-instance FaaS platform, not one.
+    pools: HashMap<(u32, u64), MinHeap4<u64>>,
+    cold: Option<crate::ColdStartConfig>,
+}
+
+/// The output of the dispatch pass: one spec list per machine (cold-start
+/// boot work already folded in) plus dispatch statistics.
+pub struct Assignment {
+    /// Task specs per machine, in that machine's arrival order.
+    pub per_machine: Vec<Vec<TaskSpec>>,
+    /// Number of invocations that paid the cold-start boot cost.
+    pub cold_starts: u64,
+}
+
+impl FrontEnd {
+    /// A front end over the fleet described by `cfg`.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        FrontEnd {
+            loads: (0..cfg.machines)
+                .map(|_| MachineLoad::new(cfg.machine.cores))
+                .collect(),
+            cores: cfg.machine.cores,
+            pools: HashMap::new(),
+            cold: cfg.cold_start,
+        }
+    }
+
+    /// `true` if `machine` has an **idle, unexpired** instance of
+    /// `function` — only such an instance can absorb a new invocation
+    /// without a boot (busy instances are serving someone else).
+    fn is_warm(&self, machine: usize, function: u64, now: SimTime) -> bool {
+        let Some(c) = self.cold else { return false };
+        let ka = c.keep_alive.as_micros();
+        let now_us = now.as_micros();
+        self.pools
+            .get(&(machine as u32, function))
+            .is_some_and(|pool| pool.iter().any(|&b| b <= now_us && now_us < b + ka))
+    }
+
+    /// Claims an idle warm instance of `function` on `machine` (the one
+    /// closest to expiry, deterministically), returning `false` — a cold
+    /// start — when every instance is busy or expired. Expired instances
+    /// are pruned here.
+    fn claim_instance(&mut self, machine: usize, function: u64, now_us: u64) -> bool {
+        let Some(c) = self.cold else { return true };
+        let ka = c.keep_alive.as_micros();
+        let pool = self.pools.entry((machine as u32, function)).or_default();
+        while pool.peek_min().is_some_and(|&b| b + ka <= now_us) {
+            pool.pop_min();
+        }
+        if pool.peek_min().is_some_and(|&b| b <= now_us) {
+            pool.pop_min();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs the dispatch pass over `tasks` (must be sorted by arrival;
+    /// trace synthesis produces exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are out of order or the policy picks a machine
+    /// index out of range.
+    pub fn dispatch_all<D: Dispatch + ?Sized>(
+        mut self,
+        tasks: &[ClusterTask],
+        policy: &mut D,
+    ) -> Assignment {
+        let mut per_machine: Vec<Vec<TaskSpec>> =
+            (0..self.loads.len()).map(|_| Vec::new()).collect();
+        let mut cold_starts = 0u64;
+        let mut last_arrival = SimTime::ZERO;
+        for task in tasks {
+            let now = task.spec.arrival;
+            assert!(now >= last_arrival, "arrival stream must be sorted");
+            last_arrival = now;
+            let now_us = now.as_micros();
+            for load in &mut self.loads {
+                load.drain_until(now_us);
+            }
+            let ctx = DispatchCtx {
+                now,
+                function: task.function,
+                front: &self,
+            };
+            let machine = policy.pick(&ctx);
+            assert!(
+                machine < self.loads.len(),
+                "dispatch picked machine {machine} of {}",
+                self.loads.len()
+            );
+            let mut spec = task.spec.clone();
+            let warm_hit = self.claim_instance(machine, task.function, now_us);
+            if let Some(c) = self.cold {
+                if !warm_hit {
+                    spec.work += c.boot_work;
+                    cold_starts += 1;
+                }
+            }
+            let completion = self.loads[machine].push_work(
+                now_us,
+                spec.work.as_micros(),
+                spec.io_wait.as_micros(),
+            );
+            if self.cold.is_some() {
+                // The (new or reused) instance serves this invocation
+                // until its estimated completion, then idles warm.
+                self.pools
+                    .entry((machine as u32, task.function))
+                    .or_default()
+                    .push(completion);
+            }
+            per_machine[machine].push(spec);
+        }
+        Assignment {
+            per_machine,
+            cold_starts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{LeastOutstanding, Passthrough, RoundRobinDispatch};
+    use crate::ColdStartConfig;
+    use faas_kernel::MachineConfig;
+    use faas_simcore::SimDuration;
+
+    fn task(at_ms: u64, work_ms: u64, function: u64) -> ClusterTask {
+        ClusterTask {
+            spec: TaskSpec::function(
+                SimTime::from_millis(at_ms),
+                SimDuration::from_millis(work_ms),
+                128,
+            ),
+            function,
+        }
+    }
+
+    fn cfg(machines: usize, cores: usize) -> ClusterConfig {
+        ClusterConfig::new(machines, MachineConfig::new(cores))
+    }
+
+    #[test]
+    fn passthrough_sends_everything_to_machine_zero() {
+        let tasks: Vec<ClusterTask> = (0..5).map(|i| task(i, 10, 0)).collect();
+        let a = FrontEnd::new(&cfg(3, 2)).dispatch_all(&tasks, &mut Passthrough);
+        assert_eq!(a.per_machine[0].len(), 5);
+        assert!(a.per_machine[1].is_empty() && a.per_machine[2].is_empty());
+        assert_eq!(a.cold_starts, 0, "no cold-start model configured");
+    }
+
+    #[test]
+    fn least_outstanding_balances_a_burst() {
+        // 4 simultaneous long tasks on 4 single-core machines: each
+        // machine must receive exactly one.
+        let tasks: Vec<ClusterTask> = (0..4).map(|_| task(0, 1_000, 0)).collect();
+        let a = FrontEnd::new(&cfg(4, 1)).dispatch_all(&tasks, &mut LeastOutstanding);
+        for m in 0..4 {
+            assert_eq!(a.per_machine[m].len(), 1, "machine {m} share");
+        }
+    }
+
+    #[test]
+    fn outstanding_drains_by_estimated_completion() {
+        // One short task, then a long gap: the second task sees machine 0
+        // drained and lands there again under least-outstanding.
+        let tasks = vec![task(0, 10, 0), task(10_000, 10, 0)];
+        let a = FrontEnd::new(&cfg(2, 1)).dispatch_all(&tasks, &mut LeastOutstanding);
+        assert_eq!(a.per_machine[0].len(), 2, "drained machine is reused");
+    }
+
+    #[test]
+    fn cold_starts_inflate_work_and_keep_alive_suppresses_them() {
+        let cold = ColdStartConfig {
+            boot_work: SimDuration::from_millis(125),
+            keep_alive: SimDuration::from_secs(600),
+        };
+        // f7 boots once (busy 135 ms, idle well before the 400 ms
+        // revisit), f9 boots on first sight.
+        let tasks = vec![task(0, 10, 7), task(400, 10, 7), task(600, 10, 9)];
+        let a =
+            FrontEnd::new(&cfg(1, 2).with_cold_start(cold)).dispatch_all(&tasks, &mut Passthrough);
+        assert_eq!(a.cold_starts, 2, "two distinct functions boot once each");
+        let works: Vec<u64> = a.per_machine[0]
+            .iter()
+            .map(|s| s.work.as_millis())
+            .collect();
+        assert_eq!(
+            works,
+            vec![135, 10, 135],
+            "boot folded into cold specs only"
+        );
+    }
+
+    #[test]
+    fn concurrent_invocations_each_need_their_own_instance() {
+        let cold = ColdStartConfig {
+            boot_work: SimDuration::from_millis(125),
+            keep_alive: SimDuration::from_secs(600),
+        };
+        // Three overlapping calls of one function: the first instance is
+        // still busy when the next call arrives, so every call boots —
+        // one warm instance must not blanket a whole burst.
+        let tasks = vec![task(0, 10, 7), task(1, 10, 7), task(2, 10, 7)];
+        let a =
+            FrontEnd::new(&cfg(1, 4).with_cold_start(cold)).dispatch_all(&tasks, &mut Passthrough);
+        assert_eq!(a.cold_starts, 3, "concurrency forces one boot per call");
+        // After the burst drains, a revisit reuses an idle instance.
+        let tasks = vec![task(0, 10, 7), task(1, 10, 7), task(500, 10, 7)];
+        let a =
+            FrontEnd::new(&cfg(1, 4).with_cold_start(cold)).dispatch_all(&tasks, &mut Passthrough);
+        assert_eq!(a.cold_starts, 2, "idle instance absorbs the revisit");
+    }
+
+    #[test]
+    fn round_robin_cycles_machines() {
+        let tasks: Vec<ClusterTask> = (0..6).map(|i| task(i, 1, 0)).collect();
+        let a = FrontEnd::new(&cfg(3, 1)).dispatch_all(&tasks, &mut RoundRobinDispatch::new());
+        for m in 0..3 {
+            assert_eq!(a.per_machine[m].len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_arrivals_are_rejected() {
+        let tasks = vec![task(10, 1, 0), task(5, 1, 0)];
+        FrontEnd::new(&cfg(1, 1)).dispatch_all(&tasks, &mut Passthrough);
+    }
+}

@@ -1,0 +1,348 @@
+//! # faas-cluster
+//!
+//! The fleet layer: M simulated machines behind a front-end dispatch
+//! tier. The paper measures scheduler choice on **one** 50-core enclave;
+//! real FaaS providers run fleets of such machines behind a routing tier,
+//! so the cost question becomes three-dimensional — machines × per-node
+//! scheduler × dispatch policy. This crate makes that product a
+//! first-class simulated object.
+//!
+//! A cluster run has two deterministic phases:
+//!
+//! 1. **Front-end dispatch** ([`frontend::FrontEnd`]): the merged arrival
+//!    stream is walked in timestamp order; a [`Dispatch`] policy assigns
+//!    each invocation to a machine using only front-end-observable state
+//!    (outstanding estimates, per-function warmth). The cold-start model
+//!    ([`ColdStartConfig`], boot costs from `microvm-sim`'s Firecracker
+//!    numbers) charges a boot on every warm miss — for *every* dispatch
+//!    policy, so locality-blind routing pays where keep-alive routing
+//!    saves.
+//! 2. **Machine simulation**: each machine's spec list runs as an
+//!    independent [`MachineRun`] (per-machine RNG streams derived with
+//!    [`SimRng::stream_seed`]), fanned across worker threads and merged
+//!    back **in machine order** — output is byte-identical at any fan
+//!    width, and a 1-machine cluster under [`dispatch::Passthrough`]
+//!    equals the legacy [`faas_kernel::Simulation`] exactly (pinned by
+//!    differential tests).
+//!
+//! The per-machine simulations never interact, which is what makes the
+//! parallel fan sound; the price is that load-aware dispatch reads the
+//! front end's FCFS drain *estimate* rather than per-kernel ground truth
+//! — the same information boundary a production router has.
+//!
+//! ```
+//! use azure_trace::{AzureTrace, TraceConfig};
+//! use faas_cluster::{dispatch::LeastOutstanding, Cluster, ClusterConfig};
+//! use faas_kernel::MachineConfig;
+//! use faas_policies::Fifo;
+//!
+//! let trace = AzureTrace::generate(&TraceConfig::tiny());
+//! let tasks = faas_cluster::workload_from_trace(&trace, 1);
+//! let cfg = ClusterConfig::new(4, MachineConfig::new(2));
+//! let report = Cluster::new(cfg, LeastOutstanding, |_| Fifo::new())
+//!     .run(&tasks, 1)
+//!     .unwrap();
+//! assert_eq!(report.machines.len(), 4);
+//! assert_eq!(report.merged_records().len(), trace.len());
+//! # Ok::<(), faas_kernel::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+mod frontend;
+
+pub use dispatch::{Dispatch, DispatchCtx};
+pub use frontend::{Assignment, FrontEnd};
+
+use azure_trace::AzureTrace;
+use faas_kernel::{MachineConfig, MachineRun, Scheduler, SimError, SlimReport, TaskSpec};
+use faas_metrics::{merge_records, records_from_tasks, ClusterSummary, TaskRecord};
+use faas_simcore::{par, SimDuration, SimRng, SimTime};
+use microvm_sim::FirecrackerConfig;
+
+/// One invocation as the front end sees it: the kernel spec plus the
+/// function identity that drives warmth/locality decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTask {
+    /// The kernel task spec (arrival, work, memory, io-wait).
+    pub spec: TaskSpec,
+    /// Function identity: invocations sharing it can reuse a warm
+    /// instance on the same machine within the keep-alive window.
+    pub function: u64,
+}
+
+/// Cold-start model applied at dispatch time.
+///
+/// A machine that has not run function `f` within `keep_alive` of
+/// estimated instance lifetime pays `boot_work` of extra CPU before the
+/// invocation's own work — the microVM boot path of the paper's §VI-E
+/// experiment, lifted to the fleet level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdStartConfig {
+    /// CPU work of a cold boot, added to the invocation's spec.
+    pub boot_work: SimDuration,
+    /// How long a function instance stays warm after its estimated
+    /// completion.
+    pub keep_alive: SimDuration,
+}
+
+impl ColdStartConfig {
+    /// Firecracker-flavored defaults: `microvm-sim`'s guest boot cost
+    /// (~125 ms of CPU) and the Azure study's minutes-long keep-alive
+    /// (10 minutes).
+    pub fn firecracker() -> Self {
+        ColdStartConfig {
+            boot_work: FirecrackerConfig::default().boot_cpu,
+            keep_alive: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// Shape of the simulated fleet.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// Per-machine template ([`ClusterConfig::machine_config`] derives
+    /// each machine's actual config, with an independent RNG stream
+    /// seeded from this template's seed).
+    pub machine: MachineConfig,
+    /// Cold-start model; `None` disables warmth tracking entirely.
+    pub cold_start: Option<ColdStartConfig>,
+}
+
+impl ClusterConfig {
+    /// A fleet of `machines` copies of `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero.
+    pub fn new(machines: usize, machine: MachineConfig) -> Self {
+        assert!(machines > 0, "cluster needs at least one machine");
+        ClusterConfig {
+            machines,
+            machine,
+            cold_start: None,
+        }
+    }
+
+    /// Enables the cold-start model.
+    pub fn with_cold_start(mut self, cold: ColdStartConfig) -> Self {
+        self.cold_start = Some(cold);
+        self
+    }
+
+    /// The concrete config of machine `index`: the template with its RNG
+    /// seed replaced by the independent stream
+    /// [`SimRng::stream_seed`]`(template.seed, index)` — machine 7 of a
+    /// 16-machine fleet draws the same interference timings as machine 7
+    /// of a 64-machine fleet, and a 1-machine cluster's machine 0 is
+    /// constructible standalone for differential comparison.
+    pub fn machine_config(&self, index: usize) -> MachineConfig {
+        self.machine
+            .clone()
+            .with_seed(SimRng::stream_seed(self.machine.seed, index as u64))
+    }
+}
+
+/// Outcome of a whole-cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Dispatch policy name the run used.
+    pub dispatch: String,
+    /// Per-machine slim reports, in machine order.
+    pub machines: Vec<SlimReport>,
+    /// Per-machine completed-task records, in machine order.
+    pub records: Vec<Vec<TaskRecord>>,
+    /// Invocations that paid the cold-start boot cost.
+    pub cold_starts: u64,
+}
+
+impl ClusterReport {
+    /// All task records merged in machine order (see
+    /// [`faas_metrics::merge_records`]).
+    pub fn merged_records(&self) -> Vec<TaskRecord> {
+        merge_records(&self.records)
+    }
+
+    /// Merged + per-machine metric summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no machine completed any task.
+    pub fn summary(&self) -> ClusterSummary {
+        ClusterSummary::compute(&self.records)
+    }
+
+    /// Invocations dispatched to each machine.
+    pub fn dispatched(&self) -> Vec<usize> {
+        self.machines.iter().map(|m| m.tasks.len()).collect()
+    }
+
+    /// The virtual instant the last machine finished.
+    pub fn finished_at(&self) -> SimTime {
+        self.machines
+            .iter()
+            .map(|m| m.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// A fleet bound to a dispatch policy and a per-machine scheduler
+/// factory.
+///
+/// `make_policy(i)` builds machine `i`'s fresh scheduler agent — every
+/// machine gets its own instance, mirroring one agent process per node.
+pub struct Cluster<D, F> {
+    cfg: ClusterConfig,
+    dispatch: D,
+    make_policy: F,
+}
+
+impl<D, P, F> Cluster<D, F>
+where
+    D: Dispatch,
+    P: Scheduler + Send,
+    F: Fn(usize) -> P + Sync,
+{
+    /// Binds `cfg` to a dispatch policy and a per-machine scheduler
+    /// factory.
+    pub fn new(cfg: ClusterConfig, dispatch: D, make_policy: F) -> Self {
+        Cluster {
+            cfg,
+            dispatch,
+            make_policy,
+        }
+    }
+
+    /// Runs the cluster over `tasks` (sorted by arrival), fanning the
+    /// independent machine simulations over up to `threads` workers.
+    /// Results are merged in machine order, so the report is
+    /// byte-identical at any `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] (in machine order) if any
+    /// machine's policy strands or stalls its tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is not sorted by arrival or the dispatch policy
+    /// returns an out-of-range machine index.
+    pub fn run(mut self, tasks: &[ClusterTask], threads: usize) -> Result<ClusterReport, SimError> {
+        let assignment = FrontEnd::new(&self.cfg).dispatch_all(tasks, &mut self.dispatch);
+        let cfg = &self.cfg;
+        let make_policy = &self.make_policy;
+        let outcomes = par::par_map_with(threads, assignment.per_machine, |i, specs| {
+            // Owned per-machine spec list: moved into the machine, no
+            // per-spec clone.
+            MachineRun::new(cfg.machine_config(i), specs, make_policy(i)).run_slim()
+        });
+        let mut machines = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            machines.push(outcome?);
+        }
+        let records = machines
+            .iter()
+            .map(|m| records_from_tasks(&m.tasks))
+            .collect();
+        Ok(ClusterReport {
+            dispatch: self.dispatch.name().to_owned(),
+            machines,
+            records,
+            cold_starts: assignment.cold_starts,
+        })
+    }
+}
+
+/// Builds the cluster workload from a synthesized trace: the sharded task
+/// specs zipped with each invocation's duration bucket (`fib_n`) as the
+/// function identity — invocations of the same Fibonacci bucket are "the
+/// same function" for warmth purposes, matching how the paper's workload
+/// files identify functions.
+pub fn workload_from_trace(trace: &AzureTrace, shards: usize) -> Vec<ClusterTask> {
+    trace
+        .to_task_specs_sharded(shards)
+        .into_iter()
+        .zip(trace.invocations())
+        .map(|(spec, inv)| ClusterTask {
+            spec,
+            function: u64::from(inv.fib_n),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azure_trace::TraceConfig;
+    use dispatch::{KeepAliveDispatch, LeastOutstanding, RoundRobinDispatch};
+    use faas_policies::Fifo;
+
+    fn tiny_tasks() -> Vec<ClusterTask> {
+        workload_from_trace(&AzureTrace::generate(&TraceConfig::tiny()), 1)
+    }
+
+    #[test]
+    fn every_invocation_completes_somewhere() {
+        let tasks = tiny_tasks();
+        let cfg = ClusterConfig::new(3, MachineConfig::new(2));
+        let report = Cluster::new(cfg, RoundRobinDispatch::new(), |_| Fifo::new())
+            .run(&tasks, 2)
+            .unwrap();
+        assert_eq!(report.merged_records().len(), tasks.len());
+        assert_eq!(report.dispatched().iter().sum::<usize>(), tasks.len());
+        assert_eq!(report.dispatch, "round-robin");
+        assert!(report.finished_at() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn machine_seeds_are_independent_streams() {
+        let cfg = ClusterConfig::new(4, MachineConfig::new(2).with_seed(42));
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.machine_config(i).seed).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "per-machine seeds must differ: {seeds:?}");
+        assert_eq!(cfg.machine_config(2).seed, SimRng::stream_seed(42, 2));
+    }
+
+    #[test]
+    fn keep_alive_beats_oblivious_dispatch_on_cold_starts() {
+        let tasks = tiny_tasks();
+        let cfg = || {
+            ClusterConfig::new(4, MachineConfig::new(2))
+                .with_cold_start(ColdStartConfig::firecracker())
+        };
+        let ka = Cluster::new(cfg(), KeepAliveDispatch, |_| Fifo::new())
+            .run(&tasks, 1)
+            .unwrap();
+        let rr = Cluster::new(cfg(), RoundRobinDispatch::new(), |_| Fifo::new())
+            .run(&tasks, 1)
+            .unwrap();
+        assert!(
+            ka.cold_starts < rr.cold_starts,
+            "keep-alive {} vs round-robin {}",
+            ka.cold_starts,
+            rr.cold_starts
+        );
+    }
+
+    #[test]
+    fn fan_width_does_not_change_results() {
+        let tasks = tiny_tasks();
+        let run = |threads| {
+            let cfg = ClusterConfig::new(5, MachineConfig::new(2));
+            Cluster::new(cfg, LeastOutstanding, |_| Fifo::new())
+                .run(&tasks, threads)
+                .unwrap()
+        };
+        let serial = run(1);
+        let fanned = run(4);
+        assert_eq!(serial.merged_records(), fanned.merged_records());
+        assert_eq!(serial.dispatched(), fanned.dispatched());
+    }
+}

@@ -67,6 +67,6 @@ pub use crate::core::{CoreId, CoreState, CoreStats};
 pub use cost::CostModel;
 pub use machine::{InterferenceConfig, Machine, MachineConfig, PolicyCall, SchedError, SimError};
 pub use message::KernelMessage;
-pub use sched::{Scheduler, SimReport, Simulation};
+pub use sched::{MachineRun, Scheduler, SimReport, Simulation, SlimReport};
 pub use task::{PlacementHint, Task, TaskId, TaskSpec, TaskState};
 pub use util::UtilizationLedger;

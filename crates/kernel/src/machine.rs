@@ -7,6 +7,8 @@
 //! slice) and [`Machine::preempt`] (take a task off a core). Policies never
 //! mutate tasks or cores directly.
 
+use std::borrow::Cow;
+
 use faas_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::core::{Core, CoreId, CoreState, CoreStats};
@@ -253,15 +255,23 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     /// Builds a machine and schedules the arrival of every task in `specs`.
     ///
-    /// Task ids are assigned densely in `specs` order.
+    /// Task ids are assigned densely in `specs` order. `specs` is either
+    /// owned (`Vec<TaskSpec>`, moved into the machine without copying) or
+    /// borrowed (`&[TaskSpec]`, `&Vec<TaskSpec>`, `&arc_specs[..]` for an
+    /// `Arc<[TaskSpec]>`; specs are cloned per task) — so multi-policy
+    /// sweeps synthesize one trace and hand every run a borrow instead of
+    /// cloning whole spec vectors up front.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.cores` is zero.
-    pub fn new(cfg: MachineConfig, specs: Vec<TaskSpec>) -> Self {
+    pub fn new<'s>(cfg: MachineConfig, specs: impl Into<Cow<'s, [TaskSpec]>>) -> Self {
         assert!(cfg.cores > 0, "machine needs at least one core");
         let mut events = EventQueue::new();
-        let tasks: Vec<Task> = specs.into_iter().map(Task::new).collect();
+        let tasks: Vec<Task> = match specs.into() {
+            Cow::Owned(specs) => specs.into_iter().map(Task::new).collect(),
+            Cow::Borrowed(specs) => specs.iter().cloned().map(Task::new).collect(),
+        };
         let mut arrivals: Vec<(SimTime, TaskId)> = tasks
             .iter()
             .enumerate()
@@ -436,6 +446,19 @@ impl Machine {
     /// [`MachineConfig::log_messages`] is set).
     pub fn messages(&self) -> &[(SimTime, KernelMessage)] {
         &self.messages
+    }
+
+    /// Moves the kernel message log out of the machine (used by the slim
+    /// report path, which drops the machine itself).
+    pub(crate) fn take_messages(&mut self) -> Vec<(SimTime, KernelMessage)> {
+        std::mem::take(&mut self.messages)
+    }
+
+    /// Consumes the machine, keeping only the task records (the slim
+    /// report path: everything else — event arena, arrival calendar,
+    /// utilization ledger — is dropped here).
+    pub(crate) fn into_tasks(self) -> Vec<Task> {
+        self.tasks
     }
 
     /// Snapshot of all task records.

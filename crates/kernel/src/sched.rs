@@ -3,13 +3,19 @@
 //! [`Scheduler`] is the simulated equivalent of a ghOSt user-space agent:
 //! the kernel delivers messages (task arrival, slice expiry, …) and the
 //! agent reacts by invoking the scheduling verbs on the [`Machine`].
-//! [`Simulation`] wires a machine and an agent together and runs the
-//! event loop to completion.
+//! [`MachineRun`] is the reusable per-machine driver — it binds one
+//! machine to one agent and owns the event loop plus the batched idle
+//! sweep. [`Simulation`] is the trivial single-machine case (a thin
+//! wrapper over one `MachineRun`); the cluster layer drives many
+//! `MachineRun`s side by side.
+
+use std::borrow::Cow;
 
 use faas_simcore::{SimDuration, SimTime};
 
 use crate::core::{CoreId, CoreState, CoreStats};
 use crate::machine::{Machine, MachineConfig, PolicyCall, SimError};
+use crate::message::KernelMessage;
 use crate::task::{Task, TaskId, TaskSpec};
 
 /// A user-space scheduling policy (ghOSt agent).
@@ -91,43 +97,56 @@ impl SimReport {
     }
 }
 
-/// Binds a [`Machine`] to a [`Scheduler`] and runs the event loop.
+/// A memory-lean run outcome: everything a sweep or a cluster merge needs
+/// (task records, core stats, the message log when enabled) **without**
+/// the [`Machine`] itself — the event-queue arena, arrival calendar and
+/// utilization ledger are dropped at the end of the run. Big fans (one
+/// report per case or per cluster machine held concurrently) use this to
+/// keep peak memory proportional to the task count alone; timelines that
+/// need the utilization ledger keep using [`SimReport`].
+#[derive(Debug)]
+pub struct SlimReport {
+    /// Policy name the run used.
+    pub policy: String,
+    /// Final task records (same order as the input specs).
+    pub tasks: Vec<Task>,
+    /// Per-core statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Virtual instant the last task finished.
+    pub finished_at: SimTime,
+    /// Kernel events processed (stale generations included) — the
+    /// throughput denominator the bench harness uses, carried here
+    /// because the machine that counted them is gone.
+    pub events_processed: u64,
+    /// The kernel→agent message stream — empty unless
+    /// [`MachineConfig::log_messages`] was set. Carried here (it is one
+    /// empty `Vec` in the common case) so differential tests can compare
+    /// whole kernel streams without holding machines alive.
+    pub messages: Vec<(SimTime, KernelMessage)>,
+}
+
+impl SlimReport {
+    /// Total CPU time consumed by all tasks (excludes switch overhead).
+    pub fn total_cpu_time(&self) -> SimDuration {
+        self.tasks.iter().map(Task::cpu_time).sum()
+    }
+
+    /// Total preemptions across all cores.
+    pub fn total_preemptions(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.preemptions).sum()
+    }
+}
+
+/// The reusable per-machine driver: one [`Machine`] bound to one
+/// [`Scheduler`], plus the sweep state of the event loop.
 ///
-/// # Examples
+/// This is the unit the cluster layer replicates — M machines of a fleet
+/// are M independent `MachineRun`s (after front-end dispatch has split
+/// the arrival stream), each advanced to completion with [`step`].
+/// [`Simulation`] is the 1-machine convenience wrapper.
 ///
-/// Run three tasks under a trivial single-core FIFO agent:
-///
-/// ```
-/// use faas_kernel::{
-///     CoreId, Machine, MachineConfig, Scheduler, Simulation, TaskId, TaskSpec,
-/// };
-/// use faas_simcore::{SimDuration, SimTime};
-/// use std::collections::VecDeque;
-///
-/// struct MiniFifo(VecDeque<TaskId>);
-/// impl Scheduler for MiniFifo {
-///     fn name(&self) -> &str { "mini-fifo" }
-///     fn on_task_new(&mut self, _m: &mut Machine, t: TaskId) { self.0.push_back(t); }
-///     fn on_slice_expired(&mut self, _m: &mut Machine, t: TaskId, _c: CoreId) {
-///         self.0.push_back(t);
-///     }
-///     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
-///         if let Some(t) = self.0.pop_front() {
-///             m.dispatch(core, t, None).unwrap();
-///         }
-///     }
-/// }
-///
-/// let specs: Vec<TaskSpec> = (0..3)
-///     .map(|i| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10 * (i + 1)), 128))
-///     .collect();
-/// let report = Simulation::new(MachineConfig::new(1), specs, MiniFifo(VecDeque::new()))
-///     .run()
-///     .unwrap();
-/// assert_eq!(report.tasks.len(), 3);
-/// assert!(report.tasks.iter().all(|t| t.completion().is_some()));
-/// ```
-pub struct Simulation<P> {
+/// [`step`]: MachineRun::step
+pub struct MachineRun<P> {
     machine: Machine,
     policy: P,
     /// Reusable scratch for the idle sweep (no per-event allocation).
@@ -145,15 +164,17 @@ pub struct Simulation<P> {
     last_sweep_offered: bool,
 }
 
-impl<P: Scheduler> Simulation<P> {
-    /// Builds a simulation over `specs` with the given policy.
-    pub fn new(cfg: MachineConfig, specs: Vec<TaskSpec>, policy: P) -> Self {
+impl<P: Scheduler> MachineRun<P> {
+    /// Builds a driver over `specs` with the given policy. `specs` is an
+    /// owned `Vec` (moved, no copy) or a borrowed slice (see
+    /// [`Machine::new`]).
+    pub fn new<'s>(cfg: MachineConfig, specs: impl Into<Cow<'s, [TaskSpec]>>, policy: P) -> Self {
         let mut machine = Machine::new(cfg, specs);
         if let Some(every) = policy.tick_interval() {
             machine.arm_tick(every);
         }
         let cores = machine.num_cores();
-        Simulation {
+        MachineRun {
             machine,
             policy,
             sweep_buf: Vec::with_capacity(cores),
@@ -258,7 +279,7 @@ impl<P: Scheduler> Simulation<P> {
         Ok(true)
     }
 
-    /// Runs to completion.
+    /// Runs to completion, returning the full report (keeps the machine).
     ///
     /// # Errors
     ///
@@ -267,9 +288,7 @@ impl<P: Scheduler> Simulation<P> {
     pub fn run(mut self) -> Result<SimReport, SimError> {
         while self.step()? {}
         let finished_at = self.machine.now();
-        let core_stats = (0..self.machine.num_cores())
-            .map(|i| self.machine.core_stats(CoreId::from_index(i)))
-            .collect();
+        let core_stats = self.collect_core_stats();
         let tasks = self.machine.tasks().to_vec();
         Ok(SimReport {
             policy: self.policy.name().to_owned(),
@@ -278,6 +297,130 @@ impl<P: Scheduler> Simulation<P> {
             finished_at,
             machine: self.machine,
         })
+    }
+
+    /// Runs to completion, returning the memory-lean [`SlimReport`] — the
+    /// machine (event-queue arena, calendar, utilization ledger) is
+    /// dropped here instead of riding along.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MachineRun::run`].
+    pub fn run_slim(mut self) -> Result<SlimReport, SimError> {
+        while self.step()? {}
+        let finished_at = self.machine.now();
+        let core_stats = self.collect_core_stats();
+        let policy = self.policy.name().to_owned();
+        let mut machine = self.machine;
+        let events_processed = machine.events_processed();
+        let messages = machine.take_messages();
+        let tasks = machine.into_tasks();
+        Ok(SlimReport {
+            policy,
+            tasks,
+            core_stats,
+            finished_at,
+            events_processed,
+            messages,
+        })
+    }
+
+    fn collect_core_stats(&self) -> Vec<CoreStats> {
+        (0..self.machine.num_cores())
+            .map(|i| self.machine.core_stats(CoreId::from_index(i)))
+            .collect()
+    }
+}
+
+/// Binds a [`Machine`] to a [`Scheduler`] and runs the event loop — the
+/// trivial single-machine case of [`MachineRun`].
+///
+/// # Examples
+///
+/// Run three tasks under a trivial single-core FIFO agent:
+///
+/// ```
+/// use faas_kernel::{
+///     CoreId, Machine, MachineConfig, Scheduler, Simulation, TaskId, TaskSpec,
+/// };
+/// use faas_simcore::{SimDuration, SimTime};
+/// use std::collections::VecDeque;
+///
+/// struct MiniFifo(VecDeque<TaskId>);
+/// impl Scheduler for MiniFifo {
+///     fn name(&self) -> &str { "mini-fifo" }
+///     fn on_task_new(&mut self, _m: &mut Machine, t: TaskId) { self.0.push_back(t); }
+///     fn on_slice_expired(&mut self, _m: &mut Machine, t: TaskId, _c: CoreId) {
+///         self.0.push_back(t);
+///     }
+///     fn on_core_idle(&mut self, m: &mut Machine, core: CoreId) {
+///         if let Some(t) = self.0.pop_front() {
+///             m.dispatch(core, t, None).unwrap();
+///         }
+///     }
+/// }
+///
+/// let specs: Vec<TaskSpec> = (0..3)
+///     .map(|i| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10 * (i + 1)), 128))
+///     .collect();
+/// let report = Simulation::new(MachineConfig::new(1), specs, MiniFifo(VecDeque::new()))
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.tasks.len(), 3);
+/// assert!(report.tasks.iter().all(|t| t.completion().is_some()));
+/// ```
+pub struct Simulation<P> {
+    run: MachineRun<P>,
+}
+
+impl<P: Scheduler> Simulation<P> {
+    /// Builds a simulation over `specs` with the given policy. `specs` is
+    /// an owned `Vec<TaskSpec>` (moved into the machine, as before) or a
+    /// borrowed `&[TaskSpec]` so multi-policy sweeps build the trace once
+    /// (pass `&arc_specs[..]` for an `Arc<[TaskSpec]>`).
+    pub fn new<'s>(cfg: MachineConfig, specs: impl Into<Cow<'s, [TaskSpec]>>, policy: P) -> Self {
+        Simulation {
+            run: MachineRun::new(cfg, specs, policy),
+        }
+    }
+
+    /// Read access to the machine mid-run (useful in tests).
+    pub fn machine(&self) -> &Machine {
+        self.run.machine()
+    }
+
+    /// Read access to the policy mid-run.
+    pub fn policy(&self) -> &P {
+        self.run.policy()
+    }
+
+    /// Advances by one kernel event (see [`MachineRun::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the machine.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.run.step()
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the policy strands tasks or
+    /// [`SimError::Stalled`] if progress halts for the configured timeout.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run.run()
+    }
+
+    /// Runs to completion, dropping the machine (see
+    /// [`MachineRun::run_slim`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulation::run`].
+    pub fn run_slim(self) -> Result<SlimReport, SimError> {
+        self.run.run_slim()
     }
 }
 
@@ -370,5 +513,87 @@ mod tests {
         assert_eq!(report.total_cpu_time(), SimDuration::from_millis(60));
         assert_eq!(report.total_preemptions(), 0);
         assert_eq!(report.policy, "test-fifo");
+    }
+
+    #[test]
+    fn borrowed_specs_match_owned_specs() {
+        // The shared-spec path must behave exactly like handing over an
+        // owned Vec (same task ids, same completions).
+        let specs: Vec<TaskSpec> = (0..6)
+            .map(|i| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(5 + i), 128))
+            .collect();
+        let cfg = || MachineConfig::new(2).with_cost(crate::CostModel::free());
+        let owned = Simulation::new(
+            cfg(),
+            specs.clone(),
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run()
+        .unwrap();
+        let borrowed = Simulation::new(
+            cfg(),
+            &specs,
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run()
+        .unwrap();
+        let shared: std::sync::Arc<[TaskSpec]> = specs.into();
+        let arced = Simulation::new(
+            cfg(),
+            &shared[..],
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run()
+        .unwrap();
+        let completions =
+            |r: &SimReport| -> Vec<_> { r.tasks.iter().map(|t| t.completion()).collect() };
+        assert_eq!(completions(&owned), completions(&borrowed));
+        assert_eq!(completions(&owned), completions(&arced));
+    }
+
+    #[test]
+    fn slim_report_matches_full_report() {
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|_| TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128))
+            .collect();
+        let cfg = MachineConfig::new(2)
+            .with_cost(crate::CostModel::free())
+            .with_message_log();
+        let full = Simulation::new(
+            cfg.clone(),
+            &specs,
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run()
+        .unwrap();
+        let slim = Simulation::new(
+            cfg,
+            &specs,
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run_slim()
+        .unwrap();
+        assert_eq!(slim.policy, full.policy);
+        assert_eq!(slim.finished_at, full.finished_at);
+        assert_eq!(slim.core_stats, full.core_stats);
+        assert_eq!(slim.total_cpu_time(), full.total_cpu_time());
+        assert_eq!(slim.total_preemptions(), full.total_preemptions());
+        assert_eq!(slim.tasks.len(), full.tasks.len());
+        for (a, b) in slim.tasks.iter().zip(&full.tasks) {
+            assert_eq!(a.completion(), b.completion());
+            assert_eq!(a.cpu_time(), b.cpu_time());
+        }
+        assert_eq!(slim.messages, full.machine.messages());
+        assert!(!slim.messages.is_empty(), "log was enabled");
     }
 }

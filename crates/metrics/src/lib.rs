@@ -15,6 +15,8 @@
 //!   adaptive-limit timelines of Figs. 14/16/17/19;
 //! * [`jain_fairness`] / [`slowdowns`] / [`LogHistogram`] — fairness and
 //!   distribution statistics (Fig. 13's log-scale preemption counts);
+//! * [`merge_records`] / [`ClusterSummary`] — cross-machine aggregation
+//!   for the cluster layer (merged CDFs/percentiles in machine order);
 //! * CSV export for external plotting.
 //!
 //! ```
@@ -42,6 +44,7 @@
 
 mod cdf;
 mod export;
+mod merge;
 mod record;
 mod stats;
 mod summary;
@@ -49,6 +52,7 @@ mod timeline;
 
 pub use cdf::DurationCdf;
 pub use export::{write_records_csv, write_series_csv};
+pub use merge::{merge_records, ClusterSummary};
 pub use record::{records_from_tasks, TaskRecord, UnfinishedTaskError};
 pub use stats::{jain_fairness, mean_stddev, slowdowns, LogHistogram};
 pub use summary::{Metric, MetricSummary, RunSummary};

@@ -1,0 +1,151 @@
+//! Cross-machine (cluster-level) record merging.
+//!
+//! A fleet run produces one record set per machine; every cluster-level
+//! statistic — the merged CDFs and percentiles of the dispatch-policy
+//! comparisons, the fleet dollar cost — is computed over the
+//! concatenation. Merging is **in machine order** (shard 0's records
+//! first, in their original task order), so cluster output is a pure
+//! function of the per-machine results no matter how the machine
+//! simulations were fanned across threads.
+
+use crate::record::TaskRecord;
+use crate::summary::RunSummary;
+
+/// Concatenates per-machine record sets in machine order.
+///
+/// Order within a machine is preserved; machines contribute in slice
+/// order. All rank statistics ([`crate::DurationCdf`], [`RunSummary`])
+/// are order-insensitive, but a fixed merge order keeps any record-level
+/// output (CSV exports, digests) byte-identical across fan schedules.
+///
+/// # Examples
+///
+/// ```
+/// use faas_metrics::{merge_records, TaskRecord};
+/// use faas_simcore::{SimDuration, SimTime};
+///
+/// let rec = |ms: u64| TaskRecord {
+///     arrival: SimTime::ZERO,
+///     first_run: SimTime::ZERO,
+///     completion: SimTime::from_millis(ms),
+///     cpu_time: SimDuration::from_millis(ms),
+///     preemptions: 0,
+///     mem_mib: 128,
+/// };
+/// let merged = merge_records(&[vec![rec(10), rec(20)], vec![rec(30)]]);
+/// assert_eq!(merged.len(), 3);
+/// assert_eq!(merged[2], rec(30));
+/// ```
+pub fn merge_records(per_machine: &[Vec<TaskRecord>]) -> Vec<TaskRecord> {
+    let total = per_machine.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for records in per_machine {
+        out.extend_from_slice(records);
+    }
+    out
+}
+
+/// Cluster-level summary: the merged [`RunSummary`] across all machines
+/// plus each machine's own summary (for balance/outlier inspection).
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Summary over the concatenation of every machine's records.
+    pub merged: RunSummary,
+    /// One summary per machine, in machine order; `None` for a machine
+    /// that completed no tasks (possible under heavy downscaling).
+    pub per_machine: Vec<Option<RunSummary>>,
+}
+
+impl ClusterSummary {
+    /// Computes the merged and per-machine summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no machine completed any task (there is nothing to
+    /// summarize).
+    pub fn compute(per_machine: &[Vec<TaskRecord>]) -> Self {
+        let merged = RunSummary::compute(&merge_records(per_machine));
+        ClusterSummary {
+            merged,
+            per_machine: per_machine
+                .iter()
+                .map(|r| (!r.is_empty()).then(|| RunSummary::compute(r)))
+                .collect(),
+        }
+    }
+
+    /// The spread of per-machine p99 response times: `(min, max)` across
+    /// machines that completed tasks — a quick imbalance indicator for
+    /// dispatch policies.
+    pub fn response_p99_spread(&self) -> (faas_simcore::SimDuration, faas_simcore::SimDuration) {
+        let p99s = self.per_machine.iter().flatten().map(|s| s.response.p99);
+        let min = p99s.clone().min().unwrap_or_default();
+        let max = p99s.max().unwrap_or_default();
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::{SimDuration, SimTime};
+
+    fn rec(response_ms: u64, exec_ms: u64) -> TaskRecord {
+        TaskRecord {
+            arrival: SimTime::ZERO,
+            first_run: SimTime::from_millis(response_ms),
+            completion: SimTime::from_millis(response_ms + exec_ms),
+            cpu_time: SimDuration::from_millis(exec_ms),
+            preemptions: 0,
+            mem_mib: 128,
+        }
+    }
+
+    #[test]
+    fn merge_keeps_machine_then_task_order() {
+        let shards = vec![vec![rec(1, 1), rec(2, 1)], vec![], vec![rec(3, 1)]];
+        let merged = merge_records(&shards);
+        let responses: Vec<u64> = merged
+            .iter()
+            .map(|r| r.response_time().as_millis())
+            .collect();
+        assert_eq!(responses, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cluster_summary_merges_percentiles_across_machines() {
+        // Machine 0 is fast, machine 1 slow: the merged p99 must reflect
+        // the slow machine's tail, which no per-machine summary shows.
+        let fast: Vec<TaskRecord> = (0..95).map(|_| rec(1, 10)).collect();
+        let slow: Vec<TaskRecord> = (0..5).map(|_| rec(1_000, 10)).collect();
+        let s = ClusterSummary::compute(&[fast, slow]);
+        assert_eq!(s.per_machine.len(), 2);
+        assert_eq!(
+            s.per_machine[0].unwrap().response.p99,
+            SimDuration::from_millis(1),
+            "fast machine alone has a 1 ms tail"
+        );
+        assert_eq!(
+            s.merged.response.p99,
+            SimDuration::from_millis(1_000),
+            "merged tail comes from the slow machine"
+        );
+        let (min, max) = s.response_p99_spread();
+        assert_eq!(min, SimDuration::from_millis(1));
+        assert_eq!(max, SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn idle_machines_are_tolerated() {
+        let merged = merge_records(&[]);
+        assert!(merged.is_empty());
+        // One busy machine, one machine that never completed a task.
+        let s = ClusterSummary::compute(&[vec![rec(5, 10)], vec![]]);
+        assert!(s.per_machine[0].is_some());
+        assert!(s.per_machine[1].is_none(), "idle machine has no summary");
+        assert_eq!(
+            s.response_p99_spread(),
+            (SimDuration::from_millis(5), SimDuration::from_millis(5))
+        );
+    }
+}

@@ -103,6 +103,14 @@ impl PriceModel {
         records.iter().map(|r| self.cost_of(r)).sum()
     }
 
+    /// Total cost of a whole fleet: per-machine record sets summed in
+    /// machine order (billing is additive, so this equals the cost of the
+    /// merged workload) — the `$`-axis of the cluster dispatch-policy
+    /// comparisons.
+    pub fn cluster_workload_cost(&self, per_machine: &[Vec<TaskRecord>]) -> f64 {
+        per_machine.iter().map(|r| self.workload_cost(r)).sum()
+    }
+
     /// Total workload cost as if every function had `mem_mib` — one bar of
     /// the Fig. 1/20/22 sweeps.
     pub fn workload_cost_at(&self, records: &[TaskRecord], mem_mib: u32) -> f64 {
@@ -206,6 +214,18 @@ mod tests {
         let records = vec![record(100, 128), record(200, 256)];
         let total = m.workload_cost(&records);
         assert!((total - (m.cost_of(&records[0]) + m.cost_of(&records[1]))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cluster_cost_equals_merged_cost() {
+        let m = PriceModel::duration_only();
+        let shards = vec![
+            vec![record(100, 128), record(200, 256)],
+            vec![],
+            vec![record(50, 1_024)],
+        ];
+        let merged: Vec<TaskRecord> = shards.iter().flatten().copied().collect();
+        assert!((m.cluster_workload_cost(&shards) - m.workload_cost(&merged)).abs() < 1e-15);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`SimRng`] — a seeded random generator with the samplers used by the
 //!   Azure-like trace synthesizer;
 //! * [`check`] — a miniature property-test harness (the workspace's
-//!   offline stand-in for `proptest`).
+//!   offline stand-in for `proptest`);
+//! * [`par`] — a scoped-thread fan-out for independent deterministic jobs
+//!   (`BENCH_THREADS`-aware, results always in input order).
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 pub mod check;
 mod events;
 mod heap;
+pub mod par;
 mod rng;
 mod time;
 

@@ -1,15 +1,18 @@
 //! A zero-dependency parallel runner for independent simulation jobs.
 //!
-//! The figure sweeps are embarrassingly parallel: each `run_policy` call
-//! is a self-contained deterministic simulation. This module fans such
-//! jobs across OS threads with `std::thread::scope` — no external crates,
-//! no work-stealing runtime — while keeping results in **input order**,
-//! so a sweep binary's stdout is byte-identical at any thread count.
+//! Simulation sweeps are embarrassingly parallel: each policy run (and
+//! each machine of a cluster run) is a self-contained deterministic
+//! simulation. This module fans such jobs across OS threads with
+//! `std::thread::scope` — no external crates, no work-stealing runtime —
+//! while keeping results in **input order**, so any output assembled from
+//! the results is byte-identical at any thread count.
 //!
 //! The thread count comes from the `BENCH_THREADS` environment variable;
 //! unset or invalid values fall back to the host's available parallelism.
 //! `BENCH_THREADS=1` forces fully sequential execution on the calling
-//! thread (handy for timing baselines and debugging).
+//! thread (handy for timing baselines and debugging). Callers that must
+//! not consult the environment (benchmarks, determinism tests) can pin
+//! the fan width explicitly with [`par_map_with`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -43,7 +46,7 @@ fn available() -> usize {
 /// # Examples
 ///
 /// ```
-/// let squares = faas_bench::par::par_map(vec![1u64, 2, 3], |i, x| x * x + i as u64);
+/// let squares = faas_simcore::par::par_map(vec![1u64, 2, 3], |i, x| x * x + i as u64);
 /// assert_eq!(squares, vec![1, 5, 11]);
 /// ```
 ///
@@ -56,8 +59,25 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    par_map_with(bench_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker-thread cap instead of the
+/// `BENCH_THREADS` environment variable — for callers that need a pinned,
+/// environment-independent fan width (timing benchmarks, determinism
+/// tests sweeping thread counts in-process).
+///
+/// # Panics
+///
+/// Re-raises the first panic observed in a worker thread.
+pub fn par_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
-    let threads = bench_threads().min(n);
+    let threads = threads.max(1).min(n);
     if threads <= 1 {
         return items
             .into_iter()
@@ -129,6 +149,14 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(empty, |_, x: u32| x).is_empty());
         assert_eq!(par_map(vec![7u32], |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn explicit_thread_cap_matches_env_path() {
+        let items: Vec<u64> = (0..32).collect();
+        let serial = par_map_with(1, items.clone(), |i, x| x * 3 + i as u64);
+        let fanned = par_map_with(4, items, |i, x| x * 3 + i as u64);
+        assert_eq!(serial, fanned);
     }
 
     #[test]

@@ -102,6 +102,33 @@ impl TraceConfig {
         self
     }
 
+    /// Multiplies the arrival rate by `multiplier` over the same horizon —
+    /// the **cluster-scale knob**: an M-machine fleet behind a front end
+    /// sees M times the request rate of one enclave, so the cluster
+    /// scenarios drive `w2().rps_scaled(M)` at M machines. The extra
+    /// invocations flow through the same sharded per-minute streams, so
+    /// generation stays byte-identical at any shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use azure_trace::TraceConfig;
+    ///
+    /// let single = TraceConfig::w2();
+    /// let fleet = TraceConfig::w2().rps_scaled(4);
+    /// assert_eq!(fleet.total_invocations, 4 * single.total_invocations);
+    /// assert_eq!(fleet.minutes, single.minutes);
+    /// ```
+    pub fn rps_scaled(mut self, multiplier: usize) -> Self {
+        assert!(multiplier > 0, "RPS multiplier must be positive");
+        self.total_invocations *= multiplier;
+        self
+    }
+
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;

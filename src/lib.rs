@@ -17,6 +17,7 @@
 //! | [`metrics`] | `faas-metrics` | execution/response/turnaround, CDFs |
 //! | [`pricing`] | `lambda-pricing` | AWS-Lambda-style cost model |
 //! | [`firecracker`] | `microvm-sim` | microVM fleets with memory admission |
+//! | [`cluster`] | `faas-cluster` | multi-machine fleets with front-end dispatch |
 //! | [`host`] | `faas-host` | live-Linux backend (affinity + SCHED_FIFO) |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use azure_trace as trace;
+pub use faas_cluster as cluster;
 pub use faas_host as host;
 pub use faas_kernel as kernel;
 pub use faas_metrics as metrics;
