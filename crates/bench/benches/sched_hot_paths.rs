@@ -12,7 +12,10 @@ use faas_bench::timing::{black_box, Bench};
 
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_cluster::dispatch::{KeepAliveDispatch, LeastOutstanding};
-use faas_cluster::{Cluster, ClusterConfig, ClusterTask, ColdStartConfig, Dispatch};
+use faas_cluster::{
+    Cluster, ClusterConfig, ClusterTask, ClusterTaskStream, ColdStartConfig, Dispatch,
+    StreamOptions,
+};
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
 use hybrid_scheduler::{HybridConfig, HybridScheduler, SlidingWindow, TimeLimitPolicy};
@@ -131,6 +134,53 @@ fn bench_cluster(c: &mut Bench) {
     g.finish();
 }
 
+/// The streaming cluster path at provider shape: 512 × 50-core machines
+/// over a downscaled hour trace fed minute by minute (never
+/// materialized), paper hybrid nodes, Firecracker cold starts. Fan
+/// pinned to one thread like `bench_cluster`, so the sample measures
+/// per-event work. The workload size is fixed (no `SCALE_DIV`) so the
+/// baseline row stays comparable across runs; events/sec uses the
+/// deterministic fleet-wide kernel-event count. Peak RSS is printed as a
+/// stdout note — the streaming contract keeps it O(in-flight + sketches)
+/// regardless of trace length (pinned by the cluster differential
+/// tests), so it is informational, not a diffed row.
+fn bench_cluster_xl(c: &mut Bench) {
+    let mut g = c.benchmark_group("cluster_xl");
+    g.sample_size(3);
+    let cfg = TraceConfig {
+        minutes: 60,
+        total_invocations: 373_260,
+        ..TraceConfig::w2()
+    }
+    .rps_scaled(512)
+    .downscaled(2_048);
+    let run = || {
+        let cluster_cfg =
+            ClusterConfig::new(512, MachineConfig::new(50).with_cost(CostModel::default()))
+                .with_cold_start(ColdStartConfig::firecracker());
+        let report = Cluster::new(cluster_cfg, KeepAliveDispatch, |_| {
+            HybridScheduler::new(HybridConfig::paper_25_25())
+        })
+        .run_streaming(
+            ClusterTaskStream::new(&cfg, 1),
+            &StreamOptions::default(),
+            1,
+        )
+        .unwrap();
+        black_box(report.finished_at());
+        report.events_processed()
+    };
+    let events = run();
+    g.throughput(events);
+    g.bench_function("stream_512x50c_hour_div2048", |b| b.iter(run));
+    g.finish();
+    if let Some(mib) = faas_bench::peak_rss_mib() {
+        println!(
+            "  cluster_xl peak RSS so far: {mib} MiB (streaming run holds O(in-flight + sketches))"
+        );
+    }
+}
+
 fn bench_primitives(c: &mut Bench) {
     let mut g = c.benchmark_group("primitives");
     g.throughput(1_000);
@@ -212,6 +262,7 @@ fn main() {
     let mut c = Bench::from_env();
     bench_policies(&mut c);
     bench_cluster(&mut c);
+    bench_cluster_xl(&mut c);
     bench_primitives(&mut c);
     if c.filtered() {
         println!("name filters active: not overwriting BENCH_sched.json");

@@ -50,6 +50,13 @@ fn main() {
             skipped.push(s.id);
             continue;
         }
+        if s.has_tag("cluster-xl") {
+            // Provider-scale streaming fleets: even at 1/40 scale one
+            // sample is minutes of wall clock, and their cost is tracked
+            // by the dedicated cluster_xl row in sched_hot_paths.
+            skipped.push(s.id);
+            continue;
+        }
         g.bench_function(s.id, |b| {
             b.iter(|| {
                 let mut sink = Vec::new();
@@ -62,7 +69,7 @@ fn main() {
     g.finish();
     if !skipped.is_empty() {
         println!(
-            "skipped (take arguments / write files): {}",
+            "skipped (take arguments / write files / provider-scale): {}",
             skipped.join(", ")
         );
     }

@@ -67,6 +67,9 @@ fn main() -> ExitCode {
             "  note: baseline entry {group}/{name} missing from the fresh run (removed benchmark?)"
         );
     }
+    for (group, name) in &diff.unscored {
+        println!("  note: {group}/{name} is wall-clock only (no events/sec to compare)");
+    }
     let regressions = guard::report(&diff.comparisons, threshold, &mut std::io::stdout());
     if regressions > 0 {
         println!(

@@ -44,14 +44,17 @@ impl Comparison {
     }
 }
 
-/// Extracts `(group, name) → events_per_sec` rows from a `faas-bench/v1`
-/// document.
+/// Extracts every `(group, name)` row with its *optional*
+/// `events_per_sec` from a `faas-bench/v1` document. Pure wall-clock
+/// rows (no throughput declaration — e.g. the cluster-xl section) carry
+/// `None`: they still take part in the presence diff, they just never
+/// produce a throughput [`Comparison`].
 ///
 /// # Errors
 ///
 /// Rejects malformed JSON, a missing/mismatched `schema` marker, or a
 /// missing `results` array.
-fn throughput_rows(text: &str, label: &str) -> Result<Vec<(String, String, f64)>, String> {
+fn throughput_rows(text: &str, label: &str) -> Result<Vec<(String, String, Option<f64>)>, String> {
     let doc = jsoncheck::parse(text).map_err(|e| format!("{label}: {e}"))?;
     match doc.get("schema").and_then(Json::as_str) {
         Some("faas-bench/v1") => {}
@@ -69,11 +72,8 @@ fn throughput_rows(text: &str, label: &str) -> Result<Vec<(String, String, f64)>
         ) else {
             return Err(format!("{label}: result row without group/name"));
         };
-        // Rows without a throughput declaration (pure wall-clock benches)
-        // are skipped: their absolute time depends on workload scale.
-        if let Some(eps) = r.get("events_per_sec").and_then(Json::as_f64) {
-            rows.push((group.to_string(), name.to_string(), eps));
-        }
+        let eps = r.get("events_per_sec").and_then(Json::as_f64);
+        rows.push((group.to_string(), name.to_string(), eps));
     }
     Ok(rows)
 }
@@ -92,10 +92,17 @@ pub struct GuardDiff {
     /// `(group, name)` rows only the baseline has (benchmarks that were
     /// removed or renamed).
     pub baseline_only: Vec<(String, String)>,
+    /// `(group, name)` rows present in both documents where at least one
+    /// side declares no `events_per_sec` — wall-clock-only benches, which
+    /// have nothing scale-invariant to compare. Informational.
+    pub unscored: Vec<(String, String)>,
 }
 
 /// Compares two `faas-bench/v1` documents row-by-row on `events_per_sec`,
 /// keyed by `(group, name)`, and reports unmatched rows on either side.
+/// A row present in only one document is a presence note whether or not
+/// it declares a throughput — a freshly added wall-clock bench (no
+/// committed baseline yet) lands in `fresh_only`, not in silence.
 ///
 /// # Errors
 ///
@@ -105,29 +112,38 @@ pub fn compare_full(baseline: &str, fresh: &str) -> Result<GuardDiff, String> {
     let fresh_rows = throughput_rows(fresh, "fresh")?;
     let mut comparisons = Vec::new();
     let mut baseline_only = Vec::new();
+    let mut unscored = Vec::new();
+    let mut matched: Vec<(String, String)> = Vec::new();
     for (group, name, base_eps) in base_rows {
         match fresh_rows
             .iter()
             .find(|(g, n, _)| *g == group && *n == name)
         {
-            Some((_, _, fresh_eps)) => comparisons.push(Comparison {
-                group,
-                name,
-                baseline: base_eps,
-                fresh: *fresh_eps,
-            }),
+            Some((_, _, fresh_eps)) => {
+                matched.push((group.clone(), name.clone()));
+                match (base_eps, fresh_eps) {
+                    (Some(base), Some(fresh)) => comparisons.push(Comparison {
+                        group,
+                        name,
+                        baseline: base,
+                        fresh: *fresh,
+                    }),
+                    _ => unscored.push((group, name)),
+                }
+            }
             None => baseline_only.push((group, name)),
         }
     }
     let fresh_only = fresh_rows
         .into_iter()
-        .filter(|(g, n, _)| !comparisons.iter().any(|c| c.group == *g && c.name == *n))
+        .filter(|(g, n, _)| !matched.iter().any(|(mg, mn)| mg == g && mn == n))
         .map(|(g, n, _)| (g, n))
         .collect();
     Ok(GuardDiff {
         comparisons,
         fresh_only,
         baseline_only,
+        unscored,
     })
 }
 
@@ -225,6 +241,55 @@ mod tests {
         );
         // The narrow API drops them silently.
         assert_eq!(compare(&base, &fresh).unwrap(), diff.comparisons);
+    }
+
+    /// A document mixing throughput rows and wall-clock-only rows
+    /// (`None` eps), like `BENCH_sched.json` with the cluster-xl section.
+    fn doc_mixed(rows: &[(&str, &str, Option<f64>)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(g, n, e)| match e {
+                Some(e) => {
+                    format!(r#"{{"group": "{g}", "name": "{n}", "events_per_sec": {e}}}"#)
+                }
+                None => format!(r#"{{"group": "{g}", "name": "{n}", "median_ns": 5}}"#),
+            })
+            .collect();
+        format!(
+            r#"{{"schema": "faas-bench/v1", "quick": false, "results": [{}]}}"#,
+            body.join(", ")
+        )
+    }
+
+    #[test]
+    fn new_wall_clock_row_is_a_presence_note_not_invisible() {
+        // A freshly added bench section with no events_per_sec and no
+        // committed baseline entry (the cluster-xl case) must surface as
+        // a clean "new row" note, not vanish from the diff.
+        let base = doc(&[("g", "old", 1000.0)]);
+        let fresh = doc_mixed(&[("g", "old", Some(1000.0)), ("cluster_xl", "xl_512", None)]);
+        let diff = compare_full(&base, &fresh).unwrap();
+        assert_eq!(diff.comparisons.len(), 1);
+        assert_eq!(
+            diff.fresh_only,
+            vec![("cluster_xl".to_string(), "xl_512".to_string())]
+        );
+        assert!(diff.baseline_only.is_empty());
+        assert!(diff.unscored.is_empty());
+    }
+
+    #[test]
+    fn matched_wall_clock_rows_are_unscored_not_compared() {
+        let base = doc_mixed(&[("g", "a", Some(1000.0)), ("w", "wall", None)]);
+        let fresh = doc_mixed(&[("g", "a", Some(900.0)), ("w", "wall", None)]);
+        let diff = compare_full(&base, &fresh).unwrap();
+        assert_eq!(diff.comparisons.len(), 1, "only the scored row compares");
+        assert_eq!(diff.unscored, vec![("w".to_string(), "wall".to_string())]);
+        assert!(diff.fresh_only.is_empty() && diff.baseline_only.is_empty());
+        // One side gaining a throughput declaration still can't compare.
+        let upgraded = doc_mixed(&[("g", "a", Some(900.0)), ("w", "wall", Some(5.0))]);
+        let diff = compare_full(&base, &upgraded).unwrap();
+        assert_eq!(diff.unscored, vec![("w".to_string(), "wall".to_string())]);
     }
 
     #[test]

@@ -118,6 +118,33 @@ pub fn w2_cluster_trace(rps_multiplier: usize) -> AzureTrace {
     )
 }
 
+/// The cluster-xl trace **config** (not a materialized trace): W2's
+/// request rate sustained for a full hour (373,260 invocations), then
+/// multiplied by `machines` like [`w2_cluster_trace`]. At 512 machines
+/// that is ~191M invocations — far past what a materializing run can
+/// hold, which is the point: the cluster-xl scenarios stream it through
+/// [`faas_cluster::ClusterTaskStream`] minute by minute. Honors
+/// `SCALE_DIV`.
+pub fn cluster_xl_trace_cfg(machines: usize) -> TraceConfig {
+    let hour = TraceConfig {
+        minutes: 60,
+        total_invocations: 373_260,
+        ..TraceConfig::w2()
+    };
+    scaled(hour.rps_scaled(machines))
+}
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux. The cluster-xl scenarios
+/// report it on **stderr** — it is host state, never part of the
+/// CI-diffed scenario stdout.
+pub fn peak_rss_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024)
+}
+
 /// The Firecracker workload: the first 2,952 invocations of the
 /// 10-minute trace — the prefix the paper could launch before running
 /// out of host memory (§VI-E).

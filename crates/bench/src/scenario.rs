@@ -19,9 +19,9 @@
 //! ```
 //! use faas_bench::scenario;
 //!
-//! // Every paper figure/table/ablation/tool — plus the cluster
-//! // scenarios — is registered.
-//! assert_eq!(scenario::all().len(), 29);
+//! // Every paper figure/table/ablation/tool — plus the cluster and
+//! // streaming cluster-xl scenarios — is registered.
+//! assert_eq!(scenario::all().len(), 31);
 //!
 //! // Lookup by id, filter by tag (runtime classes double as tags).
 //! let table1 = scenario::find("table1").expect("registered");
@@ -384,6 +384,24 @@ static SCENARIOS: &[Scenario] = &[
         run: scenarios::cluster::cluster03,
     },
     Scenario {
+        id: "cluster-xl-512",
+        title: "streaming 512-machine fleet over an hour-scale trace",
+        paper_ref: "DESIGN.md streaming",
+        tags: &["cluster-xl", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::cluster::cluster_xl_512,
+    },
+    Scenario {
+        id: "cluster-xl-1024",
+        title: "streaming 1024-machine fleet over an hour-scale trace",
+        paper_ref: "DESIGN.md streaming",
+        tags: &["cluster-xl", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::cluster::cluster_xl_1024,
+    },
+    Scenario {
         id: "make-workload",
         title: "write the W2/W10/Firecracker workload CSVs (Fig. 9 ①)",
         paper_ref: "Fig. 9",
@@ -455,7 +473,10 @@ mod tests {
     fn registry_ids_are_unique_and_kebab() {
         let mut ids: Vec<&str> = all().iter().map(|s| s.id).collect();
         let n = ids.len();
-        assert_eq!(n, 29, "26 legacy scenarios + 3 cluster scenarios");
+        assert_eq!(
+            n, 31,
+            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl"
+        );
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicate scenario id");
@@ -486,13 +507,15 @@ mod tests {
         let ablations = with_tag("ablation").len();
         let tools = with_tag("tool").len();
         let clusters = with_tag("cluster").len();
+        let cluster_xl = with_tag("cluster-xl").len();
         assert_eq!(figures, 19);
         assert_eq!(tables, 1);
         assert_eq!(ablations, 2);
         assert_eq!(tools, 2);
-        assert_eq!(clusters, 3);
+        assert_eq!(clusters, 3, "cluster-xl must not match the cluster tag");
+        assert_eq!(cluster_xl, 2);
         // quick + full covers everything.
-        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 29);
+        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 31);
     }
 
     #[test]

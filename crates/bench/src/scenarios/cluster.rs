@@ -14,7 +14,10 @@
 use faas_cluster::dispatch::{
     Dispatch, KeepAliveDispatch, LeastOutstanding, RandomDispatch, RoundRobinDispatch,
 };
-use faas_cluster::{workload_from_trace, Cluster, ClusterConfig, ClusterTask, ColdStartConfig};
+use faas_cluster::{
+    workload_from_trace, Cluster, ClusterConfig, ClusterTask, ClusterTaskStream, ColdStartConfig,
+    StreamOptions,
+};
 use faas_kernel::Scheduler;
 use faas_metrics::RunSummary;
 use faas_policies::Fifo;
@@ -22,7 +25,7 @@ use hybrid_scheduler::{HybridConfig, HybridScheduler};
 use lambda_pricing::PriceModel;
 
 use crate::scenario::{ScenarioCtx, ScenarioResult};
-use crate::{paper_machine, par, w2_cluster_trace};
+use crate::{cluster_xl_trace_cfg, paper_machine, par, peak_rss_mib, w2_cluster_trace};
 
 /// Root seed of the random dispatch policy's choice stream (independent
 /// of the machine seeds, which derive from the machine template).
@@ -117,4 +120,81 @@ pub(crate) fn cluster02(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
 /// registry (256 W2-scale machine simulations at full scale).
 pub(crate) fn cluster03(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
     cluster_comparison(ctx, "cluster03", 64, false)
+}
+
+/// Shared body of the `cluster-xl` scenarios: one provider-scale fleet
+/// driven through [`Cluster::run_streaming`] over a lazily generated
+/// hour trace. The merged trace never exists in memory — the front end
+/// sees one minute at a time and every machine retires finished records
+/// into O(sketch) accumulators — so peak RSS is set by the arrival rate,
+/// not the invocation count.
+///
+/// Stdout carries only deterministic values (sketched quantiles, exact
+/// counts/cost, peak live tasks, sketch tuples), byte-identical at any
+/// `BENCH_THREADS`; wall-clock and peak RSS go to **stderr**.
+fn cluster_xl(ctx: &mut ScenarioCtx<'_>, id: &str, machines: usize) -> ScenarioResult {
+    let cfg = cluster_xl_trace_cfg(machines);
+    let stream = ClusterTaskStream::new(&cfg, 1);
+    let total = stream.total_invocations();
+    writeln!(
+        ctx.out,
+        "# {id} | {machines} machines x 50 cores, W2-rate hour trace x{machines} RPS \
+         ({total} invocations), firecracker cold starts, streaming run"
+    )?;
+    writeln!(
+        ctx.out,
+        "dispatch\tinvocations\tp50_response_s\tp99_response_s\tp999_response_s\t\
+         p99_execution_s\tcost_usd\tcold_starts\tmachine_p99_resp_spread_s\t\
+         peak_live_tasks\tsketch_tuples"
+    )?;
+    let opts = StreamOptions {
+        price: Some(PriceModel::duration_only()),
+        ..StreamOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let report = Cluster::new(fleet_config(machines), KeepAliveDispatch, |_| {
+        HybridScheduler::new(HybridConfig::paper_25_25())
+    })
+    .run_streaming(stream, &opts, par::bench_threads())
+    .expect("streaming cluster completes");
+    let wall = started.elapsed();
+    let summary = report.summary();
+    let merged = summary.merged.to_summary();
+    let (lo, hi) = summary.response_p99_spread();
+    writeln!(
+        ctx.out,
+        "{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.4}\t{}\t{:.2}-{:.2}\t{}\t{}",
+        report.dispatch,
+        merged.response.count,
+        merged.response.p50.as_secs_f64(),
+        merged.response.p99.as_secs_f64(),
+        summary.merged.response.p999().as_secs_f64(),
+        merged.execution.p99.as_secs_f64(),
+        report.total_cost_usd(),
+        report.cold_starts,
+        lo.as_secs_f64(),
+        hi.as_secs_f64(),
+        report.max_live_tasks(),
+        summary.tuple_count(),
+    )?;
+    // Host-dependent numbers stay off the CI-diffed stdout.
+    let rss = peak_rss_mib().map_or_else(|| "n/a".to_string(), |m| format!("{m} MiB"));
+    eprintln!(
+        "# {id}: wall-clock {:.1}s, peak RSS {rss}, {} kernel events",
+        wall.as_secs_f64(),
+        report.events_processed(),
+    );
+    Ok(())
+}
+
+/// cluster-xl-512: 512 machines over an hour-scale trace (~191M
+/// invocations at full scale), streamed.
+pub(crate) fn cluster_xl_512(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    cluster_xl(ctx, "cluster-xl-512", 512)
+}
+
+/// cluster-xl-1024: 1024 machines over an hour-scale trace (~382M
+/// invocations at full scale), streamed.
+pub(crate) fn cluster_xl_1024(ctx: &mut ScenarioCtx<'_>) -> ScenarioResult {
+    cluster_xl(ctx, "cluster-xl-1024", 1024)
 }

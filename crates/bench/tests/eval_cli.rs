@@ -28,7 +28,7 @@ fn list_enumerates_every_registered_scenario() {
     });
     let stdout = String::from_utf8(out.stdout).expect("utf8 listing");
     assert!(
-        stdout.contains("# 29 scenarios"),
+        stdout.contains("# 31 scenarios"),
         "missing count footer:\n{stdout}"
     );
     for scenario in faas_bench::scenario::all() {
@@ -127,6 +127,49 @@ fn cluster_scenario_listing_and_thread_invariance() {
     for dispatch in ["random", "round-robin", "least-outstanding", "keep-alive"] {
         assert!(text.contains(dispatch), "missing {dispatch} row:\n{text}");
     }
+}
+
+#[test]
+fn cluster_xl_streams_deterministically_across_fan_widths() {
+    // `--tag cluster-xl` must surface both streaming fleet scenarios
+    // (and only them — the plain `cluster` tag must not match them)...
+    let out = run({
+        let mut c = faas_eval();
+        c.args(["--list", "--tag", "cluster-xl"]);
+        c
+    });
+    let listing = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["cluster-xl-512", "cluster-xl-1024"] {
+        assert!(
+            listing.contains(id),
+            "{id} missing from listing:\n{listing}"
+        );
+    }
+    assert!(
+        listing.contains("# 2 scenarios"),
+        "count footer:\n{listing}"
+    );
+
+    // ...and a streamed 512-machine run's stdout must be byte-identical
+    // at machine-fan widths 1 and 4 (heavily downscaled: this is the
+    // debug profile). Wall-clock/RSS live on stderr, outside the diff.
+    let at_threads = |threads: &str| {
+        run({
+            let mut c = faas_eval();
+            c.args(["--id", "cluster-xl-512"])
+                .env("SCALE_DIV", "20000")
+                .env("BENCH_THREADS", threads);
+            c
+        })
+        .stdout
+    };
+    let t1 = at_threads("1");
+    let t4 = at_threads("4");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t4, "cluster-xl-512 bytes depend on BENCH_THREADS");
+    let text = String::from_utf8(t1).expect("utf8");
+    assert!(text.contains("streaming run"), "header missing:\n{text}");
+    assert!(text.contains("keep-alive"), "dispatch row missing:\n{text}");
 }
 
 #[test]

@@ -177,6 +177,12 @@ pub struct FrontEnd {
     loads: Vec<MachineLoad>,
     /// Cores per machine (exposed via [`DispatchCtx::cores`]).
     cores: usize,
+    /// Latest arrival dispatched so far — carried across
+    /// [`FrontEnd::dispatch_chunk`] calls so a chunked feed enforces the
+    /// same global sorted-stream contract as one [`dispatch_all`] pass.
+    ///
+    /// [`dispatch_all`]: FrontEnd::dispatch_all
+    last_arrival: SimTime,
     /// `(machine, function) → pool of instance busy-until instants (µs)`.
     /// One entry per live function instance: an instance serves **one**
     /// invocation at a time, is reusable while idle
@@ -205,6 +211,7 @@ impl FrontEnd {
                 .map(|_| MachineLoad::new(cfg.machine.cores))
                 .collect(),
             cores: cfg.machine.cores,
+            last_arrival: SimTime::ZERO,
             pools: HashMap::new(),
             cold: cfg.cold_start,
         }
@@ -253,14 +260,32 @@ impl FrontEnd {
         tasks: &[ClusterTask],
         policy: &mut D,
     ) -> Assignment {
+        self.dispatch_chunk(tasks, policy)
+    }
+
+    /// One incremental slice of the dispatch pass: like
+    /// [`FrontEnd::dispatch_all`], but keeps the front end alive so the
+    /// next chunk continues from the same load estimates, warm pools and
+    /// arrival floor. Chunked dispatch of a stream is decision-for-
+    /// decision identical to one `dispatch_all` over its concatenation —
+    /// the front end is a pure fold over the arrival sequence.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`FrontEnd::dispatch_all`], with the arrival floor
+    /// carried across chunks.
+    pub fn dispatch_chunk<D: Dispatch + ?Sized>(
+        &mut self,
+        tasks: &[ClusterTask],
+        policy: &mut D,
+    ) -> Assignment {
         let mut per_machine: Vec<Vec<TaskSpec>> =
             (0..self.loads.len()).map(|_| Vec::new()).collect();
         let mut cold_starts = 0u64;
-        let mut last_arrival = SimTime::ZERO;
         for task in tasks {
             let now = task.spec.arrival;
-            assert!(now >= last_arrival, "arrival stream must be sorted");
-            last_arrival = now;
+            assert!(now >= self.last_arrival, "arrival stream must be sorted");
+            self.last_arrival = now;
             let now_us = now.as_micros();
             for load in &mut self.loads {
                 load.drain_until(now_us);
@@ -268,7 +293,7 @@ impl FrontEnd {
             let ctx = DispatchCtx {
                 now,
                 function: task.function,
-                front: &self,
+                front: self,
             };
             let machine = policy.pick(&ctx);
             assert!(

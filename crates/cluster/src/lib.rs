@@ -30,6 +30,15 @@
 //! front end's FCFS drain *estimate* rather than per-kernel ground truth
 //! — the same information boundary a production router has.
 //!
+//! For provider-scale fleets the same pipeline runs **streaming**
+//! ([`Cluster::run_streaming`]): chunks of the arrival stream (e.g. a
+//! [`ClusterTaskStream`] over a lazily synthesized trace) are dispatched
+//! incrementally, machines retire finished records into mergeable
+//! accumulators as they go, and peak memory is O(in-flight tasks), not
+//! O(invocations) — with dispatch decisions and exact statistics
+//! identical to [`Cluster::run`] (see `DESIGN.md`, "Streaming cluster
+//! runs").
+//!
 //! ```
 //! use azure_trace::{AzureTrace, TraceConfig};
 //! use faas_cluster::{dispatch::LeastOutstanding, Cluster, ClusterConfig};
@@ -52,9 +61,14 @@
 
 pub mod dispatch;
 mod frontend;
+mod stream;
 
 pub use dispatch::{Dispatch, DispatchCtx};
 pub use frontend::{Assignment, FrontEnd};
+pub use stream::{
+    chunk_workload, ClusterChunk, ClusterTaskStream, StreamClusterReport, StreamMachineReport,
+    StreamOptions,
+};
 
 use azure_trace::AzureTrace;
 use faas_kernel::{MachineConfig, MachineRun, Scheduler, SimError, SlimReport, TaskSpec};

@@ -1,0 +1,435 @@
+//! Streaming cluster runs: chunked trace feed, incremental dispatch,
+//! bounded-memory machine simulation and mergeable metric sketches.
+//!
+//! [`Cluster::run`] materializes the whole workload, dispatches it in one
+//! pass and holds every task record until the end — O(invocations)
+//! memory, which caps fleet scale. [`Cluster::run_streaming`] runs the
+//! *same* three phases as a loop over [`ClusterChunk`]s instead:
+//!
+//! 1. the front end dispatches one chunk
+//!    ([`FrontEnd::dispatch_chunk`](crate::FrontEnd::dispatch_chunk)),
+//!    carrying its load estimates and warm pools across chunks;
+//! 2. every machine feeds its share, advances to the chunk horizon
+//!    (strictly below it — the next chunk's first arrival may land
+//!    exactly on the boundary) and **retires** finished task records into
+//!    per-machine accumulators ([`StreamRunStats`] + [`CostAccumulator`]);
+//! 3. after the last chunk, machines drain to completion.
+//!
+//! Peak memory is O(in-flight tasks + machines × sketch), independent of
+//! how many invocations the trace contains. Dispatch decisions, exact
+//! aggregates (count/mean/max/total), core stats, event counts and the
+//! billed cost are **identical** to the materializing path — bitwise, at
+//! any fan width — and sketched quantiles carry a rank-error certificate.
+//! The `streaming_differential` integration suite pins all of this.
+
+use faas_kernel::{CoreStats, MachineRun, Scheduler, SimError, TaskSpec};
+use faas_metrics::{StreamClusterSummary, StreamRunStats, TaskRecord, DEFAULT_STREAM_EPSILON};
+use faas_simcore::{par, SimDuration, SimTime};
+use lambda_pricing::{CostAccumulator, PriceModel};
+
+use crate::dispatch::Dispatch;
+use crate::frontend::FrontEnd;
+use crate::{Cluster, ClusterTask};
+
+/// One chunk of a streamed cluster workload: a contiguous run of the
+/// arrival stream plus its exclusive time horizon.
+#[derive(Debug, Clone)]
+pub struct ClusterChunk {
+    /// Exclusive horizon: every contained arrival is strictly before this
+    /// instant, and every later chunk's arrival is at or after it.
+    pub end: SimTime,
+    /// The chunk's invocations, sorted by arrival.
+    pub tasks: Vec<ClusterTask>,
+}
+
+/// Lazy, chunk-at-a-time equivalent of [`workload_from_trace`]: wraps
+/// [`azure_trace::TraceStream`] and attaches the function identity
+/// (the invocation's Fibonacci bucket) to each spec. Iterating yields the
+/// exact concatenation [`workload_from_trace`] would materialize.
+///
+/// [`workload_from_trace`]: crate::workload_from_trace
+#[derive(Debug)]
+pub struct ClusterTaskStream {
+    inner: azure_trace::TraceStream,
+    chunk_minutes: usize,
+}
+
+impl ClusterTaskStream {
+    /// Streams the trace described by `cfg` in chunks of `chunk_minutes`
+    /// whole trace minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_minutes` is zero or `cfg` describes an empty
+    /// trace (like the materializing path).
+    pub fn new(cfg: &azure_trace::TraceConfig, chunk_minutes: usize) -> Self {
+        assert!(chunk_minutes > 0, "chunk must cover at least one minute");
+        ClusterTaskStream {
+            inner: azure_trace::TraceStream::new(cfg),
+            chunk_minutes,
+        }
+    }
+
+    /// Total invocations the full stream will emit.
+    pub fn total_invocations(&self) -> usize {
+        self.inner.total_invocations()
+    }
+}
+
+impl Iterator for ClusterTaskStream {
+    type Item = ClusterChunk;
+
+    fn next(&mut self) -> Option<ClusterChunk> {
+        let chunk = self.inner.next_chunk(self.chunk_minutes)?;
+        let tasks = chunk
+            .specs
+            .into_iter()
+            .zip(&chunk.invocations)
+            .map(|(spec, inv)| ClusterTask {
+                spec,
+                function: u64::from(inv.fib_n),
+            })
+            .collect();
+        Some(ClusterChunk {
+            end: chunk.end,
+            tasks,
+        })
+    }
+}
+
+/// Splits an already-materialized workload (sorted by arrival) into
+/// window-aligned [`ClusterChunk`]s — the adapter that lets any in-memory
+/// task list run through the streaming path, which is exactly what the
+/// differential suite exercises.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or `tasks` is not sorted by arrival.
+pub fn chunk_workload(tasks: &[ClusterTask], window: SimDuration) -> Vec<ClusterChunk> {
+    assert!(!window.is_zero(), "chunk window must be positive");
+    let w = window.as_micros();
+    let mut chunks: Vec<ClusterChunk> = Vec::new();
+    let mut next_boundary = w;
+    let mut current: Vec<ClusterTask> = Vec::new();
+    let mut last = SimTime::ZERO;
+    for task in tasks {
+        let at = task.spec.arrival;
+        assert!(at >= last, "workload must be sorted by arrival");
+        last = at;
+        while at.as_micros() >= next_boundary {
+            chunks.push(ClusterChunk {
+                end: SimTime::from_micros(next_boundary),
+                tasks: std::mem::take(&mut current),
+            });
+            next_boundary += w;
+        }
+        current.push(task.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(ClusterChunk {
+            end: SimTime::from_micros(next_boundary),
+            tasks: current,
+        });
+    }
+    chunks
+}
+
+/// Tuning of a streaming cluster run.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Rank-error parameter of the quantile sketches
+    /// ([`DEFAULT_STREAM_EPSILON`] by default).
+    pub epsilon: f64,
+    /// Bill retired records under this tariff as they stream by; `None`
+    /// skips billing (reported costs are zero).
+    pub price: Option<PriceModel>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            epsilon: DEFAULT_STREAM_EPSILON,
+            price: None,
+        }
+    }
+}
+
+/// Per-machine outcome of a streaming run: fixed-size accumulators
+/// instead of task records — the [`SlimReport`](faas_kernel::SlimReport)
+/// analogue whose size is independent of the invocation count.
+#[derive(Debug)]
+pub struct StreamMachineReport {
+    /// Scheduler policy name the machine ran.
+    pub policy: String,
+    /// The three paper metrics, accumulated as records retired.
+    pub stats: StreamRunStats,
+    /// Per-core statistics, in core order.
+    pub core_stats: Vec<CoreStats>,
+    /// Virtual instant the machine's last task finished.
+    pub finished_at: SimTime,
+    /// Kernel events processed (stale generations included).
+    pub events_processed: u64,
+    /// Invocations completed (and billed) on this machine.
+    pub tasks: u64,
+    /// Billed cost in USD (zero when [`StreamOptions::price`] is `None`).
+    pub cost_usd: f64,
+    /// Peak number of task records held in memory at once — the bounded
+    /// quantity that replaces the materializing path's O(invocations).
+    pub max_live_tasks: usize,
+}
+
+/// Outcome of a whole streaming cluster run — O(machines × sketch)
+/// memory, the [`ClusterReport`](crate::ClusterReport) analogue.
+#[derive(Debug)]
+pub struct StreamClusterReport {
+    /// Dispatch policy name the run used.
+    pub dispatch: String,
+    /// Per-machine reports, in machine order.
+    pub machines: Vec<StreamMachineReport>,
+    /// Invocations that paid the cold-start boot cost.
+    pub cold_starts: u64,
+}
+
+impl StreamClusterReport {
+    /// Merged + per-machine metric summaries (sketched quantiles, exact
+    /// everything else), merging in machine order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no machine completed any task.
+    pub fn summary(&self) -> StreamClusterSummary {
+        let stats: Vec<StreamRunStats> = self.machines.iter().map(|m| m.stats.clone()).collect();
+        StreamClusterSummary::compute(&stats)
+    }
+
+    /// Invocations completed on each machine.
+    pub fn dispatched(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.tasks).collect()
+    }
+
+    /// The virtual instant the last machine finished.
+    pub fn finished_at(&self) -> SimTime {
+        self.machines
+            .iter()
+            .map(|m| m.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total billed cost: per-machine totals summed in machine order —
+    /// the same fold as
+    /// [`PriceModel::cluster_workload_cost`], so it is bitwise equal to
+    /// pricing the materialized per-machine records.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.machines.iter().map(|m| m.cost_usd).sum()
+    }
+
+    /// Kernel events processed across the fleet.
+    pub fn events_processed(&self) -> u64 {
+        self.machines.iter().map(|m| m.events_processed).sum()
+    }
+
+    /// The largest number of task records any machine held at once.
+    pub fn max_live_tasks(&self) -> usize {
+        self.machines
+            .iter()
+            .map(|m| m.max_live_tasks)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One machine's round-trippable state between chunks: the driver plus
+/// the accumulators its retired records fold into.
+struct MachineState<P> {
+    run: MachineRun<P>,
+    stats: StreamRunStats,
+    cost: Option<CostAccumulator>,
+    max_live: usize,
+}
+
+impl<P: Scheduler> MachineState<P> {
+    /// Feeds a chunk share, advances to `bound` (exclusive) and retires
+    /// what finished into the accumulators.
+    fn advance_chunk(&mut self, specs: Vec<TaskSpec>, bound: SimTime) -> Result<(), SimError> {
+        self.run.feed_specs(specs);
+        self.max_live = self.max_live.max(self.run.machine().num_live_tasks());
+        self.run.run_until(bound)?;
+        self.retire();
+        Ok(())
+    }
+
+    fn retire(&mut self) {
+        let MachineState {
+            run, stats, cost, ..
+        } = self;
+        run.retire_finished(|task| {
+            let record = TaskRecord::try_from(&task).expect("retired tasks are finished");
+            stats.record(&record);
+            if let Some(c) = cost {
+                c.record(&record);
+            }
+        });
+    }
+
+    fn into_report(self) -> StreamMachineReport {
+        StreamMachineReport {
+            policy: self.run.policy().name().to_owned(),
+            core_stats: self.run.core_stats(),
+            finished_at: self.run.machine().now(),
+            events_processed: self.run.machine().events_processed(),
+            tasks: self.stats.count(),
+            cost_usd: self.cost.as_ref().map_or(0.0, CostAccumulator::total_usd),
+            max_live_tasks: self.max_live,
+            stats: self.stats,
+        }
+    }
+}
+
+impl<D, P, F> Cluster<D, F>
+where
+    D: Dispatch,
+    P: Scheduler + Send,
+    F: Fn(usize) -> P + Sync,
+{
+    /// Runs the cluster over a chunked arrival stream, fanning the
+    /// independent machine simulations over up to `threads` workers per
+    /// chunk. Dispatch decisions and all exact statistics are identical
+    /// to [`Cluster::run`] over the stream's concatenation, at any
+    /// `threads` value — but peak memory stays O(in-flight), independent
+    /// of the stream's total length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] (in machine order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if chunk arrivals are out of order or the dispatch policy
+    /// returns an out-of-range machine index.
+    pub fn run_streaming(
+        mut self,
+        chunks: impl IntoIterator<Item = ClusterChunk>,
+        opts: &StreamOptions,
+        threads: usize,
+    ) -> Result<StreamClusterReport, SimError> {
+        let mut front = FrontEnd::new(&self.cfg);
+        let mut states: Vec<MachineState<P>> = (0..self.cfg.machines)
+            .map(|i| MachineState {
+                run: MachineRun::new(
+                    self.cfg.machine_config(i),
+                    Vec::new(),
+                    (self.make_policy)(i),
+                ),
+                stats: StreamRunStats::new(opts.epsilon),
+                cost: opts.price.map(CostAccumulator::new),
+                max_live: 0,
+            })
+            .collect();
+        let mut cold_starts = 0u64;
+        for chunk in chunks {
+            let assignment = front.dispatch_chunk(&chunk.tasks, &mut self.dispatch);
+            cold_starts += assignment.cold_starts;
+            let bound = chunk.end;
+            let items: Vec<(MachineState<P>, Vec<TaskSpec>)> =
+                states.into_iter().zip(assignment.per_machine).collect();
+            let outcomes = par::par_map_with(threads, items, |_i, (mut state, specs)| {
+                state.advance_chunk(specs, bound).map(|()| state)
+            });
+            states = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                states.push(outcome?);
+            }
+        }
+        let outcomes = par::par_map_with(threads, states, |_i, mut state| {
+            state.run.run_to_end()?;
+            state.retire();
+            Ok::<_, SimError>(state)
+        });
+        let mut machines = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            machines.push(outcome?.into_report());
+        }
+        Ok(StreamClusterReport {
+            dispatch: self.dispatch.name().to_owned(),
+            machines,
+            cold_starts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::LeastOutstanding;
+    use crate::{workload_from_trace, ClusterConfig};
+    use azure_trace::{AzureTrace, TraceConfig};
+    use faas_kernel::MachineConfig;
+    use faas_policies::Fifo;
+
+    #[test]
+    fn cluster_task_stream_concatenates_to_the_materialized_workload() {
+        let cfg = TraceConfig::tiny();
+        let materialized = workload_from_trace(&AzureTrace::generate(&cfg), 1);
+        let streamed: Vec<ClusterTask> = ClusterTaskStream::new(&cfg, 1)
+            .flat_map(|c| c.tasks)
+            .collect();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn chunk_workload_partitions_without_loss() {
+        let cfg = TraceConfig::w2().downscaled(8);
+        let tasks = workload_from_trace(&AzureTrace::generate(&cfg), 1);
+        let chunks = chunk_workload(&tasks, SimDuration::from_secs(15));
+        let rejoined: Vec<ClusterTask> = chunks.iter().flat_map(|c| c.tasks.clone()).collect();
+        assert_eq!(rejoined, tasks);
+        for c in &chunks {
+            assert!(c.tasks.iter().all(|t| t.spec.arrival < c.end));
+        }
+        for pair in chunks.windows(2) {
+            assert!(pair[0].end <= pair[1].end);
+            assert!(pair[1].tasks.iter().all(|t| t.spec.arrival >= pair[0].end));
+        }
+    }
+
+    #[test]
+    fn empty_windows_are_emitted_as_empty_chunks() {
+        // A lull in the middle must not splice time: machines still
+        // advance through it chunk by chunk.
+        let mk = |ms: u64| ClusterTask {
+            spec: faas_kernel::TaskSpec::function(
+                SimTime::from_millis(ms),
+                SimDuration::from_millis(1),
+                128,
+            ),
+            function: 0,
+        };
+        let tasks = vec![mk(0), mk(3_500)];
+        let chunks = chunk_workload(&tasks, SimDuration::from_secs(1));
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[1].tasks.len(), 0);
+        assert_eq!(chunks[2].tasks.len(), 0);
+        assert_eq!(chunks[3].tasks.len(), 1);
+    }
+
+    #[test]
+    fn streaming_run_completes_everything() {
+        let cfg = TraceConfig::tiny();
+        let cluster = Cluster::new(
+            ClusterConfig::new(3, MachineConfig::new(2)),
+            LeastOutstanding,
+            |_| Fifo::new(),
+        );
+        let stream = ClusterTaskStream::new(&cfg, 1);
+        let total = stream.total_invocations() as u64;
+        let report = cluster
+            .run_streaming(stream, &StreamOptions::default(), 2)
+            .unwrap();
+        assert_eq!(report.dispatched().iter().sum::<u64>(), total);
+        assert_eq!(report.dispatch, "least-outstanding");
+        assert!(report.finished_at() > SimTime::ZERO);
+        assert!(report.max_live_tasks() > 0);
+        assert_eq!(report.summary().summary().execution.count as u64, total);
+    }
+}

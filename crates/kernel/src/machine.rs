@@ -8,6 +8,7 @@
 //! mutate tasks or cores directly.
 
 use std::borrow::Cow;
+use std::collections::VecDeque;
 
 use faas_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -190,10 +191,11 @@ pub enum PolicyCall {
 }
 
 /// A dynamic kernel event. Task arrivals are *not* heap events: they are
-/// statically known at construction, so they live in a pre-sorted calendar
-/// (`Machine::arrivals`) consumed by a cursor — the hot event heap then
-/// only ever holds the handful of in-flight per-core timers (completions,
-/// slice expiries, interference, ticks), keeping its depth tiny.
+/// known ahead of the clock (at construction, or when a streamed chunk is
+/// fed), so they live in a time-ordered calendar (`Machine::arrivals`)
+/// consumed from the front — the hot event heap then only ever holds the
+/// handful of in-flight per-core timers (completions, slice expiries,
+/// interference, ticks), keeping its depth tiny.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival(TaskId),
@@ -210,18 +212,24 @@ pub struct Machine {
     cfg: MachineConfig,
     now: SimTime,
     cores: Vec<Core>,
-    tasks: Vec<Task>,
+    /// Live task records. Task `id` lives at deque index
+    /// `id.index() - task_base`; ids below `task_base` were retired via
+    /// [`Machine::retire_finished`] (streaming runs) and no longer exist.
+    /// Batch runs never retire, so the deque stays a plain dense array.
+    tasks: VecDeque<Task>,
+    /// Number of tasks retired off the front of `tasks` (all finished).
+    task_base: usize,
     events: EventQueue<Event>,
     /// Task arrivals sorted by (time, spec order) — the static half of the
-    /// future-event list, consumed by `next_arrival`. At equal instants an
+    /// future-event list, popped from the front. At equal instants an
     /// arrival fires before any dynamic event, which reproduces the
     /// insertion-sequence tie-break of the old all-in-one heap exactly
-    /// (arrivals were always scheduled first).
-    arrivals: Vec<(SimTime, TaskId)>,
-    /// Cursor into `arrivals`.
-    next_arrival: usize,
-    /// `arrivals[next_arrival].0` memoized (`SimTime::MAX` once
-    /// exhausted), so the per-event merge check is one register compare.
+    /// (arrivals were always scheduled first). A deque (not a Vec plus
+    /// cursor) so streaming feeds can push new arrivals while consumed
+    /// ones are dropped — memory stays O(in-flight), not O(total).
+    arrivals: VecDeque<(SimTime, TaskId)>,
+    /// `arrivals.front().0` memoized (`SimTime::MAX` once exhausted), so
+    /// the per-event merge check is one register compare.
     next_arrival_at: SimTime,
     util: UtilizationLedger,
     rng: SimRng,
@@ -246,7 +254,7 @@ impl std::fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("now", &self.now)
             .field("cores", &self.cores.len())
-            .field("tasks", &self.tasks.len())
+            .field("tasks", &self.num_tasks())
             .field("finished", &self.finished)
             .finish()
     }
@@ -268,7 +276,7 @@ impl Machine {
     pub fn new<'s>(cfg: MachineConfig, specs: impl Into<Cow<'s, [TaskSpec]>>) -> Self {
         assert!(cfg.cores > 0, "machine needs at least one core");
         let mut events = EventQueue::new();
-        let tasks: Vec<Task> = match specs.into() {
+        let tasks: VecDeque<Task> = match specs.into() {
             Cow::Owned(specs) => specs.into_iter().map(Task::new).collect(),
             Cow::Borrowed(specs) => specs.iter().cloned().map(Task::new).collect(),
         };
@@ -292,10 +300,10 @@ impl Machine {
         Machine {
             cores: (0..cfg.cores).map(|_| Core::new()).collect(),
             tasks,
+            task_base: 0,
             events,
             next_arrival_at: arrivals.first().map_or(SimTime::MAX, |&(at, _)| at),
-            arrivals,
-            next_arrival: 0,
+            arrivals: VecDeque::from(arrivals),
             util,
             rng,
             messages: Vec::new(),
@@ -330,23 +338,50 @@ impl Machine {
         self.cores.len()
     }
 
-    /// Number of tasks (finished or not).
+    /// Number of tasks ever handed to the machine (finished, live, or
+    /// retired).
     pub fn num_tasks(&self) -> usize {
+        self.task_base + self.tasks.len()
+    }
+
+    /// Number of finished tasks (retired ones included — only finished
+    /// tasks can be retired).
+    pub fn num_finished(&self) -> usize {
+        self.task_base + self.finished
+    }
+
+    /// Number of task records currently held in memory (fed but not yet
+    /// retired) — the quantity streaming runs keep bounded.
+    pub fn num_live_tasks(&self) -> usize {
         self.tasks.len()
     }
 
-    /// Number of finished tasks.
-    pub fn num_finished(&self) -> usize {
-        self.finished
+    /// Index of `id` into the live-task deque.
+    #[inline]
+    fn live_index(&self, id: TaskId) -> usize {
+        id.index() - self.task_base
+    }
+
+    /// The live record of `id` (panics if retired or out of range).
+    #[inline]
+    fn task_ref(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index() - self.task_base]
+    }
+
+    /// Mutable live record of `id` (panics if retired or out of range).
+    #[inline]
+    fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        let i = self.live_index(id);
+        &mut self.tasks[i]
     }
 
     /// Read access to a task's kernel record.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range or was retired.
     pub fn task(&self, id: TaskId) -> &Task {
-        &self.tasks[id.index()]
+        self.task_ref(id)
     }
 
     /// What `core` is doing right now.
@@ -397,7 +432,7 @@ impl Machine {
     /// The core `task` currently occupies, if it is running. O(1) via the
     /// task→core back-pointer (the inverse of [`Machine::running_on`]).
     pub fn core_of(&self, task: TaskId) -> Option<CoreId> {
-        self.tasks[task.index()].on_core
+        self.task_ref(task).on_core
     }
 
     /// Total observed on-CPU time of a task including its current run
@@ -407,7 +442,7 @@ impl Machine {
     ///
     /// O(1): uses the task→core back-pointer instead of scanning cores.
     pub fn observed_runtime(&self, id: TaskId) -> SimDuration {
-        let t = &self.tasks[id.index()];
+        let t = self.task_ref(id);
         let running_extra = match t.on_core {
             Some(core) => self
                 .now
@@ -454,16 +489,113 @@ impl Machine {
         std::mem::take(&mut self.messages)
     }
 
-    /// Consumes the machine, keeping only the task records (the slim
+    /// Consumes the machine, keeping only the live task records (the slim
     /// report path: everything else — event arena, arrival calendar,
-    /// utilization ledger — is dropped here).
+    /// utilization ledger — is dropped here). Retired tasks are gone;
+    /// batch runs never retire, so this is all tasks there.
     pub(crate) fn into_tasks(self) -> Vec<Task> {
-        self.tasks
+        Vec::from(self.tasks)
     }
 
-    /// Snapshot of all task records.
+    /// Snapshot of all live task records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tasks were retired and later feeds wrapped the deque —
+    /// streaming consumers drain via [`Machine::retire_finished`] instead
+    /// of snapshotting.
     pub fn tasks(&self) -> &[Task] {
-        &self.tasks
+        let (head, tail) = self.tasks.as_slices();
+        assert!(
+            tail.is_empty(),
+            "task records are non-contiguous after retirement; drain via retire_finished"
+        );
+        head
+    }
+
+    // ---- streaming feed -------------------------------------------------
+
+    /// Appends more task specs to a machine mid-run (the chunked cluster
+    /// feed). Ids continue densely after every task seen so far, and each
+    /// spec's arrival is scheduled exactly as if it had been present at
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specs are not in arrival order, or arrive before the
+    /// latest already-queued arrival or the machine's current time — the
+    /// streamed feed must be a time-ordered continuation (chunk streams
+    /// guarantee this; [`Machine::new`] sorts, this method cannot re-sort
+    /// what was already consumed).
+    pub fn push_specs<'s>(&mut self, specs: impl Into<Cow<'s, [TaskSpec]>>) {
+        let mut floor = self
+            .arrivals
+            .back()
+            .map_or(SimTime::ZERO, |&(at, _)| at)
+            .max(self.now);
+        match specs.into() {
+            Cow::Owned(specs) => {
+                for s in specs {
+                    self.push_spec(s, &mut floor);
+                }
+            }
+            Cow::Borrowed(specs) => {
+                for s in specs {
+                    self.push_spec(s.clone(), &mut floor);
+                }
+            }
+        }
+    }
+
+    fn push_spec(&mut self, spec: TaskSpec, floor: &mut SimTime) {
+        let at = spec.arrival;
+        assert!(
+            at >= *floor,
+            "streamed specs must continue in arrival order ({at} < {floor})"
+        );
+        *floor = at;
+        let id = TaskId((self.task_base + self.tasks.len()) as u32);
+        self.tasks.push_back(Task::new(spec));
+        if self.arrivals.is_empty() {
+            self.next_arrival_at = at;
+        }
+        self.arrivals.push_back((at, id));
+    }
+
+    /// Pops finished tasks off the front of the id space, handing each
+    /// record to `sink` in task-id order; returns how many were retired.
+    /// Stops at the first unfinished task, so in-flight records stay
+    /// addressable. This is what keeps streaming runs O(in-flight): after
+    /// each chunk the caller folds the drained records into accumulators
+    /// and the machine forgets them.
+    pub fn retire_finished(&mut self, mut sink: impl FnMut(Task)) -> usize {
+        let mut retired = 0;
+        while let Some(front) = self.tasks.front() {
+            if front.state != TaskState::Finished {
+                break;
+            }
+            let task = self.tasks.pop_front().expect("front just observed");
+            self.task_base += 1;
+            self.finished -= 1;
+            retired += 1;
+            sink(task);
+        }
+        retired
+    }
+
+    /// The instant of the next pending kernel event (arrival or heap), or
+    /// `None` when nothing is scheduled. Streaming drivers use this to run
+    /// up to a chunk horizon without consuming events beyond it.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        let heap = self.events.peek_time();
+        if self.arrivals.is_empty() {
+            heap
+        } else {
+            Some(match heap {
+                Some(h) => self.next_arrival_at.min(h),
+                None => self.next_arrival_at,
+            })
+        }
     }
 
     // ---- scheduling verbs (the agent ABI) -----------------------------
@@ -493,13 +625,14 @@ impl Machine {
         if core.index() >= self.cores.len() {
             return Err(SchedError::NoSuchCore(core));
         }
-        if task.index() >= self.tasks.len() {
+        if task.index() < self.task_base || task.index() - self.task_base >= self.tasks.len() {
+            // Below task_base: a retired (hence finished) task — gone.
             return Err(SchedError::NoSuchTask(task));
         }
         if self.cores[core.index()].state != CoreState::Idle {
             return Err(SchedError::CoreBusy(core));
         }
-        let state = self.tasks[task.index()].state;
+        let state = self.task_ref(task).state;
         if !matches!(state, TaskState::Queued | TaskState::Preempted) {
             return Err(SchedError::NotRunnable(task));
         }
@@ -512,8 +645,8 @@ impl Machine {
         };
         if state == TaskState::Preempted && !warm {
             // Cold resume: pay the cache/TLB restore penalty as extra work.
-            let t = &mut self.tasks[task.index()];
-            t.remaining += self.cfg.cost.restore_penalty;
+            let penalty = self.cfg.cost.restore_penalty;
+            self.task_mut(task).remaining += penalty;
         }
 
         let c = &mut self.cores[core.index()];
@@ -528,15 +661,16 @@ impl Machine {
         let generation = c.generation;
         self.idle.remove(core);
 
-        let t = &mut self.tasks[task.index()];
+        let now = self.now;
+        let t = self.task_mut(task);
         t.state = TaskState::Running;
         t.on_core = Some(core);
         if t.first_run.is_none() {
-            t.first_run = Some(self.now);
+            t.first_run = Some(now);
         }
 
         let remaining = t.remaining;
-        let work_start = self.now + switch_cost;
+        let work_start = now + switch_cost;
         match slice {
             Some(s) if s < remaining => {
                 self.events
@@ -599,14 +733,9 @@ impl Machine {
         // at equal instants the arrival fires first (it would have held
         // the smaller insertion sequence in a unified heap).
         let heap_t = self.events.peek_time().unwrap_or(SimTime::MAX);
-        let (at, ev) = if self.next_arrival < self.arrivals.len() && self.next_arrival_at <= heap_t
-        {
-            let (at, task) = self.arrivals[self.next_arrival];
-            self.next_arrival += 1;
-            self.next_arrival_at = self
-                .arrivals
-                .get(self.next_arrival)
-                .map_or(SimTime::MAX, |&(t, _)| t);
+        let (at, ev) = if !self.arrivals.is_empty() && self.next_arrival_at <= heap_t {
+            let (at, task) = self.arrivals.pop_front().expect("checked non-empty");
+            self.next_arrival_at = self.arrivals.front().map_or(SimTime::MAX, |&(t, _)| t);
             (at, Event::Arrival(task))
         } else if let Some(popped) = self.events.pop() {
             popped
@@ -637,7 +766,7 @@ impl Machine {
                         CoreState::Running(t) => t,
                         _ => unreachable!("live completion on non-running core"),
                     };
-                    let io_wait = self.tasks[task.index()].spec().io_wait;
+                    let io_wait = self.task_ref(task).spec().io_wait;
                     if io_wait.is_zero() {
                         self.finish_running(core, task);
                         PolicyCall::TaskFinished(task, core)
@@ -654,9 +783,10 @@ impl Machine {
                 }
             }
             Event::IoComplete(task) => {
-                let t = &mut self.tasks[task.index()];
+                let now = self.now;
+                let t = self.task_mut(task);
                 debug_assert_eq!(t.state, TaskState::Blocked, "io completion for non-blocked");
-                t.completion = Some(self.now);
+                t.completion = Some(now);
                 t.state = TaskState::Finished;
                 self.finished += 1;
                 self.last_progress = self.now;
@@ -768,7 +898,7 @@ impl Machine {
         };
         self.mark_idle(core);
         self.util.record_busy(core.index(), since, now);
-        let t = &mut self.tasks[task.index()];
+        let t = self.task_mut(task);
         let ran = ran.min(t.remaining);
         t.remaining -= ran;
         t.cpu_time += ran;
@@ -794,7 +924,7 @@ impl Machine {
         };
         self.mark_idle(core);
         self.util.record_busy(core.index(), since, now);
-        let t = &mut self.tasks[task.index()];
+        let t = self.task_mut(task);
         t.cpu_time += t.remaining;
         t.remaining = SimDuration::ZERO;
         t.state = TaskState::Blocked;
@@ -816,14 +946,14 @@ impl Machine {
         };
         self.mark_idle(core);
         self.util.record_busy(core.index(), since, now);
-        let t = &mut self.tasks[task.index()];
+        let t = self.task_mut(task);
         t.cpu_time += t.remaining;
         t.remaining = SimDuration::ZERO;
         t.completion = Some(now);
         t.state = TaskState::Finished;
+        t.on_core = None;
         self.finished += 1;
         self.last_progress = now;
-        t.on_core = None;
         self.log(KernelMessage::TaskDead { task, core });
     }
 
@@ -1076,6 +1206,80 @@ mod tests {
             Some(SimDuration::from_micros(60_001_000))
         );
         assert_eq!(t.cpu_time(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn streamed_specs_extend_a_paused_machine() {
+        let mut m = one_task_machine(10);
+        m.advance().unwrap(); // arrival
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap(); // finish at 10 ms
+        assert_eq!(m.advance().unwrap(), None, "all fed tasks finished");
+        assert_eq!(m.next_event_at(), None);
+        m.push_specs(vec![TaskSpec::function(
+            SimTime::from_millis(50),
+            SimDuration::from_millis(5),
+            128,
+        )]);
+        assert_eq!(m.next_event_at(), Some(SimTime::from_millis(50)));
+        assert_eq!(m.num_tasks(), 2);
+        // Ids continue densely after the already-fed task.
+        assert_eq!(m.advance().unwrap(), Some(PolicyCall::TaskNew(TaskId(1))));
+        m.dispatch(CoreId(0), TaskId(1), None).unwrap();
+        assert_eq!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(1), CoreId(0)))
+        );
+        assert_eq!(
+            m.task(TaskId(1)).completion(),
+            Some(SimTime::from_millis(55))
+        );
+    }
+
+    #[test]
+    fn retire_finished_pops_only_the_finished_prefix() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128),
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        m.advance().unwrap(); // T0 arrival
+        m.advance().unwrap(); // T1 arrival
+        assert_eq!(m.retire_finished(|_| ()), 0, "nothing finished yet");
+        // Finish T1 first: the unfinished T0 pins the retirement frontier.
+        m.dispatch(CoreId(0), TaskId(1), None).unwrap();
+        m.advance().unwrap();
+        assert_eq!(m.retire_finished(|_| ()), 0, "T0 blocks the prefix");
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap();
+        let mut drained = Vec::new();
+        assert_eq!(m.retire_finished(|t| drained.push(t)), 2);
+        // Drained in task-id order, not completion order.
+        assert_eq!(drained[0].completion(), Some(SimTime::from_millis(20)));
+        assert_eq!(drained[1].completion(), Some(SimTime::from_millis(10)));
+        // Totals still count the retired tasks; their records are gone.
+        assert_eq!(m.num_tasks(), 2);
+        assert_eq!(m.num_finished(), 2);
+        assert_eq!(m.retire_finished(|_| ()), 0);
+        assert_eq!(
+            m.dispatch(CoreId(0), TaskId(0), None),
+            Err(SchedError::NoSuchTask(TaskId(0)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival order")]
+    fn push_specs_rejects_backdated_arrivals() {
+        let mut m = one_task_machine(10);
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap(); // now = 10 ms
+        m.push_specs(vec![TaskSpec::function(
+            SimTime::from_millis(5),
+            SimDuration::from_millis(1),
+            128,
+        )]);
     }
 
     #[test]

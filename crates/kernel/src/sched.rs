@@ -195,6 +195,52 @@ impl<P: Scheduler> MachineRun<P> {
         &self.policy
     }
 
+    /// Feeds more task specs mid-run (the chunked cluster feed; see
+    /// [`Machine::push_specs`] for the ordering contract).
+    pub fn feed_specs<'s>(&mut self, specs: impl Into<Cow<'s, [TaskSpec]>>) {
+        self.machine.push_specs(specs);
+    }
+
+    /// Runs until the next pending event is at or past `bound` (exclusive)
+    /// or the machine pauses with every live task finished. The strict
+    /// bound matters for chunked feeds: the next chunk's first arrival can
+    /// land exactly on the horizon, and at equal instants arrivals must
+    /// fire before dynamic events — so nothing at `bound` may be consumed
+    /// before the feed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the machine.
+    pub fn run_until(&mut self, bound: SimTime) -> Result<(), SimError> {
+        loop {
+            match self.machine.next_event_at() {
+                Some(t) if t < bound => {
+                    if !self.step()? {
+                        return Ok(());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Runs until every task fed so far has finished (the final drain of a
+    /// streaming run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the machine.
+    pub fn run_to_end(&mut self) -> Result<(), SimError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Retires finished tasks off the front of the id space into `sink`
+    /// (see [`Machine::retire_finished`]); returns how many were retired.
+    pub fn retire_finished(&mut self, sink: impl FnMut(Task)) -> usize {
+        self.machine.retire_finished(sink)
+    }
+
     /// Advances by one kernel event, delivering messages to the policy and
     /// sweeping idle cores. Returns `false` when the run is complete.
     ///
@@ -288,7 +334,7 @@ impl<P: Scheduler> MachineRun<P> {
     pub fn run(mut self) -> Result<SimReport, SimError> {
         while self.step()? {}
         let finished_at = self.machine.now();
-        let core_stats = self.collect_core_stats();
+        let core_stats = self.core_stats();
         let tasks = self.machine.tasks().to_vec();
         Ok(SimReport {
             policy: self.policy.name().to_owned(),
@@ -309,7 +355,7 @@ impl<P: Scheduler> MachineRun<P> {
     pub fn run_slim(mut self) -> Result<SlimReport, SimError> {
         while self.step()? {}
         let finished_at = self.machine.now();
-        let core_stats = self.collect_core_stats();
+        let core_stats = self.core_stats();
         let policy = self.policy.name().to_owned();
         let mut machine = self.machine;
         let events_processed = machine.events_processed();
@@ -325,7 +371,10 @@ impl<P: Scheduler> MachineRun<P> {
         })
     }
 
-    fn collect_core_stats(&self) -> Vec<CoreStats> {
+    /// Per-core statistics of the machine, in core-id order (what the
+    /// report constructors collect; public so streaming runs can build
+    /// their own reports without consuming the driver).
+    pub fn core_stats(&self) -> Vec<CoreStats> {
         (0..self.machine.num_cores())
             .map(|i| self.machine.core_stats(CoreId::from_index(i)))
             .collect()
@@ -555,6 +604,74 @@ mod tests {
             |r: &SimReport| -> Vec<_> { r.tasks.iter().map(|t| t.completion()).collect() };
         assert_eq!(completions(&owned), completions(&borrowed));
         assert_eq!(completions(&owned), completions(&arced));
+    }
+
+    #[test]
+    fn chunked_feed_matches_batch_run() {
+        // The kernel half of the streaming differential: feeding the same
+        // specs chunk by chunk (run_until each next chunk's start, retire
+        // between chunks) must replay the batch run event for event —
+        // same completions, same core stats, same event count — even with
+        // interference timers straddling the chunk horizons.
+        let specs: Vec<TaskSpec> = (0..40)
+            .map(|i| {
+                TaskSpec::function(
+                    SimTime::from_millis(7 * i),
+                    SimDuration::from_millis(5 + (i % 9)),
+                    128,
+                )
+            })
+            .collect();
+        let cfg = || {
+            MachineConfig::new(2)
+                .with_cost(crate::CostModel::from_micros(300, 1_500))
+                .with_interference(crate::InterferenceConfig {
+                    mean_interval: SimDuration::from_millis(40),
+                    duration: SimDuration::from_millis(3),
+                })
+                .with_seed(11)
+        };
+        let batch = MachineRun::new(
+            cfg(),
+            &specs,
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        )
+        .run_slim()
+        .unwrap();
+
+        let mut streamed = MachineRun::new(
+            cfg(),
+            Vec::new(),
+            TestFifo {
+                queue: VecDeque::new(),
+            },
+        );
+        let mut drained: Vec<Task> = Vec::new();
+        let chunks: Vec<&[TaskSpec]> = specs.chunks(7).collect();
+        for (i, chunk) in chunks.iter().enumerate() {
+            streamed.feed_specs(*chunk);
+            match chunks.get(i + 1) {
+                Some(next) => streamed.run_until(next[0].arrival).unwrap(),
+                None => streamed.run_to_end().unwrap(),
+            }
+            streamed.retire_finished(|t| drained.push(t));
+        }
+        streamed.retire_finished(|t| drained.push(t));
+
+        assert_eq!(drained.len(), batch.tasks.len());
+        for (a, b) in drained.iter().zip(&batch.tasks) {
+            assert_eq!(a.completion(), b.completion());
+            assert_eq!(a.cpu_time(), b.cpu_time());
+            assert_eq!(a.preemptions(), b.preemptions());
+        }
+        assert_eq!(streamed.core_stats(), batch.core_stats);
+        assert_eq!(
+            streamed.machine().events_processed(),
+            batch.events_processed
+        );
+        assert_eq!(streamed.machine().num_finished(), batch.tasks.len());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   distribution statistics (Fig. 13's log-scale preemption counts);
 //! * [`merge_records`] / [`ClusterSummary`] — cross-machine aggregation
 //!   for the cluster layer (merged CDFs/percentiles in machine order);
+//! * [`QuantileSketch`] / [`StreamRunStats`] / [`StreamClusterSummary`] —
+//!   the streaming-cluster counterparts: mergeable ε-approximate
+//!   quantiles and online accumulators holding O(sketch) memory instead
+//!   of O(invocations) (see `DESIGN.md` "Streaming cluster runs");
 //! * CSV export for external plotting.
 //!
 //! ```
@@ -46,7 +50,9 @@ mod cdf;
 mod export;
 mod merge;
 mod record;
+mod sketch;
 mod stats;
+mod stream;
 mod summary;
 mod timeline;
 
@@ -54,6 +60,8 @@ pub use cdf::DurationCdf;
 pub use export::{write_records_csv, write_series_csv};
 pub use merge::{merge_records, ClusterSummary};
 pub use record::{records_from_tasks, TaskRecord, UnfinishedTaskError};
+pub use sketch::QuantileSketch;
 pub use stats::{jain_fairness, mean_stddev, slowdowns, LogHistogram};
+pub use stream::{StreamClusterSummary, StreamRunStats, StreamStats, DEFAULT_STREAM_EPSILON};
 pub use summary::{Metric, MetricSummary, RunSummary};
 pub use timeline::{group_utilization_series, mean_utilization, step_series};

@@ -1,0 +1,617 @@
+//! Mergeable quantile sketch for streaming cluster runs.
+//!
+//! The streaming cluster path (`faas-cluster`'s `run_streaming`) retires
+//! task records as soon as they finish, so no component may hold
+//! O(invocations) state. Quantiles are the one statistic that resists
+//! constant-space accumulation; this module provides the deterministic
+//! Greenwald–Khanna (GK) ε-approximate quantile summary the streaming
+//! reports use instead of sorted record vectors.
+//!
+//! Three properties drive the design (see `DESIGN.md` "Streaming cluster
+//! runs"):
+//!
+//! * **Deterministic** — no randomized compaction (which rules out KLL):
+//!   the tuple set after any sequence of [`record`](QuantileSketch::record)
+//!   and [`merge_from`](QuantileSketch::merge_from) calls is a pure
+//!   function of the inputs, so cluster output stays byte-identical at any
+//!   fan width.
+//! * **Commutative merge** — per-machine sketches are merged in machine
+//!   order, but `merge(a, b)` and `merge(b, a)` produce identical tuple
+//!   sets (checked by [`digest`](QuantileSketch::digest) in the property
+//!   suite), so the merge tree's shape can never leak into results.
+//! * **A-posteriori certificate** — every sketch can report a sound bound
+//!   on its own rank error ([`rank_error_bound`](QuantileSketch::rank_error_bound)),
+//!   derived from the invariant that tuple `i` covers true ranks
+//!   `[rmin_i, rmin_i + delta_i]` with `rmin_i = Σ_{j≤i} g_j`. While fewer
+//!   than `1/(2ε)` values have been recorded no compression happens at
+//!   all and the certificate is 0: small runs answer **exact**
+//!   nearest-rank quantiles, which is what lets the streaming-vs-
+//!   materializing differential pin summaries exactly at small scale.
+//!
+//! ```
+//! use faas_metrics::QuantileSketch;
+//!
+//! let mut sk = QuantileSketch::new(0.01);
+//! for v in 1..=1_000u64 {
+//!     sk.record(v);
+//! }
+//! // Nearest-rank median of 1..=1000 is 500; the sketch is within its
+//! // own certificate of the true rank.
+//! let p50 = sk.quantile(0.5).unwrap();
+//! assert!(p50.abs_diff(500) <= sk.rank_error_bound());
+//! ```
+
+/// One GK summary tuple: value `v` covers true ranks
+/// `[rmin, rmin + delta]` where `rmin` is the running sum of `g` up to and
+/// including this tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Tuple {
+    /// The observed value this tuple stands for.
+    v: u64,
+    /// Rank mass between the previous tuple and this one (`rmin` delta).
+    g: u64,
+    /// Rank uncertainty: `rmax - rmin` for this tuple.
+    delta: u64,
+}
+
+/// Values buffered before a sort-and-merge flush into the tuple list.
+/// Amortizes insertion to O(log buffer) comparisons per value.
+const BUFFER_CAP: usize = 512;
+
+/// Deterministic Greenwald–Khanna ε-approximate quantile summary over
+/// `u64` values (the metrics crate records microsecond durations).
+///
+/// Memory is O((1/ε)·log(εn)) tuples of 24 bytes, independent of the
+/// number of recorded values once `n` exceeds `1/(2ε)`; below that the
+/// sketch stores every value and answers exactly.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    /// Target rank-error fraction: quantile answers are within `ε·n`
+    /// ranks of the true nearest-rank answer (and usually much closer —
+    /// see [`rank_error_bound`](Self::rank_error_bound)).
+    epsilon: f64,
+    /// Summary tuples, sorted by value. The first and last tuples always
+    /// carry the exact minimum and maximum (`compress` never merges the
+    /// minimum away; the maximum keeps `delta == 0`).
+    tuples: Vec<Tuple>,
+    /// Values recorded but not yet flushed into `tuples`.
+    buffer: Vec<u64>,
+    /// Total values recorded (flushed + buffered).
+    count: u64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch targeting rank error `ε·n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 0.5`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.5,
+            "epsilon must be in (0, 0.5), got {epsilon}"
+        );
+        QuantileSketch {
+            epsilon,
+            tuples: Vec::new(),
+            buffer: Vec::with_capacity(BUFFER_CAP),
+            count: 0,
+        }
+    }
+
+    /// The configured rank-error fraction.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no value has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buffer.push(v);
+        self.count += 1;
+        if self.buffer.len() >= BUFFER_CAP {
+            self.flush();
+        }
+    }
+
+    /// Sorts the buffer and merge-inserts it into the tuple list, then
+    /// compresses. Insertion follows GK: a value placed before successor
+    /// tuple `s` (the first tuple with a strictly greater value) gets
+    /// `delta = g_s + delta_s - 1`; a new global minimum or maximum gets
+    /// `delta = 0`, so the extremes stay exact.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.buffer.sort_unstable();
+        let old = std::mem::take(&mut self.tuples);
+        let mut out = Vec::with_capacity(old.len() + self.buffer.len());
+        let mut oi = 0;
+        for &v in &self.buffer {
+            while oi < old.len() && old[oi].v <= v {
+                out.push(old[oi]);
+                oi += 1;
+            }
+            let delta = if oi == 0 || oi == old.len() {
+                0
+            } else {
+                old[oi].g + old[oi].delta - 1
+            };
+            out.push(Tuple { v, g: 1, delta });
+        }
+        out.extend_from_slice(&old[oi..]);
+        self.buffer.clear();
+        self.tuples = out;
+        self.compress();
+    }
+
+    /// Greedily merges adjacent tuples whose combined rank band stays
+    /// under `2·ε·n`, left to right. The first tuple is never absorbed
+    /// (preserving the exact minimum) and a merge adopts the right-hand
+    /// tuple's `delta`, so the final tuple's `delta` stays 0 (exact
+    /// maximum).
+    fn compress(&mut self) {
+        let threshold = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        if threshold == 0 || self.tuples.len() <= 2 {
+            return;
+        }
+        let tuples = std::mem::take(&mut self.tuples);
+        let mut out: Vec<Tuple> = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let mergeable =
+                out.len() > 1 && out.last().expect("non-empty").g + t.g + t.delta <= threshold;
+            if mergeable {
+                let last = out.last_mut().expect("non-empty");
+                *last = Tuple {
+                    v: t.v,
+                    g: last.g + t.g,
+                    delta: t.delta,
+                };
+            } else {
+                out.push(t);
+            }
+        }
+        self.tuples = out;
+    }
+
+    /// Flushed tuples for read-only queries: clones only when buffered
+    /// values exist (the clone is at most `BUFFER_CAP` insertions).
+    fn flushed_tuples(&self) -> std::borrow::Cow<'_, [Tuple]> {
+        if self.buffer.is_empty() {
+            std::borrow::Cow::Borrowed(&self.tuples)
+        } else {
+            let mut c = self.clone();
+            c.flush();
+            std::borrow::Cow::Owned(c.tuples)
+        }
+    }
+
+    /// Merges another sketch into this one.
+    ///
+    /// The merge is **commutative**: each tuple's `delta` is raised by the
+    /// rank band of the *other* sketch's successor (the first tuple with a
+    /// strictly greater value) — a rule that depends only on values, not
+    /// on which operand a tuple came from — then the union is sorted by
+    /// the full `(v, g, delta)` key and compressed. The resulting epsilon
+    /// is the larger of the two and the error certificate remains sound.
+    pub fn merge_from(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            self.epsilon = self.epsilon.max(other.epsilon);
+            return;
+        }
+        if self.count == 0 {
+            self.epsilon = self.epsilon.max(other.epsilon);
+            self.tuples = other.flushed_tuples().into_owned();
+            self.buffer.clear();
+            self.count = other.count;
+            return;
+        }
+        // Flush each operand under its *own* epsilon (the other side is
+        // flushed lazily by `flushed_tuples`), so the pre-merge state is
+        // independent of argument order; only then adopt the joint
+        // epsilon for the final compression.
+        self.flush();
+        let theirs = other.flushed_tuples();
+        self.epsilon = self.epsilon.max(other.epsilon);
+        let adjust = |t: &Tuple, against: &[Tuple]| -> Tuple {
+            let j = against.partition_point(|y| y.v <= t.v);
+            let extra = if j < against.len() {
+                against[j].g + against[j].delta - 1
+            } else {
+                0
+            };
+            Tuple {
+                v: t.v,
+                g: t.g,
+                delta: t.delta + extra,
+            }
+        };
+        let mut merged: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .map(|t| adjust(t, &theirs))
+            .chain(theirs.iter().map(|t| adjust(t, &self.tuples)))
+            .collect();
+        merged.sort_unstable();
+        self.tuples = merged;
+        self.count += other.count;
+        self.compress();
+    }
+
+    /// The ε-approximate `q`-quantile, or `None` if the sketch is empty.
+    ///
+    /// The target rank is the nearest-rank `r = ⌈q·n⌉` clamped to
+    /// `[1, n]`, matching [`crate::MetricSummary`]'s convention; the
+    /// answer is the first tuple minimizing
+    /// `max(rmax - r, r - rmin)`, so on an uncompressed sketch (every
+    /// tuple `g = 1, delta = 0`) the answer is *exactly* the nearest-rank
+    /// value. In general the answer's true rank is within
+    /// [`rank_error_bound`](Self::rank_error_bound) of `r`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let tuples = self.flushed_tuples();
+        let n = self.count;
+        let r = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut best = tuples[0].v;
+        let mut best_err = u64::MAX;
+        let mut rmin = 0u64;
+        for t in tuples.iter() {
+            rmin += t.g;
+            let rmax = rmin + t.delta;
+            let err = rmax.saturating_sub(r).max(r.saturating_sub(rmin));
+            if err < best_err {
+                best_err = err;
+                best = t.v;
+            }
+        }
+        Some(best)
+    }
+
+    /// The exact minimum recorded value (`None` if empty). The compress
+    /// rule never absorbs the first tuple, so this is always exact.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(self.flushed_tuples()[0].v)
+    }
+
+    /// The exact maximum recorded value (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let tuples = self.flushed_tuples();
+        Some(tuples[tuples.len() - 1].v)
+    }
+
+    /// Sound a-posteriori bound on the rank error of any
+    /// [`quantile`](Self::quantile) answer: `⌊max_i(g_i + delta_i) / 2⌋`.
+    ///
+    /// Between any two adjacent tuples the uncovered rank span is at most
+    /// `max(g + delta)`, and the query picks the nearer side, so the
+    /// distance to the target rank never exceeds half that span (the
+    /// extremes are exact: the first tuple always keeps `g = 1,
+    /// delta = 0` and the last `delta = 0`). A bound of 0 means every
+    /// answer is the exact nearest-rank value.
+    pub fn rank_error_bound(&self) -> u64 {
+        self.flushed_tuples()
+            .iter()
+            .map(|t| t.g + t.delta)
+            .max()
+            .map_or(0, |gd| gd / 2)
+    }
+
+    /// Number of summary tuples currently held — the sketch's memory
+    /// footprint in 24-byte units. Grows like O((1/ε)·log(εn)), not O(n);
+    /// the streaming memory tests assert this directly.
+    pub fn tuple_count(&self) -> usize {
+        self.flushed_tuples().len()
+    }
+
+    /// FNV-1a digest of the flushed state `(ε, n, tuples)`. Two sketches
+    /// with equal digests hold identical summaries; the property suite
+    /// uses this to check merge commutativity byte-for-byte.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.epsilon.to_bits());
+        eat(self.count);
+        for t in self.flushed_tuples().iter() {
+            eat(t.v);
+            eat(t.g);
+            eat(t.delta);
+        }
+        h
+    }
+}
+
+impl PartialEq for QuantileSketch {
+    /// Equality of the *flushed* summaries: same ε, count and tuple set,
+    /// regardless of how values are split between buffer and tuples.
+    fn eq(&self, other: &Self) -> bool {
+        self.epsilon.to_bits() == other.epsilon.to_bits()
+            && self.count == other.count
+            && self.flushed_tuples() == other.flushed_tuples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::check;
+
+    /// Exact nearest-rank quantile over a sorted copy — the reference the
+    /// sketch is checked against.
+    fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+        values.sort_unstable();
+        let n = values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        values[rank - 1]
+    }
+
+    /// True rank band of `answer` in `sorted` (1-based, ties collapse to
+    /// the full run of equal values).
+    fn rank_band(sorted: &[u64], answer: u64) -> (u64, u64) {
+        let lo = sorted.partition_point(|&x| x < answer) as u64 + 1;
+        let hi = sorted.partition_point(|&x| x <= answer) as u64;
+        (lo, hi.max(lo))
+    }
+
+    /// Asserts the sketch's answer at `q` is within its own certificate of
+    /// the target rank, against the exact sorted data.
+    fn assert_within_certificate(sk: &QuantileSketch, sorted: &[u64], q: f64) {
+        let n = sorted.len() as u64;
+        let r = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let answer = sk.quantile(q).expect("non-empty");
+        let (lo, hi) = rank_band(sorted, answer);
+        let dist = lo.saturating_sub(r).max(r.saturating_sub(hi));
+        assert!(
+            dist <= sk.rank_error_bound(),
+            "q={q}: answer {answer} has rank band [{lo},{hi}], target {r}, \
+             dist {dist} > certificate {}",
+            sk.rank_error_bound()
+        );
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let sk = QuantileSketch::new(0.01);
+        assert!(sk.is_empty());
+        assert_eq!(sk.quantile(0.5), None);
+        assert_eq!(sk.min(), None);
+        assert_eq!(sk.max(), None);
+        assert_eq!(sk.rank_error_bound(), 0);
+        assert_eq!(sk.tuple_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = QuantileSketch::new(0.5);
+    }
+
+    #[test]
+    fn small_runs_are_exact() {
+        // Below 1/(2ε) recorded values no compression happens: every
+        // quantile is the exact nearest-rank answer.
+        let mut sk = QuantileSketch::new(0.01);
+        let mut values: Vec<u64> = (0..40u64).map(|i| (i * 7919) % 1000).collect();
+        for &v in &values {
+            sk.record(v);
+        }
+        assert_eq!(sk.rank_error_bound(), 0);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(sk.quantile(q), Some(exact_quantile(&mut values, q)));
+        }
+    }
+
+    #[test]
+    fn extremes_stay_exact_under_compression() {
+        let mut sk = QuantileSketch::new(0.05);
+        for v in (0..50_000u64).rev() {
+            sk.record(v * 3 + 1);
+        }
+        assert_eq!(sk.min(), Some(1));
+        assert_eq!(sk.max(), Some(49_999 * 3 + 1));
+        assert_eq!(sk.quantile(0.0), Some(1));
+        assert_eq!(sk.quantile(1.0), Some(49_999 * 3 + 1));
+    }
+
+    #[test]
+    fn compression_bounds_memory() {
+        // 10x the data must not mean 10x the tuples: the sketch is
+        // O((1/ε)·log(εn)), so the ratio stays near 1.
+        let fill = |n: u64| {
+            let mut sk = QuantileSketch::new(0.01);
+            for i in 0..n {
+                sk.record((i * 2_654_435_761) % 1_000_000);
+            }
+            sk
+        };
+        let small = fill(50_000);
+        let large = fill(500_000);
+        assert!(
+            large.tuple_count() <= 2 * small.tuple_count(),
+            "10x data grew tuples {} -> {}",
+            small.tuple_count(),
+            large.tuple_count()
+        );
+        assert!(
+            large.tuple_count() < 50_000 / 10,
+            "sketch is not sublinear: {} tuples",
+            large.tuple_count()
+        );
+    }
+
+    #[test]
+    fn certificate_tracks_epsilon() {
+        let mut sk = QuantileSketch::new(0.01);
+        let n = 100_000u64;
+        for i in 0..n {
+            sk.record(i);
+        }
+        let bound = sk.rank_error_bound();
+        assert!(bound > 0, "compression must have happened");
+        assert!(
+            bound <= (2.0 * 0.01 * n as f64) as u64,
+            "certificate {bound} exceeds 2εn"
+        );
+    }
+
+    #[test]
+    fn adversarial_shapes_stay_within_certificate() {
+        let n = 30_000u64;
+        type Shape = Box<dyn Fn(u64) -> u64>;
+        let shapes: [(&str, Shape); 4] = [
+            ("sorted", Box::new(|i| i)),
+            ("reversed", Box::new(move |i| n - i)),
+            ("constant", Box::new(|_| 42)),
+            (
+                "bimodal",
+                Box::new(|i| if i % 2 == 0 { 10 } else { 1_000_000 }),
+            ),
+        ];
+        for (name, f) in shapes {
+            let mut sk = QuantileSketch::new(0.005);
+            let mut values: Vec<u64> = (0..n).map(&f).collect();
+            for &v in &values {
+                sk.record(v);
+            }
+            values.sort_unstable();
+            assert!(
+                sk.rank_error_bound() <= (2.0 * 0.005 * n as f64) as u64,
+                "{name}: certificate blew past 2εn"
+            );
+            for q in [0.001, 0.01, 0.5, 0.9, 0.99, 0.999] {
+                assert_within_certificate(&sk, &values, q);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_stream_certificate() {
+        // Merged halves answer within the merged certificate of the
+        // combined exact data.
+        let mut a = QuantileSketch::new(0.01);
+        let mut b = QuantileSketch::new(0.01);
+        let mut all: Vec<u64> = Vec::new();
+        for i in 0..20_000u64 {
+            let v = (i * 48_271) % 65_536;
+            all.push(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 20_000);
+        all.sort_unstable();
+        for q in [0.01, 0.5, 0.99, 0.999] {
+            assert_within_certificate(&a, &all, q);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = QuantileSketch::new(0.01);
+        for v in 0..1_000u64 {
+            a.record(v);
+        }
+        let before = a.digest();
+        a.merge_from(&QuantileSketch::new(0.01));
+        assert_eq!(a.digest(), before);
+
+        let mut empty = QuantileSketch::new(0.01);
+        empty.merge_from(&a);
+        assert_eq!(empty.digest(), a.digest());
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn property_sketch_vs_exact_random_streams() {
+        check::run("sketch within certificate of exact quantiles", 48, |g| {
+            let eps = g.f64_in(0.002, 0.1);
+            let n = g.usize_in(1, 4_000);
+            let hi = g.u64_in(2, 1_000_000);
+            let mut sk = QuantileSketch::new(eps);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = g.u64_in(0, hi);
+                sk.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_within_certificate(&sk, &values, q);
+            }
+            assert_eq!(sk.min(), Some(values[0]));
+            assert_eq!(sk.max(), Some(values[n - 1]));
+        });
+    }
+
+    #[test]
+    fn property_merge_is_commutative() {
+        check::run("merge(a,b) and merge(b,a) digests agree", 48, |g| {
+            let eps_a = g.f64_in(0.005, 0.1);
+            let eps_b = g.f64_in(0.005, 0.1);
+            let mut a = QuantileSketch::new(eps_a);
+            let mut b = QuantileSketch::new(eps_b);
+            // Overlapping ranges with duplicates to stress value ties.
+            for v in g.vec_u64(0, 64, 0, 3_000) {
+                a.record(v);
+            }
+            for v in g.vec_u64(0, 64, 0, 3_000) {
+                b.record(v);
+            }
+            let mut ab = a.clone();
+            ab.merge_from(&b);
+            let mut ba = b.clone();
+            ba.merge_from(&a);
+            assert_eq!(ab.digest(), ba.digest(), "merge is not commutative");
+            assert_eq!(ab, ba);
+        });
+    }
+
+    #[test]
+    fn property_merge_stays_within_certificate() {
+        check::run("merged sketch within certificate of pooled data", 32, |g| {
+            let eps = g.f64_in(0.005, 0.05);
+            let parts = g.usize_in(2, 6);
+            let mut merged = QuantileSketch::new(eps);
+            let mut all: Vec<u64> = Vec::new();
+            for _ in 0..parts {
+                let mut part = QuantileSketch::new(eps);
+                for v in g.vec_u64(0, 100_000, 1, 2_000) {
+                    part.record(v);
+                    all.push(v);
+                }
+                merged.merge_from(&part);
+            }
+            all.sort_unstable();
+            assert_eq!(merged.count(), all.len() as u64);
+            for q in [0.01, 0.5, 0.9, 0.999] {
+                assert_within_certificate(&merged, &all, q);
+            }
+        });
+    }
+}

@@ -130,6 +130,52 @@ impl PriceModel {
     }
 }
 
+/// Online cost accumulator for streaming runs: bills records one at a
+/// time as they retire instead of pricing a materialized record vector.
+///
+/// The running total is a plain left-to-right `f64` sum — the *same* fold
+/// [`PriceModel::workload_cost`] performs — so a streaming run that
+/// retires records in record order produces a bitwise-identical total to
+/// the materializing path (pinned by the cluster differential suite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostAccumulator {
+    model: PriceModel,
+    total_usd: f64,
+    count: u64,
+}
+
+impl CostAccumulator {
+    /// An empty accumulator billing under `model`.
+    pub fn new(model: PriceModel) -> Self {
+        CostAccumulator {
+            model,
+            total_usd: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Bills one finished invocation.
+    pub fn record(&mut self, record: &TaskRecord) {
+        self.total_usd += self.model.cost_of(record);
+        self.count += 1;
+    }
+
+    /// Running total in USD.
+    pub fn total_usd(&self) -> f64 {
+        self.total_usd
+    }
+
+    /// Number of invocations billed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The tariff this accumulator bills under.
+    pub fn model(&self) -> &PriceModel {
+        &self.model
+    }
+}
+
 /// The relative extra cost of `more` over `less` (e.g. "CFS introduces
 /// more than 10 times extra cost compared to FIFO", Fig. 1).
 ///
@@ -240,6 +286,27 @@ mod tests {
             (at_1024 / at_128 - 8.0).abs() < 1e-9,
             "price scales with memory"
         );
+    }
+
+    #[test]
+    fn accumulator_matches_workload_cost_bitwise() {
+        // Same records, same order: the streaming fold must equal the
+        // materializing fold down to the last bit (f64 addition is
+        // order-sensitive, and both paths add left to right).
+        let m = PriceModel::aws_lambda_2024();
+        let records: Vec<TaskRecord> = (1..=1_000)
+            .map(|i| record(i % 97 + 1, [128, 256, 1_024][i as usize % 3]))
+            .collect();
+        let mut acc = CostAccumulator::new(m);
+        for r in &records {
+            acc.record(r);
+        }
+        assert_eq!(
+            acc.total_usd().to_bits(),
+            m.workload_cost(&records).to_bits()
+        );
+        assert_eq!(acc.count(), 1_000);
+        assert_eq!(acc.model(), &m);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   sharded and deterministic: per-minute/per-block RNG streams (see
 //!   [`shard`]) make [`AzureTrace::generate_sharded`] byte-identical at
 //!   any shard count;
+//! * [`TraceStream`] — the chunked (streaming) twin of the above: emits
+//!   the byte-identical invocations and specs minute by minute so
+//!   provider-scale cluster runs never hold the full trace in memory;
 //! * [`EmpiricalCdf`] / [`ks_statistic`] — the Fig. 10 representativeness
 //!   check, made quantitative.
 //!
@@ -38,6 +41,7 @@ mod compare;
 mod durations;
 pub mod shard;
 mod stats;
+mod stream;
 mod workload;
 
 pub use arrivals::{
@@ -48,4 +52,5 @@ pub use calibration::{fib_value, FibCalibration, ANCHOR_MS, ANCHOR_N, FIB_MAX_N,
 pub use compare::{ks_statistic, EmpiricalCdf};
 pub use durations::{DurationDistribution, MemoryDistribution, DEFAULT_WEIGHTS};
 pub use stats::TraceStats;
+pub use stream::{TraceChunk, TraceStream};
 pub use workload::{AzureTrace, Invocation, TraceConfig, SPEC_BLOCK};

@@ -1,0 +1,276 @@
+//! Chunked (streaming) trace synthesis for provider-scale cluster runs.
+//!
+//! [`AzureTrace::generate`](crate::AzureTrace::generate) materializes
+//! the whole trace — fine for one
+//! machine over two minutes, but a 1024-machine fleet over an hour is
+//! hundreds of millions of invocations, and the merged trace alone would
+//! dwarf the simulator state. [`TraceStream`] produces the **identical**
+//! invocations and task specs minute by minute instead, so the caller
+//! holds at most one chunk at a time (the streaming memory contract in
+//! `DESIGN.md` "Streaming cluster runs").
+//!
+//! Identity falls out of PR 3's per-unit RNG streams: per-minute spike
+//! weights and bodies already depend only on `(seed, minute)`, so chunked
+//! generation replays
+//! [`AzureTrace::generate_sharded`](crate::AzureTrace::generate_sharded)'s
+//! exact per-minute calls. The one piece of cross-minute state is spec jitter, which is
+//! drawn per [`SPEC_BLOCK`] of *global* invocation index — blocks span
+//! minute boundaries — so the stream tracks the global index and carries
+//! the current block's RNG across chunks, re-seeding exactly at block
+//! boundaries. The property suite pins chunked == materialized for random
+//! configs, chunk sizes and stopping points.
+//!
+//! ```
+//! use azure_trace::{AzureTrace, TraceConfig, TraceStream};
+//!
+//! let cfg = TraceConfig::tiny();
+//! let mut stream = TraceStream::new(&cfg);
+//! let mut specs = Vec::new();
+//! while let Some(chunk) = stream.next_chunk(1) {
+//!     specs.extend(chunk.specs);
+//! }
+//! assert_eq!(specs, AzureTrace::generate(&cfg).to_task_specs());
+//! ```
+
+use faas_kernel::TaskSpec;
+use faas_simcore::{SimRng, SimTime};
+
+use crate::arrivals::sharded_minute_counts;
+use crate::durations::{spec_from_sample, DurationDistribution, MemoryDistribution};
+use crate::workload::{synth_minute, Invocation, TraceConfig, SPEC_BLOCK, SPEC_JITTER_STREAM};
+
+/// One chunk of a streamed trace: a contiguous run of whole minutes, in
+/// arrival order, with both the raw invocations (for function identity)
+/// and the jittered kernel specs.
+#[derive(Debug, Clone)]
+pub struct TraceChunk {
+    /// First trace minute covered by this chunk.
+    pub first_minute: usize,
+    /// Exclusive time horizon of the chunk: every contained arrival is
+    /// strictly before this instant, and every later chunk's arrival is
+    /// at or after it. Cluster feeds use it as the `run_until` bound.
+    pub end: SimTime,
+    /// The chunk's invocations, sorted by arrival.
+    pub invocations: Vec<Invocation>,
+    /// Kernel task specs for the same invocations, index-aligned with
+    /// `invocations`, jittered identically to
+    /// [`AzureTrace::to_task_specs`](crate::AzureTrace::to_task_specs).
+    pub specs: Vec<TaskSpec>,
+}
+
+/// Lazy, chunk-at-a-time equivalent of
+/// [`AzureTrace::generate`](crate::AzureTrace::generate) +
+/// [`AzureTrace::to_task_specs`](crate::AzureTrace::to_task_specs).
+///
+/// Holds O(minutes) state (the per-minute totals) plus one RNG — never
+/// the trace itself. The concatenation of all chunks is byte-identical to
+/// the materializing path, and stopping early yields an exact prefix.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    durations: DurationDistribution,
+    memory: MemoryDistribution,
+    seed: u64,
+    jitter: f64,
+    minute_totals: Vec<usize>,
+    next_minute: usize,
+    /// Global invocation index of the next spec to emit — drives
+    /// [`SPEC_BLOCK`] jitter-block boundaries across chunks.
+    emitted: usize,
+    /// The current jitter block's RNG, carried across chunk boundaries
+    /// (a block rarely ends exactly at a minute edge). Re-seeded from
+    /// `stream(seed ^ SPEC_JITTER_STREAM, block)` whenever `emitted`
+    /// crosses a block boundary.
+    jitter_rng: SimRng,
+}
+
+impl TraceStream {
+    /// Creates a stream over the trace described by `cfg`.
+    ///
+    /// Computes only the per-minute invocation totals up front (pure in
+    /// `cfg`, O(minutes)); all invocation synthesis is deferred to
+    /// [`next_chunk`](Self::next_chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.minutes == 0` or `cfg.total_invocations == 0`, like
+    /// the materializing path.
+    pub fn new(cfg: &TraceConfig) -> Self {
+        let minute_totals =
+            sharded_minute_counts(cfg.minutes, cfg.total_invocations, &cfg.arrivals, cfg.seed);
+        TraceStream {
+            durations: DurationDistribution::azure_like(),
+            memory: MemoryDistribution::azure_like(),
+            seed: cfg.seed,
+            jitter: cfg.jitter,
+            minute_totals,
+            next_minute: 0,
+            emitted: 0,
+            jitter_rng: SimRng::stream(cfg.seed ^ SPEC_JITTER_STREAM, 0),
+        }
+    }
+
+    /// Trace length in minutes.
+    pub fn minutes(&self) -> usize {
+        self.minute_totals.len()
+    }
+
+    /// Total invocations the full stream will emit.
+    pub fn total_invocations(&self) -> usize {
+        self.minute_totals.iter().sum()
+    }
+
+    /// Invocations emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// `true` once every minute has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.next_minute >= self.minute_totals.len()
+    }
+
+    /// Synthesizes the next chunk of up to `minutes` whole trace minutes,
+    /// or `None` when the trace is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minutes == 0`.
+    pub fn next_chunk(&mut self, minutes: usize) -> Option<TraceChunk> {
+        assert!(minutes > 0, "chunk must cover at least one minute");
+        if self.is_done() {
+            return None;
+        }
+        let first = self.next_minute;
+        let last = (first + minutes).min(self.minute_totals.len());
+        let mut invocations = Vec::new();
+        for minute in first..last {
+            synth_minute(
+                &self.durations,
+                &self.memory,
+                self.seed,
+                minute,
+                self.minute_totals[minute],
+                &mut invocations,
+            );
+        }
+        let mut specs = Vec::with_capacity(invocations.len());
+        for inv in &invocations {
+            if self.emitted.is_multiple_of(SPEC_BLOCK) {
+                let block = (self.emitted / SPEC_BLOCK) as u64;
+                self.jitter_rng = SimRng::stream(self.seed ^ SPEC_JITTER_STREAM, block);
+            }
+            specs.push(spec_from_sample(
+                inv.arrival,
+                inv.duration,
+                inv.mem_mib,
+                self.jitter,
+                &mut self.jitter_rng,
+            ));
+            self.emitted += 1;
+        }
+        self.next_minute = last;
+        Some(TraceChunk {
+            first_minute: first,
+            end: SimTime::from_secs(60 * last as u64),
+            invocations,
+            specs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::AzureTrace;
+    use crate::ArrivalConfig;
+    use faas_simcore::check;
+
+    fn drain(cfg: &TraceConfig, chunk_minutes: usize) -> (Vec<Invocation>, Vec<TaskSpec>) {
+        let mut stream = TraceStream::new(cfg);
+        let mut invocations = Vec::new();
+        let mut specs = Vec::new();
+        while let Some(chunk) = stream.next_chunk(chunk_minutes) {
+            assert!(chunk.invocations.iter().all(|i| i.arrival < chunk.end
+                && i.arrival >= SimTime::from_secs(60 * chunk.first_minute as u64)));
+            invocations.extend(chunk.invocations);
+            specs.extend(chunk.specs);
+        }
+        assert!(stream.is_done());
+        assert_eq!(stream.emitted(), invocations.len());
+        (invocations, specs)
+    }
+
+    #[test]
+    fn chunked_equals_materialized_across_block_boundaries() {
+        // W2/4 is ~3k invocations over 2 minutes: jitter blocks span the
+        // minute boundary, exercising the carried RNG state.
+        let cfg = TraceConfig::w2().downscaled(4);
+        let trace = AzureTrace::generate(&cfg);
+        assert!(trace.len() > SPEC_BLOCK, "must span multiple jitter blocks");
+        for chunk_minutes in [1, 2, 5] {
+            let (invocations, specs) = drain(&cfg, chunk_minutes);
+            assert_eq!(invocations, trace.invocations());
+            assert_eq!(specs, trace.to_task_specs());
+        }
+    }
+
+    #[test]
+    fn stream_reports_totals_without_synthesis() {
+        let cfg = TraceConfig::w10();
+        let stream = TraceStream::new(&cfg);
+        assert_eq!(stream.minutes(), 10);
+        assert_eq!(stream.total_invocations(), cfg.total_invocations);
+        assert_eq!(stream.emitted(), 0);
+    }
+
+    #[test]
+    fn exhausted_stream_stays_exhausted() {
+        let mut stream = TraceStream::new(&TraceConfig::tiny());
+        assert!(stream.next_chunk(100).is_some());
+        assert!(stream.next_chunk(1).is_none());
+        assert!(stream.next_chunk(1).is_none());
+    }
+
+    #[test]
+    fn property_chunked_generation_matches_materialization() {
+        // The tentpole differential at the trace layer: for random
+        // configs, shard counts and chunk sizes, the streamed chunks
+        // concatenate to exactly the materialized trace — and stopping
+        // early yields an exact prefix (truncation stability).
+        check::run("trace stream == workload_from_trace input", 24, |g| {
+            let cfg = TraceConfig {
+                minutes: g.usize_in(1, 8),
+                total_invocations: g.usize_in(1, 5_000),
+                seed: g.u64_in(0, u64::MAX),
+                jitter: g.f64_in(0.0, 0.2),
+                arrivals: ArrivalConfig::default(),
+            };
+            let shards = g.usize_in(1, 7);
+            let chunk_minutes = g.usize_in(1, 4);
+            let trace = AzureTrace::generate_sharded(&cfg, shards);
+            let full_specs = trace.to_task_specs_sharded(shards);
+
+            let mut stream = TraceStream::new(&cfg);
+            assert_eq!(stream.total_invocations(), cfg.total_invocations);
+            let stop_after = g.usize_in(0, cfg.minutes.div_ceil(chunk_minutes) + 1);
+            let mut invocations = Vec::new();
+            let mut specs = Vec::new();
+            let mut chunks = 0;
+            while let Some(chunk) = stream.next_chunk(chunk_minutes) {
+                invocations.extend(chunk.invocations);
+                specs.extend(chunk.specs);
+                chunks += 1;
+                if chunks == stop_after {
+                    break;
+                }
+            }
+            // Whatever was consumed is an exact prefix of the
+            // materialized trace; full consumption is full equality.
+            assert_eq!(&trace.invocations()[..invocations.len()], &invocations[..]);
+            assert_eq!(&full_specs[..specs.len()], &specs[..]);
+            if stream.is_done() {
+                assert_eq!(invocations.len(), trace.len());
+            }
+        });
+    }
+}

@@ -34,8 +34,10 @@ pub const SPEC_BLOCK: usize = 1024;
 /// Stream salt for per-minute invocation bodies (memory sampling).
 const MINUTE_BODY_STREAM: u64 = 0x00B0_D1E5;
 
-/// Stream salt for per-block work jitter in task specs.
-const SPEC_JITTER_STREAM: u64 = 0x5EED_F00D;
+/// Stream salt for per-block work jitter in task specs (shared with the
+/// chunked path in [`crate::stream`], which must reproduce the exact
+/// per-block streams).
+pub(crate) const SPEC_JITTER_STREAM: u64 = 0x5EED_F00D;
 
 /// Configuration of one synthetic trace.
 #[derive(Debug, Clone)]
@@ -405,10 +407,10 @@ impl AzureTrace {
 }
 
 /// Synthesizes one minute's invocations into `out` — the per-unit body of
-/// [`AzureTrace::generate_sharded`]. All randomness comes from the
-/// minute's own stream, so the result depends only on
-/// `(seed, minute, count)`.
-fn synth_minute(
+/// [`AzureTrace::generate_sharded`] and of the chunked
+/// [`crate::stream::TraceStream`]. All randomness comes from the minute's
+/// own stream, so the result depends only on `(seed, minute, count)`.
+pub(crate) fn synth_minute(
     durations: &DurationDistribution,
     memory: &MemoryDistribution,
     seed: u64,
