@@ -13,8 +13,8 @@ use faas_bench::timing::{black_box, Bench};
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_cluster::dispatch::{KeepAliveDispatch, LeastOutstanding};
 use faas_cluster::{
-    Cluster, ClusterConfig, ClusterTask, ClusterTaskStream, ColdStartConfig, Dispatch,
-    StreamOptions,
+    BreakerConfig, Cluster, ClusterConfig, ClusterTask, ClusterTaskStream, ColdStartConfig,
+    Dispatch, OverloadConfig, StreamOptions,
 };
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
@@ -98,10 +98,30 @@ fn bench_cluster(c: &mut Bench) {
             function: (i % 11) as u64,
         })
         .collect();
-    let run_cluster = |dispatch: Box<dyn Dispatch>, cold: Option<ColdStartConfig>| {
+    // A full middleware stack (caps, token buckets, timeouts with kernel
+    // cancellation, breaker) for the overload row — the per-invocation
+    // front-end tax plus the shed work it removes from the kernels.
+    let overload_stack = || {
+        OverloadConfig::default()
+            .with_concurrency_limit(8)
+            .with_rate_limit(50, 20)
+            .with_deadline(SimDuration::from_millis(500))
+            .with_kernel_cancel()
+            .with_breaker(BreakerConfig {
+                window: 32,
+                trip_pct: 50,
+                cooldown: SimDuration::from_secs(1),
+            })
+    };
+    let run_cluster = |dispatch: Box<dyn Dispatch>,
+                       cold: Option<ColdStartConfig>,
+                       overload: Option<OverloadConfig>| {
         let mut cfg = ClusterConfig::new(4, MachineConfig::new(4).with_cost(CostModel::default()));
         if let Some(cold) = cold {
             cfg = cfg.with_cold_start(cold);
+        }
+        if let Some(overload) = overload {
+            cfg = cfg.with_overload(overload);
         }
         let report = Cluster::new(cfg, dispatch, |_| faas_policies::Fifo::new())
             .run(&tasks, 1)
@@ -114,22 +134,29 @@ fn bench_cluster(c: &mut Bench) {
             .sum::<u64>()
     };
     macro_rules! cluster_bench {
-        ($name:literal, $dispatch:expr, $cold:expr) => {
+        ($name:literal, $dispatch:expr, $cold:expr, $overload:expr) => {
             // One untimed run determines the deterministic kernel-event
             // count across all machines, so the harness reports the same
             // events/sec unit as the single-machine policy benches.
-            let events = run_cluster(Box::new($dispatch), $cold);
+            let events = run_cluster(Box::new($dispatch), $cold, $overload);
             g.throughput(events);
             g.bench_function($name, |b| {
-                b.iter(|| run_cluster(Box::new($dispatch), $cold))
+                b.iter(|| run_cluster(Box::new($dispatch), $cold, $overload))
             });
         };
     }
-    cluster_bench!("least_outstanding", LeastOutstanding, None);
+    cluster_bench!("least_outstanding", LeastOutstanding, None, None);
     cluster_bench!(
         "keep_alive_cold_starts",
         KeepAliveDispatch,
-        Some(ColdStartConfig::firecracker())
+        Some(ColdStartConfig::firecracker()),
+        None
+    );
+    cluster_bench!(
+        "least_outstanding_overload_stack",
+        LeastOutstanding,
+        None,
+        Some(overload_stack())
     );
     g.finish();
 }

@@ -118,6 +118,14 @@ pub fn w2_cluster_trace(rps_multiplier: usize) -> AzureTrace {
     )
 }
 
+/// The cluster workload as a trace **config** (not a materialized
+/// trace), for scenarios that stream it through
+/// [`faas_cluster::ClusterTaskStream`] instead of holding it in memory.
+/// Same shape as [`w2_cluster_trace`]; honors `SCALE_DIV`.
+pub fn w2_cluster_trace_cfg(rps_multiplier: usize) -> TraceConfig {
+    scaled(TraceConfig::w2().rps_scaled(rps_multiplier))
+}
+
 /// The cluster-xl trace **config** (not a materialized trace): W2's
 /// request rate sustained for a full hour (373,260 invocations), then
 /// multiplied by `machines` like [`w2_cluster_trace`]. At 512 machines

@@ -19,9 +19,9 @@
 //! ```
 //! use faas_bench::scenario;
 //!
-//! // Every paper figure/table/ablation/tool — plus the cluster and
-//! // streaming cluster-xl scenarios — is registered.
-//! assert_eq!(scenario::all().len(), 31);
+//! // Every paper figure/table/ablation/tool — plus the cluster,
+//! // streaming cluster-xl and overload scenarios — is registered.
+//! assert_eq!(scenario::all().len(), 33);
 //!
 //! // Lookup by id, filter by tag (runtime classes double as tags).
 //! let table1 = scenario::find("table1").expect("registered");
@@ -402,6 +402,24 @@ static SCENARIOS: &[Scenario] = &[
         run: scenarios::cluster::cluster_xl_1024,
     },
     Scenario {
+        id: "overload",
+        title: "middleware stacks on a 4-machine fleet at 2x capacity",
+        paper_ref: "DESIGN.md overload",
+        tags: &["overload", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::overload::overload,
+    },
+    Scenario {
+        id: "brownout",
+        title: "streaming 16-machine fleet at 4x capacity: shed or drown",
+        paper_ref: "DESIGN.md overload",
+        tags: &["overload", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::overload::brownout,
+    },
+    Scenario {
         id: "make-workload",
         title: "write the W2/W10/Firecracker workload CSVs (Fig. 9 ①)",
         paper_ref: "Fig. 9",
@@ -474,8 +492,8 @@ mod tests {
         let mut ids: Vec<&str> = all().iter().map(|s| s.id).collect();
         let n = ids.len();
         assert_eq!(
-            n, 31,
-            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl"
+            n, 33,
+            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl + 2 overload"
         );
         ids.sort_unstable();
         ids.dedup();
@@ -508,14 +526,16 @@ mod tests {
         let tools = with_tag("tool").len();
         let clusters = with_tag("cluster").len();
         let cluster_xl = with_tag("cluster-xl").len();
+        let overload = with_tag("overload").len();
         assert_eq!(figures, 19);
         assert_eq!(tables, 1);
         assert_eq!(ablations, 2);
         assert_eq!(tools, 2);
         assert_eq!(clusters, 3, "cluster-xl must not match the cluster tag");
         assert_eq!(cluster_xl, 2);
+        assert_eq!(overload, 2);
         // quick + full covers everything.
-        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 31);
+        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 33);
     }
 
     #[test]

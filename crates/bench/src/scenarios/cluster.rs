@@ -12,7 +12,8 @@
 //! stdout is byte-identical at any thread count.
 
 use faas_cluster::dispatch::{
-    Dispatch, KeepAliveDispatch, LeastOutstanding, RandomDispatch, RoundRobinDispatch,
+    Dispatch, KeepAliveDispatch, LeastOutstanding, PowerOfTwoChoices, RandomDispatch,
+    RoundRobinDispatch,
 };
 use faas_cluster::{
     workload_from_trace, Cluster, ClusterConfig, ClusterTask, ClusterTaskStream, ColdStartConfig,
@@ -27,15 +28,17 @@ use lambda_pricing::PriceModel;
 use crate::scenario::{ScenarioCtx, ScenarioResult};
 use crate::{cluster_xl_trace_cfg, paper_machine, par, peak_rss_mib, w2_cluster_trace};
 
-/// Root seed of the random dispatch policy's choice stream (independent
-/// of the machine seeds, which derive from the machine template).
+/// Root seed of the randomized dispatch policies' choice streams
+/// (independent of the machine seeds, which derive from the machine
+/// template; `random` and `p2c` draw from distinct sub-streams of it).
 const DISPATCH_SEED: u64 = 0xC105;
 
-/// The four stock front-end policies, in presentation order.
+/// The five stock front-end policies, in presentation order.
 fn dispatch_zoo() -> Vec<Box<dyn Dispatch>> {
     vec![
         Box::new(RandomDispatch::new(DISPATCH_SEED)),
         Box::new(RoundRobinDispatch::new()),
+        Box::new(PowerOfTwoChoices::new(DISPATCH_SEED)),
         Box::new(LeastOutstanding),
         Box::new(KeepAliveDispatch),
     ]

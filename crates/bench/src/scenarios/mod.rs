@@ -10,6 +10,7 @@ pub(crate) mod ablations;
 pub(crate) mod cluster;
 pub(crate) mod figures;
 pub(crate) mod firecracker;
+pub(crate) mod overload;
 pub(crate) mod tables;
 pub(crate) mod timelines;
 pub(crate) mod tools;

@@ -28,7 +28,7 @@ fn list_enumerates_every_registered_scenario() {
     });
     let stdout = String::from_utf8(out.stdout).expect("utf8 listing");
     assert!(
-        stdout.contains("# 31 scenarios"),
+        stdout.contains("# 33 scenarios"),
         "missing count footer:\n{stdout}"
     );
     for scenario in faas_bench::scenario::all() {
@@ -124,9 +124,60 @@ fn cluster_scenario_listing_and_thread_invariance() {
     assert_eq!(t1, t2, "cluster01 bytes depend on BENCH_THREADS=2");
     assert_eq!(t1, t4, "cluster01 bytes depend on BENCH_THREADS=4");
     let text = String::from_utf8(t1).expect("utf8");
-    for dispatch in ["random", "round-robin", "least-outstanding", "keep-alive"] {
+    for dispatch in [
+        "random",
+        "round-robin",
+        "p2c",
+        "least-outstanding",
+        "keep-alive",
+    ] {
         assert!(text.contains(dispatch), "missing {dispatch} row:\n{text}");
     }
+}
+
+#[test]
+fn overload_scenarios_list_and_run_thread_invariant() {
+    // `--tag overload` must surface exactly the two middleware scenarios
+    // (the plain `cluster` tag must not match them)...
+    let out = run({
+        let mut c = faas_eval();
+        c.args(["--list", "--tag", "overload"]);
+        c
+    });
+    let listing = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["overload", "brownout"] {
+        assert!(
+            listing.contains(id),
+            "{id} missing from listing:\n{listing}"
+        );
+    }
+    assert!(
+        listing.contains("# 2 scenarios"),
+        "count footer:\n{listing}"
+    );
+
+    // ...and the materializing overload run's stdout must be
+    // byte-identical across machine-fan widths: every admission, timeout
+    // and breaker decision happens in the serial front-end pass.
+    let at_threads = |threads: &str| {
+        run({
+            let mut c = faas_eval();
+            c.args(["--id", "overload"])
+                .env("SCALE_DIV", "200")
+                .env("BENCH_THREADS", threads);
+            c
+        })
+        .stdout
+    };
+    let t1 = at_threads("1");
+    let t4 = at_threads("4");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t4, "overload bytes depend on BENCH_THREADS");
+    let text = String::from_utf8(t1).expect("utf8");
+    for row in ["bare", "admission", "timeout-5s-cancel", "full-stack"] {
+        assert!(text.contains(row), "missing {row} row:\n{text}");
+    }
+    assert!(text.contains("lost_revenue_usd"), "header:\n{text}");
 }
 
 #[test]

@@ -2,11 +2,12 @@
 //!
 //! A [`Dispatch`] policy sees only the front end's observable state
 //! ([`DispatchCtx`]) — outstanding counts, dispatch totals, per-function
-//! warmth — and returns a machine index. The four stock policies cover
-//! the classic trade-off square: oblivious ([`RandomDispatch`],
-//! [`RoundRobinDispatch`]), load-aware ([`LeastOutstanding`]) and
-//! locality-aware ([`KeepAliveDispatch`], which chases warm instances to
-//! dodge cold-start boots at the price of looser balancing).
+//! warmth — and returns a machine index. The stock policies cover the
+//! classic trade-off square: oblivious ([`RandomDispatch`],
+//! [`RoundRobinDispatch`]), load-aware ([`LeastOutstanding`],
+//! [`PowerOfTwoChoices`]) and locality-aware ([`KeepAliveDispatch`],
+//! which chases warm instances to dodge cold-start boots at the price of
+//! looser balancing).
 
 use faas_simcore::SimRng;
 
@@ -15,6 +16,11 @@ pub use crate::frontend::DispatchCtx;
 /// Stream salt for [`RandomDispatch`]'s RNG (the workspace shard-seeding
 /// rule: child streams are `SimRng::stream_seed(root, salt)`).
 const RANDOM_DISPATCH_STREAM: u64 = 0xD15C_A7C4;
+
+/// Stream salt for [`PowerOfTwoChoices`]'s RNG, distinct from
+/// [`RANDOM_DISPATCH_STREAM`] so the two samplers never share a stream
+/// even under the same root seed.
+const P2C_DISPATCH_STREAM: u64 = 0x9072_0F2C;
 
 /// A front-end routing policy.
 pub trait Dispatch {
@@ -139,10 +145,58 @@ impl Dispatch for KeepAliveDispatch {
     }
 
     fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        // A warm candidate is worth taking while its estimated completion
+        // beats the best machine's completion *with* a boot charged — the
+        // same estimator the timeout middleware sheds against. (For a
+        // warm machine `est_completion` charges no boot, so this is the
+        // delay-vs-boot budget in completion-instant form: both sides
+        // carry the identical `arrival + duration` terms.)
         let best = ctx.least_wait();
-        let budget = ctx.est_wait(best) + ctx.cold_boot_work();
-        let warm = (0..ctx.machines()).filter(|&m| ctx.is_warm(m) && ctx.est_wait(m) <= budget);
+        let budget = ctx.est_completion_after_boot(best);
+        let warm =
+            (0..ctx.machines()).filter(|&m| ctx.is_warm(m) && ctx.est_completion(m) <= budget);
         ctx.least_wait_of(warm).unwrap_or(best)
+    }
+}
+
+/// Power-of-two-choices with node-health feedback: sample two machines
+/// uniformly (a deterministic [`SimRng`] stream, like
+/// [`RandomDispatch`]), then route to whichever reports the smaller
+/// estimated queueing delay — the front end's health signal. Classic
+/// result: two informed samples shrink the maximum backlog exponentially
+/// versus one, at O(1) cost per decision instead of
+/// [`LeastOutstanding`]'s full scan.
+pub struct PowerOfTwoChoices {
+    rng: SimRng,
+}
+
+impl PowerOfTwoChoices {
+    /// A p2c router whose sampling stream derives from `root_seed`.
+    pub fn new(root_seed: u64) -> Self {
+        PowerOfTwoChoices {
+            rng: SimRng::stream(root_seed, P2C_DISPATCH_STREAM),
+        }
+    }
+}
+
+impl Dispatch for PowerOfTwoChoices {
+    fn name(&self) -> &str {
+        "p2c"
+    }
+
+    fn pick(&mut self, ctx: &DispatchCtx<'_>) -> usize {
+        // Always two draws (even when they collide or the fleet has one
+        // machine): a fixed consumption rate keeps the decision stream
+        // aligned across workloads sharing a seed.
+        let a = self.rng.uniform_usize(ctx.machines());
+        let b = self.rng.uniform_usize(ctx.machines());
+        let (wa, wb) = (ctx.est_wait(a), ctx.est_wait(b));
+        // Strictly-better or lower-index ties: deterministic either way.
+        if wb < wa || (wb == wa && b < a) {
+            b
+        } else {
+            a
+        }
     }
 }
 
@@ -243,6 +297,7 @@ mod tests {
             RoundRobinDispatch::new().name().to_string(),
             LeastOutstanding.name().to_string(),
             KeepAliveDispatch.name().to_string(),
+            PowerOfTwoChoices::new(1).name().to_string(),
         ];
         assert_eq!(
             names,
@@ -251,8 +306,40 @@ mod tests {
                 "random",
                 "round-robin",
                 "least-outstanding",
-                "keep-alive"
+                "keep-alive",
+                "p2c"
             ]
         );
+    }
+
+    #[test]
+    fn p2c_is_seed_deterministic_and_beats_random_on_imbalance() {
+        let cfg = ClusterConfig::new(8, MachineConfig::new(1));
+        // Heavy sustained load: every machine is busy, so the informed
+        // second choice matters.
+        let ts = tasks(800, |_| 0);
+        let a = shares(&cfg, &ts, &mut PowerOfTwoChoices::new(7));
+        let b = shares(&cfg, &ts, &mut PowerOfTwoChoices::new(7));
+        assert_eq!(a, b, "same root seed, same routing");
+        let c = shares(&cfg, &ts, &mut PowerOfTwoChoices::new(8));
+        assert_ne!(a, c, "different seed, different routing");
+        // Balance: p2c's max share must beat random's max share on the
+        // same workload (the power-of-two-choices effect).
+        let r = shares(&cfg, &ts, &mut RandomDispatch::new(7));
+        assert!(a.iter().max() < r.iter().max(), "p2c {a:?} vs random {r:?}");
+    }
+
+    #[test]
+    fn p2c_uses_distinct_stream_from_random() {
+        // Same root seed must not produce the random router's choice
+        // sequence — the stream salts differ.
+        let cfg = ClusterConfig::new(8, MachineConfig::new(64));
+        // All-idle machines: p2c ties break by index, so with zero load
+        // differences it reduces to min of two uniform draws; still, the
+        // dispatch *sequences* must differ from RandomDispatch's.
+        let ts = tasks(64, |_| 0);
+        let p2c = shares(&cfg, &ts, &mut PowerOfTwoChoices::new(42));
+        let rnd = shares(&cfg, &ts, &mut RandomDispatch::new(42));
+        assert_ne!(p2c, rnd);
     }
 }

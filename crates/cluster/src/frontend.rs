@@ -14,9 +14,11 @@
 use std::collections::HashMap;
 
 use faas_kernel::TaskSpec;
+use faas_metrics::OverloadStats;
 use faas_simcore::{MinHeap4, SimDuration, SimTime};
 
 use crate::dispatch::Dispatch;
+use crate::middleware::{Admission, Overload};
 use crate::{ClusterConfig, ClusterTask};
 
 /// Front-end-visible load state of one machine.
@@ -73,6 +75,10 @@ pub struct DispatchCtx<'a> {
     pub now: SimTime,
     /// Function identity of the invocation (drives warmth/locality).
     pub function: u64,
+    /// The invocation's own duration — CPU work plus billed I/O tail,
+    /// before any cold-boot folding (see
+    /// [`DispatchCtx::est_completion`]).
+    pub duration: SimDuration,
     front: &'a FrontEnd,
 }
 
@@ -146,6 +152,30 @@ impl DispatchCtx<'_> {
         self.front.is_warm(machine, self.function, self.now)
     }
 
+    /// Estimated completion instant of the current invocation if
+    /// dispatched to `machine` right now: arrival + queueing estimate
+    /// ([`DispatchCtx::est_wait`]) + cold boot when no warm instance is
+    /// idle + the invocation's own duration. This matches the front end's
+    /// own FCFS backlog accounting exactly, and is the one estimator
+    /// shared by the timeout middleware's shed predicate and
+    /// [`KeepAliveDispatch`](crate::dispatch::KeepAliveDispatch)'s spill
+    /// budget.
+    pub fn est_completion(&self, machine: usize) -> SimTime {
+        let boot = if self.is_warm(machine) {
+            SimDuration::ZERO
+        } else {
+            self.cold_boot_work()
+        };
+        self.now + self.est_wait(machine) + boot + self.duration
+    }
+
+    /// [`DispatchCtx::est_completion`] charged a boot unconditionally —
+    /// the give-up-on-warmth completion bound a locality policy compares
+    /// its warm candidates against.
+    pub fn est_completion_after_boot(&self, machine: usize) -> SimTime {
+        self.now + self.est_wait(machine) + self.cold_boot_work() + self.duration
+    }
+
     /// The machine with the fewest outstanding invocations (lowest index
     /// on ties) — the shared building block of the load-aware policies.
     pub fn least_outstanding(&self) -> usize {
@@ -192,6 +222,12 @@ pub struct FrontEnd {
     /// boots, like a real per-request-instance FaaS platform, not one.
     pools: HashMap<(u32, u64), MinHeap4<u64>>,
     cold: Option<crate::ColdStartConfig>,
+    /// Overload-middleware state (`None` without middleware). Lives here
+    /// — not in [`Assignment`] — so buckets, breaker windows and shed
+    /// counters fold across [`FrontEnd::dispatch_chunk`] calls exactly
+    /// like the load estimates do, making every middleware decision
+    /// independent of how the stream was chunked.
+    overload: Option<Overload>,
 }
 
 /// The output of the dispatch pass: one spec list per machine (cold-start
@@ -214,7 +250,18 @@ impl FrontEnd {
             last_arrival: SimTime::ZERO,
             pools: HashMap::new(),
             cold: cfg.cold_start,
+            overload: cfg.overload.clone().map(Overload::new),
         }
+    }
+
+    /// The overload middleware's shed ledger so far — all-zero without
+    /// middleware. `kernel_cancelled` is always zero here: in-flight
+    /// cancellations happen inside the machines, beyond the router's
+    /// information boundary, and are filled in at report assembly.
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.overload
+            .as_ref()
+            .map_or_else(OverloadStats::default, Overload::stats)
     }
 
     /// `true` if `machine` has an **idle, unexpired** instance of
@@ -290,9 +337,20 @@ impl FrontEnd {
             for load in &mut self.loads {
                 load.drain_until(now_us);
             }
+            // Middleware layers 1–2 (admission control, breaker gate):
+            // shed work never consults the policy or touches any load
+            // estimate — it is recorded, not simulated.
+            let mut probe = false;
+            if let Some(mw) = &mut self.overload {
+                match mw.admit(task.function, now_us, &task.spec) {
+                    Admission::Shed => continue,
+                    Admission::Admit { probe: p } => probe = p,
+                }
+            }
             let ctx = DispatchCtx {
                 now,
                 function: task.function,
+                duration: task.spec.work + task.spec.io_wait,
                 front: self,
             };
             let machine = policy.pick(&ctx);
@@ -301,7 +359,22 @@ impl FrontEnd {
                 "dispatch picked machine {machine} of {}",
                 self.loads.len()
             );
+            // Middleware layer 3 (request timeout): predicted-late work is
+            // abandoned at the router; either way the verdict feeds the
+            // function's breaker window.
+            let est_completion = self.overload.is_some().then(|| ctx.est_completion(machine));
+            if let Some(mw) = &mut self.overload {
+                let late = mw
+                    .deadline_at(now)
+                    .is_some_and(|d| est_completion.expect("computed above") > d);
+                if mw.verdict(task.function, probe, late, now_us, &task.spec) {
+                    continue;
+                }
+            }
             let mut spec = task.spec.clone();
+            if let Some(mw) = &self.overload {
+                mw.stamp(&mut spec, now);
+            }
             let warm_hit = self.claim_instance(machine, task.function, now_us);
             if let Some(c) = self.cold {
                 if !warm_hit {
@@ -321,6 +394,9 @@ impl FrontEnd {
                     .entry((machine as u32, task.function))
                     .or_default()
                     .push(completion);
+            }
+            if let Some(mw) = &mut self.overload {
+                mw.note_dispatch(task.function, completion);
             }
             per_machine[machine].push(spec);
         }

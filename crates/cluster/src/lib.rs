@@ -61,10 +61,12 @@
 
 pub mod dispatch;
 mod frontend;
+mod middleware;
 mod stream;
 
 pub use dispatch::{Dispatch, DispatchCtx};
 pub use frontend::{Assignment, FrontEnd};
+pub use middleware::{BreakerConfig, OverloadConfig, RateLimitConfig};
 pub use stream::{
     chunk_workload, ClusterChunk, ClusterTaskStream, StreamClusterReport, StreamMachineReport,
     StreamOptions,
@@ -72,7 +74,7 @@ pub use stream::{
 
 use azure_trace::AzureTrace;
 use faas_kernel::{MachineConfig, MachineRun, Scheduler, SimError, SlimReport, TaskSpec};
-use faas_metrics::{merge_records, records_from_tasks, ClusterSummary, TaskRecord};
+use faas_metrics::{merge_records, records_from_tasks, ClusterSummary, OverloadStats, TaskRecord};
 use faas_simcore::{par, SimDuration, SimRng, SimTime};
 use microvm_sim::FirecrackerConfig;
 
@@ -125,6 +127,10 @@ pub struct ClusterConfig {
     pub machine: MachineConfig,
     /// Cold-start model; `None` disables warmth tracking entirely.
     pub cold_start: Option<ColdStartConfig>,
+    /// Overload-middleware stack evaluated at dispatch time; `None` (and
+    /// the all-disabled [`OverloadConfig::default`]) accept everything,
+    /// bitwise identical to the bare dispatch policy.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl ClusterConfig {
@@ -139,12 +145,19 @@ impl ClusterConfig {
             machines,
             machine,
             cold_start: None,
+            overload: None,
         }
     }
 
     /// Enables the cold-start model.
     pub fn with_cold_start(mut self, cold: ColdStartConfig) -> Self {
         self.cold_start = Some(cold);
+        self
+    }
+
+    /// Attaches an overload-middleware stack to the dispatch tier.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
         self
     }
 
@@ -172,6 +185,9 @@ pub struct ClusterReport {
     pub records: Vec<Vec<TaskRecord>>,
     /// Invocations that paid the cold-start boot cost.
     pub cold_starts: u64,
+    /// What the overload middleware refused or killed (all-zero without
+    /// middleware), `kernel_cancelled` included.
+    pub overload: OverloadStats,
 }
 
 impl ClusterReport {
@@ -181,18 +197,35 @@ impl ClusterReport {
         merge_records(&self.records)
     }
 
-    /// Merged + per-machine metric summaries.
+    /// Merged + per-machine metric summaries, with the overload shed
+    /// ledger attached.
     ///
     /// # Panics
     ///
     /// Panics if no machine completed any task.
     pub fn summary(&self) -> ClusterSummary {
-        ClusterSummary::compute(&self.records)
+        ClusterSummary::compute(&self.records).with_overload(self.overload)
     }
 
     /// Invocations dispatched to each machine.
     pub fn dispatched(&self) -> Vec<usize> {
         self.machines.iter().map(|m| m.tasks.len()).collect()
+    }
+
+    /// Peak in-flight backlog: the largest arrived-minus-finished count
+    /// any machine's kernel observed — the bounded-memory axis the
+    /// admission layers exist to hold down. Max across machines.
+    pub fn max_live_tasks(&self) -> u64 {
+        self.machines
+            .iter()
+            .map(|m| m.max_in_flight)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Invocations killed mid-flight by kernel deadline cancellation.
+    pub fn kernel_cancelled(&self) -> u64 {
+        self.overload.kernel_cancelled
     }
 
     /// The virtual instant the last machine finished.
@@ -247,7 +280,9 @@ where
     /// Panics if `tasks` is not sorted by arrival or the dispatch policy
     /// returns an out-of-range machine index.
     pub fn run(mut self, tasks: &[ClusterTask], threads: usize) -> Result<ClusterReport, SimError> {
-        let assignment = FrontEnd::new(&self.cfg).dispatch_all(tasks, &mut self.dispatch);
+        let mut front = FrontEnd::new(&self.cfg);
+        let assignment = front.dispatch_chunk(tasks, &mut self.dispatch);
+        let mut overload = front.overload_stats();
         let cfg = &self.cfg;
         let make_policy = &self.make_policy;
         let outcomes = par::par_map_with(threads, assignment.per_machine, |i, specs| {
@@ -259,6 +294,7 @@ where
         for outcome in outcomes {
             machines.push(outcome?);
         }
+        overload.kernel_cancelled = machines.iter().map(|m| m.cancelled).sum();
         let records = machines
             .iter()
             .map(|m| records_from_tasks(&m.tasks))
@@ -268,6 +304,7 @@ where
             machines,
             records,
             cold_starts: assignment.cold_starts,
+            overload,
         })
     }
 }

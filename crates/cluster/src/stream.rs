@@ -23,7 +23,9 @@
 //! The `streaming_differential` integration suite pins all of this.
 
 use faas_kernel::{CoreStats, MachineRun, Scheduler, SimError, TaskSpec};
-use faas_metrics::{StreamClusterSummary, StreamRunStats, TaskRecord, DEFAULT_STREAM_EPSILON};
+use faas_metrics::{
+    OverloadStats, StreamClusterSummary, StreamRunStats, TaskRecord, DEFAULT_STREAM_EPSILON,
+};
 use faas_simcore::{par, SimDuration, SimTime};
 use lambda_pricing::{CostAccumulator, PriceModel};
 
@@ -176,6 +178,13 @@ pub struct StreamMachineReport {
     /// Peak number of task records held in memory at once — the bounded
     /// quantity that replaces the materializing path's O(invocations).
     pub max_live_tasks: usize,
+    /// Peak in-flight backlog (arrived − finished) the machine's kernel
+    /// observed — the same metric as
+    /// [`ClusterReport::max_live_tasks`](crate::ClusterReport::max_live_tasks).
+    pub max_in_flight: u64,
+    /// Invocations killed mid-flight by kernel deadline cancellation
+    /// (dispatched, partially run, never billed).
+    pub cancelled: u64,
 }
 
 /// Outcome of a whole streaming cluster run — O(machines × sketch)
@@ -188,18 +197,22 @@ pub struct StreamClusterReport {
     pub machines: Vec<StreamMachineReport>,
     /// Invocations that paid the cold-start boot cost.
     pub cold_starts: u64,
+    /// What the overload middleware refused or killed (all-zero without
+    /// middleware), `kernel_cancelled` included.
+    pub overload: OverloadStats,
 }
 
 impl StreamClusterReport {
     /// Merged + per-machine metric summaries (sketched quantiles, exact
-    /// everything else), merging in machine order.
+    /// everything else), merging in machine order, with the overload shed
+    /// ledger attached.
     ///
     /// # Panics
     ///
     /// Panics if no machine completed any task.
     pub fn summary(&self) -> StreamClusterSummary {
         let stats: Vec<StreamRunStats> = self.machines.iter().map(|m| m.stats.clone()).collect();
-        StreamClusterSummary::compute(&stats)
+        StreamClusterSummary::compute(&stats).with_overload(self.overload)
     }
 
     /// Invocations completed on each machine.
@@ -237,6 +250,18 @@ impl StreamClusterReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// Peak in-flight backlog across the fleet (kernel-measured; same
+    /// metric as [`ClusterReport::max_live_tasks`]).
+    ///
+    /// [`ClusterReport::max_live_tasks`]: crate::ClusterReport::max_live_tasks
+    pub fn max_in_flight(&self) -> u64 {
+        self.machines
+            .iter()
+            .map(|m| m.max_in_flight)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// One machine's round-trippable state between chunks: the driver plus
@@ -264,6 +289,12 @@ impl<P: Scheduler> MachineState<P> {
             run, stats, cost, ..
         } = self;
         run.retire_finished(|task| {
+            // Kernel-cancelled tasks are terminal but unbilled: no record
+            // to fold — the machine's `num_cancelled` counter is the only
+            // trace they leave.
+            if task.is_cancelled() {
+                return;
+            }
             let record = TaskRecord::try_from(&task).expect("retired tasks are finished");
             stats.record(&record);
             if let Some(c) = cost {
@@ -281,6 +312,8 @@ impl<P: Scheduler> MachineState<P> {
             tasks: self.stats.count(),
             cost_usd: self.cost.as_ref().map_or(0.0, CostAccumulator::total_usd),
             max_live_tasks: self.max_live,
+            max_in_flight: self.run.machine().max_in_flight(),
+            cancelled: self.run.machine().num_cancelled(),
             stats: self.stats,
         }
     }
@@ -350,10 +383,13 @@ where
         for outcome in outcomes {
             machines.push(outcome?.into_report());
         }
+        let mut overload = front.overload_stats();
+        overload.kernel_cancelled = machines.iter().map(|m| m.cancelled).sum();
         Ok(StreamClusterReport {
             dispatch: self.dispatch.name().to_owned(),
             machines,
             cold_starts,
+            overload,
         })
     }
 }

@@ -199,11 +199,24 @@ pub enum PolicyCall {
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival(TaskId),
-    Complete { core: CoreId, generation: u64 },
-    SliceExpire { core: CoreId, generation: u64 },
+    Complete {
+        core: CoreId,
+        generation: u64,
+    },
+    SliceExpire {
+        core: CoreId,
+        generation: u64,
+    },
     IoComplete(TaskId),
+    /// Abandonment deadline of a task with [`TaskSpec::deadline`] set.
+    /// Scheduled when the arrival fires (and re-armed by a past-deadline
+    /// dispatch), so deadline-free runs carry zero extra events.
+    Cancel(TaskId),
     InterferenceStart(CoreId),
-    InterferenceEnd { core: CoreId, generation: u64 },
+    InterferenceEnd {
+        core: CoreId,
+        generation: u64,
+    },
     Tick,
 }
 
@@ -247,6 +260,14 @@ pub struct Machine {
     idle_transitions: u64,
     /// Kernel events processed so far (stale generations included).
     events_processed: u64,
+    /// Tasks whose arrival event has fired (retired ones included).
+    arrived: u64,
+    /// Peak in-flight backlog: max over time of arrived − terminal tasks.
+    /// Only grows at arrivals, so it is updated there.
+    max_in_flight: u64,
+    /// Tasks cancelled past their deadline (monotonic; retirement does not
+    /// decrement it).
+    cancelled_total: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -314,6 +335,9 @@ impl Machine {
             idle: IdleSet::all_idle(cfg.cores),
             idle_transitions: 0,
             events_processed: 0,
+            arrived: 0,
+            max_in_flight: 0,
+            cancelled_total: 0,
             cfg,
         }
     }
@@ -344,10 +368,25 @@ impl Machine {
         self.task_base + self.tasks.len()
     }
 
-    /// Number of finished tasks (retired ones included — only finished
-    /// tasks can be retired).
+    /// Number of terminal tasks — finished or cancelled, retired ones
+    /// included (only terminal tasks can be retired).
     pub fn num_finished(&self) -> usize {
         self.task_base + self.finished
+    }
+
+    /// Number of tasks cancelled past their [`TaskSpec::deadline`]
+    /// (included in [`Machine::num_finished`]; monotonic across
+    /// retirement).
+    pub fn num_cancelled(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Peak in-flight backlog so far: the maximum, over the run, of tasks
+    /// that have arrived but not reached a terminal state. This is the
+    /// quantity overload middleware bounds — with no admission control a
+    /// past-saturation trace grows it without bound.
+    pub fn max_in_flight(&self) -> u64 {
+        self.max_in_flight
     }
 
     /// Number of task records currently held in memory (fed but not yet
@@ -571,7 +610,7 @@ impl Machine {
     pub fn retire_finished(&mut self, mut sink: impl FnMut(Task)) -> usize {
         let mut retired = 0;
         while let Some(front) = self.tasks.front() {
-            if front.state != TaskState::Finished {
+            if !matches!(front.state, TaskState::Finished | TaskState::Cancelled) {
                 break;
             }
             let task = self.tasks.pop_front().expect("front just observed");
@@ -683,6 +722,16 @@ impl Machine {
                 );
             }
         }
+        // A task dispatched past its deadline is killed on the spot: the
+        // cancel event that fired while it was queued was a no-op (the
+        // policy still owned it), so re-arm it for this very instant — it
+        // fires before any work happens, and the policy sees an ordinary
+        // `TaskFinished`.
+        if let Some(deadline) = self.task_ref(task).spec().deadline {
+            if deadline <= now {
+                self.events.schedule_untracked(now, Event::Cancel(task));
+            }
+        }
         self.log(KernelMessage::Dispatch { task, core, slice });
         Ok(())
     }
@@ -755,6 +804,15 @@ impl Machine {
         }
         let call = match ev {
             Event::Arrival(task) => {
+                self.arrived += 1;
+                let in_flight = self.arrived - (self.task_base + self.finished) as u64;
+                if in_flight > self.max_in_flight {
+                    self.max_in_flight = in_flight;
+                }
+                if let Some(deadline) = self.task_ref(task).spec().deadline {
+                    self.events
+                        .schedule_untracked(deadline.max(self.now), Event::Cancel(task));
+                }
                 self.log(KernelMessage::TaskNew { task });
                 PolicyCall::TaskNew(task)
             }
@@ -783,18 +841,52 @@ impl Machine {
                 }
             }
             Event::IoComplete(task) => {
-                let now = self.now;
-                let t = self.task_mut(task);
-                debug_assert_eq!(t.state, TaskState::Blocked, "io completion for non-blocked");
-                t.completion = Some(now);
-                t.state = TaskState::Finished;
-                self.finished += 1;
-                self.last_progress = self.now;
-                self.log(KernelMessage::TaskDead {
-                    task,
-                    core: CoreId(0),
-                });
-                PolicyCall::TaskFinished(task, CoreId(0))
+                if task.index() < self.task_base || self.task_ref(task).state != TaskState::Blocked
+                {
+                    // The wait's owner was cancelled mid-wait (and possibly
+                    // retired since): the external call's return is void.
+                    PolicyCall::Internal
+                } else {
+                    let now = self.now;
+                    let t = self.task_mut(task);
+                    t.completion = Some(now);
+                    t.state = TaskState::Finished;
+                    self.finished += 1;
+                    self.last_progress = self.now;
+                    self.log(KernelMessage::TaskDead {
+                        task,
+                        core: CoreId(0),
+                    });
+                    PolicyCall::TaskFinished(task, CoreId(0))
+                }
+            }
+            Event::Cancel(task) => {
+                if task.index() < self.task_base {
+                    // Retired: already terminal and gone.
+                    PolicyCall::Internal
+                } else {
+                    match self.task_ref(task).state {
+                        TaskState::Finished | TaskState::Cancelled => PolicyCall::Internal,
+                        TaskState::Running => {
+                            let core = self
+                                .task_ref(task)
+                                .on_core
+                                .expect("running task has a core");
+                            self.cancel_running(core, task);
+                            PolicyCall::TaskFinished(task, core)
+                        }
+                        TaskState::Blocked => {
+                            self.cancel_off_core(task);
+                            PolicyCall::TaskFinished(task, CoreId(0))
+                        }
+                        // Not on a core yet: the policy still owns the task
+                        // in its own queues, so cancelling here would
+                        // strand policy state. `dispatch` re-arms the
+                        // cancel the moment the policy runs it, killing it
+                        // with zero progress.
+                        TaskState::Queued | TaskState::Preempted => PolicyCall::Internal,
+                    }
+                }
             }
             Event::SliceExpire { core, generation } => {
                 if self.cores[core.index()].generation != generation {
@@ -954,6 +1046,48 @@ impl Machine {
         t.on_core = None;
         self.finished += 1;
         self.last_progress = now;
+        self.log(KernelMessage::TaskDead { task, core });
+    }
+
+    /// Cancels `task` mid-run on `core`: accounts the progress it made,
+    /// frees the core (invalidating in-flight Complete/SliceExpire via the
+    /// generation bump), and moves the task to the terminal `Cancelled`
+    /// state with no completion instant.
+    fn cancel_running(&mut self, core: CoreId, task: TaskId) {
+        let now = self.now;
+        let (ran, since) = {
+            let c = &mut self.cores[core.index()];
+            let ran = now.saturating_since(c.work_start);
+            let since = c
+                .busy_since
+                .take()
+                .expect("running core without busy_since");
+            c.state = CoreState::Idle;
+            c.generation += 1;
+            (ran, since)
+        };
+        self.mark_idle(core);
+        self.util.record_busy(core.index(), since, now);
+        let t = self.task_mut(task);
+        let ran = ran.min(t.remaining);
+        t.remaining -= ran;
+        t.cpu_time += ran;
+        t.state = TaskState::Cancelled;
+        t.on_core = None;
+        self.seal_cancel(task, core);
+    }
+
+    /// Cancels a task that occupies no core (blocked on an external call).
+    fn cancel_off_core(&mut self, task: TaskId) {
+        self.task_mut(task).state = TaskState::Cancelled;
+        self.seal_cancel(task, CoreId(0));
+    }
+
+    /// Terminal bookkeeping shared by every cancellation path.
+    fn seal_cancel(&mut self, task: TaskId, core: CoreId) {
+        self.finished += 1;
+        self.cancelled_total += 1;
+        self.last_progress = self.now;
         self.log(KernelMessage::TaskDead { task, core });
     }
 
@@ -1280,6 +1414,138 @@ mod tests {
             SimDuration::from_millis(1),
             128,
         )]);
+    }
+
+    #[test]
+    fn deadline_cancels_running_task() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)
+                .with_deadline(SimTime::from_millis(30)),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        m.advance().unwrap(); // arrival (schedules the cancel)
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // The cancel fires at 30 ms, before the 100 ms completion.
+        assert_eq!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(0), CoreId(0)))
+        );
+        assert_eq!(m.now(), SimTime::from_millis(30));
+        let t = m.task(TaskId(0));
+        assert!(t.is_cancelled());
+        assert_eq!(t.completion(), None, "cancelled tasks are unbilled");
+        assert_eq!(
+            t.cpu_time(),
+            SimDuration::from_millis(30),
+            "progress accounted"
+        );
+        assert_eq!(m.core_state(CoreId(0)), CoreState::Idle);
+        assert_eq!(m.num_cancelled(), 1);
+        // Terminal: the machine pauses; the stale completion never fires live.
+        assert_eq!(m.advance().unwrap(), None);
+    }
+
+    #[test]
+    fn past_deadline_dispatch_cancels_with_zero_progress() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128),
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)
+                .with_deadline(SimTime::from_millis(50)),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        m.advance().unwrap(); // T0 arrival
+        m.advance().unwrap(); // T1 arrival (cancel armed at 50 ms)
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // T1's cancel fires at 50 ms while it is still queued: a no-op —
+        // the policy owns queued tasks.
+        assert_eq!(m.advance().unwrap(), Some(PolicyCall::Internal));
+        assert_eq!(m.task(TaskId(1)).state(), TaskState::Queued);
+        // T0 finishes at 100 ms; dispatching T1 past its deadline re-arms
+        // the cancel for this instant and it dies with zero progress.
+        assert!(matches!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(0), _))
+        ));
+        m.dispatch(CoreId(0), TaskId(1), None).unwrap();
+        assert_eq!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(1), CoreId(0)))
+        );
+        assert_eq!(m.now(), SimTime::from_millis(100));
+        let t = m.task(TaskId(1));
+        assert!(t.is_cancelled());
+        assert_eq!(t.cpu_time(), SimDuration::ZERO);
+        assert_eq!(m.advance().unwrap(), None);
+    }
+
+    #[test]
+    fn deadline_cancels_blocked_task_and_voids_io_return() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(1), 128)
+                .with_io_wait(SimDuration::from_secs(60))
+                .with_deadline(SimTime::from_millis(500)),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        // CPU done at 1 ms, task blocks on the external call.
+        assert!(matches!(m.advance().unwrap(), Some(PolicyCall::Internal)));
+        assert_eq!(m.task(TaskId(0)).state(), TaskState::Blocked);
+        // Cancel fires at 500 ms, long before the 60 s wait returns.
+        assert_eq!(
+            m.advance().unwrap(),
+            Some(PolicyCall::TaskFinished(TaskId(0), CoreId(0)))
+        );
+        assert_eq!(m.now(), SimTime::from_millis(500));
+        assert!(m.task(TaskId(0)).is_cancelled());
+        assert_eq!(m.advance().unwrap(), None, "void io return never delivers");
+    }
+
+    #[test]
+    fn max_in_flight_tracks_peak_backlog() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128),
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(10), 128),
+            TaskSpec::function(SimTime::from_millis(100), SimDuration::from_millis(10), 128),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        assert_eq!(m.max_in_flight(), 0);
+        m.advance().unwrap();
+        m.advance().unwrap();
+        assert_eq!(m.max_in_flight(), 2, "two arrived, none finished");
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(1), None).unwrap();
+        m.advance().unwrap();
+        // The third arrives after both finished: backlog 1, peak stays 2.
+        m.advance().unwrap();
+        assert_eq!(m.max_in_flight(), 2);
+    }
+
+    #[test]
+    fn retire_covers_cancelled_prefix() {
+        let cfg = MachineConfig::new(1).with_cost(CostModel::free());
+        let specs = vec![
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(100), 128)
+                .with_deadline(SimTime::from_millis(10)),
+            TaskSpec::function(SimTime::ZERO, SimDuration::from_millis(5), 128),
+        ];
+        let mut m = Machine::new(cfg, specs);
+        m.advance().unwrap();
+        m.advance().unwrap();
+        m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+        m.advance().unwrap(); // cancel at 10 ms
+        m.dispatch(CoreId(0), TaskId(1), None).unwrap();
+        m.advance().unwrap(); // T1 finishes
+        let mut drained = Vec::new();
+        assert_eq!(m.retire_finished(|t| drained.push(t)), 2);
+        assert!(drained[0].is_cancelled());
+        assert_eq!(drained[1].completion(), Some(SimTime::from_millis(15)));
+        assert_eq!(m.num_cancelled(), 1, "monotonic across retirement");
     }
 
     #[test]

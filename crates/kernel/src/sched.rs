@@ -123,6 +123,11 @@ pub struct SlimReport {
     /// empty `Vec` in the common case) so differential tests can compare
     /// whole kernel streams without holding machines alive.
     pub messages: Vec<(SimTime, KernelMessage)>,
+    /// Peak in-flight backlog (see [`Machine::max_in_flight`]) — the
+    /// quantity overload middleware bounds.
+    pub max_in_flight: u64,
+    /// Tasks cancelled past their deadline (see [`Machine::num_cancelled`]).
+    pub cancelled: u64,
 }
 
 impl SlimReport {
@@ -359,6 +364,8 @@ impl<P: Scheduler> MachineRun<P> {
         let policy = self.policy.name().to_owned();
         let mut machine = self.machine;
         let events_processed = machine.events_processed();
+        let max_in_flight = machine.max_in_flight();
+        let cancelled = machine.num_cancelled();
         let messages = machine.take_messages();
         let tasks = machine.into_tasks();
         Ok(SlimReport {
@@ -368,6 +375,8 @@ impl<P: Scheduler> MachineRun<P> {
             finished_at,
             events_processed,
             messages,
+            max_in_flight,
+            cancelled,
         })
     }
 

@@ -73,6 +73,14 @@ pub struct TaskSpec {
     /// example where 1 ms of CPU plus a 1-minute database wait is billed
     /// as the full minute.
     pub io_wait: SimDuration,
+    /// Absolute instant past which the caller abandons the invocation
+    /// (request timeout). The kernel cancels the task at this instant —
+    /// running or blocked tasks are killed on the spot, queued tasks the
+    /// moment a policy dispatches them — so callers stop paying for work
+    /// past the deadline. `None` (the default) disables cancellation and
+    /// leaves the kernel event stream byte-identical to a deadline-free
+    /// run.
+    pub deadline: Option<SimTime>,
 }
 
 impl TaskSpec {
@@ -97,6 +105,7 @@ impl TaskSpec {
             group: 0,
             hint: PlacementHint::Auto,
             io_wait: SimDuration::ZERO,
+            deadline: None,
         }
     }
 
@@ -123,6 +132,12 @@ impl TaskSpec {
         self.io_wait = io_wait;
         self
     }
+
+    /// Sets the absolute abandonment deadline (request timeout).
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// Lifecycle state of a task.
@@ -139,6 +154,10 @@ pub enum TaskState {
     Blocked,
     /// All work done.
     Finished,
+    /// Abandoned past its [`TaskSpec::deadline`]: the caller timed out and
+    /// stopped paying. Terminal like `Finished`, but with no completion
+    /// instant — cancelled tasks produce no billing record.
+    Cancelled,
 }
 
 /// Kernel-side record of one task (spec + mutable lifecycle bookkeeping).
@@ -185,6 +204,12 @@ impl Task {
     /// Current lifecycle state.
     pub fn state(&self) -> TaskState {
         self.state
+    }
+
+    /// Whether the task was abandoned past its deadline (terminal, but
+    /// unbilled — the caller stopped paying).
+    pub fn is_cancelled(&self) -> bool {
+        self.state == TaskState::Cancelled
     }
 
     /// Work still to be done (inflated by cache-warmup penalties after

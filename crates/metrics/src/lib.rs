@@ -21,6 +21,9 @@
 //!   the streaming-cluster counterparts: mergeable ε-approximate
 //!   quantiles and online accumulators holding O(sketch) memory instead
 //!   of O(invocations) (see `DESIGN.md` "Streaming cluster runs");
+//! * [`OverloadStats`] — the shed/timeout/breaker-trip ledger of the
+//!   dispatch-tier overload middleware (see `DESIGN.md` "Overload
+//!   middleware");
 //! * CSV export for external plotting.
 //!
 //! ```
@@ -49,6 +52,7 @@
 mod cdf;
 mod export;
 mod merge;
+mod overload;
 mod record;
 mod sketch;
 mod stats;
@@ -59,6 +63,7 @@ mod timeline;
 pub use cdf::DurationCdf;
 pub use export::{write_records_csv, write_series_csv};
 pub use merge::{merge_records, ClusterSummary};
+pub use overload::OverloadStats;
 pub use record::{records_from_tasks, TaskRecord, UnfinishedTaskError};
 pub use sketch::QuantileSketch;
 pub use stats::{jain_fairness, mean_stddev, slowdowns, LogHistogram};

@@ -8,6 +8,7 @@
 //! function of the per-machine results no matter how the machine
 //! simulations were fanned across threads.
 
+use crate::overload::OverloadStats;
 use crate::record::TaskRecord;
 use crate::summary::RunSummary;
 
@@ -54,6 +55,9 @@ pub struct ClusterSummary {
     /// One summary per machine, in machine order; `None` for a machine
     /// that completed no tasks (possible under heavy downscaling).
     pub per_machine: Vec<Option<RunSummary>>,
+    /// What the dispatch-tier overload middleware refused or killed.
+    /// All-zero when the front end ran without middleware.
+    pub overload: OverloadStats,
 }
 
 impl ClusterSummary {
@@ -71,7 +75,15 @@ impl ClusterSummary {
                 .iter()
                 .map(|r| (!r.is_empty()).then(|| RunSummary::compute(r)))
                 .collect(),
+            overload: OverloadStats::default(),
         }
+    }
+
+    /// Attaches the overload middleware's shed ledger (the records passed
+    /// to [`ClusterSummary::compute`] only describe work that *ran*).
+    pub fn with_overload(mut self, overload: OverloadStats) -> Self {
+        self.overload = overload;
+        self
     }
 
     /// The spread of per-machine p99 response times: `(min, max)` across

@@ -245,6 +245,9 @@ pub struct StreamClusterSummary {
     /// One rendered summary per machine, in machine order; `None` for a
     /// machine that completed no tasks.
     pub per_machine: Vec<Option<RunSummary>>,
+    /// What the dispatch-tier overload middleware refused or killed.
+    /// All-zero when the front end ran without middleware.
+    pub overload: crate::OverloadStats,
 }
 
 impl StreamClusterSummary {
@@ -271,7 +274,15 @@ impl StreamClusterSummary {
                 .iter()
                 .map(|m| (!m.is_empty()).then(|| m.to_summary()))
                 .collect(),
+            overload: crate::OverloadStats::default(),
         }
+    }
+
+    /// Attaches the overload middleware's shed ledger (the accumulators
+    /// only saw work that *ran*).
+    pub fn with_overload(mut self, overload: crate::OverloadStats) -> Self {
+        self.overload = overload;
+        self
     }
 
     /// Renders the fleet-wide summary (see [`StreamRunStats::to_summary`]).

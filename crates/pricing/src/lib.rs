@@ -176,6 +176,57 @@ impl CostAccumulator {
     }
 }
 
+/// Online accumulator for the revenue *lost* to overload shedding: each
+/// shed invocation is billed as if it had run to completion (billable
+/// execution duration at its own memory size), because that is exactly
+/// the bill the provider forfeits by refusing it.
+///
+/// Shed work never produces a [`TaskRecord`] — the router refuses it
+/// before any machine sees it — so this accumulator takes the would-have-
+/// been duration (`work + io_wait`) straight from the spec. Like
+/// [`CostAccumulator`], the total is a left-to-right `f64` fold in the
+/// order the sheds happened (arrival order at a serial front end), so it
+/// is byte-identical at any fan width or trace chunking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedCostAccumulator {
+    model: PriceModel,
+    total_usd: f64,
+    count: u64,
+}
+
+impl ShedCostAccumulator {
+    /// An empty accumulator pricing forfeited work under `model`.
+    pub fn new(model: PriceModel) -> Self {
+        ShedCostAccumulator {
+            model,
+            total_usd: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Prices one shed invocation that would have occupied the platform
+    /// for `duration` (CPU work + billed I/O wait) at `mem_mib`.
+    pub fn record(&mut self, duration: SimDuration, mem_mib: u32) {
+        self.total_usd += self.model.cost_of_duration(duration, mem_mib);
+        self.count += 1;
+    }
+
+    /// Running total of forfeited revenue in USD.
+    pub fn total_usd(&self) -> f64 {
+        self.total_usd
+    }
+
+    /// Number of sheds priced.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The tariff this accumulator prices under.
+    pub fn model(&self) -> &PriceModel {
+        &self.model
+    }
+}
+
 /// The relative extra cost of `more` over `less` (e.g. "CFS introduces
 /// more than 10 times extra cost compared to FIFO", Fig. 1).
 ///
@@ -307,6 +358,21 @@ mod tests {
         );
         assert_eq!(acc.count(), 1_000);
         assert_eq!(acc.model(), &m);
+    }
+
+    #[test]
+    fn shed_accumulator_prices_forfeited_duration() {
+        // A shed invocation costs exactly what the same duration would
+        // have billed had it run — same tariff, same rounding.
+        let m = PriceModel::aws_lambda_2024();
+        let mut shed = ShedCostAccumulator::new(m);
+        shed.record(SimDuration::from_millis(100), 128);
+        shed.record(SimDuration::from_millis(250), 1_024);
+        let ran = m.cost_of_duration(SimDuration::from_millis(100), 128)
+            + m.cost_of_duration(SimDuration::from_millis(250), 1_024);
+        assert_eq!(shed.total_usd().to_bits(), ran.to_bits());
+        assert_eq!(shed.count(), 2);
+        assert_eq!(shed.model(), &m);
     }
 
     #[test]
