@@ -13,8 +13,9 @@ use faas_bench::timing::{black_box, Bench};
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_cluster::dispatch::{KeepAliveDispatch, LeastOutstanding};
 use faas_cluster::{
-    BreakerConfig, Cluster, ClusterConfig, ClusterTask, ClusterTaskStream, ColdStartConfig,
-    Dispatch, OverloadConfig, StreamOptions,
+    AutoscaleConfig, BreakerConfig, ChaosConfig, Cluster, ClusterConfig, ClusterTask,
+    ClusterTaskStream, ColdStartConfig, Dispatch, FaultPlan, FaultPlanConfig, OverloadConfig,
+    StreamOptions,
 };
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
@@ -158,6 +159,53 @@ fn bench_cluster(c: &mut Bench) {
         None,
         Some(overload_stack())
     );
+    // The chaos row: same fleet shape under a seeded fault plan (crashes
+    // dooming in-flight work into the re-dispatch queue, straggler
+    // windows inflating kernel work) with the autoscaler riding the
+    // backlog — the per-event cost of the whole chaos fold on top of
+    // dispatch. Tasks are spread over a minute so the per-minute fault
+    // streams actually land inside the run.
+    let chaos_tasks: Vec<ClusterTask> = specs(2_000)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut task)| {
+            task.arrival = SimTime::from_millis(30 * i as u64);
+            ClusterTask {
+                spec: task,
+                function: (i % 11) as u64,
+            }
+        })
+        .collect();
+    let chaos_plan = FaultPlan::generate(
+        &FaultPlanConfig::new(0x0BE2_4C40, 1)
+            .with_crashes(6.0, SimDuration::from_millis(500))
+            .with_stragglers(4.0, SimDuration::from_secs(5), 2.0),
+        4,
+    );
+    let run_chaos = || {
+        let cfg = ClusterConfig::new(4, MachineConfig::new(4).with_cost(CostModel::default()))
+            .with_chaos(ChaosConfig::new(chaos_plan.clone()).with_slo(SimDuration::from_secs(1)))
+            .with_autoscale(AutoscaleConfig {
+                min_machines: 2,
+                high_watermark: 16.0,
+                low_watermark: 4.0,
+                check_interval: SimDuration::from_millis(250),
+                cooldown: SimDuration::from_secs(1),
+                boot_lag: SimDuration::from_millis(125),
+            });
+        let report = Cluster::new(cfg, LeastOutstanding, |_| faas_policies::Fifo::new())
+            .run(&chaos_tasks, 1)
+            .unwrap();
+        black_box(report.finished_at());
+        report
+            .machines
+            .iter()
+            .map(|m| m.events_processed)
+            .sum::<u64>()
+    };
+    let events = run_chaos();
+    g.throughput(events);
+    g.bench_function("chaos_autoscale_fault_plan", |b| b.iter(run_chaos));
     g.finish();
 }
 

@@ -58,17 +58,11 @@ fn main() -> ExitCode {
     );
     // Sections that exist on only one side are advisory notes, never
     // errors: a freshly added bench group simply has no committed
-    // baseline entry until the next full regeneration.
-    for (group, name) in &diff.fresh_only {
-        println!("  note: no baseline entry for {group}/{name} (new benchmark; regenerate {baseline_path})");
-    }
-    for (group, name) in &diff.baseline_only {
-        println!(
-            "  note: baseline entry {group}/{name} missing from the fresh run (removed benchmark?)"
-        );
-    }
-    for (group, name) in &diff.unscored {
-        println!("  note: {group}/{name} is wall-clock only (no events/sec to compare)");
+    // baseline entry until the next full regeneration. The labels are
+    // deliberately distinct per kind (new/dropped/unscored) — see
+    // `guard::notes`.
+    for line in guard::notes(&diff, &baseline_path) {
+        println!("{line}");
     }
     let regressions = guard::report(&diff.comparisons, threshold, &mut std::io::stdout());
     if regressions > 0 {

@@ -174,6 +174,37 @@ pub fn compare(baseline: &str, fresh: &str) -> Result<Vec<Comparison>, String> {
     Ok(compare_full(baseline, fresh)?.comparisons)
 }
 
+/// Renders the presence notes of a [`GuardDiff`] — one line per row that
+/// exists on only one side or cannot be scored — with **distinct
+/// labels** per kind: brand-new rows (present in the fresh run, absent
+/// from the baseline) are `new:` lines telling the maintainer to
+/// regenerate `baseline_path`, dropped rows (present only in the
+/// baseline) are `dropped:` lines, and matched-but-unscorable rows are
+/// `unscored:` lines. A new bench section must never read as a removal,
+/// and vice versa — the two call for opposite actions (regenerate the
+/// baseline vs. prune it).
+pub fn notes(diff: &GuardDiff, baseline_path: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (group, name) in &diff.fresh_only {
+        lines.push(format!(
+            "  new: {group}/{name} has no baseline entry yet (freshly added benchmark; \
+             regenerate {baseline_path})"
+        ));
+    }
+    for (group, name) in &diff.baseline_only {
+        lines.push(format!(
+            "  dropped: baseline entry {group}/{name} is missing from the fresh run \
+             (benchmark removed or renamed; prune {baseline_path})"
+        ));
+    }
+    for (group, name) in &diff.unscored {
+        lines.push(format!(
+            "  unscored: {group}/{name} is wall-clock only (no events/sec to compare)"
+        ));
+    }
+    lines
+}
+
 /// Renders the guard report for `compare`'s output; returns the number of
 /// regressions beyond `threshold`.
 pub fn report(rows: &[Comparison], threshold: f64, out: &mut dyn std::io::Write) -> usize {
@@ -290,6 +321,34 @@ mod tests {
         let upgraded = doc_mixed(&[("g", "a", Some(900.0)), ("w", "wall", Some(5.0))]);
         let diff = compare_full(&base, &upgraded).unwrap();
         assert_eq!(diff.unscored, vec![("w".to_string(), "wall".to_string())]);
+    }
+
+    #[test]
+    fn notes_label_new_and_dropped_rows_distinctly() {
+        let base = doc_mixed(&[("g", "gone", Some(1000.0)), ("w", "wall", None)]);
+        let fresh = doc_mixed(&[("g", "new", Some(9.0)), ("w", "wall", None)]);
+        let diff = compare_full(&base, &fresh).unwrap();
+        let lines = notes(&diff, "BENCH_sched.json");
+        assert_eq!(lines.len(), 3);
+        let new_line = lines.iter().find(|l| l.contains("g/new")).unwrap();
+        let dropped_line = lines.iter().find(|l| l.contains("g/gone")).unwrap();
+        let unscored_line = lines.iter().find(|l| l.contains("w/wall")).unwrap();
+        assert!(
+            new_line.trim_start().starts_with("new:"),
+            "brand-new row must carry the new label: {new_line}"
+        );
+        assert!(
+            dropped_line.trim_start().starts_with("dropped:"),
+            "dropped row must carry the dropped label: {dropped_line}"
+        );
+        assert!(
+            unscored_line.trim_start().starts_with("unscored:"),
+            "wall-clock row must carry the unscored label: {unscored_line}"
+        );
+        assert!(
+            new_line.contains("regenerate") && dropped_line.contains("prune"),
+            "the two notes must prescribe opposite actions"
+        );
     }
 
     #[test]

@@ -142,6 +142,22 @@ pub fn cluster_xl_trace_cfg(machines: usize) -> TraceConfig {
     scaled(hour.rps_scaled(machines))
 }
 
+/// The elastic-fleet trace **config**: W2's request rate sustained for 8
+/// minutes and swung by a ±60% diurnal sine over one full 8-minute
+/// period, then multiplied by `rps_multiplier` like
+/// [`w2_cluster_trace`]. The swing is what gives an autoscaler something
+/// to chase — peak minutes run at 1.6× the mean rate, troughs at 0.4×.
+/// Honors `SCALE_DIV`.
+pub fn diurnal_cluster_trace_cfg(rps_multiplier: usize) -> TraceConfig {
+    let cfg = TraceConfig {
+        minutes: 8,
+        total_invocations: 4 * TraceConfig::w2().total_invocations,
+        arrivals: azure_trace::ArrivalConfig::default().with_diurnal(0.6, 8),
+        ..TraceConfig::w2()
+    };
+    scaled(cfg.rps_scaled(rps_multiplier))
+}
+
 /// Peak resident set size of this process in MiB (`VmHWM` from
 /// `/proc/self/status`), or `None` off Linux. The cluster-xl scenarios
 /// report it on **stderr** — it is host state, never part of the

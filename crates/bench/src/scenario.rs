@@ -20,8 +20,8 @@
 //! use faas_bench::scenario;
 //!
 //! // Every paper figure/table/ablation/tool — plus the cluster,
-//! // streaming cluster-xl and overload scenarios — is registered.
-//! assert_eq!(scenario::all().len(), 33);
+//! // streaming cluster-xl, overload and chaos scenarios — is registered.
+//! assert_eq!(scenario::all().len(), 35);
 //!
 //! // Lookup by id, filter by tag (runtime classes double as tags).
 //! let table1 = scenario::find("table1").expect("registered");
@@ -420,6 +420,24 @@ static SCENARIOS: &[Scenario] = &[
         run: scenarios::overload::brownout,
     },
     Scenario {
+        id: "crash-storm",
+        title: "16-machine fleet under a seeded crash/straggler/storm plan",
+        paper_ref: "DESIGN.md chaos",
+        tags: &["chaos", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::chaos::crash_storm,
+    },
+    Scenario {
+        id: "autoscale",
+        title: "streaming autoscaler vs pinned fleets on a diurnal trace",
+        paper_ref: "DESIGN.md chaos",
+        tags: &["chaos", "elastic", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::chaos::autoscale,
+    },
+    Scenario {
         id: "make-workload",
         title: "write the W2/W10/Firecracker workload CSVs (Fig. 9 ①)",
         paper_ref: "Fig. 9",
@@ -492,8 +510,8 @@ mod tests {
         let mut ids: Vec<&str> = all().iter().map(|s| s.id).collect();
         let n = ids.len();
         assert_eq!(
-            n, 33,
-            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl + 2 overload"
+            n, 35,
+            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl + 2 overload + 2 chaos"
         );
         ids.sort_unstable();
         ids.dedup();
@@ -527,6 +545,8 @@ mod tests {
         let clusters = with_tag("cluster").len();
         let cluster_xl = with_tag("cluster-xl").len();
         let overload = with_tag("overload").len();
+        let chaos = with_tag("chaos").len();
+        let elastic = with_tag("elastic").len();
         assert_eq!(figures, 19);
         assert_eq!(tables, 1);
         assert_eq!(ablations, 2);
@@ -534,8 +554,10 @@ mod tests {
         assert_eq!(clusters, 3, "cluster-xl must not match the cluster tag");
         assert_eq!(cluster_xl, 2);
         assert_eq!(overload, 2);
+        assert_eq!(chaos, 2);
+        assert_eq!(elastic, 1, "only the autoscaler scenario is elastic");
         // quick + full covers everything.
-        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 33);
+        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 35);
     }
 
     #[test]

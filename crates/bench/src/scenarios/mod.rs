@@ -7,6 +7,7 @@
 //! `BENCH_THREADS`.
 
 pub(crate) mod ablations;
+pub(crate) mod chaos;
 pub(crate) mod cluster;
 pub(crate) mod figures;
 pub(crate) mod firecracker;

@@ -76,6 +76,7 @@ fn baseline_has_schema_and_expected_rows() {
         "\"name\": \"cfs\"",
         "\"name\": \"hybrid\"",
         "\"name\": \"event_queue_schedule_pop_1k\"",
+        "\"name\": \"chaos_autoscale_fault_plan\"",
     ] {
         assert!(text.contains(name), "baseline missing row: {name}");
     }

@@ -14,9 +14,11 @@
 use std::collections::HashMap;
 
 use faas_kernel::TaskSpec;
-use faas_metrics::OverloadStats;
+use faas_metrics::{ChaosStats, OverloadStats};
 use faas_simcore::{MinHeap4, SimDuration, SimTime};
+use lambda_pricing::ChurnCostAccumulator;
 
+use crate::chaos::{Autoscaler, Fault, RetryEntry, RetryQueue, ScaleDecision};
 use crate::dispatch::Dispatch;
 use crate::middleware::{Admission, Overload};
 use crate::{ClusterConfig, ClusterTask};
@@ -83,9 +85,11 @@ pub struct DispatchCtx<'a> {
 }
 
 impl DispatchCtx<'_> {
-    /// Number of machines in the fleet.
+    /// Number of **active** machines in the fleet. Without an autoscaler
+    /// this is the full fleet size; with one, it is the current active
+    /// prefix — policies only ever place work on machines `0..machines()`.
     pub fn machines(&self) -> usize {
-        self.front.loads.len()
+        self.front.active
     }
 
     /// Dispatched-but-not-yet-drained invocation count on `machine`
@@ -228,6 +232,49 @@ pub struct FrontEnd {
     /// like the load estimates do, making every middleware decision
     /// independent of how the stream was chunked.
     overload: Option<Overload>,
+    /// Machines `0..active` take new work; the rest are either drained
+    /// spares (autoscaler) or not yet booted. Equals `loads.len()` without
+    /// an autoscaler.
+    active: usize,
+    /// Per-machine arrival floor (µs): the earliest instant the machine
+    /// can receive a spec — pushed forward by crash downtime and scale-up
+    /// boot lag. Only ever max-monotone, so per-machine feeds stay sorted.
+    available_at: Vec<u64>,
+    /// Fault-injection state (`None` without a [`ChaosConfig`]). Like the
+    /// middleware, it folds serially across chunks, which is what keeps
+    /// chaos bitwise-invariant to fan width and chunking.
+    chaos: Option<ChaosFold>,
+    /// Elastic-fleet controller (`None` for a fixed fleet).
+    scaler: Option<Autoscaler>,
+    /// Crash/retry/scale ledger (all-zero without chaos or autoscaling).
+    stats: ChaosStats,
+}
+
+/// Front-end-resident state of the fault-injection layer, pre-split from
+/// the [`FaultPlan`](crate::FaultPlan) into the shapes the hot path needs.
+struct ChaosFold {
+    /// Crash schedule `(at_us, machine, down_us)`, time-sorted; `cursor`
+    /// marks the first crash not yet applied to the load state.
+    crashes: Vec<(u64, usize, u64)>,
+    cursor: usize,
+    /// Per-machine crash instants for the dispatch-time doom check, each
+    /// with its own cursor (per-machine probe instants are monotone).
+    crash_at: Vec<Vec<u64>>,
+    crash_cur: Vec<usize>,
+    /// Per-machine straggler windows `(start_us, end_us, slowdown)`,
+    /// start-sorted, with advancing cursors.
+    straggle: Vec<Vec<(u64, u64, f64)>>,
+    straggle_cur: Vec<usize>,
+    /// Crashed invocations awaiting re-dispatch.
+    retries: RetryQueue,
+    /// Re-dispatch attempts allowed per invocation (`None` = unlimited).
+    max_retries: Option<u32>,
+    /// SLO bound for recovery epochs, in µs (`None` disables tracking).
+    slo_us: Option<u64>,
+    /// Crash instants whose SLO-recovery epoch is still open.
+    pending_epochs: Vec<u64>,
+    /// Dollar ledger of doomed attempts and abandonments.
+    churn: Option<ChurnCostAccumulator>,
 }
 
 /// The output of the dispatch pass: one spec list per machine (cold-start
@@ -242,6 +289,52 @@ pub struct Assignment {
 impl FrontEnd {
     /// A front end over the fleet described by `cfg`.
     pub fn new(cfg: &ClusterConfig) -> Self {
+        let mut stats = ChaosStats::default();
+        let chaos = cfg.chaos.as_ref().map(|c| {
+            let mut crashes = Vec::new();
+            let mut crash_at = vec![Vec::new(); cfg.machines];
+            let mut straggle = vec![Vec::new(); cfg.machines];
+            for e in c.plan.events() {
+                match e.fault {
+                    Fault::Crash { down } => {
+                        crashes.push((e.at.as_micros(), e.machine, down.as_micros()));
+                        crash_at[e.machine].push(e.at.as_micros());
+                    }
+                    Fault::Straggle { duration, slowdown } => {
+                        stats.stragglers += 1;
+                        straggle[e.machine].push((
+                            e.at.as_micros(),
+                            (e.at + duration).as_micros(),
+                            slowdown,
+                        ));
+                    }
+                    // Storms modulate the kernel's interference draws; the
+                    // router neither sees nor reacts to them (see
+                    // `ClusterConfig::machine_config`).
+                    Fault::Storm { .. } => stats.storms += 1,
+                }
+            }
+            ChaosFold {
+                crashes,
+                cursor: 0,
+                crash_cur: vec![0; cfg.machines],
+                crash_at,
+                straggle_cur: vec![0; cfg.machines],
+                straggle,
+                retries: RetryQueue::new(),
+                max_retries: c.max_retries,
+                slo_us: c.slo.map(|s| s.as_micros()),
+                pending_epochs: Vec::new(),
+                churn: c.price.map(ChurnCostAccumulator::new),
+            }
+        });
+        let scaler = cfg.autoscale.map(|a| Autoscaler::new(a, cfg.machines));
+        let active = scaler
+            .as_ref()
+            .map_or(cfg.machines, Autoscaler::min_machines);
+        if scaler.is_some() {
+            stats.peak_active = active as u64;
+        }
         FrontEnd {
             loads: (0..cfg.machines)
                 .map(|_| MachineLoad::new(cfg.machine.cores))
@@ -251,7 +344,28 @@ impl FrontEnd {
             pools: HashMap::new(),
             cold: cfg.cold_start,
             overload: cfg.overload.clone().map(Overload::new),
+            active,
+            available_at: vec![0; cfg.machines],
+            chaos,
+            scaler,
+            stats,
         }
+    }
+
+    /// Number of machines currently taking new work.
+    pub fn active_machines(&self) -> usize {
+        self.active
+    }
+
+    /// The chaos ledger so far — crash/retry/scale counters plus the
+    /// dollar churn total. All-zero without a fault plan or autoscaler.
+    /// `unrecovered` is only final after [`FrontEnd::finish`].
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let mut stats = self.stats;
+        if let Some(churn) = self.chaos.as_ref().and_then(|c| c.churn.as_ref()) {
+            stats.churn_cost_usd = churn.total_usd();
+        }
+        stats
     }
 
     /// The overload middleware's shed ledger so far — all-zero without
@@ -326,84 +440,328 @@ impl FrontEnd {
         tasks: &[ClusterTask],
         policy: &mut D,
     ) -> Assignment {
-        let mut per_machine: Vec<Vec<TaskSpec>> =
-            (0..self.loads.len()).map(|_| Vec::new()).collect();
-        let mut cold_starts = 0u64;
+        let mut out = self.empty_assignment();
         for task in tasks {
             let now = task.spec.arrival;
             assert!(now >= self.last_arrival, "arrival stream must be sorted");
             self.last_arrival = now;
             let now_us = now.as_micros();
-            for load in &mut self.loads {
-                load.drain_until(now_us);
-            }
-            // Middleware layers 1–2 (admission control, breaker gate):
-            // shed work never consults the policy or touches any load
-            // estimate — it is recorded, not simulated.
-            let mut probe = false;
-            if let Some(mw) = &mut self.overload {
-                match mw.admit(task.function, now_us, &task.spec) {
-                    Admission::Shed => continue,
-                    Admission::Admit { probe: p } => probe = p,
-                }
-            }
-            let ctx = DispatchCtx {
-                now,
-                function: task.function,
-                duration: task.spec.work + task.spec.io_wait,
-                front: self,
-            };
-            let machine = policy.pick(&ctx);
-            assert!(
-                machine < self.loads.len(),
-                "dispatch picked machine {machine} of {}",
-                self.loads.len()
-            );
-            // Middleware layer 3 (request timeout): predicted-late work is
-            // abandoned at the router; either way the verdict feeds the
-            // function's breaker window.
-            let est_completion = self.overload.is_some().then(|| ctx.est_completion(machine));
-            if let Some(mw) = &mut self.overload {
-                let late = mw
-                    .deadline_at(now)
-                    .is_some_and(|d| est_completion.expect("computed above") > d);
-                if mw.verdict(task.function, probe, late, now_us, &task.spec) {
-                    continue;
-                }
-            }
-            let mut spec = task.spec.clone();
-            if let Some(mw) = &self.overload {
-                mw.stamp(&mut spec, now);
-            }
-            let warm_hit = self.claim_instance(machine, task.function, now_us);
-            if let Some(c) = self.cold {
-                if !warm_hit {
-                    spec.work += c.boot_work;
-                    cold_starts += 1;
-                }
-            }
-            let completion = self.loads[machine].push_work(
-                now_us,
-                spec.work.as_micros(),
-                spec.io_wait.as_micros(),
-            );
-            if self.cold.is_some() {
-                // The (new or reused) instance serves this invocation
-                // until its estimated completion, then idles warm.
-                self.pools
-                    .entry((machine as u32, task.function))
-                    .or_default()
-                    .push(completion);
-            }
-            if let Some(mw) = &mut self.overload {
-                mw.note_dispatch(task.function, completion);
-            }
-            per_machine[machine].push(spec);
+            self.advance_to(now_us, policy, &mut out);
+            self.autoscale_check(now_us);
+            self.resolve_epochs(now_us);
+            self.dispatch_one(task, now_us, 0, policy, &mut out);
         }
+        out
+    }
+
+    /// Replays everything the fault layer still owes after the last
+    /// arrival: remaining scheduled crashes and queued re-dispatches, in
+    /// time order. Retries still ride the monotone arrival clock
+    /// (`max(retry_at, last_arrival)`), and a crash due by a retry's
+    /// dispatch instant is applied first — exactly the mid-stream
+    /// ordering. Returns the extra per-machine specs (all-empty without
+    /// chaos); call it exactly once, after the final `dispatch_chunk`.
+    pub fn finish<D: Dispatch + ?Sized>(&mut self, policy: &mut D) -> Assignment {
+        let mut out = self.empty_assignment();
+        while let Some(at) = self.chaos.as_ref().and_then(|c| c.retries.peek_at()) {
+            let now_us = at.as_micros().max(self.last_arrival.as_micros());
+            self.advance_to(now_us, policy, &mut out);
+            self.last_arrival = SimTime::from_micros(now_us);
+            self.resolve_epochs(now_us);
+        }
+        // Trailing crashes past the last dispatch still count (and can
+        // open epochs that now have no chance to close).
+        self.advance_crashes(u64::MAX);
+        if let Some(chaos) = &mut self.chaos {
+            self.stats.unrecovered += chaos.pending_epochs.len() as u64;
+            chaos.pending_epochs.clear();
+        }
+        out
+    }
+
+    fn empty_assignment(&self) -> Assignment {
         Assignment {
-            per_machine,
-            cold_starts,
+            per_machine: (0..self.loads.len()).map(|_| Vec::new()).collect(),
+            cold_starts: 0,
         }
+    }
+
+    /// Brings the fold up to `now_us`: applies every crash due by now,
+    /// drains the completion estimates, then re-dispatches every retry
+    /// that has come due. Retries dispatch *at* `now_us` — they ride the
+    /// arrival clock rather than their own enqueue instant, so the
+    /// per-machine spec feeds stay sorted no matter how the stream is
+    /// chunked.
+    fn advance_to<D: Dispatch + ?Sized>(
+        &mut self,
+        now_us: u64,
+        policy: &mut D,
+        out: &mut Assignment,
+    ) {
+        self.advance_crashes(now_us);
+        for load in &mut self.loads {
+            load.drain_until(now_us);
+        }
+        while let Some(entry) = self.due_retry(now_us) {
+            self.dispatch_one(&entry.task, now_us, entry.attempts, policy, out);
+        }
+    }
+
+    /// Applies every scheduled crash at or before `now_us`.
+    fn advance_crashes(&mut self, now_us: u64) {
+        while let Some(&(at, machine, down)) =
+            self.chaos.as_ref().and_then(|c| c.crashes.get(c.cursor))
+        {
+            if at > now_us {
+                break;
+            }
+            self.chaos.as_mut().expect("crash peeked above").cursor += 1;
+            self.apply_crash(machine, at, down);
+        }
+    }
+
+    /// A machine dies: all in-flight work is lost (the doomed invocations
+    /// were already routed to the retry queue at dispatch time), the load
+    /// estimate resets to "every core frees when the machine comes back",
+    /// its warm pools are gone, and its arrival floor moves past the
+    /// downtime so the kernel feed stays sorted.
+    fn apply_crash(&mut self, machine: usize, at_us: u64, down_us: u64) {
+        let until = at_us + down_us;
+        self.available_at[machine] = self.available_at[machine].max(until);
+        let load = &mut self.loads[machine];
+        load.free_cores.clear();
+        for _ in 0..self.cores {
+            load.free_cores.push(until);
+        }
+        load.in_flight.clear();
+        self.pools.retain(|&(m, _), _| m as usize != machine);
+        self.stats.crashes += 1;
+        let active = self.active;
+        if let Some(chaos) = &mut self.chaos {
+            if chaos.slo_us.is_some() && machine < active {
+                chaos.pending_epochs.push(at_us);
+            }
+        }
+    }
+
+    /// Pops the next retry due at or before `now_us`, if any.
+    fn due_retry(&mut self, now_us: u64) -> Option<RetryEntry> {
+        let chaos = self.chaos.as_mut()?;
+        if chaos.retries.peek_at()?.as_micros() <= now_us {
+            chaos.retries.pop()
+        } else {
+            None
+        }
+    }
+
+    /// One autoscaler observation. Scale-up boots the next spare machine
+    /// (cores free after `boot_lag`, warm pools cold, arrival floor past
+    /// the boot); scale-down just shrinks the active prefix — the removed
+    /// machine keeps draining what it already holds.
+    fn autoscale_check(&mut self, now_us: u64) {
+        let Some(scaler) = &mut self.scaler else {
+            return;
+        };
+        let boot_us = scaler.boot_lag().as_micros();
+        let outstanding: u64 = self.loads[..self.active]
+            .iter()
+            .map(|l| l.in_flight.len() as u64)
+            .sum();
+        match scaler.observe(now_us, outstanding, self.active) {
+            Some(ScaleDecision::Up) => {
+                let idx = self.active;
+                let ready = now_us + boot_us;
+                let load = &mut self.loads[idx];
+                load.free_cores.clear();
+                for _ in 0..self.cores {
+                    load.free_cores.push(ready);
+                }
+                load.in_flight.clear();
+                self.pools.retain(|&(m, _), _| m as usize != idx);
+                self.available_at[idx] = self.available_at[idx].max(ready);
+                self.active += 1;
+                self.stats.scale_ups += 1;
+                self.stats.peak_active = self.stats.peak_active.max(self.active as u64);
+            }
+            Some(ScaleDecision::Down) => {
+                self.active -= 1;
+                self.stats.scale_downs += 1;
+            }
+            None => {}
+        }
+    }
+
+    /// Closes every open SLO-recovery epoch once the worst estimated wait
+    /// across the active fleet is back under the SLO. Sampled at dispatch
+    /// instants — the only clock the serial fold has.
+    fn resolve_epochs(&mut self, now_us: u64) {
+        let Some(chaos) = &mut self.chaos else { return };
+        let Some(slo) = chaos.slo_us else { return };
+        if chaos.pending_epochs.is_empty() {
+            return;
+        }
+        let worst = self.loads[..self.active]
+            .iter()
+            .map(|l| {
+                l.free_cores
+                    .peek_min()
+                    .expect("machine has cores")
+                    .saturating_sub(now_us)
+            })
+            .max()
+            .unwrap_or(0);
+        if worst > slo {
+            return;
+        }
+        for at in chaos.pending_epochs.drain(..) {
+            let dt = SimDuration::from_micros(now_us - at);
+            self.stats.recoveries += 1;
+            self.stats.recovery_total += dt;
+            if dt > self.stats.recovery_max {
+                self.stats.recovery_max = dt;
+            }
+        }
+    }
+
+    /// The first scheduled crash of `machine` strictly inside
+    /// `(now_us, completion_us)`: the machine dies before the booked
+    /// completion, so this attempt is doomed. Crashes at or before
+    /// `now_us` have already been applied (the machine is back up); a
+    /// task completing exactly at the crash instant survives.
+    fn dooming_crash(&mut self, machine: usize, now_us: u64, completion_us: u64) -> Option<u64> {
+        let chaos = self.chaos.as_mut()?;
+        let list = &chaos.crash_at[machine];
+        let cur = &mut chaos.crash_cur[machine];
+        while *cur < list.len() && list[*cur] <= now_us {
+            *cur += 1;
+        }
+        (*cur < list.len() && list[*cur] < completion_us).then(|| list[*cur])
+    }
+
+    /// The slowdown factor of the straggler window covering `arrival_us`
+    /// on `machine`, if any (first covering window wins).
+    fn straggle_factor(&mut self, machine: usize, arrival_us: u64) -> Option<f64> {
+        let chaos = self.chaos.as_mut()?;
+        let windows = &chaos.straggle[machine];
+        let cur = &mut chaos.straggle_cur[machine];
+        while *cur < windows.len() && windows[*cur].1 <= arrival_us {
+            *cur += 1;
+        }
+        windows[*cur..]
+            .iter()
+            .take_while(|w| w.0 <= arrival_us)
+            .find(|w| arrival_us < w.1)
+            .map(|w| w.2)
+    }
+
+    /// Routes one invocation (a fresh arrival or a re-dispatch on its
+    /// `attempts`-th replay) through middleware, policy, cold-start and
+    /// chaos accounting, appending the surviving spec to `out`.
+    fn dispatch_one<D: Dispatch + ?Sized>(
+        &mut self,
+        task: &ClusterTask,
+        now_us: u64,
+        attempts: u32,
+        policy: &mut D,
+        out: &mut Assignment,
+    ) {
+        let now = SimTime::from_micros(now_us);
+        // Middleware layers 1–2 (admission control, breaker gate):
+        // shed work never consults the policy or touches any load
+        // estimate — it is recorded, not simulated.
+        let mut probe = false;
+        if let Some(mw) = &mut self.overload {
+            match mw.admit(task.function, now_us, &task.spec) {
+                Admission::Shed => return,
+                Admission::Admit { probe: p } => probe = p,
+            }
+        }
+        let ctx = DispatchCtx {
+            now,
+            function: task.function,
+            duration: task.spec.work + task.spec.io_wait,
+            front: self,
+        };
+        let machine = policy.pick(&ctx);
+        assert!(
+            machine < self.active,
+            "dispatch picked machine {machine} of {} active",
+            self.active
+        );
+        // Middleware layer 3 (request timeout): predicted-late work is
+        // abandoned at the router; either way the verdict feeds the
+        // function's breaker window.
+        let est_completion = self.overload.is_some().then(|| ctx.est_completion(machine));
+        if let Some(mw) = &mut self.overload {
+            let late = mw
+                .deadline_at(now)
+                .is_some_and(|d| est_completion.expect("computed above") > d);
+            if mw.verdict(task.function, probe, late, now_us, &task.spec) {
+                return;
+            }
+        }
+        let mut spec = task.spec.clone();
+        if let Some(mw) = &self.overload {
+            mw.stamp(&mut spec, now);
+        }
+        let warm_hit = self.claim_instance(machine, task.function, now_us);
+        if let Some(c) = self.cold {
+            if !warm_hit {
+                spec.work += c.boot_work;
+                out.cold_starts += 1;
+            }
+        }
+        let completion =
+            self.loads[machine].push_work(now_us, spec.work.as_micros(), spec.io_wait.as_micros());
+        if self.cold.is_some() {
+            // The (new or reused) instance serves this invocation
+            // until its estimated completion, then idles warm.
+            self.pools
+                .entry((machine as u32, task.function))
+                .or_default()
+                .push(completion);
+        }
+        if let Some(mw) = &mut self.overload {
+            mw.note_dispatch(task.function, completion);
+        }
+        // Doom check: the router has already paid for this attempt (load
+        // booked, instance claimed, boot billed) but the machine dies
+        // before the booked completion — the work never reaches the
+        // kernel. Re-enqueue at the crash instant, or abandon once the
+        // retry budget is spent.
+        if let Some(crash_at) = self.dooming_crash(machine, now_us, completion) {
+            let billed = spec.work + spec.io_wait;
+            let chaos = self.chaos.as_mut().expect("doom implies chaos");
+            if let Some(churn) = &mut chaos.churn {
+                churn.record_retry(billed, spec.mem_mib);
+            }
+            if chaos.max_retries.is_some_and(|cap| attempts >= cap) {
+                self.stats.abandoned += 1;
+                if let Some(churn) = &mut chaos.churn {
+                    churn.record_abandoned(task.spec.work + task.spec.io_wait, task.spec.mem_mib);
+                }
+            } else {
+                self.stats.retries += 1;
+                chaos.retries.push(RetryEntry {
+                    at: SimTime::from_micros(crash_at),
+                    task: task.clone(),
+                    attempts: attempts + 1,
+                });
+            }
+            return;
+        }
+        // Survivor: respect the machine's arrival floor (crash downtime,
+        // boot lag), then scale kernel-side work if a straggler window
+        // covers the arrival — the router's booking above stays unscaled,
+        // because stragglers are invisible from behind its information
+        // boundary.
+        let arrival_us = now_us.max(self.available_at[machine]);
+        if let Some(slow) = self.straggle_factor(machine, arrival_us) {
+            spec.work = spec.work.mul_f64(slow);
+            self.stats.straggled_tasks += 1;
+        }
+        spec.arrival = SimTime::from_micros(arrival_us);
+        out.per_machine[machine].push(spec);
     }
 }
 

@@ -59,11 +59,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 pub mod dispatch;
 mod frontend;
 mod middleware;
 mod stream;
 
+pub use chaos::{
+    AutoscaleConfig, Autoscaler, ChaosConfig, CrashConfig, Fault, FaultEvent, FaultPlan,
+    FaultPlanConfig, RetryEntry, RetryQueue, ScaleDecision, StormConfig, StraggleConfig,
+};
 pub use dispatch::{Dispatch, DispatchCtx};
 pub use frontend::{Assignment, FrontEnd};
 pub use middleware::{BreakerConfig, OverloadConfig, RateLimitConfig};
@@ -74,7 +79,9 @@ pub use stream::{
 
 use azure_trace::AzureTrace;
 use faas_kernel::{MachineConfig, MachineRun, Scheduler, SimError, SlimReport, TaskSpec};
-use faas_metrics::{merge_records, records_from_tasks, ClusterSummary, OverloadStats, TaskRecord};
+use faas_metrics::{
+    merge_records, records_from_tasks, ChaosStats, ClusterSummary, OverloadStats, TaskRecord,
+};
 use faas_simcore::{par, SimDuration, SimRng, SimTime};
 use microvm_sim::FirecrackerConfig;
 
@@ -131,6 +138,15 @@ pub struct ClusterConfig {
     /// the all-disabled [`OverloadConfig::default`]) accept everything,
     /// bitwise identical to the bare dispatch policy.
     pub overload: Option<OverloadConfig>,
+    /// Fault-injection layer; `None` (and a [`ChaosConfig`] carrying an
+    /// empty [`FaultPlan`]) is a strict no-op, bitwise identical to the
+    /// bare cluster.
+    pub chaos: Option<ChaosConfig>,
+    /// Elastic-fleet controller; `None` keeps all `machines` active for
+    /// the whole run. With `Some`, `machines` becomes the fleet's *maximum*
+    /// size and the active prefix grows/shrinks between
+    /// `autoscale.min_machines` and `machines`.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl ClusterConfig {
@@ -146,6 +162,8 @@ impl ClusterConfig {
             machine,
             cold_start: None,
             overload: None,
+            chaos: None,
+            autoscale: None,
         }
     }
 
@@ -161,6 +179,33 @@ impl ClusterConfig {
         self
     }
 
+    /// Attaches the fault-injection layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan was generated for a different fleet size.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        assert_eq!(
+            chaos.plan.machines(),
+            self.machines,
+            "fault plan targets a different fleet size"
+        );
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Turns the fixed fleet into an elastic one bounded by
+    /// `[autoscale.min_machines, self.machines]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`Autoscaler::new`]) if `min_machines` is zero or exceeds
+    /// the fleet size.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
     /// The concrete config of machine `index`: the template with its RNG
     /// seed replaced by the independent stream
     /// [`SimRng::stream_seed`]`(template.seed, index)` — machine 7 of a
@@ -168,9 +213,19 @@ impl ClusterConfig {
     /// of a 64-machine fleet, and a 1-machine cluster's machine 0 is
     /// constructible standalone for differential comparison.
     pub fn machine_config(&self, index: usize) -> MachineConfig {
-        self.machine
+        let cfg = self
+            .machine
             .clone()
-            .with_seed(SimRng::stream_seed(self.machine.seed, index as u64))
+            .with_seed(SimRng::stream_seed(self.machine.seed, index as u64));
+        // Storm windows are the one fault that lives inside the kernel (it
+        // modulates interference *frequency*); everything else folds at the
+        // front end. An empty window list leaves every draw untouched.
+        match &self.chaos {
+            Some(chaos) if !chaos.plan.is_empty() => {
+                cfg.with_storms(chaos.plan.storm_windows(index))
+            }
+            _ => cfg,
+        }
     }
 }
 
@@ -188,6 +243,9 @@ pub struct ClusterReport {
     /// What the overload middleware refused or killed (all-zero without
     /// middleware), `kernel_cancelled` included.
     pub overload: OverloadStats,
+    /// Crash/retry/autoscale ledger of the chaos layer (all-zero without
+    /// a fault plan or autoscaler).
+    pub chaos: ChaosStats,
 }
 
 impl ClusterReport {
@@ -204,7 +262,9 @@ impl ClusterReport {
     ///
     /// Panics if no machine completed any task.
     pub fn summary(&self) -> ClusterSummary {
-        ClusterSummary::compute(&self.records).with_overload(self.overload)
+        ClusterSummary::compute(&self.records)
+            .with_overload(self.overload)
+            .with_chaos(self.chaos)
     }
 
     /// Invocations dispatched to each machine.
@@ -281,8 +341,17 @@ where
     /// returns an out-of-range machine index.
     pub fn run(mut self, tasks: &[ClusterTask], threads: usize) -> Result<ClusterReport, SimError> {
         let mut front = FrontEnd::new(&self.cfg);
-        let assignment = front.dispatch_chunk(tasks, &mut self.dispatch);
+        let mut assignment = front.dispatch_chunk(tasks, &mut self.dispatch);
+        // Replay whatever the fault layer still owes: crashes after the
+        // last arrival and queued re-dispatches. A no-chaos front end
+        // returns an all-empty tail.
+        let tail = front.finish(&mut self.dispatch);
+        assignment.cold_starts += tail.cold_starts;
+        for (machine, specs) in tail.per_machine.into_iter().enumerate() {
+            assignment.per_machine[machine].extend(specs);
+        }
         let mut overload = front.overload_stats();
+        let chaos = front.chaos_stats();
         let cfg = &self.cfg;
         let make_policy = &self.make_policy;
         let outcomes = par::par_map_with(threads, assignment.per_machine, |i, specs| {
@@ -305,6 +374,7 @@ where
             records,
             cold_starts: assignment.cold_starts,
             overload,
+            chaos,
         })
     }
 }

@@ -24,7 +24,8 @@
 
 use faas_kernel::{CoreStats, MachineRun, Scheduler, SimError, TaskSpec};
 use faas_metrics::{
-    OverloadStats, StreamClusterSummary, StreamRunStats, TaskRecord, DEFAULT_STREAM_EPSILON,
+    ChaosStats, OverloadStats, StreamClusterSummary, StreamRunStats, TaskRecord,
+    DEFAULT_STREAM_EPSILON,
 };
 use faas_simcore::{par, SimDuration, SimTime};
 use lambda_pricing::{CostAccumulator, PriceModel};
@@ -200,6 +201,9 @@ pub struct StreamClusterReport {
     /// What the overload middleware refused or killed (all-zero without
     /// middleware), `kernel_cancelled` included.
     pub overload: OverloadStats,
+    /// Crash/retry/autoscale ledger of the chaos layer (all-zero without
+    /// a fault plan or autoscaler).
+    pub chaos: ChaosStats,
 }
 
 impl StreamClusterReport {
@@ -212,7 +216,9 @@ impl StreamClusterReport {
     /// Panics if no machine completed any task.
     pub fn summary(&self) -> StreamClusterSummary {
         let stats: Vec<StreamRunStats> = self.machines.iter().map(|m| m.stats.clone()).collect();
-        StreamClusterSummary::compute(&stats).with_overload(self.overload)
+        StreamClusterSummary::compute(&stats)
+            .with_overload(self.overload)
+            .with_chaos(self.chaos)
     }
 
     /// Invocations completed on each machine.
@@ -280,6 +286,16 @@ impl<P: Scheduler> MachineState<P> {
         self.run.feed_specs(specs);
         self.max_live = self.max_live.max(self.run.machine().num_live_tasks());
         self.run.run_until(bound)?;
+        self.retire();
+        Ok(())
+    }
+
+    /// Feeds the final share (last chunk plus the front end's chaos tail)
+    /// and drains the machine to completion.
+    fn finish_run(&mut self, specs: Vec<TaskSpec>) -> Result<(), SimError> {
+        self.run.feed_specs(specs);
+        self.max_live = self.max_live.max(self.run.machine().num_live_tasks());
+        self.run.run_to_end()?;
         self.retire();
         Ok(())
     }
@@ -360,24 +376,45 @@ where
             })
             .collect();
         let mut cold_starts = 0u64;
+        // Machines lag one chunk behind the front end: chunk `k`'s shares
+        // are only fed once chunk `k+1` has been dispatched. The final
+        // chunk then merges with the front end's chaos tail (queued
+        // re-dispatches can land *before* the last chunk horizon, which a
+        // `run_until` at that horizon would have sealed off) and drains in
+        // one pass — the exact feed sequence of the materializing path.
+        let mut pending: Option<(Vec<Vec<TaskSpec>>, SimTime)> = None;
         for chunk in chunks {
             let assignment = front.dispatch_chunk(&chunk.tasks, &mut self.dispatch);
             cold_starts += assignment.cold_starts;
-            let bound = chunk.end;
-            let items: Vec<(MachineState<P>, Vec<TaskSpec>)> =
-                states.into_iter().zip(assignment.per_machine).collect();
-            let outcomes = par::par_map_with(threads, items, |_i, (mut state, specs)| {
-                state.advance_chunk(specs, bound).map(|()| state)
-            });
-            states = Vec::with_capacity(outcomes.len());
-            for outcome in outcomes {
-                states.push(outcome?);
+            if let Some((specs, bound)) = pending.replace((assignment.per_machine, chunk.end)) {
+                let items: Vec<(MachineState<P>, Vec<TaskSpec>)> =
+                    states.into_iter().zip(specs).collect();
+                let outcomes = par::par_map_with(threads, items, |_i, (mut state, specs)| {
+                    state.advance_chunk(specs, bound).map(|()| state)
+                });
+                states = Vec::with_capacity(outcomes.len());
+                for outcome in outcomes {
+                    states.push(outcome?);
+                }
             }
         }
-        let outcomes = par::par_map_with(threads, states, |_i, mut state| {
-            state.run.run_to_end()?;
-            state.retire();
-            Ok::<_, SimError>(state)
+        let tail = front.finish(&mut self.dispatch);
+        cold_starts += tail.cold_starts;
+        let mut last_specs = pending.map_or_else(
+            || {
+                (0..self.cfg.machines)
+                    .map(|_| Vec::new())
+                    .collect::<Vec<_>>()
+            },
+            |(specs, _)| specs,
+        );
+        for (machine, specs) in tail.per_machine.into_iter().enumerate() {
+            last_specs[machine].extend(specs);
+        }
+        let items: Vec<(MachineState<P>, Vec<TaskSpec>)> =
+            states.into_iter().zip(last_specs).collect();
+        let outcomes = par::par_map_with(threads, items, |_i, (mut state, specs)| {
+            state.finish_run(specs).map(|()| state)
         });
         let mut machines = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
@@ -390,6 +427,7 @@ where
             machines,
             cold_starts,
             overload,
+            chaos: front.chaos_stats(),
         })
     }
 }

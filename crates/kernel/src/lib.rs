@@ -65,7 +65,9 @@ mod util;
 
 pub use crate::core::{CoreId, CoreState, CoreStats};
 pub use cost::CostModel;
-pub use machine::{InterferenceConfig, Machine, MachineConfig, PolicyCall, SchedError, SimError};
+pub use machine::{
+    InterferenceConfig, Machine, MachineConfig, PolicyCall, SchedError, SimError, StormWindow,
+};
 pub use message::KernelMessage;
 pub use sched::{MachineRun, Scheduler, SimReport, Simulation, SlimReport};
 pub use task::{PlacementHint, Task, TaskId, TaskSpec, TaskState};

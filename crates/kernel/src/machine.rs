@@ -43,6 +43,41 @@ impl Default for InterferenceConfig {
     }
 }
 
+/// An interference-storm window: while the machine clock is inside
+/// `[start, end)`, host-OS interference episodes arrive `intensity`
+/// times more often than the baseline
+/// [`InterferenceConfig::mean_interval`].
+///
+/// Storms only *post-scale* the exponential gap draws — the RNG draw
+/// count and order never change — so a machine configured with an empty
+/// storm list is bit-identical to one with no storms at all. This is
+/// the kernel half of the cluster chaos layer's "interference storm"
+/// fault (see `faas-cluster`'s `chaos` module); it has no effect unless
+/// [`MachineConfig::interference`] is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormWindow {
+    /// First instant inside the storm.
+    pub start: SimTime,
+    /// First instant after the storm.
+    pub end: SimTime,
+    /// Episode-frequency multiplier (> 0; values above 1 mean more
+    /// interference, below 1 mean a lull).
+    pub intensity: f64,
+}
+
+/// Divides an exponential gap draw (in seconds) by the intensity of the
+/// storm window containing `at`, if any. With no matching window the
+/// draw passes through untouched — no float op, so empty or
+/// non-overlapping storm lists stay bit-identical to the baseline.
+fn storm_scaled(storms: &[StormWindow], at: SimTime, gap_secs: f64) -> f64 {
+    for w in storms {
+        if at >= w.start && at < w.end {
+            return gap_secs / w.intensity;
+        }
+    }
+    gap_secs
+}
+
 /// Configuration of a simulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -52,6 +87,8 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Optional host-OS interference.
     pub interference: Option<InterferenceConfig>,
+    /// Interference-storm windows (sorted or not; first match wins).
+    pub storms: Vec<StormWindow>,
     /// Bucket width of the utilization ledger.
     pub util_bucket: SimDuration,
     /// Seed for the machine's internal randomness (interference timing).
@@ -71,6 +108,7 @@ impl MachineConfig {
             cores,
             cost: CostModel::default(),
             interference: None,
+            storms: Vec::new(),
             util_bucket: SimDuration::from_secs(1),
             seed: 0xFAA5,
             log_messages: false,
@@ -87,6 +125,20 @@ impl MachineConfig {
     /// Enables host-OS interference.
     pub fn with_interference(mut self, i: InterferenceConfig) -> Self {
         self.interference = Some(i);
+        self
+    }
+
+    /// Sets the interference-storm windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is empty or its intensity is not positive.
+    pub fn with_storms(mut self, storms: Vec<StormWindow>) -> Self {
+        for w in &storms {
+            assert!(w.start < w.end, "storm window must be non-empty");
+            assert!(w.intensity > 0.0, "storm intensity must be positive");
+        }
+        self.storms = storms;
         self
     }
 
@@ -312,8 +364,9 @@ impl Machine {
         let mut rng = SimRng::seed_from(cfg.seed);
         if let Some(icfg) = cfg.interference {
             for c in 0..cfg.cores {
-                let at = SimTime::ZERO
-                    + SimDuration::from_secs_f64(rng.exponential(icfg.mean_interval.as_secs_f64()));
+                let gap = rng.exponential(icfg.mean_interval.as_secs_f64());
+                let gap = storm_scaled(&cfg.storms, SimTime::ZERO, gap);
+                let at = SimTime::ZERO + SimDuration::from_secs_f64(gap);
                 events.schedule_untracked(at, Event::InterferenceStart(CoreId(c as u16)));
             }
         }
@@ -955,11 +1008,12 @@ impl Machine {
                     .cfg
                     .interference
                     .expect("interference event without config");
-                let gap = SimDuration::from_secs_f64(
-                    self.rng.exponential(icfg.mean_interval.as_secs_f64()),
+                let gap = self.rng.exponential(icfg.mean_interval.as_secs_f64());
+                let gap = storm_scaled(&self.cfg.storms, self.now, gap);
+                self.events.schedule_untracked(
+                    self.now + SimDuration::from_secs_f64(gap),
+                    Event::InterferenceStart(core),
                 );
-                self.events
-                    .schedule_untracked(self.now + gap, Event::InterferenceStart(core));
                 PolicyCall::Internal
             }
             Event::Tick => {
@@ -1137,6 +1191,93 @@ mod tests {
                 128,
             )],
         )
+    }
+
+    #[test]
+    fn storm_scaling_passes_draws_through_outside_windows() {
+        let w = StormWindow {
+            start: SimTime::from_millis(1_000),
+            end: SimTime::from_millis(2_000),
+            intensity: 4.0,
+        };
+        let g = 0.123_456_789_f64;
+        // No storms and out-of-window instants return the draw bitwise
+        // untouched — this is what keeps empty plans a no-op.
+        assert_eq!(
+            storm_scaled(&[], SimTime::from_millis(1_500), g).to_bits(),
+            g.to_bits()
+        );
+        assert_eq!(
+            storm_scaled(&[w], SimTime::from_millis(999), g).to_bits(),
+            g.to_bits()
+        );
+        assert_eq!(
+            storm_scaled(&[w], SimTime::from_millis(2_000), g).to_bits(),
+            g.to_bits()
+        );
+        // Inside the window the gap shrinks by the intensity.
+        assert_eq!(
+            storm_scaled(&[w], SimTime::from_millis(1_000), g).to_bits(),
+            (g / 4.0).to_bits()
+        );
+        // Overlapping windows: first match wins.
+        let calm = StormWindow {
+            intensity: 0.5,
+            ..w
+        };
+        assert_eq!(
+            storm_scaled(&[calm, w], SimTime::from_millis(1_500), g).to_bits(),
+            (g / 0.5).to_bits()
+        );
+    }
+
+    /// Drives a one-core machine through a 60 s task, re-dispatching after
+    /// every preemption, and counts interference episodes.
+    fn interference_episodes(storms: Vec<StormWindow>) -> usize {
+        let cfg = MachineConfig::new(1)
+            .with_cost(CostModel::free())
+            .with_interference(InterferenceConfig {
+                mean_interval: SimDuration::from_secs(5),
+                duration: SimDuration::from_millis(1),
+            })
+            .with_storms(storms)
+            .with_message_log();
+        let mut m = Machine::new(
+            cfg,
+            vec![TaskSpec::function(
+                SimTime::ZERO,
+                SimDuration::from_secs(60),
+                128,
+            )],
+        );
+        while m.task(TaskId(0)).state() != TaskState::Finished {
+            m.advance().unwrap().expect("task still unfinished");
+            let runnable = matches!(
+                m.task(TaskId(0)).state(),
+                TaskState::Queued | TaskState::Preempted
+            );
+            if runnable && m.core_state(CoreId(0)) == CoreState::Idle {
+                m.dispatch(CoreId(0), TaskId(0), None).unwrap();
+            }
+        }
+        m.messages()
+            .iter()
+            .filter(|(_, msg)| matches!(msg, KernelMessage::InterferenceStart { .. }))
+            .count()
+    }
+
+    #[test]
+    fn storm_windows_concentrate_interference() {
+        let calm = interference_episodes(vec![]);
+        let stormy = interference_episodes(vec![StormWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(120_000),
+            intensity: 50.0,
+        }]);
+        assert!(
+            stormy > 2 * calm,
+            "a 50x storm over the whole run must multiply episodes ({stormy} vs {calm})"
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`OverloadStats`] — the shed/timeout/breaker-trip ledger of the
 //!   dispatch-tier overload middleware (see `DESIGN.md` "Overload
 //!   middleware");
+//! * [`ChaosStats`] — the crash/retry/autoscale/SLO-recovery ledger of
+//!   the fault-injection layer (see `DESIGN.md` "Chaos & elasticity");
 //! * CSV export for external plotting.
 //!
 //! ```
@@ -50,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod cdf;
+mod chaos;
 mod export;
 mod merge;
 mod overload;
@@ -61,6 +64,7 @@ mod summary;
 mod timeline;
 
 pub use cdf::DurationCdf;
+pub use chaos::ChaosStats;
 pub use export::{write_records_csv, write_series_csv};
 pub use merge::{merge_records, ClusterSummary};
 pub use overload::OverloadStats;

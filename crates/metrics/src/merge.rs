@@ -8,6 +8,7 @@
 //! function of the per-machine results no matter how the machine
 //! simulations were fanned across threads.
 
+use crate::chaos::ChaosStats;
 use crate::overload::OverloadStats;
 use crate::record::TaskRecord;
 use crate::summary::RunSummary;
@@ -58,6 +59,9 @@ pub struct ClusterSummary {
     /// What the dispatch-tier overload middleware refused or killed.
     /// All-zero when the front end ran without middleware.
     pub overload: OverloadStats,
+    /// What the fault-injection layer crashed, retried, and scaled.
+    /// All-zero when the front end ran without chaos.
+    pub chaos: ChaosStats,
 }
 
 impl ClusterSummary {
@@ -76,6 +80,7 @@ impl ClusterSummary {
                 .map(|r| (!r.is_empty()).then(|| RunSummary::compute(r)))
                 .collect(),
             overload: OverloadStats::default(),
+            chaos: ChaosStats::default(),
         }
     }
 
@@ -83,6 +88,13 @@ impl ClusterSummary {
     /// to [`ClusterSummary::compute`] only describe work that *ran*).
     pub fn with_overload(mut self, overload: OverloadStats) -> Self {
         self.overload = overload;
+        self
+    }
+
+    /// Attaches the chaos layer's fault/retry/autoscale ledger (crashed
+    /// attempts and abandoned invocations leave no [`TaskRecord`]).
+    pub fn with_chaos(mut self, chaos: ChaosStats) -> Self {
+        self.chaos = chaos;
         self
     }
 

@@ -248,6 +248,9 @@ pub struct StreamClusterSummary {
     /// What the dispatch-tier overload middleware refused or killed.
     /// All-zero when the front end ran without middleware.
     pub overload: crate::OverloadStats,
+    /// What the fault-injection layer crashed, retried, and scaled.
+    /// All-zero when the front end ran without chaos.
+    pub chaos: crate::ChaosStats,
 }
 
 impl StreamClusterSummary {
@@ -275,6 +278,7 @@ impl StreamClusterSummary {
                 .map(|m| (!m.is_empty()).then(|| m.to_summary()))
                 .collect(),
             overload: crate::OverloadStats::default(),
+            chaos: crate::ChaosStats::default(),
         }
     }
 
@@ -282,6 +286,13 @@ impl StreamClusterSummary {
     /// only saw work that *ran*).
     pub fn with_overload(mut self, overload: crate::OverloadStats) -> Self {
         self.overload = overload;
+        self
+    }
+
+    /// Attaches the chaos layer's fault/retry/autoscale ledger (crashed
+    /// attempts and abandoned invocations never reach an accumulator).
+    pub fn with_chaos(mut self, chaos: crate::ChaosStats) -> Self {
+        self.chaos = chaos;
         self
     }
 

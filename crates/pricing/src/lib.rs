@@ -227,6 +227,84 @@ impl ShedCostAccumulator {
     }
 }
 
+/// Online accumulator for the dollar cost of churn under chaos: work
+/// wasted on crash-doomed dispatch attempts (the attempt ran — and is
+/// re-billed on retry — but produced nothing) and the forfeited value
+/// of invocations abandoned after exhausting their retry budget.
+///
+/// Neither leaves a [`TaskRecord`]: a doomed attempt dies with its
+/// machine and an abandoned invocation never reaches one again, so both
+/// are priced straight from the spec's would-have-been duration, like
+/// [`ShedCostAccumulator`]. The total is a left-to-right `f64` fold in
+/// the order the front end charged them, so it is byte-identical at any
+/// fan width or trace chunking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnCostAccumulator {
+    model: PriceModel,
+    retry_usd: f64,
+    abandoned_usd: f64,
+    retries: u64,
+    abandoned: u64,
+}
+
+impl ChurnCostAccumulator {
+    /// An empty accumulator pricing churn under `model`.
+    pub fn new(model: PriceModel) -> Self {
+        ChurnCostAccumulator {
+            model,
+            retry_usd: 0.0,
+            abandoned_usd: 0.0,
+            retries: 0,
+            abandoned: 0,
+        }
+    }
+
+    /// Prices one crash-doomed attempt that occupied its machine for
+    /// `duration` (CPU work + billed I/O wait) at `mem_mib` before the
+    /// crash threw the work away.
+    pub fn record_retry(&mut self, duration: SimDuration, mem_mib: u32) {
+        self.retry_usd += self.model.cost_of_duration(duration, mem_mib);
+        self.retries += 1;
+    }
+
+    /// Prices one invocation abandoned after its retry budget ran out —
+    /// the revenue its completed run would have produced.
+    pub fn record_abandoned(&mut self, duration: SimDuration, mem_mib: u32) {
+        self.abandoned_usd += self.model.cost_of_duration(duration, mem_mib);
+        self.abandoned += 1;
+    }
+
+    /// Running total of churn in USD (wasted attempts + abandonments).
+    pub fn total_usd(&self) -> f64 {
+        self.retry_usd + self.abandoned_usd
+    }
+
+    /// USD wasted on crash-doomed attempts alone.
+    pub fn retry_usd(&self) -> f64 {
+        self.retry_usd
+    }
+
+    /// USD forfeited on abandoned invocations alone.
+    pub fn abandoned_usd(&self) -> f64 {
+        self.abandoned_usd
+    }
+
+    /// Number of doomed attempts priced.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Number of abandonments priced.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// The tariff this accumulator prices under.
+    pub fn model(&self) -> &PriceModel {
+        &self.model
+    }
+}
+
 /// The relative extra cost of `more` over `less` (e.g. "CFS introduces
 /// more than 10 times extra cost compared to FIFO", Fig. 1).
 ///
@@ -373,6 +451,23 @@ mod tests {
         assert_eq!(shed.total_usd().to_bits(), ran.to_bits());
         assert_eq!(shed.count(), 2);
         assert_eq!(shed.model(), &m);
+    }
+
+    #[test]
+    fn churn_accumulator_keeps_retry_and_abandon_ledgers_apart() {
+        let m = PriceModel::duration_only();
+        let mut churn = ChurnCostAccumulator::new(m);
+        churn.record_retry(SimDuration::from_millis(100), 128);
+        churn.record_retry(SimDuration::from_millis(100), 128);
+        churn.record_abandoned(SimDuration::from_millis(400), 256);
+        let retry = 2.0 * m.cost_of_duration(SimDuration::from_millis(100), 128);
+        let gone = m.cost_of_duration(SimDuration::from_millis(400), 256);
+        assert_eq!(churn.retries(), 2);
+        assert_eq!(churn.abandoned(), 1);
+        assert_eq!(churn.retry_usd().to_bits(), retry.to_bits());
+        assert_eq!(churn.abandoned_usd().to_bits(), gone.to_bits());
+        assert_eq!(churn.total_usd().to_bits(), (retry + gone).to_bits());
+        assert_eq!(churn.model(), &m);
     }
 
     #[test]

@@ -18,6 +18,15 @@ pub struct ArrivalConfig {
     pub spike_alpha: f64,
     /// Cap on the per-minute spike multiplier.
     pub spike_cap: f64,
+    /// Amplitude of a deterministic diurnal (sinusoidal) modulation of
+    /// the per-minute rate, in `[0, 1)`. Zero (the default) disables it
+    /// and leaves the weight stream bit-identical to the pre-diurnal
+    /// synthesis — the modulation consumes no RNG draws either way.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal cycle in minutes (one full sine wave).
+    /// Ignored (treated as off) when zero or when
+    /// [`ArrivalConfig::diurnal_amplitude`] is zero.
+    pub diurnal_period_minutes: usize,
 }
 
 impl Default for ArrivalConfig {
@@ -26,7 +35,41 @@ impl Default for ArrivalConfig {
             burstiness: 0.6,
             spike_alpha: 1.8,
             spike_cap: 6.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period_minutes: 0,
         }
+    }
+}
+
+impl ArrivalConfig {
+    /// Enables a diurnal rate swing: minute `m`'s weight is multiplied
+    /// by `1 + amplitude * sin(2π m / period)` — a deterministic
+    /// peak-and-trough cycle on top of the random spikes, the load shape
+    /// autoscalers exist for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is not in `[0, 1)` (weights must stay
+    /// positive) or `period_minutes` is zero.
+    pub fn with_diurnal(mut self, amplitude: f64, period_minutes: usize) -> Self {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        assert!(period_minutes > 0, "diurnal period must be positive");
+        self.diurnal_amplitude = amplitude;
+        self.diurnal_period_minutes = period_minutes;
+        self
+    }
+
+    /// The diurnal multiplier for `minute`: exactly `1.0` (with no float
+    /// work at all) when the modulation is disabled.
+    fn diurnal_factor(&self, minute: usize) -> Option<f64> {
+        if self.diurnal_amplitude == 0.0 || self.diurnal_period_minutes == 0 {
+            return None;
+        }
+        let phase = minute as f64 / self.diurnal_period_minutes as f64;
+        Some(1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * phase).sin())
     }
 }
 
@@ -59,9 +102,13 @@ pub fn per_minute_counts(
     assert!(minutes > 0, "need at least one minute");
     assert!(total > 0, "need at least one invocation");
     let weights: Vec<f64> = (0..minutes)
-        .map(|_| {
+        .map(|minute| {
             let spike = rng.pareto(1.0, cfg.spike_alpha, cfg.spike_cap);
-            1.0 + cfg.burstiness * (spike - 1.0)
+            let w = 1.0 + cfg.burstiness * (spike - 1.0);
+            match cfg.diurnal_factor(minute) {
+                Some(f) => w * f,
+                None => w,
+            }
         })
         .collect();
     largest_remainder(&weights, total)
@@ -113,7 +160,11 @@ pub fn sharded_minute_counts(
         .map(|minute| {
             let mut rng = SimRng::stream(root ^ MINUTE_WEIGHT_STREAM, minute as u64);
             let spike = rng.pareto(1.0, cfg.spike_alpha, cfg.spike_cap);
-            1.0 + cfg.burstiness * (spike - 1.0)
+            let w = 1.0 + cfg.burstiness * (spike - 1.0);
+            match cfg.diurnal_factor(minute) {
+                Some(f) => w * f,
+                None => w,
+            }
         })
         .collect();
     largest_remainder(&weights, total)
@@ -230,6 +281,40 @@ mod tests {
         assert_eq!(
             sharded_minute_counts(4, 100, &flat, 1),
             vec![25, 25, 25, 25]
+        );
+    }
+
+    #[test]
+    fn diurnal_modulation_swings_the_rate_and_defaults_off() {
+        // Flat spikes + diurnal: counts follow the sine — the first half
+        // of the cycle (peak) outweighs the second half (trough).
+        let cfg = ArrivalConfig {
+            burstiness: 0.0,
+            ..ArrivalConfig::default()
+        }
+        .with_diurnal(0.8, 8);
+        let counts = sharded_minute_counts(8, 8_000, &cfg, 0xA2_EE);
+        let peak: usize = counts[..4].iter().sum();
+        let trough: usize = counts[4..].iter().sum();
+        assert!(
+            peak > trough + 2_000,
+            "peak half {peak} must clearly outweigh trough half {trough}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 8_000);
+        // Amplitude zero is bit-identical to the pre-diurnal synthesis.
+        let base = ArrivalConfig::default();
+        assert_eq!(
+            sharded_minute_counts(10, 2_952, &base, 0xA2_EE),
+            sharded_minute_counts(
+                10,
+                2_952,
+                &ArrivalConfig {
+                    diurnal_period_minutes: 7,
+                    ..base
+                },
+                0xA2_EE
+            ),
+            "period without amplitude stays off"
         );
     }
 
