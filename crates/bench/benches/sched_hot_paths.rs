@@ -13,9 +13,9 @@ use faas_bench::timing::{black_box, Bench};
 use azure_trace::{AzureTrace, TraceConfig};
 use faas_cluster::dispatch::{KeepAliveDispatch, LeastOutstanding};
 use faas_cluster::{
-    AutoscaleConfig, BreakerConfig, ChaosConfig, Cluster, ClusterConfig, ClusterTask,
-    ClusterTaskStream, ColdStartConfig, Dispatch, FaultPlan, FaultPlanConfig, OverloadConfig,
-    StreamOptions,
+    AutoscaleConfig, BackoffConfig, BreakerConfig, ChaosConfig, Cluster, ClusterConfig,
+    ClusterTask, ClusterTaskStream, ColdStartConfig, Dispatch, EjectionConfig, FaultPlan,
+    FaultPlanConfig, HealthConfig, HedgeConfig, OverloadConfig, StreamOptions,
 };
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
@@ -206,6 +206,42 @@ fn bench_cluster(c: &mut Bench) {
     let events = run_chaos();
     g.throughput(events);
     g.bench_function("chaos_autoscale_fault_plan", |b| b.iter(run_chaos));
+    // The health row: same stormy fleet with the full node-health
+    // feedback loop armed (completion-report heap + EWMAs, outlier
+    // ejection with probes, hedged requests, retry backoff) — the
+    // per-event cost of the whole feedback fold on top of chaos.
+    let run_health = || {
+        let cfg = ClusterConfig::new(4, MachineConfig::new(4).with_cost(CostModel::default()))
+            .with_chaos(
+                ChaosConfig::new(chaos_plan.clone())
+                    .with_slo(SimDuration::from_secs(1))
+                    .with_backoff(
+                        BackoffConfig::new(0x0BAC_0FF5)
+                            .with_delays(SimDuration::from_millis(50), SimDuration::from_secs(5)),
+                    ),
+            )
+            .with_health(
+                HealthConfig::default()
+                    .with_ejection(
+                        EjectionConfig::default()
+                            .with_probation(SimDuration::from_secs(1))
+                            .with_min_samples(8),
+                    )
+                    .with_hedge(HedgeConfig::default().with_min_samples(64)),
+            );
+        let report = Cluster::new(cfg, LeastOutstanding, |_| faas_policies::Fifo::new())
+            .run(&chaos_tasks, 1)
+            .unwrap();
+        black_box(report.finished_at());
+        report
+            .machines
+            .iter()
+            .map(|m| m.events_processed)
+            .sum::<u64>()
+    };
+    let events = run_health();
+    g.throughput(events);
+    g.bench_function("health_ejection_hedging_backoff", |b| b.iter(run_health));
     g.finish();
 }
 

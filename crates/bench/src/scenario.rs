@@ -20,8 +20,9 @@
 //! use faas_bench::scenario;
 //!
 //! // Every paper figure/table/ablation/tool — plus the cluster,
-//! // streaming cluster-xl, overload and chaos scenarios — is registered.
-//! assert_eq!(scenario::all().len(), 35);
+//! // streaming cluster-xl, overload, chaos and health scenarios — is
+//! // registered.
+//! assert_eq!(scenario::all().len(), 37);
 //!
 //! // Lookup by id, filter by tag (runtime classes double as tags).
 //! let table1 = scenario::find("table1").expect("registered");
@@ -438,6 +439,24 @@ static SCENARIOS: &[Scenario] = &[
         run: scenarios::chaos::autoscale,
     },
     Scenario {
+        id: "straggler-outliers",
+        title: "half-rate 16-machine fleet: ejection + hedging vs 8x stragglers",
+        paper_ref: "DESIGN.md health",
+        tags: &["health", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::health::straggler_outliers,
+    },
+    Scenario {
+        id: "retry-backoff",
+        title: "crash replay: instant retry vs exponential backoff + ejection",
+        paper_ref: "DESIGN.md health",
+        tags: &["health", "cost", "w2"],
+        class: RuntimeClass::Full,
+        usage: None,
+        run: scenarios::health::retry_backoff,
+    },
+    Scenario {
         id: "make-workload",
         title: "write the W2/W10/Firecracker workload CSVs (Fig. 9 ①)",
         paper_ref: "Fig. 9",
@@ -510,8 +529,9 @@ mod tests {
         let mut ids: Vec<&str> = all().iter().map(|s| s.id).collect();
         let n = ids.len();
         assert_eq!(
-            n, 35,
-            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl + 2 overload + 2 chaos"
+            n, 37,
+            "26 legacy scenarios + 3 cluster + 2 streaming cluster-xl + 2 overload \
+             + 2 chaos + 2 health"
         );
         ids.sort_unstable();
         ids.dedup();
@@ -546,6 +566,7 @@ mod tests {
         let cluster_xl = with_tag("cluster-xl").len();
         let overload = with_tag("overload").len();
         let chaos = with_tag("chaos").len();
+        let health = with_tag("health").len();
         let elastic = with_tag("elastic").len();
         assert_eq!(figures, 19);
         assert_eq!(tables, 1);
@@ -555,9 +576,10 @@ mod tests {
         assert_eq!(cluster_xl, 2);
         assert_eq!(overload, 2);
         assert_eq!(chaos, 2);
+        assert_eq!(health, 2);
         assert_eq!(elastic, 1, "only the autoscaler scenario is elastic");
         // quick + full covers everything.
-        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 35);
+        assert_eq!(with_tag("quick").len() + with_tag("full").len(), 37);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub(crate) mod chaos;
 pub(crate) mod cluster;
 pub(crate) mod figures;
 pub(crate) mod firecracker;
+pub(crate) mod health;
 pub(crate) mod overload;
 pub(crate) mod tables;
 pub(crate) mod timelines;

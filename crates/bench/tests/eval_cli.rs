@@ -28,7 +28,7 @@ fn list_enumerates_every_registered_scenario() {
     });
     let stdout = String::from_utf8(out.stdout).expect("utf8 listing");
     assert!(
-        stdout.contains("# 35 scenarios"),
+        stdout.contains("# 37 scenarios"),
         "missing count footer:\n{stdout}"
     );
     for scenario in faas_bench::scenario::all() {
@@ -236,6 +236,62 @@ fn chaos_scenarios_list_and_run_thread_invariant() {
         assert!(text.contains(row), "missing {row} row:\n{text}");
     }
     assert!(text.contains("churn_usd"), "header:\n{text}");
+}
+
+#[test]
+fn health_scenarios_list_and_run_thread_invariant() {
+    // `--tag health` must surface exactly the two node-health scenarios...
+    let out = run({
+        let mut c = faas_eval();
+        c.args(["--list", "--tag", "health"]);
+        c
+    });
+    let listing = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["straggler-outliers", "retry-backoff"] {
+        assert!(
+            listing.contains(id),
+            "{id} missing from listing:\n{listing}"
+        );
+    }
+    assert!(
+        listing.contains("# 2 scenarios"),
+        "count footer:\n{listing}"
+    );
+
+    // ...and both runs' stdout must be byte-identical across machine-fan
+    // widths: EWMAs, ejections, hedges and backoff delays all live in the
+    // serial front-end fold.
+    for id in ["straggler-outliers", "retry-backoff"] {
+        let at_threads = |threads: &str| {
+            run({
+                let mut c = faas_eval();
+                c.args(["--id", id])
+                    .env("SCALE_DIV", "200")
+                    .env("BENCH_THREADS", threads);
+                c
+            })
+            .stdout
+        };
+        let t1 = at_threads("1");
+        let t4 = at_threads("4");
+        assert!(!t1.is_empty());
+        assert_eq!(t1, t4, "{id} bytes depend on BENCH_THREADS");
+    }
+    let text = String::from_utf8(
+        run({
+            let mut c = faas_eval();
+            c.args(["--id", "straggler-outliers"])
+                .env("SCALE_DIV", "200")
+                .env("BENCH_THREADS", "2");
+            c
+        })
+        .stdout,
+    )
+    .expect("utf8");
+    for row in ["no-chaos", "chaos+ejection", "chaos+ejection+hedging"] {
+        assert!(text.contains(row), "missing {row} row:\n{text}");
+    }
+    assert!(text.contains("hedge_usd"), "header:\n{text}");
 }
 
 #[test]

@@ -41,6 +41,8 @@ const CRASH_STREAM: u64 = 0x00C4_A5D5;
 const STRAGGLE_STREAM: u64 = 0x005A_66E5;
 /// Stream salt for interference-storm draws.
 const STORM_STREAM: u64 = 0x0057_0247;
+/// Stream salt for retry-backoff jitter draws.
+const BACKOFF_STREAM: u64 = 0x0BAC_0FF5;
 
 /// Microseconds in one trace minute.
 const MINUTE_US: u64 = 60_000_000;
@@ -324,6 +326,79 @@ fn events_for_minute(cfg: &FaultPlanConfig, machines: usize, minute: usize) -> V
     events
 }
 
+/// Exponential-backoff tuning for crash re-dispatch.
+///
+/// Without backoff a doomed invocation re-enters the dispatch stream the
+/// instant its machine's crash lands — a thundering herd straight into a
+/// degraded fleet. With backoff, attempt `n` waits
+/// `min(base · 2ⁿ, cap)` (jittered by ±`jitter`) before re-dispatch,
+/// and the retry avoids the machine it just died on. The jitter stream is
+/// rooted at [`SimRng::stream`]`(seed, BACKOFF_STREAM)` and consumed in
+/// the serial front-end fold, so the schedule is byte-identical at any
+/// fan width or chunk size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// Root seed for the jitter stream.
+    pub seed: u64,
+    /// Delay before the first retry (doubles per subsequent attempt).
+    pub base: SimDuration,
+    /// Ceiling on the un-jittered delay.
+    pub cap: SimDuration,
+    /// Symmetric jitter fraction in `[0, 1)`; `0.0` disables jitter.
+    pub jitter: f64,
+}
+
+impl BackoffConfig {
+    /// Backoff with the given seed, a 250 ms base, a 30 s cap and ±25%
+    /// jitter.
+    pub fn new(seed: u64) -> Self {
+        BackoffConfig {
+            seed,
+            base: SimDuration::from_millis(250),
+            cap: SimDuration::from_secs(30),
+            jitter: 0.25,
+        }
+    }
+
+    /// Sets the base delay and cap.
+    #[must_use]
+    pub fn with_delays(mut self, base: SimDuration, cap: SimDuration) -> Self {
+        assert!(base <= cap, "backoff base must not exceed the cap");
+        self.base = base;
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the jitter fraction (`0.0 ..< 1.0`).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter),
+            "jitter fraction must be in [0, 1)"
+        );
+        self.jitter = jitter;
+        self
+    }
+
+    /// The jittered delay before re-dispatching an invocation that has
+    /// already consumed `attempts` dispatch attempts (so the first retry
+    /// passes `attempts = 1`). The exponential is clamped to `cap`
+    /// *before* jitter, so the effective delay stays within
+    /// `cap · (1 + jitter)`.
+    pub fn delay(&self, rng: &mut SimRng, attempts: u32) -> SimDuration {
+        let doublings = attempts.saturating_sub(1).min(32);
+        let raw = self.base.as_micros().saturating_mul(1u64 << doublings);
+        let clamped = SimDuration::from_micros(raw.min(self.cap.as_micros()));
+        rng.jitter(clamped, self.jitter)
+    }
+
+    /// The jitter stream rooted at this config's seed. The front end
+    /// constructs this once and draws from it in fold order.
+    pub fn stream(&self) -> SimRng {
+        SimRng::stream(self.seed, BACKOFF_STREAM)
+    }
+}
+
 /// Chaos knobs attached to a [`ClusterConfig`](crate::ClusterConfig).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosConfig {
@@ -338,16 +413,21 @@ pub struct ChaosConfig {
     pub slo: Option<SimDuration>,
     /// Price model for the churn ledger (doomed attempts and abandonments).
     pub price: Option<PriceModel>,
+    /// Exponential backoff (with crash-site avoidance) for retries;
+    /// `None` re-dispatches at the crash instant on any machine.
+    pub backoff: Option<BackoffConfig>,
 }
 
 impl ChaosConfig {
-    /// Chaos with the given plan and no retry cap, SLO, or pricing.
+    /// Chaos with the given plan and no retry cap, SLO, pricing, or
+    /// backoff.
     pub fn new(plan: FaultPlan) -> Self {
         ChaosConfig {
             plan,
             max_retries: None,
             slo: None,
             price: None,
+            backoff: None,
         }
     }
 
@@ -369,6 +449,13 @@ impl ChaosConfig {
     #[must_use]
     pub fn with_price(mut self, price: PriceModel) -> Self {
         self.price = Some(price);
+        self
+    }
+
+    /// Enables exponential retry backoff with crash-site avoidance.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = Some(backoff);
         self
     }
 }
@@ -496,6 +583,10 @@ pub struct RetryEntry {
     pub task: ClusterTask,
     /// How many dispatch attempts the invocation has already consumed.
     pub attempts: u32,
+    /// The machine the previous attempt died on; when backoff is
+    /// enabled the retry's candidate set excludes it (unless it is the
+    /// only machine left).
+    pub avoid: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -676,16 +767,19 @@ mod tests {
             at: SimTime::from_millis(30),
             task: task(0),
             attempts: 1,
+            avoid: None,
         });
         q.push(RetryEntry {
             at: SimTime::from_millis(10),
             task: task(1),
             attempts: 1,
+            avoid: Some(3),
         });
         q.push(RetryEntry {
             at: SimTime::from_millis(10),
             task: task(2),
             attempts: 2,
+            avoid: None,
         });
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_at(), Some(SimTime::from_millis(10)));
@@ -693,5 +787,55 @@ mod tests {
         assert_eq!(q.pop().unwrap().task.function, 2);
         assert_eq!(q.pop().unwrap().task.function, 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_then_clamps() {
+        let cfg = BackoffConfig::new(0xBAC0_0001)
+            .with_delays(SimDuration::from_millis(100), SimDuration::from_secs(2))
+            .with_jitter(0.0);
+        let mut rng = cfg.stream();
+        assert_eq!(cfg.delay(&mut rng, 1), SimDuration::from_millis(100));
+        assert_eq!(cfg.delay(&mut rng, 2), SimDuration::from_millis(200));
+        assert_eq!(cfg.delay(&mut rng, 3), SimDuration::from_millis(400));
+        assert_eq!(cfg.delay(&mut rng, 5), SimDuration::from_millis(1_600));
+        // Clamped to the cap from attempt 6 on — including absurd counts
+        // that would overflow a naive shift.
+        assert_eq!(cfg.delay(&mut rng, 6), SimDuration::from_secs(2));
+        assert_eq!(cfg.delay(&mut rng, 64), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band_and_is_deterministic() {
+        let cfg = BackoffConfig::new(0xBAC0_0002)
+            .with_delays(SimDuration::from_millis(500), SimDuration::from_secs(10))
+            .with_jitter(0.25);
+        let mut rng = cfg.stream();
+        let draws: Vec<SimDuration> = (1..=20).map(|a| cfg.delay(&mut rng, a)).collect();
+        for (i, d) in draws.iter().enumerate() {
+            let attempts = i as u32 + 1;
+            let doublings = attempts.saturating_sub(1).min(32);
+            let raw = SimDuration::from_millis(500)
+                .as_micros()
+                .saturating_mul(1 << doublings)
+                .min(SimDuration::from_secs(10).as_micros());
+            let lo = (raw as f64 * 0.75) as u64;
+            let hi = (raw as f64 * 1.25).ceil() as u64;
+            assert!(
+                (lo..=hi).contains(&d.as_micros()),
+                "attempt {attempts}: {} outside [{lo}, {hi}]",
+                d.as_micros()
+            );
+        }
+        // Same seed replays the same schedule; a different seed does not.
+        let mut rng2 = cfg.stream();
+        let replay: Vec<SimDuration> = (1..=20).map(|a| cfg.delay(&mut rng2, a)).collect();
+        assert_eq!(draws, replay);
+        let other = BackoffConfig::new(0xBAC0_0003)
+            .with_delays(SimDuration::from_millis(500), SimDuration::from_secs(10))
+            .with_jitter(0.25);
+        let mut rng3 = other.stream();
+        let diverged: Vec<SimDuration> = (1..=20).map(|a| other.delay(&mut rng3, a)).collect();
+        assert_ne!(draws, diverged);
     }
 }

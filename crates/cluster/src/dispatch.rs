@@ -159,13 +159,24 @@ impl Dispatch for KeepAliveDispatch {
     }
 }
 
-/// Power-of-two-choices with node-health feedback: sample two machines
-/// uniformly (a deterministic [`SimRng`] stream, like
-/// [`RandomDispatch`]), then route to whichever reports the smaller
-/// estimated queueing delay — the front end's health signal. Classic
-/// result: two informed samples shrink the maximum backlog exponentially
-/// versus one, at O(1) cost per decision instead of
+/// Power-of-two-choices: sample two machines uniformly (a deterministic
+/// [`SimRng`] stream, like [`RandomDispatch`]), then route to whichever
+/// reports the smaller FCFS backlog estimate ([`DispatchCtx::est_wait`]).
+/// Classic result: two informed samples shrink the maximum backlog
+/// exponentially versus one, at O(1) cost per decision instead of
 /// [`LeastOutstanding`]'s full scan.
+///
+/// The backlog estimate is a *booking* signal, not a health signal: it
+/// never sees straggler inflation or crashes. Node-health feedback —
+/// latency EWMAs from delayed completion reports, outlier ejection,
+/// hedging — lives in the front end's `HealthTracker`
+/// ([`ClusterConfig::with_health`](crate::ClusterConfig::with_health));
+/// when ejection is active the front end narrows the candidate set
+/// *before* this policy samples, so p2c composes with it unchanged.
+///
+/// Determinism contract: every pick consumes exactly two draws (even on
+/// collision or a one-machine fleet), and ties break toward the
+/// lower-index sample (`wb < wa || (wb == wa && b < a)` picks `b`).
 pub struct PowerOfTwoChoices {
     rng: SimRng,
 }

@@ -14,12 +14,13 @@
 use std::collections::HashMap;
 
 use faas_kernel::TaskSpec;
-use faas_metrics::{ChaosStats, OverloadStats};
-use faas_simcore::{MinHeap4, SimDuration, SimTime};
+use faas_metrics::{ChaosStats, HealthStats, MachineHealth, OverloadStats};
+use faas_simcore::{MinHeap4, SimDuration, SimRng, SimTime};
 use lambda_pricing::ChurnCostAccumulator;
 
-use crate::chaos::{Autoscaler, Fault, RetryEntry, RetryQueue, ScaleDecision};
+use crate::chaos::{Autoscaler, BackoffConfig, Fault, RetryEntry, RetryQueue, ScaleDecision};
 use crate::dispatch::Dispatch;
+use crate::health::HealthTracker;
 use crate::middleware::{Admission, Overload};
 use crate::{ClusterConfig, ClusterTask};
 
@@ -82,20 +83,34 @@ pub struct DispatchCtx<'a> {
     /// [`DispatchCtx::est_completion`]).
     pub duration: SimDuration,
     front: &'a FrontEnd,
+    /// Restricted candidate list (health ejections, retry crash-site
+    /// avoidance): the policy's machine indices become indices into this
+    /// list. `None` — the common case — is the identity mapping over the
+    /// active prefix, so a run without exclusions is bit-identical to
+    /// one without the health layer.
+    cand: Option<&'a [usize]>,
 }
 
 impl DispatchCtx<'_> {
-    /// Number of **active** machines in the fleet. Without an autoscaler
-    /// this is the full fleet size; with one, it is the current active
-    /// prefix — policies only ever place work on machines `0..machines()`.
+    /// Maps a policy-visible candidate index to the physical machine.
+    fn phys(&self, machine: usize) -> usize {
+        self.cand.map_or(machine, |c| c[machine])
+    }
+
+    /// Number of machines this placement may choose from. Without an
+    /// autoscaler or health exclusions this is the full fleet size; with
+    /// an autoscaler, the current active prefix; with exclusions, the
+    /// surviving candidates — policies only ever place work on machine
+    /// indices `0..machines()`, which the front end maps back to
+    /// physical machines.
     pub fn machines(&self) -> usize {
-        self.front.active
+        self.cand.map_or(self.front.active, <[usize]>::len)
     }
 
     /// Dispatched-but-not-yet-drained invocation count on `machine`
     /// (front-end estimate, see module docs).
     pub fn outstanding(&self, machine: usize) -> usize {
-        self.front.loads[machine].in_flight.len()
+        self.front.loads[self.phys(machine)].in_flight.len()
     }
 
     /// Cores per machine — the natural unit for "how overloaded is a
@@ -110,7 +125,7 @@ impl DispatchCtx<'_> {
     /// this is in *time* units, so a few heavy invocations and many light
     /// ones compare correctly.
     pub fn est_wait(&self, machine: usize) -> SimDuration {
-        let free = *self.front.loads[machine]
+        let free = *self.front.loads[self.phys(machine)]
             .free_cores
             .peek_min()
             .expect("machine has cores");
@@ -146,14 +161,15 @@ impl DispatchCtx<'_> {
 
     /// Total invocations dispatched to `machine` so far.
     pub fn dispatched(&self, machine: usize) -> u64 {
-        self.front.loads[machine].dispatched
+        self.front.loads[self.phys(machine)].dispatched
     }
 
     /// `true` if `machine` holds a warm instance of this invocation's
     /// function (a prior invocation whose keep-alive window covers `now`).
     /// Always `false` when the cluster runs without a cold-start model.
     pub fn is_warm(&self, machine: usize) -> bool {
-        self.front.is_warm(machine, self.function, self.now)
+        self.front
+            .is_warm(self.phys(machine), self.function, self.now)
     }
 
     /// Estimated completion instant of the current invocation if
@@ -248,6 +264,14 @@ pub struct FrontEnd {
     scaler: Option<Autoscaler>,
     /// Crash/retry/scale ledger (all-zero without chaos or autoscaling).
     stats: ChaosStats,
+    /// Node-health feedback state (`None` without a
+    /// [`HealthConfig`](crate::HealthConfig)). Another serial fold:
+    /// completion reports, ejection decisions and hedge triggers all
+    /// digest in arrival order, chunk- and fan-invariant.
+    health: Option<HealthTracker>,
+    /// High-water mark of the fold's arrival clock (µs) — the "as of"
+    /// instant for the health snapshot's open ejection spans.
+    clock_us: u64,
 }
 
 /// Front-end-resident state of the fault-injection layer, pre-split from
@@ -275,6 +299,13 @@ struct ChaosFold {
     pending_epochs: Vec<u64>,
     /// Dollar ledger of doomed attempts and abandonments.
     churn: Option<ChurnCostAccumulator>,
+    /// Retry-backoff config and its jitter stream, consumed in fold
+    /// order (`None` re-dispatches at the crash instant).
+    backoff: Option<(BackoffConfig, SimRng)>,
+    /// Retries that waited out a backoff delay.
+    backoff_retries: u64,
+    /// Total injected backoff delay (µs).
+    backoff_delay_us: u64,
 }
 
 /// The output of the dispatch pass: one spec list per machine (cold-start
@@ -326,6 +357,9 @@ impl FrontEnd {
                 slo_us: c.slo.map(|s| s.as_micros()),
                 pending_epochs: Vec::new(),
                 churn: c.price.map(ChurnCostAccumulator::new),
+                backoff: c.backoff.map(|b| (b, b.stream())),
+                backoff_retries: 0,
+                backoff_delay_us: 0,
             }
         });
         let scaler = cfg.autoscale.map(|a| Autoscaler::new(a, cfg.machines));
@@ -349,6 +383,8 @@ impl FrontEnd {
             chaos,
             scaler,
             stats,
+            health: cfg.health.map(|h| HealthTracker::new(h, cfg.machines)),
+            clock_us: 0,
         }
     }
 
@@ -366,6 +402,23 @@ impl FrontEnd {
             stats.churn_cost_usd = churn.total_usd();
         }
         stats
+    }
+
+    /// The node-health ledger so far — ejection/probe/hedge counters
+    /// (plus the chaos layer's backoff totals) and the per-machine health
+    /// columns. All-zero/empty without a health tracker; machines still
+    /// ejected have their open span counted up to the fold's clock.
+    pub fn health_stats(&self) -> (HealthStats, Vec<MachineHealth>) {
+        let (mut stats, machines) = self
+            .health
+            .as_ref()
+            .map(|h| h.snapshot(self.clock_us))
+            .unwrap_or_default();
+        if let Some(chaos) = &self.chaos {
+            stats.backoff_retries = chaos.backoff_retries;
+            stats.backoff_delay_total = SimDuration::from_micros(chaos.backoff_delay_us);
+        }
+        (stats, machines)
     }
 
     /// The overload middleware's shed ledger so far — all-zero without
@@ -449,7 +502,7 @@ impl FrontEnd {
             self.advance_to(now_us, policy, &mut out);
             self.autoscale_check(now_us);
             self.resolve_epochs(now_us);
-            self.dispatch_one(task, now_us, 0, policy, &mut out);
+            self.dispatch_one(task, now_us, 0, None, policy, &mut out);
         }
         out
     }
@@ -476,6 +529,14 @@ impl FrontEnd {
             self.stats.unrecovered += chaos.pending_epochs.len() as u64;
             chaos.pending_epochs.clear();
         }
+        // Completion reports still in flight fold now: the final
+        // telemetry describes every completion the router booked, even
+        // the ones landing after the last arrival. (Nothing dispatches
+        // after this, so late ejections change counters, not decisions.)
+        let active = self.active;
+        if let Some(h) = &mut self.health {
+            h.advance_to(u64::MAX, active);
+        }
         out
     }
 
@@ -498,12 +559,27 @@ impl FrontEnd {
         policy: &mut D,
         out: &mut Assignment,
     ) {
+        self.clock_us = self.clock_us.max(now_us);
         self.advance_crashes(now_us);
         for load in &mut self.loads {
             load.drain_until(now_us);
         }
+        // Completion reports due by now reach the tracker before any
+        // retry or arrival dispatches at this instant — delayed feedback,
+        // folded in deterministic report order.
+        let active = self.active;
+        if let Some(h) = &mut self.health {
+            h.advance_to(now_us, active);
+        }
         while let Some(entry) = self.due_retry(now_us) {
-            self.dispatch_one(&entry.task, now_us, entry.attempts, policy, out);
+            self.dispatch_one(
+                &entry.task,
+                now_us,
+                entry.attempts,
+                entry.avoid,
+                policy,
+                out,
+            );
         }
     }
 
@@ -537,6 +613,9 @@ impl FrontEnd {
         self.pools.retain(|&(m, _), _| m as usize != machine);
         self.stats.crashes += 1;
         let active = self.active;
+        if let Some(h) = &mut self.health {
+            h.note_crash(machine, until, at_us, active);
+        }
         if let Some(chaos) = &mut self.chaos {
             if chaos.slo_us.is_some() && machine < active {
                 chaos.pending_epochs.push(at_us);
@@ -654,14 +733,41 @@ impl FrontEnd {
             .map(|w| w.2)
     }
 
+    /// The restricted candidate list for this dispatch: active machines
+    /// minus the health layer's ejections and the retry's crash site.
+    /// `None` — the common case — means "no exclusions": the policy sees
+    /// the identity mapping and every draw it makes is bit-identical to
+    /// a run without the health layer. If exclusions would cover the
+    /// whole fleet they are dropped entirely (placing somewhere beats
+    /// placing nowhere).
+    fn candidate_set(&self, avoid: Option<usize>) -> Option<Vec<usize>> {
+        let tracked = self
+            .health
+            .as_ref()
+            .is_some_and(HealthTracker::has_exclusions);
+        if !tracked && avoid.is_none() {
+            return None;
+        }
+        let cand: Vec<usize> = (0..self.active)
+            .filter(|&m| avoid != Some(m) && !self.health.as_ref().is_some_and(|h| h.excluded(m)))
+            .collect();
+        if cand.is_empty() || cand.len() == self.active {
+            None
+        } else {
+            Some(cand)
+        }
+    }
+
     /// Routes one invocation (a fresh arrival or a re-dispatch on its
-    /// `attempts`-th replay) through middleware, policy, cold-start and
-    /// chaos accounting, appending the surviving spec to `out`.
+    /// `attempts`-th replay, avoiding `avoid`) through middleware,
+    /// health feedback, policy, cold-start and chaos accounting,
+    /// appending the surviving spec(s) to `out`.
     fn dispatch_one<D: Dispatch + ?Sized>(
         &mut self,
         task: &ClusterTask,
         now_us: u64,
         attempts: u32,
+        avoid: Option<usize>,
         policy: &mut D,
         out: &mut Assignment,
     ) {
@@ -676,13 +782,42 @@ impl FrontEnd {
                 Admission::Admit { probe: p } => probe = p,
             }
         }
-        let ctx = DispatchCtx {
-            now,
-            function: task.function,
-            duration: task.spec.work + task.spec.io_wait,
-            front: self,
+        // Health layer: an expired probation turns this dispatch into
+        // the suspect machine's half-open probe (skipping the policy);
+        // otherwise ejected machines and the retry's crash site leave
+        // the candidate set handed to the policy.
+        let active = self.active;
+        let health_probe = match &self.health {
+            Some(h) => h.probe_target(now_us, active),
+            None => None,
         };
-        let machine = policy.pick(&ctx);
+        let (machine, est_completion) = if let Some(pm) = health_probe {
+            let ctx = DispatchCtx {
+                now,
+                function: task.function,
+                duration: task.spec.work + task.spec.io_wait,
+                front: self,
+                cand: None,
+            };
+            (pm, self.overload.is_some().then(|| ctx.est_completion(pm)))
+        } else {
+            let cand = self.candidate_set(avoid);
+            let ctx = DispatchCtx {
+                now,
+                function: task.function,
+                duration: task.spec.work + task.spec.io_wait,
+                front: self,
+                cand: cand.as_deref(),
+            };
+            let picked = policy.pick(&ctx);
+            assert!(
+                picked < ctx.machines(),
+                "dispatch picked candidate {picked} of {}",
+                ctx.machines()
+            );
+            let est = self.overload.is_some().then(|| ctx.est_completion(picked));
+            (cand.as_ref().map_or(picked, |c| c[picked]), est)
+        };
         assert!(
             machine < self.active,
             "dispatch picked machine {machine} of {} active",
@@ -690,16 +825,19 @@ impl FrontEnd {
         );
         // Middleware layer 3 (request timeout): predicted-late work is
         // abandoned at the router; either way the verdict feeds the
-        // function's breaker window.
-        let est_completion = self.overload.is_some().then(|| ctx.est_completion(machine));
+        // function's breaker window — and the machine's timeout streak.
         if let Some(mw) = &mut self.overload {
             let late = mw
                 .deadline_at(now)
                 .is_some_and(|d| est_completion.expect("computed above") > d);
             if mw.verdict(task.function, probe, late, now_us, &task.spec) {
+                if let Some(h) = &mut self.health {
+                    h.note_timeout(machine);
+                }
                 return;
             }
         }
+        let is_health_probe = health_probe.is_some();
         let mut spec = task.spec.clone();
         if let Some(mw) = &self.overload {
             mw.stamp(&mut spec, now);
@@ -724,12 +862,22 @@ impl FrontEnd {
         if let Some(mw) = &mut self.overload {
             mw.note_dispatch(task.function, completion);
         }
+        if is_health_probe {
+            if let Some(h) = &mut self.health {
+                h.mark_probing(machine);
+            }
+        }
         // Doom check: the router has already paid for this attempt (load
         // booked, instance claimed, boot billed) but the machine dies
         // before the booked completion — the work never reaches the
-        // kernel. Re-enqueue at the crash instant, or abandon once the
-        // retry budget is spent.
+        // kernel. Re-enqueue (after the backoff delay, when configured),
+        // or abandon once the retry budget is spent.
         if let Some(crash_at) = self.dooming_crash(machine, now_us, completion) {
+            if is_health_probe {
+                if let Some(h) = &mut self.health {
+                    h.probe_doomed(machine, crash_at);
+                }
+            }
             let billed = spec.work + spec.io_wait;
             let chaos = self.chaos.as_mut().expect("doom implies chaos");
             if let Some(churn) = &mut chaos.churn {
@@ -742,10 +890,20 @@ impl FrontEnd {
                 }
             } else {
                 self.stats.retries += 1;
+                let (retry_at, avoid_next) = match &mut chaos.backoff {
+                    Some((cfg, rng)) => {
+                        let delay = cfg.delay(rng, attempts + 1);
+                        chaos.backoff_retries += 1;
+                        chaos.backoff_delay_us += delay.as_micros();
+                        (crash_at + delay.as_micros(), Some(machine))
+                    }
+                    None => (crash_at, None),
+                };
                 chaos.retries.push(RetryEntry {
-                    at: SimTime::from_micros(crash_at),
+                    at: SimTime::from_micros(retry_at),
                     task: task.clone(),
                     attempts: attempts + 1,
+                    avoid: avoid_next,
                 });
             }
             return;
@@ -754,13 +912,101 @@ impl FrontEnd {
         // boot lag), then scale kernel-side work if a straggler window
         // covers the arrival — the router's booking above stays unscaled,
         // because stragglers are invisible from behind its information
-        // boundary.
+        // boundary. The completion *report* queued for the health
+        // tracker does carry the inflation: reports describe ground
+        // truth, they just arrive late.
         let arrival_us = now_us.max(self.available_at[machine]);
+        let mut extra_us = 0;
         if let Some(slow) = self.straggle_factor(machine, arrival_us) {
-            spec.work = spec.work.mul_f64(slow);
+            let scaled = spec.work.mul_f64(slow);
+            extra_us = (scaled - spec.work).as_micros();
+            spec.work = scaled;
             self.stats.straggled_tasks += 1;
         }
         spec.arrival = SimTime::from_micros(arrival_us);
+        // Hedge: a fresh, non-probe arrival whose estimated response
+        // passes the observed tail gets a speculative copy on the
+        // healthiest other machine; the estimated loser is cancelled by
+        // the kernel at the winner's booked completion, and only the
+        // winner's completion report feeds the tracker.
+        let mut report = (machine, completion + extra_us);
+        if attempts == 0 && !is_health_probe {
+            let hedge_to = match &self.health {
+                Some(h) if h.should_hedge(machine, completion.saturating_sub(now_us)) => {
+                    h.hedge_target(machine, self.active)
+                }
+                _ => None,
+            };
+            if let Some(hm) = hedge_to {
+                // The copy bypasses the middleware (no admission, no
+                // deadline stamp) but pays cold starts and load
+                // accounting like any dispatch.
+                let mut spec2 = task.spec.clone();
+                let warm2 = self.claim_instance(hm, task.function, now_us);
+                if let Some(c) = self.cold {
+                    if !warm2 {
+                        spec2.work += c.boot_work;
+                        out.cold_starts += 1;
+                    }
+                }
+                let completion2 = self.loads[hm].push_work(
+                    now_us,
+                    spec2.work.as_micros(),
+                    spec2.io_wait.as_micros(),
+                );
+                if self.cold.is_some() {
+                    self.pools
+                        .entry((hm as u32, task.function))
+                        .or_default()
+                        .push(completion2);
+                }
+                if let Some(crash_at) = self.dooming_crash(hm, now_us, completion2) {
+                    // The speculation dies with its machine: billed,
+                    // never retried — the primary still owns the
+                    // invocation.
+                    let busy = SimDuration::from_micros(crash_at.saturating_sub(now_us));
+                    let h = self.health.as_mut().expect("hedge implies tracker");
+                    h.record_hedge(false, busy, task.spec.mem_mib);
+                } else {
+                    let arrival2_us = now_us.max(self.available_at[hm]);
+                    let mut extra2_us = 0;
+                    if let Some(slow) = self.straggle_factor(hm, arrival2_us) {
+                        let scaled = spec2.work.mul_f64(slow);
+                        extra2_us = (scaled - spec2.work).as_micros();
+                        spec2.work = scaled;
+                        self.stats.straggled_tasks += 1;
+                    }
+                    spec2.arrival = SimTime::from_micros(arrival2_us);
+                    let h = self.health.as_mut().expect("hedge implies tracker");
+                    if completion2 < completion {
+                        // The copy is the estimated winner: the original
+                        // booking inherits a deadline at the copy's
+                        // completion and dies in the kernel.
+                        let cancel = SimTime::from_micros(completion2);
+                        spec.deadline = Some(spec.deadline.map_or(cancel, |d| d.min(cancel)));
+                        let busy = SimDuration::from_micros(completion2.saturating_sub(now_us));
+                        h.record_hedge(true, busy, spec.mem_mib);
+                        report = (hm, completion2 + extra2_us);
+                    } else {
+                        // The original wins: the copy is cancelled at
+                        // the original's booked completion.
+                        spec2.deadline = Some(SimTime::from_micros(completion));
+                        let busy = SimDuration::from_micros(completion.saturating_sub(arrival2_us));
+                        h.record_hedge(false, busy, spec2.mem_mib);
+                    }
+                    out.per_machine[hm].push(spec2);
+                }
+            }
+        }
+        if let Some(h) = &mut self.health {
+            let (report_machine, report_at) = report;
+            h.push_report(
+                report_machine,
+                report_at,
+                report_at.saturating_sub(now_us),
+                is_health_probe,
+            );
+        }
         out.per_machine[machine].push(spec);
     }
 }

@@ -1,0 +1,892 @@
+//! The node-health feedback loop of the dispatch tier.
+//!
+//! Everything the router learns here arrives through one channel:
+//! **delayed completion reports**. When the front end books an invocation
+//! it knows (from its own FCFS model plus the chaos layer's kernel-side
+//! straggle inflation) when the true completion will land; the report —
+//! machine, response time — is queued on a min-heap and only folded into
+//! [`HealthTracker`] once the arrival clock passes it. The router
+//! therefore reacts to stragglers *late*, exactly like a real control
+//! plane digesting completion callbacks, and never peeks across the
+//! information boundary (see `DESIGN.md` "Node-health feedback").
+//!
+//! The tracker feeds three mechanisms, all opt-in:
+//!
+//! * **Outlier ejection** ([`EjectionConfig`]) — a machine whose
+//!   response-time EWMA exceeds `threshold ×` the fleet median is removed
+//!   from every policy's candidate set for a probation window, bounded by
+//!   a quorum floor and an ejection-fraction cap so the fleet never
+//!   starves. Crashes eject immediately. Probation expiry turns the next
+//!   dispatch into a **half-open probe**: one invocation forced onto the
+//!   suspect; a surviving probe re-admits it, a doomed one re-ejects it.
+//! * **Hedged requests** ([`HedgeConfig`]) — when a placement's estimated
+//!   response (booked completion, or the machine's reported EWMA if that
+//!   is worse) passes the tracked tail quantile of observed responses, a
+//!   speculative copy is booked on the healthiest other candidate. A
+//!   hedge budget caps the copies at a small fraction of all dispatches,
+//!   so a fleet-wide slowdown cannot storm the queues with copies of
+//!   itself. The estimated loser is handed a kernel deadline at the
+//!   winner's booked completion and cancelled mid-flight; its wasted
+//!   occupancy is billed through [`HedgeCostAccumulator`].
+//! * **Retry backoff** ([`BackoffConfig`](crate::BackoffConfig), on the
+//!   chaos config) — crash re-dispatch waits out an exponential, jittered
+//!   delay and avoids the machine it just died on.
+//!
+//! All state lives in the serial front-end fold, so a health-enabled run
+//! is byte-identical at any fan width or chunk size — and a run with
+//! [`HealthConfig::default`] (tracking on, actions off) is **bitwise
+//! identical** to one with no tracker at all, which the differential
+//! suite in `tests/health_differential.rs` pins.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use faas_metrics::{HealthStats, MachineHealth, QuantileSketch};
+use faas_simcore::SimDuration;
+use lambda_pricing::{HedgeCostAccumulator, PriceModel};
+
+/// Quantile-sketch accuracy for the hedge trigger's response-time tail.
+const HEDGE_SKETCH_EPSILON: f64 = 0.01;
+
+/// Outlier-ejection tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EjectionConfig {
+    /// Eject when a machine's EWMA exceeds this multiple of the fleet
+    /// median EWMA (must be > 1).
+    pub threshold: f64,
+    /// How long an ejected machine sits out before it earns a probe.
+    pub probation: SimDuration,
+    /// At most this fraction of the active fleet may be ejected at once.
+    pub max_eject_fraction: f64,
+    /// Never eject below this many in-service machines.
+    pub quorum: usize,
+    /// Completion reports a machine must have produced before its EWMA
+    /// can eject it (cold EWMAs are noise).
+    pub min_samples: u64,
+}
+
+impl Default for EjectionConfig {
+    fn default() -> Self {
+        EjectionConfig {
+            threshold: 2.0,
+            probation: SimDuration::from_secs(10),
+            max_eject_fraction: 0.5,
+            quorum: 1,
+            min_samples: 8,
+        }
+    }
+}
+
+impl EjectionConfig {
+    /// Sets the EWMA-vs-median ejection threshold.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 1.0, "ejection threshold must exceed the median");
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the probation window.
+    #[must_use]
+    pub fn with_probation(mut self, probation: SimDuration) -> Self {
+        self.probation = probation;
+        self
+    }
+
+    /// Sets the ejected-fraction cap and the quorum floor.
+    #[must_use]
+    pub fn with_bounds(mut self, max_eject_fraction: f64, quorum: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_eject_fraction),
+            "ejection fraction must be in [0, 1]"
+        );
+        assert!(quorum >= 1, "the quorum must keep at least one machine");
+        self.max_eject_fraction = max_eject_fraction;
+        self.quorum = quorum;
+        self
+    }
+
+    /// Sets the EWMA sample floor.
+    #[must_use]
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+}
+
+/// Hedged-request tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Hedge when the estimated response passes this quantile of observed
+    /// responses (the classic "defer to the p95" rule).
+    pub quantile: f64,
+    /// Observed responses required before the trigger arms.
+    pub min_samples: u64,
+    /// Hedge budget: speculative copies never exceed this fraction of
+    /// all dispatches (plus one of grace so the trigger can arm). The
+    /// cap is what keeps a fleet-wide slowdown from storming the queues
+    /// with copies of itself — once most estimates pass the tail, the
+    /// budget, not the quantile, decides.
+    pub max_fraction: f64,
+    /// Tariff for the losing attempt's wasted occupancy (`None` tracks
+    /// hedge counts but no dollars).
+    pub price: Option<PriceModel>,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            quantile: 0.95,
+            min_samples: 32,
+            max_fraction: 0.05,
+            price: None,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// Sets the trigger quantile.
+    #[must_use]
+    pub fn with_quantile(mut self, quantile: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&quantile) && quantile > 0.0,
+            "hedge quantile must be in (0, 1)"
+        );
+        self.quantile = quantile;
+        self
+    }
+
+    /// Sets the observed-response floor before hedging arms.
+    #[must_use]
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Sets the hedge budget as a fraction of all dispatches.
+    #[must_use]
+    pub fn with_max_fraction(mut self, max_fraction: f64) -> Self {
+        assert!(
+            max_fraction > 0.0 && max_fraction <= 1.0,
+            "hedge budget fraction must be in (0, 1]"
+        );
+        self.max_fraction = max_fraction;
+        self
+    }
+
+    /// Prices the losing attempt of every hedge.
+    #[must_use]
+    pub fn with_price(mut self, price: PriceModel) -> Self {
+        self.price = Some(price);
+        self
+    }
+}
+
+/// Health-feedback knobs attached to a
+/// [`ClusterConfig`](crate::ClusterConfig).
+///
+/// The default is **passive**: the tracker folds completion reports into
+/// per-machine EWMAs (visible in the cluster summaries) but never ejects,
+/// probes, or hedges — dispatch decisions, and therefore the whole run,
+/// stay bitwise identical to a tracker-free cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher weighs fresh reports
+    /// more.
+    pub ewma_alpha: f64,
+    /// Outlier ejection (`None` = observe only).
+    pub ejection: Option<EjectionConfig>,
+    /// Hedged requests (`None` = never speculate).
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ewma_alpha: 0.2,
+            ejection: None,
+            hedge: None,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Sets the EWMA smoothing factor.
+    #[must_use]
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Enables outlier ejection.
+    #[must_use]
+    pub fn with_ejection(mut self, ejection: EjectionConfig) -> Self {
+        self.ejection = Some(ejection);
+        self
+    }
+
+    /// Enables hedged requests.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+}
+
+/// Where a machine stands in the ejection state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// In the candidate set.
+    Healthy,
+    /// Out of the candidate set; eligible for a probe once the arrival
+    /// clock passes `until_us`.
+    Ejected { until_us: u64, since_us: u64 },
+    /// A half-open probe is in flight; still out of the candidate set.
+    Probing { since_us: u64 },
+}
+
+/// Tracker-side view of one machine.
+#[derive(Debug, Clone, Copy)]
+struct MachineState {
+    ewma_us: f64,
+    samples: u64,
+    ejections: u64,
+    straggled_us: u64,
+    timeout_streak: u32,
+    crash_streak: u32,
+    phase: Phase,
+}
+
+impl MachineState {
+    fn new() -> Self {
+        MachineState {
+            ewma_us: 0.0,
+            samples: 0,
+            ejections: 0,
+            straggled_us: 0,
+            timeout_streak: 0,
+            crash_streak: 0,
+            phase: Phase::Healthy,
+        }
+    }
+
+    /// The hedge-placement score: lower is healthier. An unsampled
+    /// machine scores zero (nothing known against it); streaks of
+    /// timeouts or crashes inflate a sampled machine's EWMA.
+    fn score(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.ewma_us * (1.0 + 0.5 * f64::from(self.timeout_streak) + f64::from(self.crash_streak))
+    }
+}
+
+/// One queued completion report, ordered by `(report_at_us, seq)` so the
+/// fold digests reports in a deterministic arrival order.
+#[derive(Debug)]
+struct Report {
+    report_at_us: u64,
+    seq: u64,
+    machine: usize,
+    response_us: u64,
+    probe: bool,
+}
+
+impl PartialEq for Report {
+    fn eq(&self, other: &Self) -> bool {
+        (self.report_at_us, self.seq) == (other.report_at_us, other.seq)
+    }
+}
+impl Eq for Report {}
+impl PartialOrd for Report {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Report {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.report_at_us, self.seq).cmp(&(other.report_at_us, other.seq))
+    }
+}
+
+/// The front-end-resident health fold: EWMAs, the ejection state
+/// machine, the report heap and the hedge trigger. One instance lives on
+/// the [`FrontEnd`](crate::frontend::FrontEnd) next to the chaos fold.
+#[derive(Debug)]
+pub(crate) struct HealthTracker {
+    cfg: HealthConfig,
+    machines: Vec<MachineState>,
+    reports: BinaryHeap<Reverse<Report>>,
+    seq: u64,
+    /// Machines currently outside the candidate set (any phase but
+    /// `Healthy`) — the fast-path guard for candidate filtering.
+    excluded_count: usize,
+    /// Observed-response tail for the hedge trigger (`None` without a
+    /// hedge config).
+    sketch: Option<QuantileSketch>,
+    sketch_samples: u64,
+    /// Dispatches whose completion reports were booked — the denominator
+    /// of the hedge budget.
+    dispatches: u64,
+    hedge_cost: Option<HedgeCostAccumulator>,
+    stats: HealthStats,
+}
+
+impl HealthTracker {
+    pub(crate) fn new(cfg: HealthConfig, machines: usize) -> Self {
+        HealthTracker {
+            machines: vec![MachineState::new(); machines],
+            reports: BinaryHeap::new(),
+            seq: 0,
+            excluded_count: 0,
+            sketch: cfg
+                .hedge
+                .is_some()
+                .then(|| QuantileSketch::new(HEDGE_SKETCH_EPSILON)),
+            sketch_samples: 0,
+            dispatches: 0,
+            hedge_cost: cfg
+                .hedge
+                .and_then(|h| h.price)
+                .map(HedgeCostAccumulator::new),
+            stats: HealthStats::default(),
+            cfg,
+        }
+    }
+
+    /// Queues the completion report of a surviving dispatch. `report_at`
+    /// is the true (straggle-inflated) completion instant; `response_us`
+    /// the machine's service latency as the report will describe it.
+    pub(crate) fn push_report(
+        &mut self,
+        machine: usize,
+        report_at_us: u64,
+        response_us: u64,
+        probe: bool,
+    ) {
+        self.reports.push(Reverse(Report {
+            report_at_us,
+            seq: self.seq,
+            machine,
+            response_us,
+            probe,
+        }));
+        self.seq += 1;
+        self.dispatches += 1;
+    }
+
+    /// Folds every report due at or before `now_us`, in report order.
+    pub(crate) fn advance_to(&mut self, now_us: u64, active: usize) {
+        while self
+            .reports
+            .peek()
+            .is_some_and(|Reverse(r)| r.report_at_us <= now_us)
+        {
+            let Reverse(r) = self.reports.pop().expect("peeked above");
+            self.fold_report(&r, active);
+        }
+    }
+
+    fn fold_report(&mut self, r: &Report, active: usize) {
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(r.response_us);
+            self.sketch_samples += 1;
+        }
+        let alpha = self.cfg.ewma_alpha;
+        let m = &mut self.machines[r.machine];
+        m.ewma_us = if m.samples == 0 {
+            r.response_us as f64
+        } else {
+            alpha * r.response_us as f64 + (1.0 - alpha) * m.ewma_us
+        };
+        m.samples += 1;
+        m.timeout_streak = 0;
+        m.crash_streak = 0;
+        if r.probe {
+            // The probe completed. If a crash re-ejected the machine
+            // while the report was in flight, the sample still counts
+            // but the re-admission does not happen.
+            if let Phase::Probing { since_us } = m.phase {
+                m.phase = Phase::Healthy;
+                m.straggled_us += r.report_at_us.saturating_sub(since_us);
+                self.excluded_count -= 1;
+                self.stats.readmissions += 1;
+            }
+            return;
+        }
+        if matches!(m.phase, Phase::Healthy) {
+            self.consider_ejection(r.machine, r.report_at_us, active);
+        }
+    }
+
+    /// Ejects `machine` at `now_us` if its EWMA is a fleet outlier and
+    /// the quorum/fraction bounds leave room.
+    fn consider_ejection(&mut self, machine: usize, now_us: u64, active: usize) {
+        let Some(ej) = self.cfg.ejection else { return };
+        let m = &self.machines[machine];
+        if m.samples < ej.min_samples || !self.can_eject(active, &ej) {
+            return;
+        }
+        let Some(median) = self.fleet_median(active) else {
+            return;
+        };
+        if self.machines[machine].ewma_us > ej.threshold * median {
+            self.eject(machine, now_us + ej.probation.as_micros(), now_us);
+        }
+    }
+
+    /// Median EWMA over active machines with at least one sample; `None`
+    /// with fewer than two sampled machines (no fleet context to deviate
+    /// from).
+    fn fleet_median(&self, active: usize) -> Option<f64> {
+        let mut ewmas: Vec<f64> = self.machines[..active.min(self.machines.len())]
+            .iter()
+            .filter(|m| m.samples > 0)
+            .map(|m| m.ewma_us)
+            .collect();
+        if ewmas.len() < 2 {
+            return None;
+        }
+        ewmas.sort_by(f64::total_cmp);
+        let n = ewmas.len();
+        Some(if n % 2 == 1 {
+            ewmas[n / 2]
+        } else {
+            (ewmas[n / 2 - 1] + ewmas[n / 2]) / 2.0
+        })
+    }
+
+    /// `true` while one more ejection keeps at least `quorum` machines in
+    /// service and stays under the fraction cap.
+    fn can_eject(&self, active: usize, ej: &EjectionConfig) -> bool {
+        let excluded = self.machines[..active.min(self.machines.len())]
+            .iter()
+            .filter(|m| !matches!(m.phase, Phase::Healthy))
+            .count();
+        let cap = (active as f64 * ej.max_eject_fraction).floor() as usize;
+        excluded < cap && active >= excluded + 1 + ej.quorum
+    }
+
+    fn eject(&mut self, machine: usize, until_us: u64, since_us: u64) {
+        let m = &mut self.machines[machine];
+        m.phase = Phase::Ejected { until_us, since_us };
+        m.ejections += 1;
+        self.excluded_count += 1;
+        self.stats.ejections += 1;
+    }
+
+    /// A crash landed on `machine`: bump its streak and (with ejection
+    /// enabled) pull it from the candidate set until the downtime plus a
+    /// probation has passed.
+    pub(crate) fn note_crash(&mut self, machine: usize, until_us: u64, now_us: u64, active: usize) {
+        let m = &mut self.machines[machine];
+        m.crash_streak += 1;
+        let Some(ej) = self.cfg.ejection else { return };
+        let free_again = until_us + ej.probation.as_micros();
+        match m.phase {
+            Phase::Healthy => {
+                if self.can_eject(active, &ej) {
+                    self.eject(machine, free_again, now_us);
+                }
+            }
+            Phase::Ejected {
+                until_us: u,
+                since_us,
+            } => {
+                self.machines[machine].phase = Phase::Ejected {
+                    until_us: u.max(free_again),
+                    since_us,
+                };
+            }
+            Phase::Probing { since_us } => {
+                // The machine died under (or right after) its probe; it
+                // goes back to waiting, same ejection span.
+                self.machines[machine].phase = Phase::Ejected {
+                    until_us: free_again,
+                    since_us,
+                };
+            }
+        }
+    }
+
+    /// The router's timeout verdict killed a placement on `machine`
+    /// before dispatch — feeds the hedge score, nothing else.
+    pub(crate) fn note_timeout(&mut self, machine: usize) {
+        self.machines[machine].timeout_streak += 1;
+    }
+
+    /// The in-flight probe on `machine` was doomed by a scheduled crash:
+    /// re-eject until a fresh probation past the crash.
+    pub(crate) fn probe_doomed(&mut self, machine: usize, crash_at_us: u64) {
+        self.stats.probe_failures += 1;
+        let probation = self.cfg.ejection.map_or(0, |ej| ej.probation.as_micros());
+        let m = &mut self.machines[machine];
+        let since_us = match m.phase {
+            Phase::Probing { since_us } | Phase::Ejected { since_us, .. } => since_us,
+            Phase::Healthy => crash_at_us,
+        };
+        if matches!(m.phase, Phase::Healthy) {
+            self.excluded_count += 1;
+        }
+        m.phase = Phase::Ejected {
+            until_us: crash_at_us + probation,
+            since_us,
+        };
+    }
+
+    /// `true` if any machine is outside the candidate set.
+    pub(crate) fn has_exclusions(&self) -> bool {
+        self.excluded_count > 0
+    }
+
+    /// `true` if `machine` must not receive ordinary work.
+    pub(crate) fn excluded(&self, machine: usize) -> bool {
+        !matches!(self.machines[machine].phase, Phase::Healthy)
+    }
+
+    /// The lowest-indexed active machine whose probation has expired —
+    /// the next dispatch becomes its half-open probe.
+    pub(crate) fn probe_target(&self, now_us: u64, active: usize) -> Option<usize> {
+        if self.excluded_count == 0 {
+            return None;
+        }
+        self.machines[..active.min(self.machines.len())]
+            .iter()
+            .position(|m| matches!(m.phase, Phase::Ejected { until_us, .. } if until_us <= now_us))
+    }
+
+    /// Commits the probe: `machine` has an invocation in flight.
+    pub(crate) fn mark_probing(&mut self, machine: usize) {
+        let m = &mut self.machines[machine];
+        if let Phase::Ejected { since_us, .. } = m.phase {
+            m.phase = Phase::Probing { since_us };
+            self.stats.probes += 1;
+        }
+    }
+
+    /// Whether a placement on `machine` with router-estimated response
+    /// `booked_response_us` should be hedged: the trigger compares the
+    /// worse of the booking and the machine's reported EWMA against the
+    /// tracked tail quantile of observed responses.
+    pub(crate) fn should_hedge(&self, machine: usize, booked_response_us: u64) -> bool {
+        let Some(h) = self.cfg.hedge else {
+            return false;
+        };
+        if self.sketch_samples < h.min_samples {
+            return false;
+        }
+        // The budget gate: under a fleet-wide slowdown most estimates
+        // pass the tail quantile, and unbounded speculation would feed
+        // the very queues it is racing. One hedge of grace, then at
+        // most `max_fraction` of all dispatches.
+        let budget = 1 + (h.max_fraction * self.dispatches as f64) as u64;
+        if self.stats.hedges >= budget {
+            return false;
+        }
+        let Some(tail) = self.sketch.as_ref().and_then(|s| s.quantile(h.quantile)) else {
+            return false;
+        };
+        let est = booked_response_us.max(self.machines[machine].ewma_us as u64);
+        est > tail
+    }
+
+    /// The healthiest active candidate other than `primary` (lowest
+    /// [`MachineState::score`], lowest index on ties), skipping ejected
+    /// machines; `None` when no other candidate exists.
+    pub(crate) fn hedge_target(&self, primary: usize, active: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, m) in self.machines[..active.min(self.machines.len())]
+            .iter()
+            .enumerate()
+        {
+            if i == primary || !matches!(m.phase, Phase::Healthy) {
+                continue;
+            }
+            let score = m.score();
+            if best.is_none_or(|(_, b)| score < b) {
+                best = Some((i, score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Books one hedge in the ledger. `won` means the speculative copy
+    /// was the estimated winner; `loser_busy` is how long the losing
+    /// attempt occupied its machine before the kernel cancelled it.
+    pub(crate) fn record_hedge(&mut self, won: bool, loser_busy: SimDuration, mem_mib: u32) {
+        self.stats.hedges += 1;
+        if won {
+            self.stats.hedges_won += 1;
+        } else {
+            self.stats.hedges_lost += 1;
+        }
+        if let Some(cost) = &mut self.hedge_cost {
+            cost.record(loser_busy, mem_mib);
+        }
+    }
+
+    /// The ledger and per-machine columns as of `as_of_us` (machines
+    /// still ejected have their open span counted up to that instant).
+    pub(crate) fn snapshot(&self, as_of_us: u64) -> (HealthStats, Vec<MachineHealth>) {
+        let mut stats = self.stats;
+        if let Some(cost) = &self.hedge_cost {
+            stats.hedge_cost_usd = cost.total_usd();
+        }
+        let machines = self
+            .machines
+            .iter()
+            .map(|m| {
+                let pending = match m.phase {
+                    Phase::Healthy => 0,
+                    Phase::Ejected { since_us, .. } | Phase::Probing { since_us } => {
+                        as_of_us.saturating_sub(since_us)
+                    }
+                };
+                MachineHealth {
+                    ewma: SimDuration::from_micros(m.ewma_us as u64),
+                    samples: m.samples,
+                    ejections: m.ejections,
+                    straggled: SimDuration::from_micros(m.straggled_us + pending),
+                }
+            })
+            .collect();
+        (stats, machines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::SimTime;
+
+    fn ms(v: u64) -> u64 {
+        SimTime::from_millis(v).as_micros()
+    }
+
+    /// Feeds `machine` a report of `response_ms` arriving at `at_ms` and
+    /// folds it immediately.
+    fn feed(t: &mut HealthTracker, machine: usize, at_ms: u64, response_ms: u64, active: usize) {
+        t.push_report(machine, ms(at_ms), ms(response_ms), false);
+        t.advance_to(ms(at_ms), active);
+    }
+
+    #[test]
+    fn ewma_tracks_reports_and_first_sample_seeds() {
+        let mut t = HealthTracker::new(HealthConfig::default().with_ewma_alpha(0.5), 2);
+        feed(&mut t, 0, 1, 100, 2);
+        let (_, m) = t.snapshot(ms(1));
+        assert_eq!(
+            m[0].ewma,
+            SimDuration::from_millis(100),
+            "first sample seeds"
+        );
+        feed(&mut t, 0, 2, 200, 2);
+        let (_, m) = t.snapshot(ms(2));
+        assert_eq!(
+            m[0].ewma,
+            SimDuration::from_millis(150),
+            "0.5-blend of 100 and 200"
+        );
+        assert_eq!(m[0].samples, 2);
+        assert_eq!(m[1].samples, 0);
+    }
+
+    #[test]
+    fn reports_fold_only_when_due() {
+        let mut t = HealthTracker::new(HealthConfig::default(), 1);
+        t.push_report(0, ms(50), ms(10), false);
+        t.advance_to(ms(40), 1);
+        assert_eq!(t.snapshot(ms(40)).1[0].samples, 0, "report not due yet");
+        t.advance_to(ms(50), 1);
+        assert_eq!(t.snapshot(ms(50)).1[0].samples, 1);
+    }
+
+    #[test]
+    fn passive_default_never_excludes_or_hedges() {
+        let mut t = HealthTracker::new(HealthConfig::default(), 4);
+        for i in 0..100u64 {
+            feed(
+                &mut t,
+                (i % 4) as usize,
+                i + 1,
+                if i % 4 == 3 { 5_000 } else { 10 },
+                4,
+            );
+        }
+        assert!(!t.has_exclusions());
+        assert!(t.probe_target(ms(1_000), 4).is_none());
+        assert!(!t.should_hedge(3, ms(100_000)));
+        let (stats, _) = t.snapshot(ms(1_000));
+        assert!(stats.is_zero());
+    }
+
+    #[test]
+    fn outlier_ejects_probes_and_readmits() {
+        let cfg = HealthConfig::default().with_ejection(
+            EjectionConfig::default()
+                .with_threshold(3.0)
+                .with_probation(SimDuration::from_secs(1))
+                .with_min_samples(4),
+        );
+        let mut t = HealthTracker::new(cfg, 4);
+        // Machines 0-2 report 10 ms; machine 3 reports 1 s — a 100×
+        // outlier once it has its 4 samples.
+        for round in 0..4u64 {
+            for m in 0..4usize {
+                feed(
+                    &mut t,
+                    m,
+                    round * 10 + m as u64 + 1,
+                    if m == 3 { 1_000 } else { 10 },
+                    4,
+                );
+            }
+        }
+        assert!(t.excluded(3), "outlier is ejected");
+        assert!(!t.excluded(0));
+        let (stats, cols) = t.snapshot(ms(40));
+        assert_eq!(stats.ejections, 1);
+        assert_eq!(cols[3].ejections, 1);
+        assert!(cols[3].straggled > SimDuration::ZERO, "open span counts");
+        // Probation (1 s) expires: machine 3 earns the next probe.
+        assert_eq!(t.probe_target(ms(34) + 1_000_000, 4), Some(3));
+        assert_eq!(t.probe_target(ms(40), 4), None, "not before probation");
+        t.mark_probing(3);
+        assert!(t.excluded(3), "probing machine still excluded");
+        // The probe reports back healthy: re-admission.
+        t.push_report(3, ms(34) + 1_100_000, ms(15), true);
+        t.advance_to(ms(34) + 1_100_000, 4);
+        assert!(!t.excluded(3));
+        let (stats, _) = t.snapshot(ms(34) + 1_100_000);
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.readmissions, 1);
+    }
+
+    #[test]
+    fn quorum_and_fraction_cap_bound_ejections() {
+        // 2-machine fleet, quorum 1, fraction 0.5: at most one machine
+        // may ever be out.
+        let cfg = HealthConfig::default().with_ejection(
+            EjectionConfig::default()
+                .with_threshold(1.5)
+                .with_min_samples(1)
+                .with_bounds(0.5, 1),
+        );
+        let mut t = HealthTracker::new(cfg, 2);
+        feed(&mut t, 0, 1, 10, 2);
+        feed(&mut t, 1, 2, 10_000, 2);
+        assert!(t.excluded(1));
+        // Machine 0 now looks terrible too — but ejecting it would leave
+        // nothing, so it stays.
+        feed(&mut t, 0, 3, 50_000, 2);
+        feed(&mut t, 0, 4, 50_000, 2);
+        assert!(!t.excluded(0), "quorum keeps the last machine in service");
+        let (stats, _) = t.snapshot(ms(4));
+        assert_eq!(stats.ejections, 1);
+    }
+
+    #[test]
+    fn crash_ejects_immediately_and_doomed_probe_re_ejects() {
+        let cfg = HealthConfig::default()
+            .with_ejection(EjectionConfig::default().with_probation(SimDuration::from_secs(1)));
+        let mut t = HealthTracker::new(cfg, 4);
+        t.note_crash(2, ms(5_000), ms(4_000), 4);
+        assert!(t.excluded(2), "crash ejects without any samples");
+        // Downtime ends at 5 s, probation at 6 s.
+        assert_eq!(t.probe_target(ms(5_500), 4), None);
+        assert_eq!(t.probe_target(ms(6_000), 4), Some(2));
+        t.mark_probing(2);
+        t.probe_doomed(2, ms(6_100));
+        assert!(t.excluded(2));
+        assert_eq!(t.probe_target(ms(7_000), 4), None, "fresh probation");
+        assert_eq!(t.probe_target(ms(7_100), 4), Some(2));
+        let (stats, _) = t.snapshot(ms(7_100));
+        assert_eq!(stats.ejections, 1);
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.probe_failures, 1);
+        assert_eq!(stats.readmissions, 0);
+    }
+
+    #[test]
+    fn hedge_trigger_arms_after_min_samples_and_targets_healthiest() {
+        let cfg = HealthConfig::default().with_hedge(
+            HedgeConfig::default()
+                .with_quantile(0.9)
+                .with_min_samples(10),
+        );
+        let mut t = HealthTracker::new(cfg, 4);
+        for i in 0..9u64 {
+            feed(&mut t, (i % 3) as usize, i + 1, 10, 4);
+        }
+        assert!(
+            !t.should_hedge(0, ms(100)),
+            "trigger not armed below min_samples"
+        );
+        feed(&mut t, 0, 10, 10, 4);
+        assert!(
+            t.should_hedge(0, ms(100)),
+            "booked response far past the tail"
+        );
+        assert!(!t.should_hedge(0, ms(10) / 2), "fast booking is not hedged");
+        // Machine 3 has no samples: score 0 makes it the hedge target.
+        assert_eq!(t.hedge_target(0, 4), Some(3));
+        // Give 3 a slow sample; among sampled machines the fastest wins,
+        // lowest index on ties (primary excluded).
+        feed(&mut t, 3, 11, 8_000, 4);
+        assert_eq!(t.hedge_target(0, 4), Some(1));
+        assert_eq!(t.hedge_target(1, 4), Some(0));
+        // Ledger arithmetic.
+        t.record_hedge(true, SimDuration::from_millis(30), 128);
+        t.record_hedge(false, SimDuration::from_millis(20), 128);
+        let (stats, _) = t.snapshot(ms(11));
+        assert_eq!(
+            (stats.hedges, stats.hedges_won, stats.hedges_lost),
+            (2, 1, 1)
+        );
+        assert_eq!(stats.hedge_cost_usd, 0.0, "no tariff configured");
+    }
+
+    #[test]
+    fn hedge_budget_caps_speculation_at_a_fraction_of_dispatches() {
+        let cfg = HealthConfig::default().with_hedge(
+            HedgeConfig::default()
+                .with_quantile(0.5)
+                .with_min_samples(4)
+                .with_max_fraction(0.25),
+        );
+        let mut t = HealthTracker::new(cfg, 4);
+        for i in 0..8u64 {
+            feed(&mut t, (i % 4) as usize, i + 1, 10, 4);
+        }
+        // 8 dispatches × 0.25 + 1 of grace = budget for 3 hedges.
+        for _ in 0..3 {
+            assert!(t.should_hedge(0, ms(100)), "budget not yet exhausted");
+            t.record_hedge(false, SimDuration::from_millis(1), 128);
+        }
+        assert!(
+            !t.should_hedge(0, ms(100)),
+            "the budget gate blocks the fourth copy even past the tail"
+        );
+        // More dispatches replenish the budget.
+        for i in 8..16u64 {
+            feed(&mut t, (i % 4) as usize, i + 1, 10, 4);
+        }
+        assert!(
+            t.should_hedge(0, ms(100)),
+            "budget tracks the dispatch count"
+        );
+    }
+
+    #[test]
+    fn hedge_cost_bills_the_loser() {
+        let price = PriceModel::duration_only();
+        let cfg = HealthConfig::default().with_hedge(HedgeConfig::default().with_price(price));
+        let mut t = HealthTracker::new(cfg, 2);
+        t.record_hedge(false, SimDuration::from_secs(1), 256);
+        let (stats, _) = t.snapshot(0);
+        let expected = price.cost_of_duration(SimDuration::from_secs(1), 256);
+        assert!(expected > 0.0);
+        assert_eq!(stats.hedge_cost_usd.to_bits(), expected.to_bits());
+    }
+}

@@ -62,15 +62,17 @@
 mod chaos;
 pub mod dispatch;
 mod frontend;
+mod health;
 mod middleware;
 mod stream;
 
 pub use chaos::{
-    AutoscaleConfig, Autoscaler, ChaosConfig, CrashConfig, Fault, FaultEvent, FaultPlan,
-    FaultPlanConfig, RetryEntry, RetryQueue, ScaleDecision, StormConfig, StraggleConfig,
+    AutoscaleConfig, Autoscaler, BackoffConfig, ChaosConfig, CrashConfig, Fault, FaultEvent,
+    FaultPlan, FaultPlanConfig, RetryEntry, RetryQueue, ScaleDecision, StormConfig, StraggleConfig,
 };
 pub use dispatch::{Dispatch, DispatchCtx};
 pub use frontend::{Assignment, FrontEnd};
+pub use health::{EjectionConfig, HealthConfig, HedgeConfig};
 pub use middleware::{BreakerConfig, OverloadConfig, RateLimitConfig};
 pub use stream::{
     chunk_workload, ClusterChunk, ClusterTaskStream, StreamClusterReport, StreamMachineReport,
@@ -80,7 +82,8 @@ pub use stream::{
 use azure_trace::AzureTrace;
 use faas_kernel::{MachineConfig, MachineRun, Scheduler, SimError, SlimReport, TaskSpec};
 use faas_metrics::{
-    merge_records, records_from_tasks, ChaosStats, ClusterSummary, OverloadStats, TaskRecord,
+    merge_records, records_from_tasks, ChaosStats, ClusterSummary, HealthStats, MachineHealth,
+    OverloadStats, TaskRecord,
 };
 use faas_simcore::{par, SimDuration, SimRng, SimTime};
 use microvm_sim::FirecrackerConfig;
@@ -147,6 +150,10 @@ pub struct ClusterConfig {
     /// size and the active prefix grows/shrinks between
     /// `autoscale.min_machines` and `machines`.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Node-health feedback loop; `None` (and the passive
+    /// [`HealthConfig::default`]) leaves every dispatch decision bitwise
+    /// identical to a tracker-free cluster.
+    pub health: Option<HealthConfig>,
 }
 
 impl ClusterConfig {
@@ -164,6 +171,7 @@ impl ClusterConfig {
             overload: None,
             chaos: None,
             autoscale: None,
+            health: None,
         }
     }
 
@@ -203,6 +211,13 @@ impl ClusterConfig {
     /// the fleet size.
     pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
         self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Attaches the node-health feedback loop (latency EWMAs, outlier
+    /// ejection, hedged requests).
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -246,6 +261,12 @@ pub struct ClusterReport {
     /// Crash/retry/autoscale ledger of the chaos layer (all-zero without
     /// a fault plan or autoscaler).
     pub chaos: ChaosStats,
+    /// Ejection/probe/hedge/backoff ledger of the node-health layer
+    /// (all-zero without a health tracker or backoff).
+    pub health: HealthStats,
+    /// Per-machine health columns in machine order (empty without a
+    /// health tracker).
+    pub machine_health: Vec<MachineHealth>,
 }
 
 impl ClusterReport {
@@ -265,6 +286,7 @@ impl ClusterReport {
         ClusterSummary::compute(&self.records)
             .with_overload(self.overload)
             .with_chaos(self.chaos)
+            .with_health(self.health, self.machine_health.clone())
     }
 
     /// Invocations dispatched to each machine.
@@ -352,6 +374,7 @@ where
         }
         let mut overload = front.overload_stats();
         let chaos = front.chaos_stats();
+        let (health, machine_health) = front.health_stats();
         let cfg = &self.cfg;
         let make_policy = &self.make_policy;
         let outcomes = par::par_map_with(threads, assignment.per_machine, |i, specs| {
@@ -375,6 +398,8 @@ where
             cold_starts: assignment.cold_starts,
             overload,
             chaos,
+            health,
+            machine_health,
         })
     }
 }

@@ -24,8 +24,8 @@
 
 use faas_kernel::{CoreStats, MachineRun, Scheduler, SimError, TaskSpec};
 use faas_metrics::{
-    ChaosStats, OverloadStats, StreamClusterSummary, StreamRunStats, TaskRecord,
-    DEFAULT_STREAM_EPSILON,
+    ChaosStats, HealthStats, MachineHealth, OverloadStats, StreamClusterSummary, StreamRunStats,
+    TaskRecord, DEFAULT_STREAM_EPSILON,
 };
 use faas_simcore::{par, SimDuration, SimTime};
 use lambda_pricing::{CostAccumulator, PriceModel};
@@ -204,6 +204,12 @@ pub struct StreamClusterReport {
     /// Crash/retry/autoscale ledger of the chaos layer (all-zero without
     /// a fault plan or autoscaler).
     pub chaos: ChaosStats,
+    /// Ejection/hedge/backoff ledger of the node-health layer (all-zero
+    /// without a [`HealthConfig`](crate::HealthConfig)).
+    pub health: HealthStats,
+    /// Per-machine health telemetry, in machine order (empty without a
+    /// health tracker).
+    pub machine_health: Vec<MachineHealth>,
 }
 
 impl StreamClusterReport {
@@ -219,6 +225,7 @@ impl StreamClusterReport {
         StreamClusterSummary::compute(&stats)
             .with_overload(self.overload)
             .with_chaos(self.chaos)
+            .with_health(self.health, self.machine_health.clone())
     }
 
     /// Invocations completed on each machine.
@@ -422,12 +429,15 @@ where
         }
         let mut overload = front.overload_stats();
         overload.kernel_cancelled = machines.iter().map(|m| m.cancelled).sum();
+        let (health, machine_health) = front.health_stats();
         Ok(StreamClusterReport {
             dispatch: self.dispatch.name().to_owned(),
             machines,
             cold_starts,
             overload,
             chaos: front.chaos_stats(),
+            health,
+            machine_health,
         })
     }
 }

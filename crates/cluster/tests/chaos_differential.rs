@@ -490,6 +490,7 @@ fn retry_queue_is_instant_then_fifo_ordered() {
                     function: i as u64,
                 },
                 attempts: 1,
+                avoid: None,
             });
         }
         let mut expected: Vec<(u64, u64)> = ats

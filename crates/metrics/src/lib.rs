@@ -26,6 +26,9 @@
 //!   middleware");
 //! * [`ChaosStats`] — the crash/retry/autoscale/SLO-recovery ledger of
 //!   the fault-injection layer (see `DESIGN.md` "Chaos & elasticity");
+//! * [`HealthStats`] / [`MachineHealth`] — the ejection/probe/hedge/
+//!   backoff ledger of the node-health feedback layer (see `DESIGN.md`
+//!   "Node-health feedback");
 //! * CSV export for external plotting.
 //!
 //! ```
@@ -54,6 +57,7 @@
 mod cdf;
 mod chaos;
 mod export;
+mod health;
 mod merge;
 mod overload;
 mod record;
@@ -66,6 +70,7 @@ mod timeline;
 pub use cdf::DurationCdf;
 pub use chaos::ChaosStats;
 pub use export::{write_records_csv, write_series_csv};
+pub use health::{HealthStats, MachineHealth};
 pub use merge::{merge_records, ClusterSummary};
 pub use overload::OverloadStats;
 pub use record::{records_from_tasks, TaskRecord, UnfinishedTaskError};

@@ -9,6 +9,7 @@
 //! simulations were fanned across threads.
 
 use crate::chaos::ChaosStats;
+use crate::health::{HealthStats, MachineHealth};
 use crate::overload::OverloadStats;
 use crate::record::TaskRecord;
 use crate::summary::RunSummary;
@@ -62,6 +63,12 @@ pub struct ClusterSummary {
     /// What the fault-injection layer crashed, retried, and scaled.
     /// All-zero when the front end ran without chaos.
     pub chaos: ChaosStats,
+    /// What the node-health feedback layer ejected, probed and hedged.
+    /// All-zero when the front end ran without a health tracker.
+    pub health: HealthStats,
+    /// Per-machine health columns (EWMA, ejections, time spent
+    /// ejected), in machine order; empty without a health tracker.
+    pub machine_health: Vec<MachineHealth>,
 }
 
 impl ClusterSummary {
@@ -81,6 +88,8 @@ impl ClusterSummary {
                 .collect(),
             overload: OverloadStats::default(),
             chaos: ChaosStats::default(),
+            health: HealthStats::default(),
+            machine_health: Vec::new(),
         }
     }
 
@@ -95,6 +104,14 @@ impl ClusterSummary {
     /// attempts and abandoned invocations leave no [`TaskRecord`]).
     pub fn with_chaos(mut self, chaos: ChaosStats) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Attaches the health layer's ejection/probe/hedge ledger and the
+    /// per-machine health columns (in machine order).
+    pub fn with_health(mut self, health: HealthStats, machines: Vec<MachineHealth>) -> Self {
+        self.health = health;
+        self.machine_health = machines;
         self
     }
 

@@ -251,6 +251,12 @@ pub struct StreamClusterSummary {
     /// What the fault-injection layer crashed, retried, and scaled.
     /// All-zero when the front end ran without chaos.
     pub chaos: crate::ChaosStats,
+    /// What the node-health feedback layer ejected, probed and hedged.
+    /// All-zero when the front end ran without a health tracker.
+    pub health: crate::HealthStats,
+    /// Per-machine health columns (EWMA, ejections, time spent
+    /// ejected), in machine order; empty without a health tracker.
+    pub machine_health: Vec<crate::MachineHealth>,
 }
 
 impl StreamClusterSummary {
@@ -279,6 +285,8 @@ impl StreamClusterSummary {
                 .collect(),
             overload: crate::OverloadStats::default(),
             chaos: crate::ChaosStats::default(),
+            health: crate::HealthStats::default(),
+            machine_health: Vec::new(),
         }
     }
 
@@ -293,6 +301,18 @@ impl StreamClusterSummary {
     /// attempts and abandoned invocations never reach an accumulator).
     pub fn with_chaos(mut self, chaos: crate::ChaosStats) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Attaches the health layer's ejection/probe/hedge ledger and the
+    /// per-machine health columns (in machine order).
+    pub fn with_health(
+        mut self,
+        health: crate::HealthStats,
+        machines: Vec<crate::MachineHealth>,
+    ) -> Self {
+        self.health = health;
+        self.machine_health = machines;
         self
     }
 

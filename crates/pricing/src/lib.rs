@@ -305,6 +305,55 @@ impl ChurnCostAccumulator {
     }
 }
 
+/// Online accumulator for the dollar cost of **hedged requests**: the
+/// losing side of every speculative double-booking the health layer
+/// makes. The loser's attempt really occupied its machine until the
+/// kernel cancelled it at the winner's estimated completion, but a
+/// cancelled task leaves no [`TaskRecord`] and is never billed by
+/// [`CostAccumulator`] — this ledger prices that wasted occupancy from
+/// the spec's would-have-been duration, like [`ShedCostAccumulator`].
+/// The total is a left-to-right `f64` fold in the order the front end
+/// hedged, so it is byte-identical at any fan width or trace chunking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgeCostAccumulator {
+    model: PriceModel,
+    total_usd: f64,
+    count: u64,
+}
+
+impl HedgeCostAccumulator {
+    /// An empty accumulator pricing hedge waste under `model`.
+    pub fn new(model: PriceModel) -> Self {
+        HedgeCostAccumulator {
+            model,
+            total_usd: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Prices one losing hedge attempt that would have occupied its
+    /// machine for `duration` (CPU work + billed I/O wait) at `mem_mib`.
+    pub fn record(&mut self, duration: SimDuration, mem_mib: u32) {
+        self.total_usd += self.model.cost_of_duration(duration, mem_mib);
+        self.count += 1;
+    }
+
+    /// Running total of hedge waste in USD.
+    pub fn total_usd(&self) -> f64 {
+        self.total_usd
+    }
+
+    /// Number of losing attempts priced.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The tariff this accumulator prices under.
+    pub fn model(&self) -> &PriceModel {
+        &self.model
+    }
+}
+
 /// The relative extra cost of `more` over `less` (e.g. "CFS introduces
 /// more than 10 times extra cost compared to FIFO", Fig. 1).
 ///
@@ -468,6 +517,22 @@ mod tests {
         assert_eq!(churn.abandoned_usd().to_bits(), gone.to_bits());
         assert_eq!(churn.total_usd().to_bits(), (retry + gone).to_bits());
         assert_eq!(churn.model(), &m);
+    }
+
+    #[test]
+    fn hedge_accumulator_prices_losing_attempts_bitwise() {
+        // A losing hedge costs exactly what the same duration would have
+        // billed had it completed — same tariff, same rounding, same
+        // left-to-right fold order.
+        let m = PriceModel::aws_lambda_2024();
+        let mut hedge = HedgeCostAccumulator::new(m);
+        hedge.record(SimDuration::from_millis(100), 128);
+        hedge.record(SimDuration::from_millis(250), 1_024);
+        let ran = m.cost_of_duration(SimDuration::from_millis(100), 128)
+            + m.cost_of_duration(SimDuration::from_millis(250), 1_024);
+        assert_eq!(hedge.total_usd().to_bits(), ran.to_bits());
+        assert_eq!(hedge.count(), 2);
+        assert_eq!(hedge.model(), &m);
     }
 
     #[test]
