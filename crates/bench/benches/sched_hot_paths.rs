@@ -15,7 +15,7 @@ use faas_cluster::dispatch::{KeepAliveDispatch, LeastOutstanding};
 use faas_cluster::{
     AutoscaleConfig, BackoffConfig, BreakerConfig, ChaosConfig, Cluster, ClusterConfig,
     ClusterTask, ClusterTaskStream, ColdStartConfig, Dispatch, EjectionConfig, FaultPlan,
-    FaultPlanConfig, HealthConfig, HedgeConfig, OverloadConfig, StreamOptions,
+    FaultPlanConfig, FrontEnd, HealthConfig, HedgeConfig, OverloadConfig, StreamOptions,
 };
 use faas_kernel::{CostModel, MachineConfig, Scheduler, Simulation, TaskSpec};
 use faas_simcore::{EventQueue, SimDuration, SimTime};
@@ -292,6 +292,85 @@ fn bench_cluster_xl(c: &mut Bench) {
     }
 }
 
+/// The dispatch tier alone at fleet scale: the front-end fold (routing,
+/// middleware, health feedback) over a fixed arrival stream with **no
+/// kernel runs attached**, at M ∈ {16, 256, 1024} machines. This is the
+/// per-invocation cost the indexed-heap front end bounds at O(log M):
+/// before PR 10 every row here scaled linearly with M (full-fleet scans
+/// for least-wait/least-outstanding/warmth, per-arrival drain walks),
+/// which the 1024-machine rows make visible at a glance. events/sec is
+/// invocations routed per second of front-end time.
+fn bench_frontend_scale(c: &mut Bench) {
+    let mut g = c.benchmark_group("frontend_scale");
+    g.sample_size(10);
+    let invocations = 4_096usize;
+    let tasks: Vec<ClusterTask> = (0..invocations)
+        .map(|i| {
+            let work = if i % 10 == 0 { 40 } else { 4 };
+            let spec = TaskSpec::function(
+                SimTime::from_micros(i as u64 * 500),
+                SimDuration::from_millis(work),
+                128,
+            );
+            ClusterTask {
+                spec,
+                function: (i % 37) as u64,
+            }
+        })
+        .collect();
+    let run_fold = |cfg: &ClusterConfig, tasks: &[ClusterTask]| {
+        let mut policy = KeepAliveDispatch;
+        let mut fe = FrontEnd::new(cfg);
+        let a = fe.dispatch_chunk(tasks, &mut policy);
+        black_box(a.cold_starts);
+        let tail = fe.finish(&mut policy);
+        black_box(tail.cold_starts)
+    };
+    for machines in [16usize, 256, 1024] {
+        let bare = ClusterConfig::new(machines, MachineConfig::new(4))
+            .with_cold_start(ColdStartConfig::firecracker());
+        let overload = bare.clone().with_overload(
+            OverloadConfig::default()
+                .with_concurrency_limit(64)
+                .with_deadline(SimDuration::from_secs(2))
+                .with_breaker(BreakerConfig {
+                    window: 32,
+                    trip_pct: 50,
+                    cooldown: SimDuration::from_secs(1),
+                }),
+        );
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig::new(0x0F2E_57A7, 1)
+                .with_crashes(6.0, SimDuration::from_millis(500))
+                .with_stragglers(4.0, SimDuration::from_secs(5), 2.0),
+            machines,
+        );
+        let health = bare
+            .clone()
+            .with_chaos(ChaosConfig::new(plan).with_slo(SimDuration::from_secs(1)))
+            .with_health(
+                HealthConfig::default()
+                    .with_ejection(
+                        EjectionConfig::default()
+                            .with_probation(SimDuration::from_secs(1))
+                            .with_min_samples(8),
+                    )
+                    .with_hedge(HedgeConfig::default().with_min_samples(64)),
+            );
+        g.throughput(invocations as u64);
+        g.bench_function(format!("dispatch_bare_{machines}m"), |b| {
+            b.iter(|| run_fold(&bare, &tasks))
+        });
+        g.bench_function(format!("dispatch_overload_{machines}m"), |b| {
+            b.iter(|| run_fold(&overload, &tasks))
+        });
+        g.bench_function(format!("dispatch_health_{machines}m"), |b| {
+            b.iter(|| run_fold(&health, &tasks))
+        });
+    }
+    g.finish();
+}
+
 fn bench_primitives(c: &mut Bench) {
     let mut g = c.benchmark_group("primitives");
     g.throughput(1_000);
@@ -351,7 +430,10 @@ fn bench_primitives(c: &mut Bench) {
         })
     });
     g.finish();
-    c.bench_function("sliding_window_push_percentile", |b| {
+    // ns-per-op rows (no events_per_iter): grouped so no baseline row
+    // carries an empty `"group"` label.
+    let mut g = c.benchmark_group("primitives_scalar");
+    g.bench_function("sliding_window_push_percentile", |b| {
         let mut w = SlidingWindow::new(100);
         for i in 0..100u64 {
             w.push(SimDuration::from_millis(i));
@@ -361,12 +443,13 @@ fn bench_primitives(c: &mut Bench) {
             black_box(w.percentile(0.95))
         })
     });
-    c.bench_function("trace_generation_1k", |b| {
+    g.bench_function("trace_generation_1k", |b| {
         b.iter(|| {
             let t = AzureTrace::generate(&TraceConfig::w2().downscaled(12));
             black_box(t.len())
         })
     });
+    g.finish();
 }
 
 fn main() {
@@ -374,6 +457,7 @@ fn main() {
     bench_policies(&mut c);
     bench_cluster(&mut c);
     bench_cluster_xl(&mut c);
+    bench_frontend_scale(&mut c);
     bench_primitives(&mut c);
     if c.filtered() {
         println!("name filters active: not overwriting BENCH_sched.json");

@@ -77,9 +77,20 @@ fn baseline_has_schema_and_expected_rows() {
         "\"name\": \"hybrid\"",
         "\"name\": \"event_queue_schedule_pop_1k\"",
         "\"name\": \"chaos_autoscale_fault_plan\"",
+        // The dispatch-tier scaling rows: the bench-guard quick run
+        // watches these for O(M) creep in the front-end fold.
+        "\"name\": \"dispatch_bare_16m\"",
+        "\"name\": \"dispatch_overload_256m\"",
+        "\"name\": \"dispatch_health_1024m\"",
     ] {
         assert!(text.contains(name), "baseline missing row: {name}");
     }
+    // Every row must carry a real group label; `"group": ""` means a
+    // bench was registered outside a benchmark_group again.
+    assert!(
+        !text.contains("\"group\": \"\""),
+        "baseline has a row with an empty group label"
+    );
     // Regression tracking requires the fields future PRs diff against.
     for field in [
         "\"median_ns\"",

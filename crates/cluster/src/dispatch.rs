@@ -153,8 +153,13 @@ impl Dispatch for KeepAliveDispatch {
         // carry the identical `arrival + duration` terms.)
         let best = ctx.least_wait();
         let budget = ctx.est_completion_after_boot(best);
-        let warm =
-            (0..ctx.machines()).filter(|&m| ctx.is_warm(m) && ctx.est_completion(m) <= budget);
+        // `warm_candidates` visits the warm-site index in ascending
+        // machine order, so the first-seen tie-break below matches the
+        // full `0..machines()` scan this used to be, decision for
+        // decision.
+        let warm = ctx
+            .warm_candidates()
+            .filter(|&m| ctx.est_completion(m) <= budget);
         ctx.least_wait_of(warm).unwrap_or(best)
     }
 }

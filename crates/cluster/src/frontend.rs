@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use faas_kernel::TaskSpec;
 use faas_metrics::{ChaosStats, HealthStats, MachineHealth, OverloadStats};
-use faas_simcore::{MinHeap4, SimDuration, SimRng, SimTime};
+use faas_simcore::{IndexedMinHeap, MinHeap4, SimDuration, SimRng, SimTime};
 use lambda_pricing::ChurnCostAccumulator;
 
 use crate::chaos::{Autoscaler, BackoffConfig, Fault, RetryEntry, RetryQueue, ScaleDecision};
@@ -29,9 +29,15 @@ struct MachineLoad {
     /// Estimated instant (µs) each core frees under FCFS draining; always
     /// exactly `cores` entries.
     free_cores: MinHeap4<u64>,
-    /// Estimated completion instants (µs) of dispatched-but-unfinished
-    /// invocations; its length is the outstanding count.
-    in_flight: MinHeap4<u64>,
+    /// Dispatched-but-not-yet-drained invocation count. The completion
+    /// instants themselves live in the front end's *global* completion
+    /// heap, so one arrival drains O(completions due) instead of walking
+    /// every machine.
+    outstanding: u32,
+    /// Bumped whenever this machine's booked completions are voided
+    /// wholesale (crash, scale-up reset); completion-heap entries from an
+    /// older epoch are skipped at pop time instead of being searched out.
+    epoch: u32,
     /// Total invocations dispatched to this machine so far.
     dispatched: u64,
 }
@@ -44,15 +50,9 @@ impl MachineLoad {
         }
         MachineLoad {
             free_cores,
-            in_flight: MinHeap4::new(),
+            outstanding: 0,
+            epoch: 0,
             dispatched: 0,
-        }
-    }
-
-    /// Drops estimated completions at or before `now_us`.
-    fn drain_until(&mut self, now_us: u64) {
-        while self.in_flight.peek_min().is_some_and(|&t| t <= now_us) {
-            self.in_flight.pop_min();
         }
     }
 
@@ -65,7 +65,7 @@ impl MachineLoad {
         let cpu_done = start + work_us;
         self.free_cores.push(cpu_done);
         let completion = cpu_done + io_us;
-        self.in_flight.push(completion);
+        self.outstanding += 1;
         self.dispatched += 1;
         completion
     }
@@ -110,7 +110,7 @@ impl DispatchCtx<'_> {
     /// Dispatched-but-not-yet-drained invocation count on `machine`
     /// (front-end estimate, see module docs).
     pub fn outstanding(&self, machine: usize) -> usize {
-        self.front.loads[self.phys(machine)].in_flight.len()
+        self.front.loads[self.phys(machine)].outstanding as usize
     }
 
     /// Cores per machine — the natural unit for "how overloaded is a
@@ -140,14 +140,29 @@ impl DispatchCtx<'_> {
     }
 
     /// The machine with the smallest [`DispatchCtx::est_wait`] (lowest
-    /// index on ties).
+    /// index on ties). Unrestricted dispatches answer from the front
+    /// end's wait heaps in O(1): the idle heap is keyed by machine
+    /// index, so the winner among zero-wait machines is the lowest
+    /// index — exactly the scan's first-seen tie-break — and the busy
+    /// heap bakes the same tie-break into its `(free_min, machine)` key.
     pub fn least_wait(&self) -> usize {
+        if self.cand.is_none() {
+            if let Some((m, _)) = self.front.idle_heap.peek_min() {
+                return m;
+            }
+            if let Some((m, _)) = self.front.busy_heap.peek_min() {
+                return m;
+            }
+        }
         self.least_wait_of(0..self.machines())
             .expect("cluster has machines")
     }
 
     /// [`DispatchCtx::least_wait`] restricted to `candidates` (first-seen
-    /// index wins ties); `None` if `candidates` is empty.
+    /// index wins ties); `None` if `candidates` is empty. This linear
+    /// scan is the reference semantics the heap-backed fast path above
+    /// must reproduce bit-for-bit — the differential suites compare the
+    /// two directly.
     pub fn least_wait_of(&self, candidates: impl IntoIterator<Item = usize>) -> Option<usize> {
         let mut best: Option<(usize, SimDuration)> = None;
         for m in candidates {
@@ -198,13 +213,23 @@ impl DispatchCtx<'_> {
 
     /// The machine with the fewest outstanding invocations (lowest index
     /// on ties) — the shared building block of the load-aware policies.
+    /// Unrestricted dispatches answer from the front end's outstanding
+    /// heap in O(1); its `(count, machine)` key reproduces the scan's
+    /// first-seen tie-break exactly.
     pub fn least_outstanding(&self) -> usize {
+        if self.cand.is_none() {
+            if let Some((m, _)) = self.front.out_heap.peek_min() {
+                return m;
+            }
+        }
         self.least_outstanding_of(0..self.machines())
             .expect("cluster has machines")
     }
 
     /// [`DispatchCtx::least_outstanding`] restricted to `candidates`
     /// (first-seen index wins ties); `None` if `candidates` is empty.
+    /// Like [`DispatchCtx::least_wait_of`], this scan is the reference
+    /// the heap fast path is differentially tested against.
     pub fn least_outstanding_of(
         &self,
         candidates: impl IntoIterator<Item = usize>,
@@ -217,6 +242,33 @@ impl DispatchCtx<'_> {
             }
         }
         best.map(|(m, _)| m)
+    }
+
+    /// The machines that could plausibly serve this invocation warm,
+    /// ascending, filtered to the ones actually holding an **idle,
+    /// unexpired** instance of the function. Ascending order makes
+    /// downstream first-seen tie-breaks match a full fleet scan.
+    /// Unrestricted dispatches walk the front end's warm-site index
+    /// (machines with a non-empty instance pool for this function)
+    /// instead of the whole fleet; restricted ones fall back to
+    /// scanning the candidate list.
+    pub fn warm_candidates(&self) -> impl Iterator<Item = usize> + '_ {
+        let (sites, scan) = match self.cand {
+            None => (
+                self.front
+                    .warm_sites
+                    .get(&self.function)
+                    .map_or(&[][..], Vec::as_slice),
+                0..0,
+            ),
+            Some(c) => (&[][..], 0..c.len()),
+        };
+        sites
+            .iter()
+            .map(|&m| m as usize)
+            .filter(|&m| m < self.front.active)
+            .chain(scan)
+            .filter(|&m| self.is_warm(m))
     }
 }
 
@@ -272,6 +324,32 @@ pub struct FrontEnd {
     /// High-water mark of the fold's arrival clock (µs) — the "as of"
     /// instant for the health snapshot's open ejection spans.
     clock_us: u64,
+    /// Booked completion instants fleet-wide: `(completion_us, machine,
+    /// epoch)`. One global heap replaces M per-machine drains per
+    /// arrival; entries whose machine has since crashed or been reset
+    /// carry a stale epoch and are skipped at pop time.
+    completions: MinHeap4<(u64, u32, u32)>,
+    /// Active machines keyed by `(outstanding, machine)`: the
+    /// least-outstanding pick is a peek, with the scan's lowest-index
+    /// tie-break baked into the key.
+    out_heap: IndexedMinHeap<(u32, u32)>,
+    /// Active machines whose FCFS head is still in the future, keyed by
+    /// `(free_min_us, machine)`.
+    busy_heap: IndexedMinHeap<(u64, u32)>,
+    /// Active machines with a free core at the fold clock, keyed by
+    /// machine index — the least-wait winner among zero-wait machines
+    /// is the lowest index, exactly the scan's first-seen tie-break.
+    idle_heap: IndexedMinHeap<u32>,
+    /// Σ outstanding over the active prefix — the autoscaler's load
+    /// signal, maintained incrementally instead of re-summed per tick.
+    active_outstanding: u64,
+    /// Reusable buffer for the exclusion candidate list, so the dispatch
+    /// hot path allocates nothing in steady state.
+    cand_scratch: Vec<usize>,
+    /// `function → machines with a non-empty instance pool`, ascending.
+    /// The locality policy's warm scan visits only plausible sites
+    /// instead of the whole fleet; pool expiry is still checked exactly.
+    warm_sites: HashMap<u64, Vec<u32>>,
 }
 
 /// Front-end-resident state of the fault-injection layer, pre-split from
@@ -369,7 +447,7 @@ impl FrontEnd {
         if scaler.is_some() {
             stats.peak_active = active as u64;
         }
-        FrontEnd {
+        let mut fe = FrontEnd {
             loads: (0..cfg.machines)
                 .map(|_| MachineLoad::new(cfg.machine.cores))
                 .collect(),
@@ -383,9 +461,25 @@ impl FrontEnd {
             chaos,
             scaler,
             stats,
-            health: cfg.health.map(|h| HealthTracker::new(h, cfg.machines)),
+            health: cfg
+                .health
+                .map(|h| HealthTracker::new(h, cfg.machines, active)),
             clock_us: 0,
+            completions: MinHeap4::new(),
+            out_heap: IndexedMinHeap::new(),
+            busy_heap: IndexedMinHeap::new(),
+            idle_heap: IndexedMinHeap::new(),
+            active_outstanding: 0,
+            cand_scratch: Vec::new(),
+            warm_sites: HashMap::new(),
+        };
+        // Every active machine starts idle (all cores free at t = 0)
+        // with nothing outstanding.
+        for m in 0..fe.active {
+            fe.out_heap.set(m, (0, m as u32));
+            fe.idle_heap.set(m, m as u32);
         }
+        fe
     }
 
     /// Number of machines currently taking new work.
@@ -454,11 +548,45 @@ impl FrontEnd {
         while pool.peek_min().is_some_and(|&b| b + ka <= now_us) {
             pool.pop_min();
         }
-        if pool.peek_min().is_some_and(|&b| b <= now_us) {
+        let hit = if pool.peek_min().is_some_and(|&b| b <= now_us) {
             pool.pop_min();
             true
         } else {
             false
+        };
+        if pool.peek_min().is_none() {
+            self.site_remove(function, machine);
+        }
+        hit
+    }
+
+    /// Records `machine` as a warm site for `function` (its pool just
+    /// became non-empty). Idempotent; keeps the site list ascending.
+    fn site_add(&mut self, function: u64, machine: usize) {
+        let sites = self.warm_sites.entry(function).or_default();
+        let m = machine as u32;
+        if let Err(pos) = sites.binary_search(&m) {
+            sites.insert(pos, m);
+        }
+    }
+
+    /// Drops `machine` from `function`'s warm-site list (pool emptied).
+    fn site_remove(&mut self, function: u64, machine: usize) {
+        if let Some(sites) = self.warm_sites.get_mut(&function) {
+            if let Ok(pos) = sites.binary_search(&(machine as u32)) {
+                sites.remove(pos);
+            }
+        }
+    }
+
+    /// Drops `machine` from every warm-site list — the wholesale pool
+    /// wipe of a crash or scale-up reset.
+    fn purge_sites(&mut self, machine: usize) {
+        let m = machine as u32;
+        for sites in self.warm_sites.values_mut() {
+            if let Ok(pos) = sites.binary_search(&m) {
+                sites.remove(pos);
+            }
         }
     }
 
@@ -533,9 +661,8 @@ impl FrontEnd {
         // telemetry describes every completion the router booked, even
         // the ones landing after the last arrival. (Nothing dispatches
         // after this, so late ejections change counters, not decisions.)
-        let active = self.active;
         if let Some(h) = &mut self.health {
-            h.advance_to(u64::MAX, active);
+            h.advance_to(u64::MAX);
         }
         out
     }
@@ -561,15 +688,40 @@ impl FrontEnd {
     ) {
         self.clock_us = self.clock_us.max(now_us);
         self.advance_crashes(now_us);
-        for load in &mut self.loads {
-            load.drain_until(now_us);
+        // Booked completions due by now drain from the global heap —
+        // O(log) per completion rather than O(machines) per arrival.
+        // Entries from a pre-crash / pre-reset epoch describe voided
+        // bookings; they drain here as no-ops.
+        while self
+            .completions
+            .peek_min()
+            .is_some_and(|&(t, _, _)| t <= now_us)
+        {
+            let (_, m, epoch) = self.completions.pop_min().expect("peeked above");
+            let m = m as usize;
+            let load = &mut self.loads[m];
+            if load.epoch == epoch {
+                load.outstanding -= 1;
+                if m < self.active {
+                    self.active_outstanding -= 1;
+                    self.out_heap.set(m, (load.outstanding, m as u32));
+                }
+            }
+        }
+        // Machines whose FCFS backlog has drained promote busy → idle,
+        // keeping `least_wait` an O(1) peek.
+        while let Some((m, &(free, _))) = self.busy_heap.peek_min() {
+            if free > now_us {
+                break;
+            }
+            self.busy_heap.remove(m);
+            self.idle_heap.set(m, m as u32);
         }
         // Completion reports due by now reach the tracker before any
         // retry or arrival dispatches at this instant — delayed feedback,
         // folded in deterministic report order.
-        let active = self.active;
         if let Some(h) = &mut self.health {
-            h.advance_to(now_us, active);
+            h.advance_to(now_us);
         }
         while let Some(entry) = self.due_retry(now_us) {
             self.dispatch_one(
@@ -609,18 +761,63 @@ impl FrontEnd {
         for _ in 0..self.cores {
             load.free_cores.push(until);
         }
-        load.in_flight.clear();
+        // Void the booked completions wholesale: the epoch bump turns
+        // this machine's completion-heap entries into no-ops at pop.
+        load.epoch += 1;
+        let lost = load.outstanding;
+        load.outstanding = 0;
+        if machine < self.active {
+            self.active_outstanding -= u64::from(lost);
+            self.out_heap.set(machine, (0, machine as u32));
+        }
+        self.refresh_wait(machine, self.clock_us);
         self.pools.retain(|&(m, _), _| m as usize != machine);
+        self.purge_sites(machine);
         self.stats.crashes += 1;
         let active = self.active;
         if let Some(h) = &mut self.health {
-            h.note_crash(machine, until, at_us, active);
+            h.note_crash(machine, until, at_us);
         }
         if let Some(chaos) = &mut self.chaos {
             if chaos.slo_us.is_some() && machine < active {
                 chaos.pending_epochs.push(at_us);
             }
         }
+    }
+
+    /// Re-files `machine` in the wait heaps after its FCFS head moved
+    /// (dispatch booking, crash reset, scale-up reset). `now_us` must be
+    /// the fold clock the idle/busy partition is defined against.
+    fn refresh_wait(&mut self, machine: usize, now_us: u64) {
+        if machine >= self.active {
+            return;
+        }
+        let free = *self.loads[machine]
+            .free_cores
+            .peek_min()
+            .expect("machine has cores");
+        if free <= now_us {
+            self.busy_heap.remove(machine);
+            self.idle_heap.set(machine, machine as u32);
+        } else {
+            self.idle_heap.remove(machine);
+            self.busy_heap.set(machine, (free, machine as u32));
+        }
+    }
+
+    /// Books one invocation on `machine`: the FCFS estimate, the global
+    /// completion heap, the outstanding count and both dispatch heaps
+    /// move together so every read stays O(1)/O(log M).
+    fn note_booked(&mut self, machine: usize, now_us: u64, work_us: u64, io_us: u64) -> u64 {
+        let load = &mut self.loads[machine];
+        let completion = load.push_work(now_us, work_us, io_us);
+        let key = (completion, machine as u32, load.epoch);
+        let outstanding = load.outstanding;
+        self.completions.push(key);
+        self.active_outstanding += 1;
+        self.out_heap.set(machine, (outstanding, machine as u32));
+        self.refresh_wait(machine, now_us);
+        completion
     }
 
     /// Pops the next retry due at or before `now_us`, if any.
@@ -642,11 +839,7 @@ impl FrontEnd {
             return;
         };
         let boot_us = scaler.boot_lag().as_micros();
-        let outstanding: u64 = self.loads[..self.active]
-            .iter()
-            .map(|l| l.in_flight.len() as u64)
-            .sum();
-        match scaler.observe(now_us, outstanding, self.active) {
+        match scaler.observe(now_us, self.active_outstanding, self.active) {
             Some(ScaleDecision::Up) => {
                 let idx = self.active;
                 let ready = now_us + boot_us;
@@ -655,15 +848,32 @@ impl FrontEnd {
                 for _ in 0..self.cores {
                     load.free_cores.push(ready);
                 }
-                load.in_flight.clear();
+                // Same wholesale voiding as a crash: whatever the spare
+                // was still draining is irrelevant to its fresh boot.
+                load.epoch += 1;
+                load.outstanding = 0;
                 self.pools.retain(|&(m, _), _| m as usize != idx);
+                self.purge_sites(idx);
                 self.available_at[idx] = self.available_at[idx].max(ready);
                 self.active += 1;
+                self.out_heap.set(idx, (0, idx as u32));
+                self.refresh_wait(idx, now_us);
+                if let Some(h) = &mut self.health {
+                    h.set_active(self.active);
+                }
                 self.stats.scale_ups += 1;
                 self.stats.peak_active = self.stats.peak_active.max(self.active as u64);
             }
             Some(ScaleDecision::Down) => {
                 self.active -= 1;
+                let idx = self.active;
+                self.active_outstanding -= u64::from(self.loads[idx].outstanding);
+                self.out_heap.remove(idx);
+                self.busy_heap.remove(idx);
+                self.idle_heap.remove(idx);
+                if let Some(h) = &mut self.health {
+                    h.set_active(self.active);
+                }
                 self.stats.scale_downs += 1;
             }
             None => {}
@@ -733,29 +943,28 @@ impl FrontEnd {
             .map(|w| w.2)
     }
 
-    /// The restricted candidate list for this dispatch: active machines
-    /// minus the health layer's ejections and the retry's crash site.
-    /// `None` — the common case — means "no exclusions": the policy sees
-    /// the identity mapping and every draw it makes is bit-identical to
-    /// a run without the health layer. If exclusions would cover the
-    /// whole fleet they are dropped entirely (placing somewhere beats
-    /// placing nowhere).
-    fn candidate_set(&self, avoid: Option<usize>) -> Option<Vec<usize>> {
+    /// Fills the reusable candidate scratch for this dispatch: active
+    /// machines minus the health layer's ejections and the retry's crash
+    /// site. Returns `false` — the common case, scratch untouched — when
+    /// there are no exclusions: the policy then sees the identity
+    /// mapping and every draw it makes is bit-identical to a run without
+    /// the health layer. If exclusions would cover the whole fleet they
+    /// are dropped entirely (placing somewhere beats placing nowhere).
+    fn fill_candidate_set(&mut self, avoid: Option<usize>) -> bool {
         let tracked = self
             .health
             .as_ref()
             .is_some_and(HealthTracker::has_exclusions);
         if !tracked && avoid.is_none() {
-            return None;
+            return false;
         }
-        let cand: Vec<usize> = (0..self.active)
-            .filter(|&m| avoid != Some(m) && !self.health.as_ref().is_some_and(|h| h.excluded(m)))
-            .collect();
-        if cand.is_empty() || cand.len() == self.active {
-            None
-        } else {
-            Some(cand)
+        self.cand_scratch.clear();
+        for m in 0..self.active {
+            if avoid != Some(m) && !self.health.as_ref().is_some_and(|h| h.excluded(m)) {
+                self.cand_scratch.push(m);
+            }
         }
+        !self.cand_scratch.is_empty() && self.cand_scratch.len() != self.active
     }
 
     /// Routes one invocation (a fresh arrival or a re-dispatch on its
@@ -786,9 +995,8 @@ impl FrontEnd {
         // the suspect machine's half-open probe (skipping the policy);
         // otherwise ejected machines and the retry's crash site leave
         // the candidate set handed to the policy.
-        let active = self.active;
-        let health_probe = match &self.health {
-            Some(h) => h.probe_target(now_us, active),
+        let health_probe = match &mut self.health {
+            Some(h) => h.probe_target(now_us),
             None => None,
         };
         let (machine, est_completion) = if let Some(pm) = health_probe {
@@ -801,13 +1009,14 @@ impl FrontEnd {
             };
             (pm, self.overload.is_some().then(|| ctx.est_completion(pm)))
         } else {
-            let cand = self.candidate_set(avoid);
+            let use_cand = self.fill_candidate_set(avoid);
+            let front: &FrontEnd = self;
             let ctx = DispatchCtx {
                 now,
                 function: task.function,
                 duration: task.spec.work + task.spec.io_wait,
-                front: self,
-                cand: cand.as_deref(),
+                front,
+                cand: use_cand.then_some(front.cand_scratch.as_slice()),
             };
             let picked = policy.pick(&ctx);
             assert!(
@@ -815,8 +1024,15 @@ impl FrontEnd {
                 "dispatch picked candidate {picked} of {}",
                 ctx.machines()
             );
-            let est = self.overload.is_some().then(|| ctx.est_completion(picked));
-            (cand.as_ref().map_or(picked, |c| c[picked]), est)
+            let est = front.overload.is_some().then(|| ctx.est_completion(picked));
+            (
+                if use_cand {
+                    front.cand_scratch[picked]
+                } else {
+                    picked
+                },
+                est,
+            )
         };
         assert!(
             machine < self.active,
@@ -849,8 +1065,12 @@ impl FrontEnd {
                 out.cold_starts += 1;
             }
         }
-        let completion =
-            self.loads[machine].push_work(now_us, spec.work.as_micros(), spec.io_wait.as_micros());
+        let completion = self.note_booked(
+            machine,
+            now_us,
+            spec.work.as_micros(),
+            spec.io_wait.as_micros(),
+        );
         if self.cold.is_some() {
             // The (new or reused) instance serves this invocation
             // until its estimated completion, then idles warm.
@@ -858,6 +1078,7 @@ impl FrontEnd {
                 .entry((machine as u32, task.function))
                 .or_default()
                 .push(completion);
+            self.site_add(task.function, machine);
         }
         if let Some(mw) = &mut self.overload {
             mw.note_dispatch(task.function, completion);
@@ -931,12 +1152,11 @@ impl FrontEnd {
         // winner's completion report feeds the tracker.
         let mut report = (machine, completion + extra_us);
         if attempts == 0 && !is_health_probe {
-            let hedge_to = match &self.health {
-                Some(h) if h.should_hedge(machine, completion.saturating_sub(now_us)) => {
-                    h.hedge_target(machine, self.active)
-                }
-                _ => None,
-            };
+            let hedge_to = self.health.as_mut().and_then(|h| {
+                h.should_hedge(machine, completion.saturating_sub(now_us))
+                    .then(|| h.hedge_target(machine))
+                    .flatten()
+            });
             if let Some(hm) = hedge_to {
                 // The copy bypasses the middleware (no admission, no
                 // deadline stamp) but pays cold starts and load
@@ -949,7 +1169,8 @@ impl FrontEnd {
                         out.cold_starts += 1;
                     }
                 }
-                let completion2 = self.loads[hm].push_work(
+                let completion2 = self.note_booked(
+                    hm,
                     now_us,
                     spec2.work.as_micros(),
                     spec2.io_wait.as_micros(),
@@ -959,6 +1180,7 @@ impl FrontEnd {
                         .entry((hm as u32, task.function))
                         .or_default()
                         .push(completion2);
+                    self.site_add(task.function, hm);
                 }
                 if let Some(crash_at) = self.dooming_crash(hm, now_us, completion2) {
                     // The speculation dies with its machine: billed,

@@ -42,7 +42,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use faas_metrics::{HealthStats, MachineHealth, QuantileSketch};
-use faas_simcore::SimDuration;
+use faas_simcore::{IndexedMinHeap, SimDuration};
 use lambda_pricing::{HedgeCostAccumulator, PriceModel};
 
 /// Quantile-sketch accuracy for the hedge trigger's response-time tail.
@@ -313,19 +313,70 @@ impl Ord for Report {
 /// The front-end-resident health fold: EWMAs, the ejection state
 /// machine, the report heap and the hedge trigger. One instance lives on
 /// the [`FrontEnd`](crate::frontend::FrontEnd) next to the chaos fold.
+///
+/// Everything the ejection check needs per report is maintained
+/// incrementally (see `DESIGN.md` "Front-end hot path"): the fleet median
+/// as a dual [`IndexedMinHeap`] order statistic, the exclusion counts as
+/// plain integers updated on phase transitions, the probe queue as an
+/// expiry heap + ready heap pair, and the hedge tail as a cached quantile
+/// invalidated only when a report folds into the sketch. The tracker owns
+/// its view of the active prefix ([`set_active`](Self::set_active)) so no
+/// per-call scan ever re-derives it.
 #[derive(Debug)]
 pub(crate) struct HealthTracker {
     cfg: HealthConfig,
     machines: Vec<MachineState>,
     reports: BinaryHeap<Reverse<Report>>,
     seq: u64,
-    /// Machines currently outside the candidate set (any phase but
-    /// `Healthy`) — the fast-path guard for candidate filtering.
+    /// The front end's active prefix `[0, active)` — the slice every
+    /// fleet-wide decision ranges over.
+    active: usize,
+    /// Machines at any index currently outside the candidate set (any
+    /// phase but `Healthy`) — the fast-path guard for candidate
+    /// filtering.
     excluded_count: usize,
+    /// Machines in `[0, active)` outside the candidate set: the O(1)
+    /// numerator of [`can_eject`](Self::can_eject) and the guard on
+    /// [`probe_target`](Self::probe_target).
+    excluded_active: usize,
+    /// Smaller half of the active sampled EWMAs (a max-heap via
+    /// `Reverse`), keyed `(ewma bits, machine)` — EWMAs are non-negative,
+    /// so the bit pattern orders exactly like `f64::total_cmp` and the
+    /// machine index breaks ties deterministically.
+    median_lo: IndexedMinHeap<Reverse<(u64, u32)>>,
+    /// Larger half of the active sampled EWMAs; invariant
+    /// `lo.len() == hi.len() + (n & 1)`.
+    median_hi: IndexedMinHeap<(u64, u32)>,
+    /// Ejected machines in the active prefix keyed by
+    /// `(probation expiry, machine)`; expired entries promote into
+    /// `probe_ready` when the probe query's clock passes them.
+    eject_expiry: IndexedMinHeap<(u64, u32)>,
+    /// Ejected active machines whose probation has expired, keyed by
+    /// machine index so the probe picks the lowest index, like the scan
+    /// it replaces.
+    probe_ready: IndexedMinHeap<u32>,
     /// Observed-response tail for the hedge trigger (`None` without a
     /// hedge config).
     sketch: Option<QuantileSketch>,
     sketch_samples: u64,
+    /// Cached hedge-tail quantile, valid while
+    /// `tail_version == sketch_samples` — i.e. until the next completion
+    /// report folds into the sketch.
+    tail_cache: Option<u64>,
+    tail_version: u64,
+    /// Sorted mirror of the sketch's unflushed buffer, maintained by
+    /// binary insertion at each report fold (cleared when a record
+    /// drains the buffer). Lets the tail refresh use the sketch's fused
+    /// `quantile_via` — one O(tuples + pending) pass, no clone, no sort
+    /// — while the live sketch keeps its batched flush cadence (which
+    /// the byte-identity pin depends on).
+    tail_pending: Vec<u64>,
+    /// Histogram of folded response times by bit length (index =
+    /// `bitlen(value)`, 65 entries). All values of bit length > k are
+    /// ≥ 2^k — an exact count the GK certificate turns into a sound
+    /// lower bound on the tail quantile, so `should_hedge` can prove
+    /// `est ≤ tail` for fast bookings without refreshing the cache.
+    tail_hist: Vec<u64>,
     /// Dispatches whose completion reports were booked — the denominator
     /// of the hedge budget.
     dispatches: u64,
@@ -334,17 +385,27 @@ pub(crate) struct HealthTracker {
 }
 
 impl HealthTracker {
-    pub(crate) fn new(cfg: HealthConfig, machines: usize) -> Self {
+    pub(crate) fn new(cfg: HealthConfig, machines: usize, active: usize) -> Self {
         HealthTracker {
             machines: vec![MachineState::new(); machines],
             reports: BinaryHeap::new(),
             seq: 0,
+            active: active.min(machines),
             excluded_count: 0,
+            excluded_active: 0,
+            median_lo: IndexedMinHeap::new(),
+            median_hi: IndexedMinHeap::new(),
+            eject_expiry: IndexedMinHeap::new(),
+            probe_ready: IndexedMinHeap::new(),
             sketch: cfg
                 .hedge
                 .is_some()
                 .then(|| QuantileSketch::new(HEDGE_SKETCH_EPSILON)),
             sketch_samples: 0,
+            tail_cache: None,
+            tail_version: u64::MAX,
+            tail_pending: Vec::new(),
+            tail_hist: vec![0; 65],
             dispatches: 0,
             hedge_cost: cfg
                 .hedge
@@ -352,6 +413,120 @@ impl HealthTracker {
                 .map(HedgeCostAccumulator::new),
             stats: HealthStats::default(),
             cfg,
+        }
+    }
+
+    /// Re-aims the tracker at a new active prefix, stepping one machine
+    /// at a time so every boundary crossing updates the median heaps, the
+    /// active exclusion count and the probe heaps exactly once.
+    pub(crate) fn set_active(&mut self, new_active: usize) {
+        let new_active = new_active.min(self.machines.len());
+        while self.active < new_active {
+            let m = self.active;
+            self.active += 1;
+            if self.machines[m].samples > 0 {
+                self.median_upsert(m);
+            }
+            if !matches!(self.machines[m].phase, Phase::Healthy) {
+                self.excluded_active += 1;
+            }
+            self.sync_probe_heaps(m);
+        }
+        while self.active > new_active {
+            self.active -= 1;
+            let m = self.active;
+            if self.machines[m].samples > 0 {
+                self.median_remove(m);
+            }
+            if !matches!(self.machines[m].phase, Phase::Healthy) {
+                self.excluded_active -= 1;
+            }
+            self.probe_ready.remove(m);
+            self.eject_expiry.remove(m);
+        }
+    }
+
+    /// Sets `machine`'s phase, keeping both exclusion counters and the
+    /// probe heaps coherent. Every phase assignment funnels through here
+    /// (including `Ejected` → `Ejected` probation extensions, which only
+    /// re-key the expiry heap).
+    fn set_phase(&mut self, machine: usize, phase: Phase) {
+        let was_healthy = matches!(self.machines[machine].phase, Phase::Healthy);
+        let is_healthy = matches!(phase, Phase::Healthy);
+        self.machines[machine].phase = phase;
+        if was_healthy && !is_healthy {
+            self.excluded_count += 1;
+            if machine < self.active {
+                self.excluded_active += 1;
+            }
+        } else if !was_healthy && is_healthy {
+            self.excluded_count -= 1;
+            if machine < self.active {
+                self.excluded_active -= 1;
+            }
+        }
+        if machine < self.active {
+            self.sync_probe_heaps(machine);
+        }
+    }
+
+    /// Rebuilds `machine`'s membership in the probe pair from its phase:
+    /// `Ejected` sits in the expiry heap (a pending `probe_ready` entry
+    /// is pulled back — probation extensions un-expire a machine),
+    /// anything else in neither.
+    fn sync_probe_heaps(&mut self, machine: usize) {
+        match self.machines[machine].phase {
+            Phase::Ejected { until_us, .. } => {
+                self.probe_ready.remove(machine);
+                self.eject_expiry.set(machine, (until_us, machine as u32));
+            }
+            _ => {
+                self.probe_ready.remove(machine);
+                self.eject_expiry.remove(machine);
+            }
+        }
+    }
+
+    /// Inserts or re-keys `machine` in the median heaps after an EWMA
+    /// change. Remove-then-insert keeps the halves partitioned without
+    /// case analysis; both steps are O(log M).
+    fn median_upsert(&mut self, machine: usize) {
+        if self.median_lo.remove(machine).is_none() {
+            self.median_hi.remove(machine);
+        }
+        let key = (self.machines[machine].ewma_us.to_bits(), machine as u32);
+        let into_lo = match (self.median_lo.peek_min(), self.median_hi.peek_min()) {
+            (Some((_, &Reverse(lo_max))), _) => key <= lo_max,
+            (None, Some((_, &hi_min))) => key < hi_min,
+            (None, None) => true,
+        };
+        if into_lo {
+            self.median_lo.set(machine, Reverse(key));
+        } else {
+            self.median_hi.set(machine, key);
+        }
+        self.median_rebalance();
+    }
+
+    /// Drops `machine` from whichever median half holds it.
+    fn median_remove(&mut self, machine: usize) {
+        if self.median_lo.remove(machine).is_none() {
+            self.median_hi.remove(machine);
+        }
+        self.median_rebalance();
+    }
+
+    /// Restores `lo.len() == hi.len() + (n & 1)` by moving at most one
+    /// boundary element; partitioning is preserved because only the
+    /// current max-of-lo / min-of-hi ever crosses.
+    fn median_rebalance(&mut self) {
+        while self.median_lo.len() > self.median_hi.len() + 1 {
+            let (m, Reverse(key)) = self.median_lo.pop_min().expect("len checked");
+            self.median_hi.set(m, key);
+        }
+        while self.median_hi.len() > self.median_lo.len() {
+            let (m, key) = self.median_hi.pop_min().expect("len checked");
+            self.median_lo.set(m, Reverse(key));
         }
     }
 
@@ -377,21 +552,28 @@ impl HealthTracker {
     }
 
     /// Folds every report due at or before `now_us`, in report order.
-    pub(crate) fn advance_to(&mut self, now_us: u64, active: usize) {
+    pub(crate) fn advance_to(&mut self, now_us: u64) {
         while self
             .reports
             .peek()
             .is_some_and(|Reverse(r)| r.report_at_us <= now_us)
         {
             let Reverse(r) = self.reports.pop().expect("peeked above");
-            self.fold_report(&r, active);
+            self.fold_report(&r);
         }
     }
 
-    fn fold_report(&mut self, r: &Report, active: usize) {
+    fn fold_report(&mut self, r: &Report) {
         if let Some(sketch) = &mut self.sketch {
             sketch.record(r.response_us);
             self.sketch_samples += 1;
+            self.tail_hist[(u64::BITS - r.response_us.leading_zeros()) as usize] += 1;
+            if sketch.pending_len() == 0 {
+                self.tail_pending.clear();
+            } else {
+                let i = self.tail_pending.partition_point(|&x| x <= r.response_us);
+                self.tail_pending.insert(i, r.response_us);
+            }
         }
         let alpha = self.cfg.ewma_alpha;
         let m = &mut self.machines[r.machine];
@@ -403,32 +585,34 @@ impl HealthTracker {
         m.samples += 1;
         m.timeout_streak = 0;
         m.crash_streak = 0;
+        if r.machine < self.active {
+            self.median_upsert(r.machine);
+        }
         if r.probe {
             // The probe completed. If a crash re-ejected the machine
             // while the report was in flight, the sample still counts
             // but the re-admission does not happen.
-            if let Phase::Probing { since_us } = m.phase {
-                m.phase = Phase::Healthy;
-                m.straggled_us += r.report_at_us.saturating_sub(since_us);
-                self.excluded_count -= 1;
+            if let Phase::Probing { since_us } = self.machines[r.machine].phase {
+                self.machines[r.machine].straggled_us += r.report_at_us.saturating_sub(since_us);
+                self.set_phase(r.machine, Phase::Healthy);
                 self.stats.readmissions += 1;
             }
             return;
         }
-        if matches!(m.phase, Phase::Healthy) {
-            self.consider_ejection(r.machine, r.report_at_us, active);
+        if matches!(self.machines[r.machine].phase, Phase::Healthy) {
+            self.consider_ejection(r.machine, r.report_at_us);
         }
     }
 
     /// Ejects `machine` at `now_us` if its EWMA is a fleet outlier and
     /// the quorum/fraction bounds leave room.
-    fn consider_ejection(&mut self, machine: usize, now_us: u64, active: usize) {
+    fn consider_ejection(&mut self, machine: usize, now_us: u64) {
         let Some(ej) = self.cfg.ejection else { return };
         let m = &self.machines[machine];
-        if m.samples < ej.min_samples || !self.can_eject(active, &ej) {
+        if m.samples < ej.min_samples || !self.can_eject(&ej) {
             return;
         }
-        let Some(median) = self.fleet_median(active) else {
+        let Some(median) = self.fleet_median() else {
             return;
         };
         if self.machines[machine].ewma_us > ej.threshold * median {
@@ -438,55 +622,48 @@ impl HealthTracker {
 
     /// Median EWMA over active machines with at least one sample; `None`
     /// with fewer than two sampled machines (no fleet context to deviate
-    /// from).
-    fn fleet_median(&self, active: usize) -> Option<f64> {
-        let mut ewmas: Vec<f64> = self.machines[..active.min(self.machines.len())]
-            .iter()
-            .filter(|m| m.samples > 0)
-            .map(|m| m.ewma_us)
-            .collect();
-        if ewmas.len() < 2 {
+    /// from). O(1): read off the dual-heap boundary. The value multiset
+    /// is the one the old sort produced, so the median (single element or
+    /// two-element mean) is bit-for-bit the same.
+    fn fleet_median(&self) -> Option<f64> {
+        let n = self.median_lo.len() + self.median_hi.len();
+        if n < 2 {
             return None;
         }
-        ewmas.sort_by(f64::total_cmp);
-        let n = ewmas.len();
+        let (_, &Reverse((lo_bits, _))) = self.median_lo.peek_min().expect("lo holds the median");
         Some(if n % 2 == 1 {
-            ewmas[n / 2]
+            f64::from_bits(lo_bits)
         } else {
-            (ewmas[n / 2 - 1] + ewmas[n / 2]) / 2.0
+            let (_, &(hi_bits, _)) = self.median_hi.peek_min().expect("even split");
+            (f64::from_bits(lo_bits) + f64::from_bits(hi_bits)) / 2.0
         })
     }
 
     /// `true` while one more ejection keeps at least `quorum` machines in
-    /// service and stays under the fraction cap.
-    fn can_eject(&self, active: usize, ej: &EjectionConfig) -> bool {
-        let excluded = self.machines[..active.min(self.machines.len())]
-            .iter()
-            .filter(|m| !matches!(m.phase, Phase::Healthy))
-            .count();
-        let cap = (active as f64 * ej.max_eject_fraction).floor() as usize;
-        excluded < cap && active >= excluded + 1 + ej.quorum
+    /// service and stays under the fraction cap. O(1) off the maintained
+    /// active exclusion count.
+    fn can_eject(&self, ej: &EjectionConfig) -> bool {
+        let excluded = self.excluded_active;
+        let cap = (self.active as f64 * ej.max_eject_fraction).floor() as usize;
+        excluded < cap && self.active >= excluded + 1 + ej.quorum
     }
 
     fn eject(&mut self, machine: usize, until_us: u64, since_us: u64) {
-        let m = &mut self.machines[machine];
-        m.phase = Phase::Ejected { until_us, since_us };
-        m.ejections += 1;
-        self.excluded_count += 1;
+        self.set_phase(machine, Phase::Ejected { until_us, since_us });
+        self.machines[machine].ejections += 1;
         self.stats.ejections += 1;
     }
 
     /// A crash landed on `machine`: bump its streak and (with ejection
     /// enabled) pull it from the candidate set until the downtime plus a
     /// probation has passed.
-    pub(crate) fn note_crash(&mut self, machine: usize, until_us: u64, now_us: u64, active: usize) {
-        let m = &mut self.machines[machine];
-        m.crash_streak += 1;
+    pub(crate) fn note_crash(&mut self, machine: usize, until_us: u64, now_us: u64) {
+        self.machines[machine].crash_streak += 1;
         let Some(ej) = self.cfg.ejection else { return };
         let free_again = until_us + ej.probation.as_micros();
-        match m.phase {
+        match self.machines[machine].phase {
             Phase::Healthy => {
-                if self.can_eject(active, &ej) {
+                if self.can_eject(&ej) {
                     self.eject(machine, free_again, now_us);
                 }
             }
@@ -494,18 +671,24 @@ impl HealthTracker {
                 until_us: u,
                 since_us,
             } => {
-                self.machines[machine].phase = Phase::Ejected {
-                    until_us: u.max(free_again),
-                    since_us,
-                };
+                self.set_phase(
+                    machine,
+                    Phase::Ejected {
+                        until_us: u.max(free_again),
+                        since_us,
+                    },
+                );
             }
             Phase::Probing { since_us } => {
                 // The machine died under (or right after) its probe; it
                 // goes back to waiting, same ejection span.
-                self.machines[machine].phase = Phase::Ejected {
-                    until_us: free_again,
-                    since_us,
-                };
+                self.set_phase(
+                    machine,
+                    Phase::Ejected {
+                        until_us: free_again,
+                        since_us,
+                    },
+                );
             }
         }
     }
@@ -521,18 +704,17 @@ impl HealthTracker {
     pub(crate) fn probe_doomed(&mut self, machine: usize, crash_at_us: u64) {
         self.stats.probe_failures += 1;
         let probation = self.cfg.ejection.map_or(0, |ej| ej.probation.as_micros());
-        let m = &mut self.machines[machine];
-        let since_us = match m.phase {
+        let since_us = match self.machines[machine].phase {
             Phase::Probing { since_us } | Phase::Ejected { since_us, .. } => since_us,
             Phase::Healthy => crash_at_us,
         };
-        if matches!(m.phase, Phase::Healthy) {
-            self.excluded_count += 1;
-        }
-        m.phase = Phase::Ejected {
-            until_us: crash_at_us + probation,
-            since_us,
-        };
+        self.set_phase(
+            machine,
+            Phase::Ejected {
+                until_us: crash_at_us + probation,
+                since_us,
+            },
+        );
     }
 
     /// `true` if any machine is outside the candidate set.
@@ -546,21 +728,28 @@ impl HealthTracker {
     }
 
     /// The lowest-indexed active machine whose probation has expired —
-    /// the next dispatch becomes its half-open probe.
-    pub(crate) fn probe_target(&self, now_us: u64, active: usize) -> Option<usize> {
-        if self.excluded_count == 0 {
+    /// the next dispatch becomes its half-open probe. O(log M): expired
+    /// entries migrate from the expiry heap (ordered by expiry instant)
+    /// into the ready heap (ordered by machine index); the ready minimum
+    /// is exactly the lowest index the old prefix scan returned.
+    pub(crate) fn probe_target(&mut self, now_us: u64) -> Option<usize> {
+        if self.excluded_active == 0 {
             return None;
         }
-        self.machines[..active.min(self.machines.len())]
-            .iter()
-            .position(|m| matches!(m.phase, Phase::Ejected { until_us, .. } if until_us <= now_us))
+        while let Some((m, &(until_us, _))) = self.eject_expiry.peek_min() {
+            if until_us > now_us {
+                break;
+            }
+            self.eject_expiry.remove(m);
+            self.probe_ready.set(m, m as u32);
+        }
+        self.probe_ready.peek_min().map(|(m, _)| m)
     }
 
     /// Commits the probe: `machine` has an invocation in flight.
     pub(crate) fn mark_probing(&mut self, machine: usize) {
-        let m = &mut self.machines[machine];
-        if let Phase::Ejected { since_us, .. } = m.phase {
-            m.phase = Phase::Probing { since_us };
+        if let Phase::Ejected { since_us, .. } = self.machines[machine].phase {
+            self.set_phase(machine, Phase::Probing { since_us });
             self.stats.probes += 1;
         }
     }
@@ -569,7 +758,7 @@ impl HealthTracker {
     /// `booked_response_us` should be hedged: the trigger compares the
     /// worse of the booking and the machine's reported EWMA against the
     /// tracked tail quantile of observed responses.
-    pub(crate) fn should_hedge(&self, machine: usize, booked_response_us: u64) -> bool {
+    pub(crate) fn should_hedge(&mut self, machine: usize, booked_response_us: u64) -> bool {
         let Some(h) = self.cfg.hedge else {
             return false;
         };
@@ -584,22 +773,67 @@ impl HealthTracker {
         if self.stats.hedges >= budget {
             return false;
         }
-        let Some(tail) = self.sketch.as_ref().and_then(|s| s.quantile(h.quantile)) else {
+        let est = booked_response_us.max(self.machines[machine].ewma_us as u64);
+        // Fast bookings — the overwhelming majority — are proven under
+        // the tail by an exact-count screen and never touch the sketch.
+        if self.tail_screen_proves_below(h.quantile, est) {
+            return false;
+        }
+        let Some(tail) = self.hedge_tail(h.quantile) else {
             return false;
         };
-        let est = booked_response_us.max(self.machines[machine].ewma_us as u64);
         est > tail
+    }
+
+    /// Exact-count screen for the hedge trigger: `true` when the bit-
+    /// length histogram proves `est ≤ tail` without refreshing the
+    /// cached tail. With `P = 2^bitlen(est) > est`, `c` folded samples
+    /// at or above `P`, target rank `r = ⌈q·n⌉` and the GK certificate
+    /// `E ≤ ⌈ε·n⌉`: the tail answer's true rank band reaches at least
+    /// `r − E`, so if fewer than `r − E` samples lie below `P` (i.e.
+    /// `c ≥ n − r + E + 1`), the answer cannot be below `P`, hence
+    /// `tail ≥ P > est`. A ~50-entry sum instead of a sketch walk; the
+    /// fused refresh is left to the genuinely slow estimates.
+    fn tail_screen_proves_below(&self, q: f64, est: u64) -> bool {
+        let n = self.sketch_samples;
+        if n == 0 {
+            return false;
+        }
+        let r = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let e_up = (HEDGE_SKETCH_EPSILON * n as f64).ceil() as u64;
+        let need = (n - r) + e_up + 1;
+        let k = (u64::BITS - est.leading_zeros()) as usize;
+        let c: u64 = self.tail_hist[(k + 1).min(self.tail_hist.len())..]
+            .iter()
+            .sum();
+        c >= need
+    }
+
+    /// The tail quantile the hedge trigger compares against, cached per
+    /// sketch version (= reports folded). The refresh runs the sketch's
+    /// fused `quantile_via` over the tracker's sorted pending mirror —
+    /// bit-identical to the clone-and-flush query the old per-dispatch
+    /// path performed, in one allocation-free O(tuples + pending) pass
+    /// that never touches the live sketch's flush cadence (which the
+    /// byte-identity pin depends on). Repeated queries between reports
+    /// cost a cache-tag compare.
+    fn hedge_tail(&mut self, q: f64) -> Option<u64> {
+        if self.tail_version != self.sketch_samples {
+            let sketch = self.sketch.as_ref()?;
+            self.tail_cache = sketch.quantile_via(q, &self.tail_pending);
+            self.tail_version = self.sketch_samples;
+        }
+        self.tail_cache
     }
 
     /// The healthiest active candidate other than `primary` (lowest
     /// [`MachineState::score`], lowest index on ties), skipping ejected
-    /// machines; `None` when no other candidate exists.
-    pub(crate) fn hedge_target(&self, primary: usize, active: usize) -> Option<usize> {
+    /// machines; `None` when no other candidate exists. Still a scan:
+    /// hedges are budget-capped to a few percent of dispatches, so this
+    /// is off the per-invocation hot path.
+    pub(crate) fn hedge_target(&self, primary: usize) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for (i, m) in self.machines[..active.min(self.machines.len())]
-            .iter()
-            .enumerate()
-        {
+        for (i, m) in self.machines[..self.active].iter().enumerate() {
             if i == primary || !matches!(m.phase, Phase::Healthy) {
                 continue;
             }
@@ -658,7 +892,7 @@ impl HealthTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faas_simcore::SimTime;
+    use faas_simcore::{check, SimTime};
 
     fn ms(v: u64) -> u64 {
         SimTime::from_millis(v).as_micros()
@@ -666,22 +900,22 @@ mod tests {
 
     /// Feeds `machine` a report of `response_ms` arriving at `at_ms` and
     /// folds it immediately.
-    fn feed(t: &mut HealthTracker, machine: usize, at_ms: u64, response_ms: u64, active: usize) {
+    fn feed(t: &mut HealthTracker, machine: usize, at_ms: u64, response_ms: u64) {
         t.push_report(machine, ms(at_ms), ms(response_ms), false);
-        t.advance_to(ms(at_ms), active);
+        t.advance_to(ms(at_ms));
     }
 
     #[test]
     fn ewma_tracks_reports_and_first_sample_seeds() {
-        let mut t = HealthTracker::new(HealthConfig::default().with_ewma_alpha(0.5), 2);
-        feed(&mut t, 0, 1, 100, 2);
+        let mut t = HealthTracker::new(HealthConfig::default().with_ewma_alpha(0.5), 2, 2);
+        feed(&mut t, 0, 1, 100);
         let (_, m) = t.snapshot(ms(1));
         assert_eq!(
             m[0].ewma,
             SimDuration::from_millis(100),
             "first sample seeds"
         );
-        feed(&mut t, 0, 2, 200, 2);
+        feed(&mut t, 0, 2, 200);
         let (_, m) = t.snapshot(ms(2));
         assert_eq!(
             m[0].ewma,
@@ -694,28 +928,68 @@ mod tests {
 
     #[test]
     fn reports_fold_only_when_due() {
-        let mut t = HealthTracker::new(HealthConfig::default(), 1);
+        let mut t = HealthTracker::new(HealthConfig::default(), 1, 1);
         t.push_report(0, ms(50), ms(10), false);
-        t.advance_to(ms(40), 1);
+        t.advance_to(ms(40));
         assert_eq!(t.snapshot(ms(40)).1[0].samples, 0, "report not due yet");
-        t.advance_to(ms(50), 1);
+        t.advance_to(ms(50));
         assert_eq!(t.snapshot(ms(50)).1[0].samples, 1);
     }
 
     #[test]
+    fn property_tail_screen_never_flips_a_hedge_decision() {
+        // The histogram screen may only *prove* `est <= tail`; every
+        // screened decision must equal the full refreshed comparison.
+        // Random response streams (heavy tails, constants, bimodal
+        // bursts) x random estimate probes, past flush boundaries.
+        check::run("tail screen == refreshed est > tail", 48, |g| {
+            let q = g.f64_in(0.5, 0.995);
+            let mut t = HealthTracker::new(
+                HealthConfig::default()
+                    .with_hedge(HedgeConfig::default().with_quantile(q).with_min_samples(1)),
+                2,
+                2,
+            );
+            let n = g.usize_in(1, 1_500);
+            let hi = g.u64_in(2, 2_000_000);
+            let mut at = 0;
+            for _ in 0..n {
+                at += 1;
+                let v = if g.boolean() {
+                    g.u64_in(0, hi)
+                } else {
+                    g.u64_in(0, 1 + hi / 100)
+                };
+                t.push_report(0, at, v, false);
+                t.advance_to(at);
+            }
+            for _ in 0..16 {
+                let est = g.u64_in(0, 2 * hi);
+                let screened = t.tail_screen_proves_below(q, est);
+                let tail = t.hedge_tail(q).expect("non-empty sketch");
+                if screened {
+                    assert!(
+                        est <= tail,
+                        "screen proved est {est} <= tail, but tail is {tail} (n={n}, q={q})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
     fn passive_default_never_excludes_or_hedges() {
-        let mut t = HealthTracker::new(HealthConfig::default(), 4);
+        let mut t = HealthTracker::new(HealthConfig::default(), 4, 4);
         for i in 0..100u64 {
             feed(
                 &mut t,
                 (i % 4) as usize,
                 i + 1,
                 if i % 4 == 3 { 5_000 } else { 10 },
-                4,
             );
         }
         assert!(!t.has_exclusions());
-        assert!(t.probe_target(ms(1_000), 4).is_none());
+        assert!(t.probe_target(ms(1_000)).is_none());
         assert!(!t.should_hedge(3, ms(100_000)));
         let (stats, _) = t.snapshot(ms(1_000));
         assert!(stats.is_zero());
@@ -729,7 +1003,7 @@ mod tests {
                 .with_probation(SimDuration::from_secs(1))
                 .with_min_samples(4),
         );
-        let mut t = HealthTracker::new(cfg, 4);
+        let mut t = HealthTracker::new(cfg, 4, 4);
         // Machines 0-2 report 10 ms; machine 3 reports 1 s — a 100×
         // outlier once it has its 4 samples.
         for round in 0..4u64 {
@@ -739,7 +1013,6 @@ mod tests {
                     m,
                     round * 10 + m as u64 + 1,
                     if m == 3 { 1_000 } else { 10 },
-                    4,
                 );
             }
         }
@@ -750,13 +1023,15 @@ mod tests {
         assert_eq!(cols[3].ejections, 1);
         assert!(cols[3].straggled > SimDuration::ZERO, "open span counts");
         // Probation (1 s) expires: machine 3 earns the next probe.
-        assert_eq!(t.probe_target(ms(34) + 1_000_000, 4), Some(3));
-        assert_eq!(t.probe_target(ms(40), 4), None, "not before probation");
+        // (Query the pre-expiry clock first — promotion into the ready
+        // heap is monotone in the clock, like the fold itself.)
+        assert_eq!(t.probe_target(ms(40)), None, "not before probation");
+        assert_eq!(t.probe_target(ms(34) + 1_000_000), Some(3));
         t.mark_probing(3);
         assert!(t.excluded(3), "probing machine still excluded");
         // The probe reports back healthy: re-admission.
         t.push_report(3, ms(34) + 1_100_000, ms(15), true);
-        t.advance_to(ms(34) + 1_100_000, 4);
+        t.advance_to(ms(34) + 1_100_000);
         assert!(!t.excluded(3));
         let (stats, _) = t.snapshot(ms(34) + 1_100_000);
         assert_eq!(stats.probes, 1);
@@ -773,14 +1048,14 @@ mod tests {
                 .with_min_samples(1)
                 .with_bounds(0.5, 1),
         );
-        let mut t = HealthTracker::new(cfg, 2);
-        feed(&mut t, 0, 1, 10, 2);
-        feed(&mut t, 1, 2, 10_000, 2);
+        let mut t = HealthTracker::new(cfg, 2, 2);
+        feed(&mut t, 0, 1, 10);
+        feed(&mut t, 1, 2, 10_000);
         assert!(t.excluded(1));
         // Machine 0 now looks terrible too — but ejecting it would leave
         // nothing, so it stays.
-        feed(&mut t, 0, 3, 50_000, 2);
-        feed(&mut t, 0, 4, 50_000, 2);
+        feed(&mut t, 0, 3, 50_000);
+        feed(&mut t, 0, 4, 50_000);
         assert!(!t.excluded(0), "quorum keeps the last machine in service");
         let (stats, _) = t.snapshot(ms(4));
         assert_eq!(stats.ejections, 1);
@@ -790,17 +1065,17 @@ mod tests {
     fn crash_ejects_immediately_and_doomed_probe_re_ejects() {
         let cfg = HealthConfig::default()
             .with_ejection(EjectionConfig::default().with_probation(SimDuration::from_secs(1)));
-        let mut t = HealthTracker::new(cfg, 4);
-        t.note_crash(2, ms(5_000), ms(4_000), 4);
+        let mut t = HealthTracker::new(cfg, 4, 4);
+        t.note_crash(2, ms(5_000), ms(4_000));
         assert!(t.excluded(2), "crash ejects without any samples");
         // Downtime ends at 5 s, probation at 6 s.
-        assert_eq!(t.probe_target(ms(5_500), 4), None);
-        assert_eq!(t.probe_target(ms(6_000), 4), Some(2));
+        assert_eq!(t.probe_target(ms(5_500)), None);
+        assert_eq!(t.probe_target(ms(6_000)), Some(2));
         t.mark_probing(2);
         t.probe_doomed(2, ms(6_100));
         assert!(t.excluded(2));
-        assert_eq!(t.probe_target(ms(7_000), 4), None, "fresh probation");
-        assert_eq!(t.probe_target(ms(7_100), 4), Some(2));
+        assert_eq!(t.probe_target(ms(7_000)), None, "fresh probation");
+        assert_eq!(t.probe_target(ms(7_100)), Some(2));
         let (stats, _) = t.snapshot(ms(7_100));
         assert_eq!(stats.ejections, 1);
         assert_eq!(stats.probes, 1);
@@ -815,27 +1090,27 @@ mod tests {
                 .with_quantile(0.9)
                 .with_min_samples(10),
         );
-        let mut t = HealthTracker::new(cfg, 4);
+        let mut t = HealthTracker::new(cfg, 4, 4);
         for i in 0..9u64 {
-            feed(&mut t, (i % 3) as usize, i + 1, 10, 4);
+            feed(&mut t, (i % 3) as usize, i + 1, 10);
         }
         assert!(
             !t.should_hedge(0, ms(100)),
             "trigger not armed below min_samples"
         );
-        feed(&mut t, 0, 10, 10, 4);
+        feed(&mut t, 0, 10, 10);
         assert!(
             t.should_hedge(0, ms(100)),
             "booked response far past the tail"
         );
         assert!(!t.should_hedge(0, ms(10) / 2), "fast booking is not hedged");
         // Machine 3 has no samples: score 0 makes it the hedge target.
-        assert_eq!(t.hedge_target(0, 4), Some(3));
+        assert_eq!(t.hedge_target(0), Some(3));
         // Give 3 a slow sample; among sampled machines the fastest wins,
         // lowest index on ties (primary excluded).
-        feed(&mut t, 3, 11, 8_000, 4);
-        assert_eq!(t.hedge_target(0, 4), Some(1));
-        assert_eq!(t.hedge_target(1, 4), Some(0));
+        feed(&mut t, 3, 11, 8_000);
+        assert_eq!(t.hedge_target(0), Some(1));
+        assert_eq!(t.hedge_target(1), Some(0));
         // Ledger arithmetic.
         t.record_hedge(true, SimDuration::from_millis(30), 128);
         t.record_hedge(false, SimDuration::from_millis(20), 128);
@@ -855,9 +1130,9 @@ mod tests {
                 .with_min_samples(4)
                 .with_max_fraction(0.25),
         );
-        let mut t = HealthTracker::new(cfg, 4);
+        let mut t = HealthTracker::new(cfg, 4, 4);
         for i in 0..8u64 {
-            feed(&mut t, (i % 4) as usize, i + 1, 10, 4);
+            feed(&mut t, (i % 4) as usize, i + 1, 10);
         }
         // 8 dispatches × 0.25 + 1 of grace = budget for 3 hedges.
         for _ in 0..3 {
@@ -870,7 +1145,7 @@ mod tests {
         );
         // More dispatches replenish the budget.
         for i in 8..16u64 {
-            feed(&mut t, (i % 4) as usize, i + 1, 10, 4);
+            feed(&mut t, (i % 4) as usize, i + 1, 10);
         }
         assert!(
             t.should_hedge(0, ms(100)),
@@ -882,11 +1157,129 @@ mod tests {
     fn hedge_cost_bills_the_loser() {
         let price = PriceModel::duration_only();
         let cfg = HealthConfig::default().with_hedge(HedgeConfig::default().with_price(price));
-        let mut t = HealthTracker::new(cfg, 2);
+        let mut t = HealthTracker::new(cfg, 2, 2);
         t.record_hedge(false, SimDuration::from_secs(1), 256);
         let (stats, _) = t.snapshot(0);
         let expected = price.cost_of_duration(SimDuration::from_secs(1), 256);
         assert!(expected > 0.0);
         assert_eq!(stats.hedge_cost_usd.to_bits(), expected.to_bits());
+    }
+
+    /// The pre-optimization sort-based fleet median, kept verbatim as the
+    /// brute-force oracle for the dual-heap order statistic.
+    fn oracle_median(t: &HealthTracker) -> Option<f64> {
+        let mut ewmas: Vec<f64> = t.machines[..t.active]
+            .iter()
+            .filter(|m| m.samples > 0)
+            .map(|m| m.ewma_us)
+            .collect();
+        if ewmas.len() < 2 {
+            return None;
+        }
+        ewmas.sort_by(f64::total_cmp);
+        let n = ewmas.len();
+        Some(if n % 2 == 1 {
+            ewmas[n / 2]
+        } else {
+            (ewmas[n / 2 - 1] + ewmas[n / 2]) / 2.0
+        })
+    }
+
+    /// The pre-optimization probe scan: lowest-indexed active machine
+    /// whose probation expired.
+    fn oracle_probe(t: &HealthTracker, now_us: u64) -> Option<usize> {
+        t.machines[..t.active]
+            .iter()
+            .position(|m| matches!(m.phase, Phase::Ejected { until_us, .. } if until_us <= now_us))
+    }
+
+    /// The pre-optimization exclusion count over the active prefix.
+    fn oracle_excluded_active(t: &HealthTracker) -> usize {
+        t.machines[..t.active]
+            .iter()
+            .filter(|m| !matches!(m.phase, Phase::Healthy))
+            .count()
+    }
+
+    #[test]
+    fn property_incremental_structures_match_brute_force() {
+        check::run(
+            "median/probe/exclusion == brute force under chaos",
+            48,
+            |g| {
+                let machines = g.usize_in(2, 17);
+                let cfg = HealthConfig::default()
+                    .with_ewma_alpha(g.f64_in(0.05, 1.0))
+                    .with_ejection(
+                        EjectionConfig::default()
+                            .with_threshold(g.f64_in(1.1, 4.0))
+                            .with_probation(SimDuration::from_millis(g.u64_in(1, 2_000)))
+                            .with_min_samples(g.u64_in(1, 6))
+                            .with_bounds(g.f64_in(0.1, 1.0), 1),
+                    );
+                let mut t = HealthTracker::new(cfg, machines, machines);
+                let mut now = 0u64;
+                for _ in 0..g.usize_in(1, 200) {
+                    now += g.u64_in(0, 50_000);
+                    match g.u64_in(0, 6) {
+                        0..=2 => {
+                            let m = g.usize_in(0, machines);
+                            t.push_report(m, now, g.u64_in(1, 5_000_000), false);
+                            t.advance_to(now);
+                        }
+                        3 => {
+                            let m = g.usize_in(0, machines);
+                            t.note_crash(m, now + g.u64_in(0, 1_000_000), now);
+                        }
+                        4 => {
+                            if let Some(m) = t.probe_target(now) {
+                                t.mark_probing(m);
+                                if g.boolean() {
+                                    t.probe_doomed(m, now);
+                                } else {
+                                    t.push_report(m, now, g.u64_in(1, 100_000), true);
+                                    t.advance_to(now);
+                                }
+                            }
+                        }
+                        _ => t.set_active(g.usize_in(1, machines + 1)),
+                    }
+                    match (t.fleet_median(), oracle_median(&t)) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "median diverged")
+                        }
+                        (a, b) => assert_eq!(a.is_some(), b.is_some(), "median presence"),
+                    }
+                    assert_eq!(t.excluded_active, oracle_excluded_active(&t));
+                    assert_eq!(t.probe_target(now), oracle_probe(&t, now));
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn property_hedge_tail_cache_matches_fresh_query() {
+        check::run("cached hedge tail == clone+flush sketch query", 24, |g| {
+            let cfg = HealthConfig::default().with_hedge(
+                HedgeConfig::default()
+                    .with_quantile(g.f64_in(0.5, 0.99))
+                    .with_min_samples(1),
+            );
+            let q = cfg.hedge.expect("hedge configured").quantile;
+            let mut t = HealthTracker::new(cfg, 4, 4);
+            let mut now = 0u64;
+            for _ in 0..g.usize_in(1, 1_200) {
+                now += 1;
+                t.push_report(g.usize_in(0, 4), now, g.u64_in(1, 1_000_000), false);
+                t.advance_to(now);
+                if g.boolean() {
+                    // The fresh query is the pre-cache behavior: quantile
+                    // straight off the live sketch (clone + virtual flush).
+                    let fresh = t.sketch.as_ref().and_then(|s| s.quantile(q));
+                    assert_eq!(t.hedge_tail(q), fresh);
+                    assert_eq!(t.hedge_tail(q), fresh, "cache hit must agree");
+                }
+            }
+        });
     }
 }

@@ -64,7 +64,7 @@ const BUFFER_CAP: usize = 512;
 /// Memory is O((1/ε)·log(εn)) tuples of 24 bytes, independent of the
 /// number of recorded values once `n` exceeds `1/(2ε)`; below that the
 /// sketch stores every value and answers exactly.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QuantileSketch {
     /// Target rank-error fraction: quantile answers are within `ε·n`
     /// ranks of the true nearest-rank answer (and usually much closer —
@@ -78,6 +78,33 @@ pub struct QuantileSketch {
     buffer: Vec<u64>,
     /// Total values recorded (flushed + buffered).
     count: u64,
+    /// Working storage for `flush`, swapped with `tuples` each flush so
+    /// the merge never allocates once both vectors have grown to the
+    /// sketch's (bounded) tuple count. Not part of the observable state.
+    scratch: Vec<Tuple>,
+}
+
+impl Clone for QuantileSketch {
+    fn clone(&self) -> Self {
+        QuantileSketch {
+            epsilon: self.epsilon,
+            tuples: self.tuples.clone(),
+            buffer: self.buffer.clone(),
+            count: self.count,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reuses the destination's existing `tuples`/`buffer` capacity
+    /// (`Vec::clone_from`), so cloning into a warm sketch is
+    /// allocation-free — the hedge-threshold cache in `faas-cluster`
+    /// refreshes its query scratch through this path on the hot fold.
+    fn clone_from(&mut self, src: &Self) {
+        self.epsilon = src.epsilon;
+        self.tuples.clone_from(&src.tuples);
+        self.buffer.clone_from(&src.buffer);
+        self.count = src.count;
+    }
 }
 
 impl QuantileSketch {
@@ -96,6 +123,7 @@ impl QuantileSketch {
             tuples: Vec::new(),
             buffer: Vec::with_capacity(BUFFER_CAP),
             count: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -133,12 +161,16 @@ impl QuantileSketch {
             return;
         }
         self.buffer.sort_unstable();
-        let old = std::mem::take(&mut self.tuples);
-        let mut out = Vec::with_capacity(old.len() + self.buffer.len());
+        // Merge into the retained scratch vector, then swap it with
+        // `tuples`: once both have grown to the sketch's bounded tuple
+        // count, a flush performs no heap allocation.
+        self.scratch.clear();
+        self.scratch.reserve(self.tuples.len() + self.buffer.len());
+        let old = &self.tuples;
         let mut oi = 0;
         for &v in &self.buffer {
             while oi < old.len() && old[oi].v <= v {
-                out.push(old[oi]);
+                self.scratch.push(old[oi]);
                 oi += 1;
             }
             let delta = if oi == 0 || oi == old.len() {
@@ -146,11 +178,11 @@ impl QuantileSketch {
             } else {
                 old[oi].g + old[oi].delta - 1
             };
-            out.push(Tuple { v, g: 1, delta });
+            self.scratch.push(Tuple { v, g: 1, delta });
         }
-        out.extend_from_slice(&old[oi..]);
+        self.scratch.extend_from_slice(&old[oi..]);
         self.buffer.clear();
-        self.tuples = out;
+        std::mem::swap(&mut self.tuples, &mut self.scratch);
         self.compress();
     }
 
@@ -164,23 +196,47 @@ impl QuantileSketch {
         if threshold == 0 || self.tuples.len() <= 2 {
             return;
         }
-        let tuples = std::mem::take(&mut self.tuples);
-        let mut out: Vec<Tuple> = Vec::with_capacity(tuples.len());
-        for t in tuples {
-            let mergeable =
-                out.len() > 1 && out.last().expect("non-empty").g + t.g + t.delta <= threshold;
+        // In place via a write cursor (`w <= r` always, so reads stay
+        // ahead of writes): same greedy left-to-right rule, no
+        // allocation.
+        let tuples = &mut self.tuples;
+        let mut w = 0usize;
+        for r in 0..tuples.len() {
+            let t = tuples[r];
+            let mergeable = w > 1 && tuples[w - 1].g + t.g + t.delta <= threshold;
             if mergeable {
-                let last = out.last_mut().expect("non-empty");
+                let last = &mut tuples[w - 1];
                 *last = Tuple {
                     v: t.v,
                     g: last.g + t.g,
                     delta: t.delta,
                 };
             } else {
-                out.push(t);
+                tuples[w] = t;
+                w += 1;
             }
         }
-        self.tuples = out;
+        tuples.truncate(w);
+    }
+
+    /// Folds any buffered values into the summary now, in place.
+    ///
+    /// Observably a no-op: [`quantile`](Self::quantile), `==`,
+    /// [`digest`](Self::digest) and friends are all defined on the
+    /// *flushed* state, and this performs exactly the flush those
+    /// accessors would simulate on a clone. What changes is the cost of
+    /// the next read: a compacted sketch answers queries by borrowing its
+    /// tuple list instead of cloning-and-flushing. The cluster's hedge
+    /// threshold cache calls this on its query scratch after
+    /// `clone_from`, making repeated tail lookups allocation-free.
+    ///
+    /// It is **not** transparent to values recorded afterwards: flushing
+    /// moves the buffer-batch boundary, and GK tuple evolution depends on
+    /// batching. Callers that must keep a sketch's future evolution
+    /// bit-stable (the cluster differential suites pin this) leave the
+    /// live sketch untouched and compact a query copy instead.
+    pub fn compact(&mut self) {
+        self.flush();
     }
 
     /// Flushed tuples for read-only queries: clones only when buffered
@@ -245,6 +301,134 @@ impl QuantileSketch {
         self.tuples = merged;
         self.count += other.count;
         self.compress();
+    }
+
+    /// Number of values buffered but not yet flushed into the tuple
+    /// list. Hits zero exactly when [`record`](Self::record) triggers a
+    /// flush — the signal callers maintaining a sorted mirror of the
+    /// pending buffer (see [`quantile_via`](Self::quantile_via)) use to
+    /// reset it.
+    pub fn pending_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Exact fused equivalent of [`quantile`](Self::quantile) for
+    /// callers that keep a sorted copy of the pending buffer.
+    ///
+    /// [`quantile`](Self::quantile) on a sketch with buffered values
+    /// clones itself and flushes the clone — O(buffer·log buffer) sort
+    /// plus two vector copies per query. This method takes the sorted
+    /// pending values from the caller and streams the exact post-flush
+    /// tuple sequence (same insertion rule as `flush`), compresses it
+    /// greedily on the fly (same rule as `compress`) and evaluates the
+    /// rank error of each finalized tuple (same rule as `quantile`) —
+    /// one O(tuples + buffer) pass, no allocation, no mutation. The
+    /// cluster's hedge-threshold cache refreshes through this on every
+    /// completion report, so the constant matters.
+    ///
+    /// `pending_sorted` must be a sorted permutation of the unflushed
+    /// buffer (callers track it via [`pending_len`](Self::pending_len):
+    /// binary-insert each recorded value, clear when a flush drains the
+    /// buffer). Debug builds assert the contract; release builds trust
+    /// it.
+    pub fn quantile_via(&self, q: f64, pending_sorted: &[u64]) -> Option<u64> {
+        debug_assert_eq!(
+            pending_sorted.len(),
+            self.buffer.len(),
+            "pending mirror out of sync with the sketch buffer"
+        );
+        debug_assert!(pending_sorted.windows(2).all(|w| w[0] <= w[1]));
+        // Allocation-free multiset sanity check (the hedge hot path runs
+        // under an allocation-counting test harness even in debug).
+        debug_assert_eq!(
+            self.buffer.iter().fold((0u64, 0u64), |(s, x), &v| {
+                (s.wrapping_add(v), x ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            }),
+            pending_sorted.iter().fold((0u64, 0u64), |(s, x), &v| {
+                (s.wrapping_add(v), x ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            }),
+            "pending mirror is not a permutation of the sketch buffer"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        if pending_sorted.is_empty() {
+            return self.quantile(q);
+        }
+        let n = self.count;
+        let r = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let threshold = (2.0 * self.epsilon * n as f64).floor() as u64;
+        // The streaming accumulator: `cur` is the compressed tuple being
+        // built at position `sealed`; sealing it accumulates rmin and
+        // scores it against the target rank. `compress` never merges
+        // into the first tuple (`w > 1`), hence the `sealed >= 1` guard.
+        struct Fused {
+            threshold: u64,
+            r: u64,
+            cur: Option<Tuple>,
+            sealed: usize,
+            rmin: u64,
+            best: u64,
+            best_err: u64,
+        }
+        impl Fused {
+            fn seal(&mut self) {
+                if let Some(c) = self.cur.take() {
+                    self.rmin += c.g;
+                    let rmax = self.rmin + c.delta;
+                    let err = rmax
+                        .saturating_sub(self.r)
+                        .max(self.r.saturating_sub(self.rmin));
+                    if err < self.best_err {
+                        self.best_err = err;
+                        self.best = c.v;
+                    }
+                    self.sealed += 1;
+                }
+            }
+            fn push(&mut self, t: Tuple) {
+                if let Some(c) = &mut self.cur {
+                    if self.sealed >= 1 && c.g + t.g + t.delta <= self.threshold {
+                        *c = Tuple {
+                            v: t.v,
+                            g: c.g + t.g,
+                            delta: t.delta,
+                        };
+                        return;
+                    }
+                }
+                self.seal();
+                self.cur = Some(t);
+            }
+        }
+        let mut f = Fused {
+            threshold,
+            r,
+            cur: None,
+            sealed: 0,
+            rmin: 0,
+            best: 0,
+            best_err: u64::MAX,
+        };
+        let old = &self.tuples;
+        let mut oi = 0usize;
+        for &v in pending_sorted {
+            while oi < old.len() && old[oi].v <= v {
+                f.push(old[oi]);
+                oi += 1;
+            }
+            let delta = if oi == 0 || oi == old.len() {
+                0
+            } else {
+                old[oi].g + old[oi].delta - 1
+            };
+            f.push(Tuple { v, g: 1, delta });
+        }
+        for &t in &old[oi..] {
+            f.push(t);
+        }
+        f.seal();
+        Some(f.best)
     }
 
     /// The ε-approximate `q`-quantile, or `None` if the sketch is empty.
@@ -589,6 +773,88 @@ mod tests {
             ba.merge_from(&a);
             assert_eq!(ab.digest(), ba.digest(), "merge is not commutative");
             assert_eq!(ab, ba);
+        });
+    }
+
+    #[test]
+    fn property_compact_is_observably_a_noop() {
+        check::run("compact preserves digest/eq/quantiles", 48, |g| {
+            let eps = g.f64_in(0.005, 0.1);
+            let mut sk = QuantileSketch::new(eps);
+            for v in g.vec_u64(0, 10_000, 0, 2_000) {
+                sk.record(v);
+            }
+            let reference = sk.clone();
+            sk.compact();
+            assert_eq!(sk.digest(), reference.digest());
+            assert_eq!(sk, reference);
+            assert_eq!(sk.count(), reference.count());
+            assert_eq!(sk.min(), reference.min());
+            assert_eq!(sk.max(), reference.max());
+            assert_eq!(sk.rank_error_bound(), reference.rank_error_bound());
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(sk.quantile(q), reference.quantile(q));
+            }
+            // Idempotent. (Note: compact is a no-op for *reads* only —
+            // it moves the flush-batch boundary, so a compacted and an
+            // uncompacted sketch can diverge on values recorded *after*
+            // the compact. Callers that need bit-stable evolution keep
+            // the live sketch untouched and compact a query copy.)
+            sk.compact();
+            assert_eq!(sk.digest(), reference.digest());
+        });
+    }
+
+    #[test]
+    fn property_clone_from_matches_clone() {
+        check::run("clone_from into a warm sketch == clone", 32, |g| {
+            let mut warm = QuantileSketch::new(0.02);
+            for v in g.vec_u64(0, 50_000, 0, 3_000) {
+                warm.record(v);
+            }
+            warm.compact();
+            let mut src = QuantileSketch::new(g.f64_in(0.005, 0.1));
+            for v in g.vec_u64(0, 10_000, 0, 2_000) {
+                src.record(v);
+            }
+            warm.clone_from(&src);
+            assert_eq!(warm.digest(), src.digest());
+            assert_eq!(warm, src);
+            // The copy is independent of the source afterwards.
+            warm.record(3);
+            assert_eq!(warm.count(), src.count() + 1);
+        });
+    }
+
+    #[test]
+    fn property_quantile_via_matches_quantile() {
+        // The fused pending-mirror query must equal the clone-and-flush
+        // query bit for bit, at every buffer fill level (including mid-
+        // batch states straddling flush boundaries) and every epsilon.
+        check::run("quantile_via == quantile", 64, |g| {
+            let eps = g.f64_in(0.002, 0.2);
+            let n = g.usize_in(1, 3_000);
+            let hi = g.u64_in(2, 1_000_000);
+            let mut sk = QuantileSketch::new(eps);
+            let mut mirror: Vec<u64> = Vec::new();
+            for _ in 0..n {
+                let v = g.u64_in(0, hi);
+                sk.record(v);
+                if sk.pending_len() == 0 {
+                    mirror.clear();
+                } else {
+                    let i = mirror.partition_point(|&x| x <= v);
+                    mirror.insert(i, v);
+                }
+            }
+            for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    sk.quantile_via(q, &mirror),
+                    sk.quantile(q),
+                    "q={q} n={n} eps={eps} pending={}",
+                    mirror.len()
+                );
+            }
         });
     }
 

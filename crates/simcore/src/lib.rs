@@ -11,6 +11,8 @@
 //!   and in-place cancellation (an index-aware 4-ary heap);
 //! * [`MinHeap4`] — the dense 4-ary min-heap backing the scheduler
 //!   runqueues;
+//! * [`IndexedMinHeap`] — the slot-addressed variant (O(log n) re-key /
+//!   removal by stable slot) backing the cluster dispatch tier;
 //! * [`SimRng`] — a seeded random generator with the samplers used by the
 //!   Azure-like trace synthesizer;
 //! * [`check`] — a miniature property-test harness (the workspace's
@@ -48,11 +50,13 @@
 pub mod check;
 mod events;
 mod heap;
+mod idxheap;
 pub mod par;
 mod rng;
 mod time;
 
 pub use events::{EventId, EventQueue};
 pub use heap::MinHeap4;
+pub use idxheap::IndexedMinHeap;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
